@@ -1,0 +1,143 @@
+"""Shared harness for the table/figure benchmarks.
+
+Datasets and trained parsers are cached at module level so the benchmark
+files can share them; sizes are chosen so the full suite regenerates every
+table and figure in a few minutes on a laptop.  Each benchmark prints the
+artifact it reproduces (rows/series in the paper's layout) so the harness
+output *is* the reproduction record — EXPERIMENTS.md captures one run.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datasets import build_dataset
+from repro.metrics import evaluate_parser
+
+#: evaluation scales per benchmark (fractions of the published sizes),
+#: chosen so the whole suite trains and evaluates in a few minutes
+SCALES = {
+    "wikisql_like": 0.03,   # ~2.4k examples
+    "spider_like": 0.06,    # ~600 examples
+    "nvbench_like": 0.06,   # ~1.5k examples
+}
+SEED = 11
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str, scale: float | None = None, seed: int = SEED):
+    if scale is None:
+        scale = SCALES.get(name, 0.06)
+    return build_dataset(name, scale=scale, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def trained(kind: str):
+    """Train one of the named parser stacks once per session."""
+    from repro.parsers.llm import (
+        ChainOfThoughtLLMParser,
+        FewShotLLMParser,
+        MultiStageLLMParser,
+        RetrievalRevisionLLMParser,
+        SelfConsistencyLLMParser,
+    )
+    from repro.parsers.neural import (
+        ExecutionGuidedParser,
+        FeatureConfig,
+        GrammarNeuralParser,
+        SketchParser,
+    )
+    from repro.parsers.plm import PLMParser
+    from repro.parsers.vis import (
+        NL2InterfaceParser,
+        NcNetParser,
+        RGVisNetParser,
+        Seq2VisParser,
+    )
+
+    spider = dataset("spider_like")
+    wikisql = dataset("wikisql_like")
+    nvbench = dataset("nvbench_like")
+
+    factories = {
+        "sketch_basic": (
+            lambda: SketchParser(
+                config=FeatureConfig(
+                    bigrams=False, context=False, graph=False,
+                    value_link=False,
+                ),
+                name="SQLNet-like (sketch, basic features)",
+                year=2017,
+            ),
+            wikisql,
+        ),
+        "sketch_full": (
+            lambda: SketchParser(
+                name="HydraNet-like (sketch + value linking)", year=2020
+            ),
+            wikisql,
+        ),
+        "gnn": (
+            lambda: GrammarNeuralParser(
+                config=FeatureConfig(bigrams=False, context=False),
+                name="GNN-like (graph encoder, plain decoder)",
+                year=2019,
+            ),
+            spider,
+        ),
+        "ratsql": (
+            lambda: GrammarNeuralParser(
+                name="RAT-SQL-like (relation-aware)", year=2020
+            ),
+            spider,
+        ),
+        "lgesql": (
+            lambda: ExecutionGuidedParser(
+                GrammarNeuralParser(
+                    name="LGESQL-like", year=2021
+                ),
+                name="LGESQL-like (relation-aware + EG)",
+            ),
+            spider,
+        ),
+        "plm": (
+            lambda: PLMParser(
+                name="Graphix/RESDSQL-like (pretrained)", year=2023
+            ),
+            spider,
+        ),
+        "few_shot": (lambda: FewShotLLMParser(), spider),
+        "cot": (lambda: ChainOfThoughtLLMParser(), spider),
+        "self_consistency": (
+            lambda: SelfConsistencyLLMParser(model="palm-like"),
+            spider,
+        ),
+        "multi_stage": (lambda: MultiStageLLMParser(), spider),
+        "retrieval": (lambda: RetrievalRevisionLLMParser(), spider),
+        "seq2vis": (lambda: Seq2VisParser(), nvbench),
+        "ncnet": (lambda: NcNetParser(), nvbench),
+        "rgvisnet": (lambda: RGVisNetParser(), nvbench),
+        "nl2interface": (lambda: NL2InterfaceParser(), nvbench),
+    }
+    factory, train_ds = factories[kind]
+    parser = factory()
+    parser.train(train_ds.split("train").examples, train_ds.databases)
+    return parser
+
+
+def accuracy(parser, dataset_name: str, metric: str) -> float:
+    report = evaluate_parser(parser, dataset(dataset_name))
+    return round(100 * report.accuracy(metric), 1)
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,186 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+Three studies:
+
+1. **neural feature channels** — the grammar parser with each feature
+   channel removed (role context, graph/FK features, value linking,
+   bigrams), isolating what each buys on the Spider-like benchmark;
+2. **PLM pretraining size** — accuracy of the pretrain-then-finetune
+   parser as the synthetic pretraining corpus grows, with the fine-tune
+   set held small (the transfer regime pretraining is for);
+3. **prompt ingredients** — the simulated LLM's zero/few-shot accuracy as
+   prompt-engineering ingredients are added one at a time (column
+   descriptions, FK comments, demonstrations), quantifying C3's "clear
+   prompting" decomposition.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _harness import dataset, print_table
+
+from repro.llm.prompts import PromptBuilder
+from repro.metrics import evaluate_parser
+from repro.parsers.llm import FewShotLLMParser, ZeroShotLLMParser
+from repro.parsers.neural import FeatureConfig, GrammarNeuralParser
+from repro.parsers.plm import PLMParser
+
+
+def _neural_feature_ablation():
+    spider = dataset("spider_like")
+    train = spider.split("train").examples
+    configs = [
+        ("full", FeatureConfig()),
+        ("- role context", FeatureConfig(context=False)),
+        ("- graph/FK features", FeatureConfig(graph=False)),
+        ("- value linking", FeatureConfig(value_link=False)),
+        ("- bigrams", FeatureConfig(bigrams=False)),
+        (
+            "sequence-only (none of the above)",
+            FeatureConfig(
+                context=False, graph=False, value_link=False, bigrams=False
+            ),
+        ),
+    ]
+    rows = []
+    baseline = None
+    for label, config in configs:
+        parser = GrammarNeuralParser(config=config)
+        parser.train(train, spider.databases)
+        accuracy = 100 * evaluate_parser(parser, spider).accuracy(
+            "execution_match"
+        )
+        if baseline is None:
+            baseline = accuracy
+        rows.append((label, round(accuracy, 1), round(accuracy - baseline, 1)))
+    return rows
+
+
+def _pretrain_size_ablation():
+    spider = dataset("spider_like")
+    small_train = spider.split("train").examples[:40]
+    rows = []
+    for size in (0, 200, 800, 2000):
+        parser = PLMParser(pretrain_size=size, pretrain=size > 0)
+        parser.train(small_train, spider.databases)
+        accuracy = 100 * evaluate_parser(parser, spider).accuracy(
+            "execution_match"
+        )
+        rows.append((size, len(small_train), round(accuracy, 1)))
+    return rows
+
+
+def _prompt_ingredient_ablation():
+    spider = dataset("spider_like")
+    train = spider.split("train").examples
+    rows = []
+
+    bare = ZeroShotLLMParser(clear_prompting=False)
+    rows.append(
+        (
+            "schema only",
+            round(
+                100
+                * evaluate_parser(bare, spider).accuracy("execution_match"),
+                1,
+            ),
+        )
+    )
+
+    descriptions_only = ZeroShotLLMParser(clear_prompting=True)
+    # split the clear-prompting bundle: descriptions without FK comments
+    descriptions_only._builder = lambda chain_of_thought=False: PromptBuilder(  # type: ignore[method-assign]
+        include_schema=True,
+        include_descriptions=True,
+        include_foreign_keys=False,
+        chain_of_thought=chain_of_thought,
+    )
+    rows.append(
+        (
+            "+ column descriptions",
+            round(
+                100
+                * evaluate_parser(descriptions_only, spider).accuracy(
+                    "execution_match"
+                ),
+                1,
+            ),
+        )
+    )
+
+    clear = ZeroShotLLMParser()
+    rows.append(
+        (
+            "+ FK comments (full clear prompting)",
+            round(
+                100
+                * evaluate_parser(clear, spider).accuracy("execution_match"),
+                1,
+            ),
+        )
+    )
+
+    for demos in (2, 4, 8):
+        parser = FewShotLLMParser(num_demos=demos)
+        parser.train(train, spider.databases)
+        rows.append(
+            (
+                f"+ {demos} demonstrations",
+                round(
+                    100
+                    * evaluate_parser(parser, spider).accuracy(
+                        "execution_match"
+                    ),
+                    1,
+                ),
+            )
+        )
+    return rows
+
+
+def test_ablations(benchmark):
+    def _all():
+        return (
+            _neural_feature_ablation(),
+            _pretrain_size_ablation(),
+            _prompt_ingredient_ablation(),
+        )
+
+    neural_rows, pretrain_rows, prompt_rows = benchmark.pedantic(
+        _all, rounds=1, iterations=1
+    )
+
+    print_table(
+        "Ablation 1 — neural feature channels (Spider-like EX%)",
+        ["configuration", "EX %", "delta vs full"],
+        neural_rows,
+    )
+    print_table(
+        "Ablation 2 — PLM pretraining size (40 fine-tune examples)",
+        ["pretrain corpus", "fine-tune size", "EX %"],
+        pretrain_rows,
+    )
+    print_table(
+        "Ablation 3 — prompt ingredients (zero→few shot)",
+        ["prompt", "EX %"],
+        prompt_rows,
+    )
+
+    # feature channels all contribute: the full config is the best or tied
+    full = neural_rows[0][1]
+    assert all(accuracy <= full + 1.0 for _, accuracy, _ in neural_rows[1:])
+    # the stripped sequence-only config is strictly worse
+    assert neural_rows[-1][1] < full
+
+    # pretraining monotone-ish: more corpus never hurts much, 0 is worst
+    accuracies = [accuracy for _, _, accuracy in pretrain_rows]
+    assert accuracies[0] <= min(accuracies[1:]) + 1.0
+    assert max(accuracies[1:]) > accuracies[0]
+
+    # each prompt ingredient adds accuracy (weak monotonicity)
+    prompt_acc = [accuracy for _, accuracy in prompt_rows]
+    assert prompt_acc[0] < prompt_acc[2]  # clear prompting helps
+    assert max(prompt_acc[3:]) >= prompt_acc[2] - 2.0  # demos competitive

@@ -1,0 +1,77 @@
+"""Fig. 2 — the sales scenario: quarterly revenue query plus bar chart.
+
+Fig. 2 walks a concrete example: a textual query about quarterly sales is
+parsed into an SQL command fetching numerical data, and a request for a
+sales visualization becomes a bar-chart specification.  This benchmark
+reproduces that exact pair on a generated sales database and prints the
+two functional expressions, the fetched data, and the chart spec.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _harness import print_table
+
+from repro import NaturalLanguageInterface
+from repro.data.domains import domain_by_name
+from repro.data.generator import DatabaseGenerator
+
+DB = DatabaseGenerator(seed=42).populate(
+    domain_by_name("sales"), rows_per_table=40
+)
+
+
+def _run_scenario():
+    nli = NaturalLanguageInterface(DB)
+    query_answer = nli.ask(
+        "What is the total quantity of orders for each quarter?"
+    )
+    nli.reset()
+    chart_answer = nli.ask(
+        "Show a bar chart of the total quantity of orders for each quarter?"
+    )
+    return query_answer, chart_answer
+
+
+def test_fig2_sales_scenario(benchmark):
+    query_answer, chart_answer = benchmark.pedantic(
+        _run_scenario, rounds=1, iterations=1
+    )
+
+    print("\n=== Fig. 2 — sales example ===")
+    print(f"NL query  -> SQL: {query_answer.sql}")
+    print_table(
+        "fetched data",
+        query_answer.columns,
+        [tuple(r) for r in query_answer.rows],
+    )
+    print(f"\nNL request -> VQL: {chart_answer.vql}")
+    print(chart_answer.chart.to_ascii(width=32))
+    encoding = chart_answer.chart.spec["encoding"]
+    print(f"spec mark={chart_answer.chart.spec['mark']} encoding={encoding}")
+
+    # the Fig. 2 contract: the query fetches numeric data per quarter...
+    assert query_answer.ok
+    assert query_answer.sql == (
+        "SELECT quarter, SUM(quantity) FROM orders GROUP BY quarter"
+    )
+    assert all(
+        isinstance(row[1], (int, float)) for row in query_answer.rows
+    )
+    # ...and the visualization request becomes a bar-chart specification
+    # over the same data
+    assert chart_answer.ok
+    assert chart_answer.vql == (
+        "VISUALIZE BAR SELECT quarter, SUM(quantity) FROM orders "
+        "GROUP BY quarter"
+    )
+    assert chart_answer.chart.spec["mark"] == "bar"
+    def row_key(row):
+        return tuple(str(v) for v in row)
+
+    assert sorted(chart_answer.chart.points, key=row_key) == sorted(
+        [tuple(r) for r in query_answer.rows], key=row_key
+    )

@@ -1,0 +1,104 @@
+"""Fig. 4 — the evolution timeline of approaches.
+
+Fig. 4 plots both tasks' approaches on a timeline colored by stage
+(traditional, neural network, foundation language model), with the
+Text-to-Vis timeline lagging the Text-to-SQL one.  This benchmark
+evaluates one representative per (task, year) and prints the two series —
+accuracy as a function of publication year — verifying the survey's two
+claims: accuracy improves monotonically across stages, and Text-to-Vis
+development trails Text-to-SQL.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _harness import dataset, print_table, trained
+
+from repro.metrics import evaluate_parser
+from repro.parsers.llm import MultiStageLLMParser, ZeroShotLLMParser
+from repro.parsers.rule import KeywordRuleParser
+from repro.parsers.vis import Chat2VisParser, DataToneVisParser
+
+
+def _series():
+    spider = dataset("spider_like")
+    nvbench = dataset("nvbench_like")
+
+    sql_points = []
+    for parser, stage in (
+        (KeywordRuleParser(), "traditional"),
+        (trained("gnn"), "neural"),
+        (trained("ratsql"), "neural"),
+        (trained("plm"), "foundation (PLM)"),
+        (ZeroShotLLMParser(), "foundation (LLM)"),
+        (trained("multi_stage"), "foundation (LLM)"),
+    ):
+        accuracy = evaluate_parser(parser, spider).accuracy(
+            "execution_match"
+        )
+        sql_points.append(
+            (parser.year, parser.name, stage, round(100 * accuracy, 1))
+        )
+
+    vis_points = []
+    for parser, stage in (
+        (DataToneVisParser(), "traditional"),
+        (trained("seq2vis"), "neural"),
+        (trained("ncnet"), "neural"),
+        (trained("rgvisnet"), "neural"),
+        (Chat2VisParser(), "foundation (LLM)"),
+    ):
+        accuracy = evaluate_parser(parser, nvbench).accuracy("exact_match")
+        vis_points.append(
+            (parser.year, parser.name, stage, round(100 * accuracy, 1))
+        )
+    sql_points.sort()
+    vis_points.sort()
+    return sql_points, vis_points
+
+
+def test_fig4_evolution_timeline(benchmark):
+    sql_points, vis_points = benchmark.pedantic(
+        _series, rounds=1, iterations=1
+    )
+    print_table(
+        "Fig. 4 — Text-to-SQL timeline (accuracy by year)",
+        ["year", "approach", "stage", "accuracy %"],
+        sql_points,
+    )
+    print_table(
+        "Fig. 4 — Text-to-Vis timeline (accuracy by year)",
+        ["year", "approach", "stage", "accuracy %"],
+        vis_points,
+    )
+
+    # claim 1: per task, the best accuracy per stage increases stage-over-
+    # stage (traditional < neural < foundation)
+    def best_per_stage(points):
+        best: dict[str, float] = {}
+        for _, _, stage, accuracy in points:
+            family = stage.split()[0]
+            best[family] = max(best.get(family, 0.0), accuracy)
+        return best
+
+    sql_best = best_per_stage(sql_points)
+    vis_best = best_per_stage(vis_points)
+    assert sql_best["traditional"] < sql_best["neural"] < sql_best["foundation"]
+    assert vis_best["traditional"] < vis_best["neural"] < vis_best["foundation"]
+
+    # claim 2: the Vis timeline lags the SQL timeline — each stage arrives
+    # later for Vis (compare earliest year per stage family)
+    def first_year(points, family):
+        return min(
+            year for year, _, stage, _ in points if stage.startswith(family)
+        )
+
+    assert first_year(vis_points, "neural") >= first_year(
+        sql_points, "neural"
+    )
+    assert first_year(vis_points, "foundation") >= first_year(
+        sql_points, "foundation"
+    )

@@ -1,0 +1,86 @@
+"""Table 1 — dataset statistics for every benchmark family.
+
+Regenerates the survey's dataset-statistics table: one synthetic
+counterpart per published benchmark family, with #Query / #Database /
+#Domain / #T per DB / language / main feature, alongside the published
+benchmark's reference size.  Our builds run at 1/20 linear scale (see
+``repro.datasets.registry``), so the *ordering* of sizes and every
+structural axis are the reproduction target, not the absolute counts.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _harness import print_table
+
+from repro.datasets.registry import (
+    PAPER_REFERENCE,
+    build_dataset,
+    dataset_names,
+)
+
+_SCALE = 0.01
+
+
+def _build_all():
+    return {
+        name: build_dataset(name, scale=_SCALE, seed=1)
+        for name in dataset_names()
+    }
+
+
+def test_table1_dataset_statistics(benchmark):
+    datasets = benchmark.pedantic(_build_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, ds in datasets.items():
+        stats = ds.statistics()
+        reference = PAPER_REFERENCE[name]
+        rows.append(
+            (
+                reference["paper"],
+                name,
+                stats.num_queries,
+                reference["queries"] or "-",
+                stats.num_databases,
+                stats.num_domains,
+                stats.tables_per_db,
+                stats.language,
+                stats.feature,
+            )
+        )
+    print_table(
+        "Table 1 — dataset statistics (ours at 1/100 scale vs paper)",
+        ["paper dataset", "ours", "#Q", "#Q(paper)", "#DB", "#Dom",
+         "#T/DB", "lang", "feature"],
+        rows,
+    )
+
+    # the reproduction targets: structural axes and size ordering
+    by_name = {name: ds for name, ds in datasets.items()}
+    sizes = {
+        name: ds.statistics().num_queries for name, ds in datasets.items()
+    }
+    # the paper's size extremes: WikiSQL is the largest corpus overall,
+    # TableQA the largest Chinese one, Gao et al. the smallest of all
+    assert sizes["wikisql_like"] == max(sizes.values())
+    assert sizes["tableqa_like"] == max(
+        size
+        for name, size in sizes.items()
+        if datasets[name].language == "zh"
+    )
+    assert sizes["gao_like"] == min(sizes.values())
+    assert by_name["spider_like"].statistics().num_domains >= 10
+    assert by_name["cspider_like"].language == "zh"
+    assert by_name["sparc_like"].dialogues
+    assert all(e.knowledge for e in by_name["bird_like"].examples)
+    assert by_name["nvbench_like"].task == "vis"
+    # every Table 1 feature category is populated
+    features = {ds.statistics().feature for ds in datasets.values()}
+    assert features == {
+        "Single Domain", "Cross Domain", "Multi-turn", "Multilingual",
+        "Robustness", "Knowledge Grounding",
+    }

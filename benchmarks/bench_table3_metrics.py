@@ -1,0 +1,186 @@
+"""Table 3 — comparative analysis of evaluation metrics.
+
+The survey's Table 3 is qualitative (advantages/disadvantages per metric);
+this benchmark makes it quantitative.  Two pair corpora are constructed
+over a generated database:
+
+- **equivalent pairs** — the same intent written differently: casing /
+  alias / whitespace variants ("alias expressions") and structurally
+  different rewrites (BETWEEN vs. chained comparisons, IN-list vs. OR,
+  reordered conjuncts);
+- **near-miss pairs** — small but real errors: wrong constant, wrong
+  column, wrong operator ("semantically close expressions").
+
+Each metric's false-negative rate on equivalents, false-positive rate on
+near-misses, and runtime are measured, reproducing the documented
+trade-offs: exact match FNs on rewrites; fuzzy match FPs on near-misses;
+naive execution match FPs on coincidences; test-suite match removes most
+of those at higher cost.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _harness import print_table
+
+from repro.data.domains import domain_by_name
+from repro.data.generator import DatabaseGenerator
+from repro.metrics import test_suite_match as suite_match
+from repro.metrics import (
+    component_match,
+    exact_string_match,
+    execution_match,
+    fuzzy_match,
+    strict_string_match,
+)
+
+DB = DatabaseGenerator(seed=3).populate(domain_by_name("sales"))
+
+#: (prediction, gold) pairs that are semantically equivalent
+EQUIVALENT_PAIRS = [
+    # surface variants (alias expressions, casing, whitespace)
+    ("select NAME from PRODUCTS", "SELECT name FROM products"),
+    ("SELECT p.name FROM products p", "SELECT name FROM products"),
+    (
+        "SELECT x.quantity FROM orders x JOIN products y "
+        "ON x.product_id = y.product_id",
+        "SELECT o.quantity FROM orders o JOIN products p "
+        "ON o.product_id = p.product_id",
+    ),
+    (
+        "SELECT name FROM products WHERE category = 'toys' AND price > 10",
+        "SELECT name FROM products WHERE price > 10 AND category = 'toys'",
+    ),
+    # structural rewrites (same semantics, different syntax)
+    (
+        "SELECT name FROM products WHERE price >= 10 AND price <= 500",
+        "SELECT name FROM products WHERE price BETWEEN 10 AND 500",
+    ),
+    (
+        "SELECT name FROM products WHERE category = 'toys' "
+        "OR category = 'food'",
+        "SELECT name FROM products WHERE category IN ('toys', 'food')",
+    ),
+    (
+        "SELECT COUNT(*) FROM products WHERE NOT price <= 100",
+        "SELECT COUNT(*) FROM products WHERE price > 100",
+    ),
+    (
+        "SELECT name FROM products WHERE price > 100 AND price > 50",
+        "SELECT name FROM products WHERE price > 100",
+    ),
+]
+
+#: (prediction, gold) pairs that are close but WRONG
+NEAR_MISS_PAIRS = [
+    (
+        "SELECT name FROM products WHERE price > 110",
+        "SELECT name FROM products WHERE price > 100",
+    ),
+    (
+        "SELECT name FROM products WHERE stock > 100",
+        "SELECT name FROM products WHERE price > 100",
+    ),
+    (
+        "SELECT name FROM products WHERE price >= 100",
+        "SELECT name FROM products WHERE price > 100",
+    ),
+    (
+        "SELECT category FROM products WHERE price > 100",
+        "SELECT name FROM products WHERE price > 100",
+    ),
+    (
+        "SELECT MAX(price) FROM products",
+        "SELECT MIN(price) FROM products",
+    ),
+    (
+        "SELECT name FROM products ORDER BY price ASC LIMIT 3",
+        "SELECT name FROM products ORDER BY price DESC LIMIT 3",
+    ),
+    (
+        "SELECT COUNT(*) FROM orders WHERE quarter = 'Q1'",
+        "SELECT COUNT(*) FROM orders WHERE quarter = 'Q2'",
+    ),
+    (
+        "SELECT quarter, COUNT(*) FROM orders GROUP BY quarter",
+        "SELECT quarter, SUM(quantity) FROM orders GROUP BY quarter",
+    ),
+]
+
+METRICS = [
+    ("Exact String Match (strict)", lambda p, g: strict_string_match(p, g)),
+    ("Exact String Match (normalized)", lambda p, g: exact_string_match(p, g)),
+    ("Fuzzy Match (BLEU)", lambda p, g: fuzzy_match(p, g)),
+    ("Component Match (exact set)", lambda p, g: component_match(p, g)),
+    ("Naive Execution Match", lambda p, g: execution_match(p, g, DB)),
+    (
+        "Test Suite Match",
+        lambda p, g: suite_match(p, g, DB, num_variants=8),
+    ),
+]
+
+
+def _measure():
+    rows = []
+    for name, metric in METRICS:
+        start = time.perf_counter()
+        accepted_equivalent = sum(
+            metric(pred, gold) for pred, gold in EQUIVALENT_PAIRS
+        )
+        accepted_near_miss = sum(
+            metric(pred, gold) for pred, gold in NEAR_MISS_PAIRS
+        )
+        elapsed = time.perf_counter() - start
+        fn_rate = 1 - accepted_equivalent / len(EQUIVALENT_PAIRS)
+        fp_rate = accepted_near_miss / len(NEAR_MISS_PAIRS)
+        rows.append(
+            (
+                name,
+                f"{100 * fn_rate:.0f}%",
+                f"{100 * fp_rate:.0f}%",
+                f"{1000 * elapsed / (len(EQUIVALENT_PAIRS) + len(NEAR_MISS_PAIRS)):.2f}",
+            )
+        )
+    return rows
+
+
+def test_table3_metric_comparison(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print_table(
+        "Table 3 — metric trade-offs (FN on equivalents / FP on near-misses)",
+        ["metric", "false-negative rate", "false-positive rate",
+         "ms per comparison"],
+        rows,
+    )
+    by_name = {r[0]: r for r in rows}
+
+    def pct(row, index):
+        return float(row[index].rstrip("%"))
+
+    strict = by_name["Exact String Match (strict)"]
+    normalized = by_name["Exact String Match (normalized)"]
+    fuzzy = by_name["Fuzzy Match (BLEU)"]
+    component = by_name["Component Match (exact set)"]
+    execution = by_name["Naive Execution Match"]
+    suite = by_name["Test Suite Match"]
+
+    # Table 3's documented trade-offs, quantified:
+    # 1. exact match cannot handle alias/rewrite variation (high FN) but
+    #    never lets an error through (zero FP)
+    assert pct(strict, 1) > pct(normalized, 1) >= pct(component, 1)
+    assert pct(strict, 2) == pct(normalized, 2) == 0.0
+    # 2. fuzzy match is lenient: lowest FN among string metrics, but FPs
+    assert pct(fuzzy, 2) > 0.0
+    assert pct(fuzzy, 1) <= pct(strict, 1)
+    # 3. execution match accepts all equivalents (no FN) but has FPs
+    assert pct(execution, 1) == 0.0
+    assert pct(execution, 2) > 0.0
+    # 4. test-suite match keeps the zero FN and cuts the FPs
+    assert pct(suite, 1) == 0.0
+    assert pct(suite, 2) < pct(execution, 2)
+    # 5. and costs more per comparison than naive execution
+    assert float(suite[3]) > float(execution[3])

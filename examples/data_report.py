@@ -1,0 +1,39 @@
+"""Integrated application: automated data-report generation (Section 6.6).
+
+Generates a full markdown report over a healthcare database — headline
+questions answered through the NLI, DeepEye-recommended charts with NL
+summaries, and the schema overview — demonstrating the survey's
+"integrated systems" direction where querying, visualization, and
+summarization share one language-centric interface.
+
+Run with::
+
+    python examples/data_report.py
+"""
+
+from repro.applications import DataReportGenerator
+from repro.data.domains import domain_by_name
+from repro.data.generator import DatabaseGenerator
+
+
+def main() -> None:
+    db = DatabaseGenerator(seed=23).populate(
+        domain_by_name("healthcare"), rows_per_table=50
+    )
+    generator = DataReportGenerator(db)
+    report = generator.generate(
+        title="Clinic quarterly data report",
+        questions=[
+            "How many patients?",
+            "What is the average cost of visits?",
+            "What is the number of visits for each specialty?",
+            "Show a bar chart of the number of doctors per specialty?",
+            "Show the name of patients with the highest age?",
+        ],
+        charts_per_table=1,
+    )
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

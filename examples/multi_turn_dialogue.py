@@ -1,0 +1,70 @@
+"""Multi-turn data conversations (the SParC/CoSQL interaction pattern).
+
+Runs the same conversation through two system architectures — the
+parsing-based system and the multi-stage LLM system — showing how
+follow-up turns resolve against dialogue context, and how the two
+architectures differ when a turn falls outside their competence.
+
+Run with::
+
+    python examples/multi_turn_dialogue.py
+"""
+
+from repro.data.domains import domain_by_name
+from repro.data.generator import DatabaseGenerator
+from repro.systems import (
+    InteractiveSession,
+    MultiStageSystem,
+    ParsingBasedSystem,
+)
+
+CONVERSATION = [
+    "Show the name of players whose points is greater than 400?",
+    "Now keep only those whose points is less than 900?",
+    "Show only the 3 with the highest points?",
+    "How many are there?",
+]
+
+
+def run_session(label: str, session: InteractiveSession) -> None:
+    print(f"\n=== {label} ===")
+    for turn in CONVERSATION:
+        response = session.ask(turn)
+        print(f"user>  {turn}")
+        if response.kind == "data":
+            rows = response.result.rows
+            shown = ", ".join(str(r) for r in rows[:3])
+            suffix = " ..." if len(rows) > 3 else ""
+            print(f"  sql: {response.sql}")
+            print(f"  ans: {shown}{suffix}")
+        else:
+            print(f"  {response.kind}: {response.message}")
+
+
+def main() -> None:
+    db = DatabaseGenerator(seed=11).populate(
+        domain_by_name("sports"), rows_per_table=40
+    )
+    run_session(
+        "parsing-based system",
+        InteractiveSession(system=ParsingBasedSystem(), db=db),
+    )
+    run_session(
+        "multi-stage LLM system",
+        InteractiveSession(system=MultiStageSystem(), db=db),
+    )
+
+    # a visualization follow-up at the end of a dialogue
+    session = InteractiveSession(system=ParsingBasedSystem(), db=db)
+    session.ask("Show the name of teams?")
+    chart = session.ask(
+        "Draw a bar chart of the number of players per position?"
+    )
+    print("\nuser>  Draw a bar chart of the number of players per position?")
+    print(f"  vql: {chart.vql}")
+    if chart.chart is not None:
+        print(chart.chart.to_ascii(width=26))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: ask a database questions in natural language.
+
+Builds a sales database, points a :class:`NaturalLanguageInterface` at it,
+and walks the Fig. 1 loop: a data question, a follow-up that refines it,
+and a chart request — printing the translated SQL/VQL alongside results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import NaturalLanguageInterface
+from repro.data.domains import domain_by_name
+from repro.data.generator import DatabaseGenerator
+
+
+def main() -> None:
+    # 1. a database: here generated, but any repro.Database works
+    db = DatabaseGenerator(seed=7).populate(
+        domain_by_name("sales"), rows_per_table=40
+    )
+    print(f"database {db.db_id!r}: "
+          f"{', '.join(db.schema.table_names())} "
+          f"({db.row_count()} rows)\n")
+
+    nli = NaturalLanguageInterface(db)
+
+    # 2. a data question
+    answer = nli.ask("Show the name of products whose price is above 500?")
+    print(f"Q: Show the name of products whose price is above 500?")
+    print(f"   SQL: {answer.sql}")
+    for row in answer.rows[:5]:
+        print(f"   {row}")
+
+    # 3. a conversational follow-up (the Fig. 1 feedback loop)
+    follow = nli.ask("How many are there?")
+    print(f"\nQ: How many are there?")
+    print(f"   SQL: {follow.sql}")
+    print(f"   -> {follow.rows[0][0]}")
+
+    # 4. a chart request (Text-to-Vis through the same interface)
+    nli.reset()
+    chart = nli.ask("Draw a bar chart of the number of orders per quarter?")
+    print(f"\nQ: Draw a bar chart of the number of orders per quarter?")
+    print(f"   VQL: {chart.vql}")
+    print(chart.chart.to_ascii(width=30))
+
+    # 5. the compiled Vega-Lite-like spec is a plain dict
+    print(f"\nspec: mark={chart.chart.spec['mark']}, "
+          f"x={chart.chart.spec['encoding']['x']['field']}, "
+          f"y={chart.chart.spec['encoding']['y']['field']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Robustness study (survey Section 6.5).
+
+Trains the neural and PLM parsers on a Spider-like benchmark and evaluates
+them — plus an LLM parser — on the Dr.Spider-style perturbation suite
+(synonym substitution, explicit-mention removal, surface typos), printing
+the accuracy drop per dimension.  The expected picture is the survey's:
+exact-linking neural models drop hard on synonym substitution; pretrained
+lexical knowledge recovers much of it; everyone suffers on the
+"realistic" (no explicit column mention) dimension.
+
+Run with::
+
+    python examples/robustness_study.py
+"""
+
+from repro.datasets import build_dataset
+from repro.datasets.robustness import make_dr_spider_suite
+from repro.metrics import evaluate_parser
+from repro.parsers.llm import FewShotLLMParser
+from repro.parsers.neural import GrammarNeuralParser
+from repro.parsers.plm import PLMParser
+
+
+def main() -> None:
+    base = build_dataset("spider_like", scale=0.04, seed=8)
+    suite = make_dr_spider_suite(base, seed=8)
+    train = base.split("train").examples
+
+    parsers = [
+        ("neural (exact linking)", GrammarNeuralParser()),
+        ("PLM (pretrained + world knowledge)", PLMParser()),
+        ("LLM few-shot", FewShotLLMParser()),
+    ]
+
+    dimensions = ["base"] + sorted(suite)
+    header = f"{'parser':<36}" + "".join(f"{d:>12}" for d in dimensions)
+    print(header)
+    print("-" * len(header))
+
+    for label, parser in parsers:
+        parser.train(train, base.databases)
+        cells = []
+        base_report = evaluate_parser(parser, base)
+        base_acc = 100 * base_report.accuracy("execution_match")
+        cells.append(f"{base_acc:>11.1f}%")
+        for dimension in sorted(suite):
+            report = evaluate_parser(parser, suite[dimension])
+            acc = 100 * report.accuracy("execution_match")
+            cells.append(f"{acc:>6.1f} ({acc - base_acc:+.0f})")
+        print(f"{label:<36}" + "".join(f"{c:>12}" for c in cells))
+
+    print(
+        "\nreading: the synonym column isolates schema linking — the "
+        "robustness axis Spider-SYN probes; 'realistic' removes the "
+        "explicit column mentions every linker leans on."
+    )
+
+
+if __name__ == "__main__":
+    main()

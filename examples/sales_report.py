@@ -1,0 +1,80 @@
+"""The survey's Fig. 2 scenario: a quarterly sales report.
+
+A business analyst queries "total revenue by product category in the last
+quarter" and then requests "a bar chart showing the revenue breakdown" —
+the survey's introductory example of querying and visualization working
+together.  This script runs that workflow end to end: SQL for the
+numbers, VQL for the chart, a DeepEye-style recommendation pass for
+further charts, and a CSV export of the fetched data.
+
+Run with::
+
+    python examples/sales_report.py
+"""
+
+import pathlib
+import tempfile
+
+from repro import NaturalLanguageInterface, execute, parse_sql
+from repro.data.domains import domain_by_name
+from repro.data.generator import DatabaseGenerator
+from repro.vis.recommend import recommend_charts
+
+
+def main() -> None:
+    db = DatabaseGenerator(seed=42).populate(
+        domain_by_name("sales"), rows_per_table=60
+    )
+    nli = NaturalLanguageInterface(db)
+
+    # -- the quarterly numbers ----------------------------------------
+    question = (
+        "What is the total quantity of orders for each quarter?"
+    )
+    answer = nli.ask(question)
+    print(f"Q: {question}")
+    print(f"SQL: {answer.sql}\n")
+    print(f"{'quarter':<10}{'units':>12}")
+    for quarter, units in answer.rows:
+        print(f"{str(quarter):<10}{units!s:>12}")
+
+    # -- the revenue breakdown chart ----------------------------------
+    nli.reset()
+    chart_question = (
+        "Show a bar chart of the number of orders per product category?"
+    )
+    report = nli.ask(chart_question)
+    print(f"\nQ: {chart_question}")
+    print(f"VQL: {report.vql}\n")
+    print(report.chart.to_ascii(width=32))
+
+    # -- drill-down: top products in the busiest quarter ---------------
+    busiest = max(
+        (row for row in answer.rows if row[0] is not None),
+        key=lambda row: row[1],
+    )[0]
+    drill_sql = (
+        "SELECT p.name, SUM(o.quantity * p.price) AS revenue "
+        "FROM orders AS o JOIN products AS p "
+        "ON o.product_id = p.product_id "
+        f"WHERE o.quarter = '{busiest}' "
+        "GROUP BY p.name ORDER BY revenue DESC LIMIT 5"
+    )
+    result = execute(parse_sql(drill_sql), db)
+    print(f"\ntop products in {busiest} (hand-written SQL drill-down):")
+    for name, revenue in result.rows:
+        print(f"  {name:<20} {revenue:>12.2f}")
+
+    # -- DeepEye-style further-chart recommendations -------------------
+    print("\nrecommended further charts for the products table:")
+    for ranked in recommend_charts(db, "products", top_k=3):
+        print(f"  score={ranked.score:.2f}  {ranked.vql}")
+
+    # -- export the report data ---------------------------------------
+    out_dir = pathlib.Path(tempfile.mkdtemp(prefix="sales_report_"))
+    db.to_csv_dir(out_dir)
+    print(f"\nreport data exported to {out_dir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — natural language interfaces for tabular data querying and
+visualization.
+
+A complete, self-contained implementation of the framework surveyed in
+"Natural Language Interfaces for Tabular Data Querying and Visualization"
+(ICDE 2025): the SQL and VQL substrates, synthetic counterparts of every
+benchmark family, one working representative of every approach family
+across the traditional / neural / foundation-model stages for both
+Text-to-SQL and Text-to-Vis, the full evaluation-metric battery, and the
+four system architectures.
+
+Quickstart::
+
+    from repro import NaturalLanguageInterface
+    from repro.data.domains import domain_by_name
+    from repro.data.generator import DatabaseGenerator
+
+    db = DatabaseGenerator(seed=7).populate(domain_by_name("sales"))
+    nli = NaturalLanguageInterface(db)
+    print(nli.ask("Show the name of products whose price is above 500?").rows)
+    print(nli.ask("Draw a bar chart of the number of orders per quarter?")
+          .chart.to_ascii())
+"""
+
+from repro.core.interface import NaturalLanguageInterface
+from repro.data.database import Database
+from repro.data.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.sql.executor import execute
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+from repro.vis.charts import render_chart
+from repro.vis.vql import parse_vql, to_vql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "ForeignKey",
+    "NaturalLanguageInterface",
+    "Schema",
+    "TableSchema",
+    "execute",
+    "parse_sql",
+    "parse_vql",
+    "render_chart",
+    "to_sql",
+    "to_vql",
+    "__version__",
+]

@@ -1,0 +1,117 @@
+"""Interactive command-line NLI: ``python -m repro``.
+
+Drops into a small REPL over a generated domain database — ask data
+questions or chart requests in natural language, exactly the interface of
+the survey's Fig. 1.  Options::
+
+    python -m repro                       # sales domain, semantic parser
+    python -m repro --domain healthcare   # any curated domain
+    python -m repro --model chatgpt-like  # the simulated-LLM stack
+    python -m repro --demo                # non-interactive scripted demo
+
+Inside the REPL: ``\\schema`` prints the schema, ``\\reset`` clears the
+conversation, ``\\quit`` exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import NaturalLanguageInterface
+from repro.data.domains import domain_by_name, domain_names
+from repro.data.generator import DatabaseGenerator
+from repro.llm.prompts import serialize_schema
+
+_DEMO_QUESTIONS = {
+    "sales": [
+        "Show the name of products whose price is above 500?",
+        "How many are there?",
+        "Draw a bar chart of the number of orders per quarter?",
+    ],
+    "default": [
+        "How many rows are there?",
+    ],
+}
+
+
+def build_interface(domain: str, seed: int, model: str | None):
+    db = DatabaseGenerator(seed=seed).populate(
+        domain_by_name(domain), rows_per_table=40
+    )
+    return db, NaturalLanguageInterface(db, model=model)
+
+
+def answer_one(nli: NaturalLanguageInterface, question: str) -> None:
+    answer = nli.ask(question)
+    if not answer.ok:
+        print(f"  (could not answer: {answer.trace.error})")
+        return
+    if answer.chart is not None:
+        print(f"  VQL: {answer.vql}")
+        print(answer.chart.to_ascii(width=30))
+        return
+    print(f"  SQL: {answer.sql}")
+    for row in answer.rows[:8]:
+        print(f"  {row}")
+    if len(answer.rows) > 8:
+        print(f"  ... {len(answer.rows) - 8} more row(s)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    parser.add_argument(
+        "--domain", default="sales", choices=domain_names()
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--model",
+        default=None,
+        help="simulated-LLM profile (e.g. chatgpt-like); default is the "
+        "deterministic semantic parser",
+    )
+    parser.add_argument(
+        "--demo", action="store_true", help="run a scripted demo and exit"
+    )
+    args = parser.parse_args(argv)
+
+    db, nli = build_interface(args.domain, args.seed, args.model)
+    print(
+        f"connected to {db.db_id!r} "
+        f"({', '.join(db.schema.table_names())}; {db.row_count()} rows)"
+    )
+
+    if args.demo:
+        questions = _DEMO_QUESTIONS.get(
+            args.domain, _DEMO_QUESTIONS["default"]
+        )
+        for question in questions:
+            print(f"\n> {question}")
+            answer_one(nli, question)
+        return 0
+
+    print("ask questions in natural language; \\schema \\reset \\quit")
+    while True:
+        try:
+            line = input("nli> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line in ("\\quit", "\\q", "exit"):
+            return 0
+        if line == "\\schema":
+            print(serialize_schema(db.schema))
+            continue
+        if line == "\\reset":
+            nli.reset()
+            print("  (conversation cleared)")
+            continue
+        answer_one(nli, line)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Advanced applications (survey Section 6.6).
+
+The survey's closing direction: "comprehensive systems where users can
+query data, get summaries, seek recommendations, and more, all within a
+unified, language-centric interface."  This package implements the
+flagship example from the paper's own introduction — automated *data
+report* generation, where querying and visualization work together —
+combining the NLI, the chart recommender, and a template summarizer into
+one language-centric workflow.
+"""
+
+from repro.applications.report import DataReportGenerator, summarize_result
+
+__all__ = ["DataReportGenerator", "summarize_result"]

@@ -1,0 +1,166 @@
+"""Automated data-report generation.
+
+The survey's introduction motivates NLIs with a business analyst who
+queries "total revenue by product category in the last quarter" and then
+requests "a bar chart showing the revenue breakdown" for a quarterly
+report.  ``DataReportGenerator`` automates the whole report: it asks the
+NLI the headline questions, ranks charts with the DeepEye-style
+recommender, summarizes every result in natural language, and assembles a
+markdown document — querying, visualization, and summarization in one
+integrated, language-centric application (Section 6.6's "integrated
+systems").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interface import NaturalLanguageInterface
+from repro.data.database import Database
+from repro.data.schema import ColumnType
+from repro.sql.executor import Result
+from repro.vis.charts import Chart
+from repro.vis.recommend import recommend_charts
+
+
+def summarize_result(result: Result, subject: str = "the result") -> str:
+    """One-sentence NL summary of a query result (template summarizer)."""
+    if not result.rows:
+        return f"No rows matched for {subject}."
+    if len(result.rows) == 1 and len(result.rows[0]) == 1:
+        value = result.rows[0][0]
+        return f"{subject.capitalize()} is {_fmt(value)}."
+    if len(result.columns) == 2 and all(
+        isinstance(row[1], (int, float)) and not isinstance(row[1], bool)
+        for row in result.rows
+        if row[1] is not None
+    ):
+        labelled = [
+            (row[0], row[1]) for row in result.rows if row[1] is not None
+        ]
+        if labelled:
+            top_label, top_value = max(labelled, key=lambda r: r[1])
+            low_label, low_value = min(labelled, key=lambda r: r[1])
+            return (
+                f"Across {len(labelled)} groups, {top_label} leads with "
+                f"{_fmt(top_value)} and {low_label} trails with "
+                f"{_fmt(low_value)}."
+            )
+    return f"{len(result.rows)} row(s) returned for {subject}."
+
+
+def summarize_chart(chart: Chart) -> str:
+    """One-sentence NL summary of a rendered chart."""
+    numeric = [
+        (x, float(y))
+        for x, y in chart.points
+        if isinstance(y, (int, float)) and not isinstance(y, bool)
+    ]
+    if not numeric:
+        return f"A {chart.chart_type} chart of {chart.y_label}."
+    top = max(numeric, key=lambda p: p[1])
+    return (
+        f"A {chart.chart_type} chart of {chart.y_label} by "
+        f"{chart.x_label}; the largest segment is {top[0]} "
+        f"at {_fmt(top[1])}."
+    )
+
+
+@dataclass
+class ReportSection:
+    heading: str
+    body: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        return f"## {self.heading}\n\n" + "\n\n".join(self.body)
+
+
+class DataReportGenerator:
+    """Assemble a markdown data report over one database."""
+
+    def __init__(self, db: Database, model: str | None = None) -> None:
+        self.db = db
+        self.nli = NaturalLanguageInterface(db, model=model)
+
+    def generate(
+        self,
+        title: str | None = None,
+        questions: list[str] | None = None,
+        charts_per_table: int = 1,
+    ) -> str:
+        """Build the report: overview, asked questions, recommended charts."""
+        sections = [self._overview_section()]
+        if questions:
+            sections.append(self._questions_section(questions))
+        sections.append(self._charts_section(charts_per_table))
+        heading = title or f"Data report: {self.db.db_id}"
+        return f"# {heading}\n\n" + "\n\n".join(
+            section.render() for section in sections
+        )
+
+    # ------------------------------------------------------------------
+    def _overview_section(self) -> ReportSection:
+        section = ReportSection(heading="Overview")
+        lines = []
+        for table in self.db.schema.tables:
+            count = len(self.db.table(table.name))
+            columns = ", ".join(table.column_names())
+            lines.append(f"- **{table.name}** — {count} rows ({columns})")
+        section.body.append("\n".join(lines))
+        return section
+
+    def _questions_section(self, questions: list[str]) -> ReportSection:
+        section = ReportSection(heading="Headline questions")
+        for question in questions:
+            self.nli.reset()
+            answer = self.nli.ask(question)
+            if not answer.ok:
+                section.body.append(
+                    f"**Q: {question}**\n\n_(could not answer: "
+                    f"{answer.trace.error})_"
+                )
+                continue
+            if answer.chart is not None:
+                summary = summarize_chart(answer.chart)
+                section.body.append(
+                    f"**Q: {question}**\n\n`{answer.vql}`\n\n{summary}\n\n"
+                    f"```\n{answer.chart.to_ascii(width=28)}\n```"
+                )
+            else:
+                summary = summarize_result(
+                    answer.trace.result, subject="the answer"
+                )
+                section.body.append(
+                    f"**Q: {question}**\n\n`{answer.sql}`\n\n{summary}"
+                )
+        return section
+
+    def _charts_section(self, per_table: int) -> ReportSection:
+        section = ReportSection(heading="Recommended visualizations")
+        for table in self.db.schema.tables:
+            if not _chartable(table):
+                continue
+            for ranked in recommend_charts(
+                self.db, table.name, top_k=per_table
+            ):
+                summary = summarize_chart(ranked.chart)
+                section.body.append(
+                    f"`{ranked.vql}` (score {ranked.score:.2f})\n\n"
+                    f"{summary}\n\n"
+                    f"```\n{ranked.chart.to_ascii(width=28)}\n```"
+                )
+        if not section.body:
+            section.body.append("_No chartable tables found._")
+        return section
+
+
+def _chartable(table) -> bool:
+    has_category = any(c.type is ColumnType.TEXT for c in table.columns)
+    has_numeric = any(c.type is ColumnType.NUMBER for c in table.columns)
+    return has_category and has_numeric
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)

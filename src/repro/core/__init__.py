@@ -1,0 +1,28 @@
+"""The unified natural language interface (survey Fig. 1 and Section 2).
+
+``NaturalLanguageInterface`` is the library's front door: one object over
+a database that answers both data questions (Text-to-SQL) and chart
+requests (Text-to-Vis) through the Fig. 1 workflow — input, preprocessing,
+translation to a functional representation, execution, presentation, and
+a feedback loop.  :mod:`repro.core.registry` catalogs the framework's
+components (Fig. 3) so benchmarks and docs can enumerate them.
+"""
+
+from repro.core.interface import NaturalLanguageInterface
+from repro.core.pipeline import Pipeline, PipelineTrace
+from repro.core.registry import (
+    approach_registry,
+    dataset_registry,
+    metric_registry,
+    system_registry,
+)
+
+__all__ = [
+    "NaturalLanguageInterface",
+    "Pipeline",
+    "PipelineTrace",
+    "approach_registry",
+    "dataset_registry",
+    "metric_registry",
+    "system_registry",
+]

@@ -1,0 +1,130 @@
+"""The unified NLI facade.
+
+``NaturalLanguageInterface`` is the library's quickstart object: point it
+at a database, ask questions in natural language, get executed data or
+rendered charts back, and keep asking follow-ups — the complete Fig. 1
+loop in one class.  The default translation stack is the grammar semantic
+parser (fast, deterministic); pass ``model=`` to run on the simulated LLM
+stack instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.database import Database
+from repro.core.pipeline import Pipeline, PipelineTrace
+from repro.parsers.base import Parser
+from repro.parsers.llm.strategies import MultiStageLLMParser
+from repro.parsers.semantic import GrammarSemanticParser
+from repro.parsers.vis.base import VisParser, detect_chart_type
+from repro.parsers.vis.llm import Chat2VisParser
+from repro.sql.ast import Query
+from repro.sql.parser import parse_sql
+
+
+@dataclass
+class Answer:
+    """A user-level answer: either data rows or a chart."""
+
+    trace: PipelineTrace
+
+    @property
+    def ok(self) -> bool:
+        return self.trace.succeeded
+
+    @property
+    def sql(self) -> str | None:
+        if self.trace.chart is not None:
+            return None
+        return self.trace.functional_expression
+
+    @property
+    def vql(self) -> str | None:
+        if self.trace.chart is None:
+            return None
+        return self.trace.functional_expression
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self.trace.result.rows if self.trace.result else []
+
+    @property
+    def columns(self) -> list[str]:
+        return self.trace.result.columns if self.trace.result else []
+
+    @property
+    def chart(self):
+        return self.trace.chart
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.trace.chart is not None:
+            return f"<Answer chart {self.trace.chart.chart_type}>"
+        if self.trace.result is not None:
+            return f"<Answer {len(self.rows)} row(s)>"
+        return f"<Answer error={self.trace.error!r}>"
+
+
+class _DefaultVisParser(VisParser):
+    """Semantic parser + chart-cue detection, the default Vis stack."""
+
+    name = "default vis parser"
+
+    def __init__(self, sql_parser: GrammarSemanticParser) -> None:
+        self._parser = sql_parser
+
+    def parse_vis(self, request):
+        result = self._parser.parse(request)
+        if result.query is None:
+            return None
+        return self.assemble_vql(
+            detect_chart_type(request.question), result.query
+        )
+
+
+class NaturalLanguageInterface:
+    """Ask a database questions in natural language; see module docstring."""
+
+    def __init__(
+        self,
+        db: Database,
+        model: str | None = None,
+        knowledge: str | None = None,
+    ) -> None:
+        self.db = db
+        self.knowledge = knowledge
+        if model is None:
+            sql_parser: Parser = GrammarSemanticParser(
+                world_knowledge=True,
+                fuzzy=True,
+                use_history=True,
+                use_knowledge=True,
+            )
+            vis_parser: VisParser = _DefaultVisParser(sql_parser)
+        else:
+            sql_parser = MultiStageLLMParser(model=model)
+            vis_parser = Chat2VisParser(model=model)
+        self.pipeline = Pipeline(sql_parser, vis_parser)
+        self.history: list[tuple[str, Query]] = []
+
+    def ask(self, question: str) -> Answer:
+        """One turn: data question or chart request, context-aware."""
+        trace = self.pipeline.run(
+            question,
+            self.db,
+            knowledge=self.knowledge,
+            history=list(self.history),
+        )
+        answer = Answer(trace=trace)
+        if trace.succeeded and trace.chart is None and trace.functional_expression:
+            try:
+                self.history.append(
+                    (question, parse_sql(trace.functional_expression))
+                )
+            except Exception:
+                pass
+        return answer
+
+    def reset(self) -> None:
+        """Forget the conversation so far."""
+        self.history.clear()

@@ -1,0 +1,184 @@
+"""The Fig. 1 pipeline, with an inspectable trace.
+
+The survey's workflow has five stages: (1) the user's natural-language
+input, (2) preprocessing, (3) translation into a functional representation
+(SQL or a visualization specification), (4) execution against the
+database, and (5) presentation of data or visuals back to the user, who
+may then give feedback.  ``Pipeline.run`` executes those stages and
+records a :class:`PipelineTrace` so examples and tests can observe each
+one — the observable counterpart of the figure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.errors import ReproError, SQLError
+from repro.parsers.base import ParseRequest, Parser
+from repro.parsers.vis.base import VisParser
+from repro.sql.executor import Result, execute
+from repro.sql.unparser import to_sql
+from repro.systems.base import wants_visualization
+from repro.vis.charts import Chart, render_chart
+
+
+@dataclass
+class StageRecord:
+    """One pipeline stage's outcome."""
+
+    stage: str
+    output: str
+    seconds: float
+
+
+@dataclass
+class PipelineTrace:
+    """The observable record of one request's path through Fig. 1."""
+
+    question: str
+    stages: list[StageRecord] = field(default_factory=list)
+    functional_expression: str | None = None
+    result: Result | None = None
+    chart: Chart | None = None
+    error: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None and (
+            self.result is not None or self.chart is not None
+        )
+
+    def describe(self) -> str:
+        lines = [f"question: {self.question}"]
+        for record in self.stages:
+            lines.append(
+                f"  [{record.stage}] {record.output}"
+                f" ({record.seconds * 1000:.1f} ms)"
+            )
+        if self.error:
+            lines.append(f"  error: {self.error}")
+        return "\n".join(lines)
+
+
+class Pipeline:
+    """Preprocess → translate → execute → present, with tracing."""
+
+    def __init__(self, sql_parser: Parser, vis_parser: VisParser) -> None:
+        self.sql_parser = sql_parser
+        self.vis_parser = vis_parser
+
+    def run(
+        self,
+        question: str,
+        db: Database,
+        knowledge: str | None = None,
+        history: list | None = None,
+    ) -> PipelineTrace:
+        trace = PipelineTrace(question=question)
+
+        is_vis = self._stage(
+            trace,
+            "preprocess",
+            lambda: wants_visualization(question),
+            render=lambda v: "intent: visualization" if v else "intent: query",
+        )
+
+        request = ParseRequest(
+            question=question,
+            schema=db.schema,
+            db=db,
+            knowledge=knowledge,
+            history=list(history or []),
+        )
+
+        if is_vis:
+            vql = self._stage(
+                trace,
+                "translate",
+                lambda: self.vis_parser.parse_vis(request),
+                render=lambda v: v or "(no translation)",
+            )
+            if vql is None:
+                trace.error = "translation failed"
+                return trace
+            trace.functional_expression = vql
+            chart = self._stage(
+                trace,
+                "execute",
+                lambda: self._render_chart(vql, db),
+                render=lambda c: (
+                    f"chart with {len(c.points)} points"
+                    if c is not None
+                    else "(render failed)"
+                ),
+            )
+            if chart is None:
+                trace.error = "chart rendering failed"
+                return trace
+            trace.chart = chart
+            self._stage(
+                trace,
+                "present",
+                lambda: chart.to_ascii(width=24).splitlines()[0],
+                render=str,
+            )
+            return trace
+
+        parse_result = self._stage(
+            trace,
+            "translate",
+            lambda: self.sql_parser.parse(request),
+            render=lambda r: (
+                to_sql(r.query) if r.query is not None else "(no translation)"
+            ),
+        )
+        if parse_result.query is None:
+            trace.error = "translation failed"
+            return trace
+        trace.functional_expression = to_sql(parse_result.query)
+        result = self._stage(
+            trace,
+            "execute",
+            lambda: self._execute(parse_result.query, db),
+            render=lambda r: (
+                f"{len(r.rows)} row(s)" if r is not None else "(failed)"
+            ),
+        )
+        if result is None:
+            trace.error = "execution failed"
+            return trace
+        trace.result = result
+        self._stage(
+            trace,
+            "present",
+            lambda: ", ".join(result.columns),
+            render=lambda c: f"columns: {c}",
+        )
+        return trace
+
+    # ------------------------------------------------------------------
+    def _stage(self, trace: PipelineTrace, name: str, fn, render):
+        start = time.perf_counter()
+        value = fn()
+        trace.stages.append(
+            StageRecord(
+                stage=name,
+                output=render(value),
+                seconds=time.perf_counter() - start,
+            )
+        )
+        return value
+
+    def _execute(self, query, db: Database) -> Result | None:
+        try:
+            return execute(query, db)
+        except SQLError:
+            return None
+
+    def _render_chart(self, vql: str, db: Database) -> Chart | None:
+        try:
+            return render_chart(vql, db)
+        except ReproError:
+            return None

@@ -1,0 +1,127 @@
+"""Component registries: the survey's Fig. 3 framework, enumerable.
+
+Fig. 3 decomposes the field into functional representations, datasets,
+approaches, evaluation metrics, and system designs.  These registries make
+every implemented component of each axis discoverable by name, which the
+Fig. 3 benchmark uses to verify the framework is fully populated and the
+docs use to generate the component inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def approach_registry() -> dict[str, Callable]:
+    """Approach name -> zero-argument factory, spanning all stages/tasks."""
+    from repro.parsers.llm.strategies import (
+        ChainOfThoughtLLMParser,
+        FewShotLLMParser,
+        MultiStageLLMParser,
+        RetrievalRevisionLLMParser,
+        SelfConsistencyLLMParser,
+        ZeroShotLLMParser,
+    )
+    from repro.parsers.neural import (
+        ExecutionGuidedParser,
+        GrammarNeuralParser,
+        SketchParser,
+    )
+    from repro.parsers.plm import PLMParser
+    from repro.parsers.rule import KeywordRuleParser
+    from repro.parsers.semantic import GrammarSemanticParser
+    from repro.parsers.vis import (
+        Chat2VisParser,
+        DataToneVisParser,
+        NL2InterfaceParser,
+        NcNetParser,
+        RGVisNetParser,
+        Seq2VisParser,
+    )
+
+    return {
+        # Text-to-SQL, traditional stage
+        "rule_keyword": KeywordRuleParser,
+        "grammar_semantic": GrammarSemanticParser,
+        # Text-to-SQL, neural stage
+        "sketch": SketchParser,
+        "grammar_neural": GrammarNeuralParser,
+        "execution_guided": lambda: ExecutionGuidedParser(
+            GrammarNeuralParser()
+        ),
+        # Text-to-SQL, foundation-model stage
+        "plm_pretrained": PLMParser,
+        "llm_zero_shot": ZeroShotLLMParser,
+        "llm_few_shot": FewShotLLMParser,
+        "llm_cot": ChainOfThoughtLLMParser,
+        "llm_self_consistency": SelfConsistencyLLMParser,
+        "llm_multi_stage": MultiStageLLMParser,
+        "llm_retrieval_revision": RetrievalRevisionLLMParser,
+        # Text-to-Vis, all stages
+        "vis_template": DataToneVisParser,
+        "vis_seq2vis": Seq2VisParser,
+        "vis_ncnet": NcNetParser,
+        "vis_rgvisnet": RGVisNetParser,
+        "vis_chat2vis": Chat2VisParser,
+        "vis_nl2interface": NL2InterfaceParser,
+    }
+
+
+def dataset_registry() -> dict[str, Callable]:
+    """Dataset name -> builder(scale, seed), one per Table 1 family."""
+    from repro.datasets.registry import _BUILDERS
+
+    return dict(_BUILDERS)
+
+
+def metric_registry() -> dict[str, Callable]:
+    """Metric name -> callable, spanning Section 5's whole battery."""
+    from repro.metrics import (
+        component_match,
+        execution_match,
+        exact_string_match,
+        fuzzy_match,
+        strict_string_match,
+        test_suite_match,
+        vis_component_match,
+        vis_exact_match,
+    )
+
+    return {
+        "strict_string_match": strict_string_match,
+        "exact_string_match": exact_string_match,
+        "fuzzy_match": fuzzy_match,
+        "component_match": component_match,
+        "execution_match": execution_match,
+        "test_suite_match": test_suite_match,
+        "vis_exact_match": vis_exact_match,
+        "vis_component_match": vis_component_match,
+    }
+
+
+def system_registry() -> dict[str, Callable]:
+    """Architecture name -> system factory (survey Section 5.3)."""
+    from repro.systems.architectures import (
+        EndToEndSystem,
+        MultiStageSystem,
+        ParsingBasedSystem,
+        RuleBasedSystem,
+    )
+
+    return {
+        "rule-based": RuleBasedSystem,
+        "parsing-based": ParsingBasedSystem,
+        "multi-stage": MultiStageSystem,
+        "end-to-end": EndToEndSystem,
+    }
+
+
+def functional_representations() -> dict[str, str]:
+    """The Fig. 3 functional-representation axis."""
+    return {
+        "sql": "repro.sql — relational queries (parse_sql / execute)",
+        "vql": "repro.vis.vql — visualization query language "
+        "(VISUALIZE <TYPE> <SQL> [BIN ...])",
+        "vega-lite-like spec": "repro.vis.spec — compiled chart "
+        "specifications (build_spec)",
+    }

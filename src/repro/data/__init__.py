@@ -1,0 +1,27 @@
+"""Data substrate: typed values, schemas, tables, and in-memory databases.
+
+This package provides the structured-data side of the NLI problem
+definition (Section 2.2 of the survey): the database ``D`` with schema ``s``
+containing tables ``T`` and columns ``C`` that semantic parsers translate
+questions against and executors run queries over.
+"""
+
+from repro.data.database import Database, Table
+from repro.data.generator import DatabaseGenerator, GeneratorConfig
+from repro.data.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.data.values import coerce_value, compare_values, value_type_of
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "DatabaseGenerator",
+    "ForeignKey",
+    "GeneratorConfig",
+    "Schema",
+    "Table",
+    "TableSchema",
+    "coerce_value",
+    "compare_values",
+    "value_type_of",
+]

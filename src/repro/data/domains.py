@@ -1,0 +1,610 @@
+"""Curated domain library: realistic schemas for benchmark synthesis.
+
+Cross-domain datasets like Spider draw their difficulty from schema
+diversity: different subject areas, naming conventions, table counts, and
+foreign-key shapes.  This module provides a library of hand-designed domain
+schemas (with natural-language synonyms on tables and columns, which the
+NLG channel and schema linkers use) plus per-domain vocabulary pools the
+content generator samples values from.
+
+Each domain is a factory returning a fresh :class:`Schema`, so callers can
+instantiate independent copies with distinct ``db_id`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+
+_NUM = ColumnType.NUMBER
+_TXT = ColumnType.TEXT
+_DATE = ColumnType.DATE
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A named domain: its schema factory plus value vocabulary pools."""
+
+    name: str
+    schema: Schema
+    #: column-name keyword -> pool of plausible text values
+    vocabulary: dict[str, tuple[str, ...]]
+
+
+def _col(name: str, type_: ColumnType = _TXT, *synonyms: str) -> Column:
+    return Column(name=name, type=type_, synonyms=tuple(synonyms))
+
+
+_PEOPLE = (
+    "Alice Chen", "Bob Müller", "Carlos Diaz", "Dana Levi", "Erik Sato",
+    "Fatima Khan", "George Okafor", "Hana Kim", "Ivan Petrov", "Julia Rossi",
+    "Kwame Mensah", "Lena Novak", "Miguel Torres", "Nadia Haddad",
+    "Oscar Lindgren", "Priya Sharma", "Quinn Walsh", "Rosa Martinez",
+    "Samir Patel", "Tara Nguyen", "Umar Farouk", "Vera Kowalski",
+    "Wei Zhang", "Ximena Lopez", "Yusuf Demir", "Zoe Laurent",
+)
+_CITIES = (
+    "Springfield", "Riverton", "Lakewood", "Fairview", "Greenville",
+    "Bristol", "Clayton", "Dayton", "Easton", "Franklin", "Georgetown",
+    "Hudson", "Kingston", "Madison", "Newport", "Oxford", "Salem",
+    "Troy", "Vienna", "Winchester",
+)
+_COUNTRIES = (
+    "USA", "Canada", "Mexico", "Brazil", "France", "Germany", "Spain",
+    "Italy", "China", "Japan", "Korea", "India", "Australia", "Egypt",
+    "Kenya", "Norway",
+)
+_QUARTERS = ("Q1", "Q2", "Q3", "Q4")
+_DATES = tuple(
+    f"20{year:02d}-{month:02d}-{day:02d}"
+    for year in range(18, 26)
+    for month in (1, 4, 7, 10)
+    for day in (5, 15, 25)
+)
+
+
+def _sales_domain() -> Domain:
+    schema = Schema(
+        db_id="sales",
+        domain="sales",
+        tables=(
+            TableSchema(
+                "products",
+                (
+                    _col("product_id", _NUM, "product number"),
+                    _col("name", _TXT, "product name", "title"),
+                    _col("category", _TXT, "product category", "type"),
+                    _col("price", _NUM, "cost", "unit price"),
+                    _col("stock", _NUM, "inventory", "quantity in stock"),
+                ),
+                primary_key="product_id",
+                synonyms=("items", "goods"),
+            ),
+            TableSchema(
+                "customers",
+                (
+                    _col("customer_id", _NUM),
+                    _col("name", _TXT, "customer name"),
+                    _col("city", _TXT, "location"),
+                    _col("segment", _TXT, "customer segment", "tier"),
+                ),
+                primary_key="customer_id",
+                synonyms=("clients", "buyers"),
+            ),
+            TableSchema(
+                "orders",
+                (
+                    _col("order_id", _NUM),
+                    _col("customer_id", _NUM),
+                    _col("product_id", _NUM),
+                    _col("quantity", _NUM, "amount", "units"),
+                    _col("order_date", _DATE, "date", "purchase date"),
+                    _col("quarter", _TXT, "fiscal quarter"),
+                ),
+                primary_key="order_id",
+                synonyms=("sales", "purchases", "transactions"),
+            ),
+        ),
+        foreign_keys=(
+            ForeignKey("orders", "customer_id", "customers", "customer_id"),
+            ForeignKey("orders", "product_id", "products", "product_id"),
+        ),
+    )
+    vocabulary = {
+        "name": _PEOPLE,
+        "product": (
+            "Widget", "Gadget", "Sprocket", "Gizmo", "Doohickey", "Contraption",
+            "Apparatus", "Fixture", "Module", "Bracket", "Coupler", "Flange",
+        ),
+        "category": ("electronics", "furniture", "clothing", "toys", "food",
+                     "sports", "books", "garden"),
+        "city": _CITIES,
+        "segment": ("consumer", "corporate", "home office", "small business"),
+        "quarter": _QUARTERS,
+        "date": _DATES,
+    }
+    return Domain(name="sales", schema=schema, vocabulary=vocabulary)
+
+
+def _flights_domain() -> Domain:
+    schema = Schema(
+        db_id="flights",
+        domain="flights",
+        tables=(
+            TableSchema(
+                "airlines",
+                (
+                    _col("airline_id", _NUM),
+                    _col("name", _TXT, "airline name", "carrier"),
+                    _col("country", _TXT, "home country"),
+                ),
+                primary_key="airline_id",
+                synonyms=("carriers",),
+            ),
+            TableSchema(
+                "airports",
+                (
+                    _col("airport_id", _NUM),
+                    _col("code", _TXT, "airport code", "iata code"),
+                    _col("city", _TXT, "location"),
+                    _col("country", _TXT,),
+                ),
+                primary_key="airport_id",
+            ),
+            TableSchema(
+                "flights",
+                (
+                    _col("flight_id", _NUM),
+                    _col("airline_id", _NUM),
+                    _col("source_airport", _NUM, "origin", "departure airport"),
+                    _col("dest_airport", _NUM, "destination", "arrival airport"),
+                    _col("distance", _NUM, "miles", "flight distance"),
+                    _col("departure_date", _DATE, "date"),
+                ),
+                primary_key="flight_id",
+                synonyms=("routes",),
+            ),
+        ),
+        foreign_keys=(
+            ForeignKey("flights", "airline_id", "airlines", "airline_id"),
+            ForeignKey("flights", "source_airport", "airports", "airport_id"),
+            ForeignKey("flights", "dest_airport", "airports", "airport_id"),
+        ),
+    )
+    vocabulary = {
+        "name": (
+            "Aurora Air", "BlueJet", "Cirrus Lines", "Delta Wind", "EagleFly",
+            "Falcon Express", "Glide Air", "Horizon Jet", "Island Hopper",
+            "Jetstream", "Kestrel Air", "Longhaul",
+        ),
+        "code": ("SPR", "RVT", "LKW", "FRV", "GRV", "BRL", "CLY", "DYT",
+                 "EST", "FRK", "GTW", "HUD", "KGS", "MDS", "NWP", "OXF"),
+        "city": _CITIES,
+        "country": _COUNTRIES,
+        "date": _DATES,
+    }
+    return Domain(name="flights", schema=schema, vocabulary=vocabulary)
+
+
+def _geography_domain() -> Domain:
+    schema = Schema(
+        db_id="geography",
+        domain="geography",
+        tables=(
+            TableSchema(
+                "states",
+                (
+                    _col("state_id", _NUM),
+                    _col("name", _TXT, "state name"),
+                    _col("population", _NUM, "number of people", "inhabitants"),
+                    _col("area", _NUM, "size", "square miles"),
+                    _col("country", _TXT),
+                ),
+                primary_key="state_id",
+                synonyms=("provinces", "regions"),
+            ),
+            TableSchema(
+                "cities",
+                (
+                    _col("city_id", _NUM),
+                    _col("name", _TXT, "city name"),
+                    _col("state_id", _NUM),
+                    _col("population", _NUM, "number of residents"),
+                ),
+                primary_key="city_id",
+                synonyms=("towns", "municipalities"),
+            ),
+            TableSchema(
+                "rivers",
+                (
+                    _col("river_id", _NUM),
+                    _col("name", _TXT, "river name"),
+                    _col("length", _NUM, "river length", "miles long"),
+                    _col("state_id", _NUM, "traverses"),
+                ),
+                primary_key="river_id",
+            ),
+        ),
+        foreign_keys=(
+            ForeignKey("cities", "state_id", "states", "state_id"),
+            ForeignKey("rivers", "state_id", "states", "state_id"),
+        ),
+    )
+    vocabulary = {
+        "name": _CITIES + ("Rio Verde", "Silver River", "Stone Creek",
+                           "North Fork", "Clearwater"),
+        "country": _COUNTRIES,
+    }
+    return Domain(name="geography", schema=schema, vocabulary=vocabulary)
+
+
+def _academic_domain() -> Domain:
+    schema = Schema(
+        db_id="academic",
+        domain="academic",
+        tables=(
+            TableSchema(
+                "authors",
+                (
+                    _col("author_id", _NUM),
+                    _col("name", _TXT, "author name", "researcher"),
+                    _col("affiliation", _TXT, "institution", "university"),
+                    _col("h_index", _NUM, "h index", "citation index"),
+                ),
+                primary_key="author_id",
+                synonyms=("researchers", "scholars"),
+            ),
+            TableSchema(
+                "papers",
+                (
+                    _col("paper_id", _NUM),
+                    _col("title", _TXT, "paper title"),
+                    _col("venue", _TXT, "conference", "journal"),
+                    _col("year", _NUM, "publication year"),
+                    _col("citations", _NUM, "citation count", "times cited"),
+                ),
+                primary_key="paper_id",
+                synonyms=("publications", "articles"),
+            ),
+            TableSchema(
+                "writes",
+                (
+                    _col("author_id", _NUM),
+                    _col("paper_id", _NUM),
+                ),
+                synonyms=("authorship",),
+            ),
+        ),
+        foreign_keys=(
+            ForeignKey("writes", "author_id", "authors", "author_id"),
+            ForeignKey("writes", "paper_id", "papers", "paper_id"),
+        ),
+    )
+    vocabulary = {
+        "name": _PEOPLE,
+        "affiliation": (
+            "State University", "Institute of Technology", "Polytechnic",
+            "National Lab", "City College", "Riverside University",
+        ),
+        "title": (
+            "Neural Parsing at Scale", "Graphs for Schemas",
+            "Prompting Revisited", "On Compositionality",
+            "Robust Semantic Parsing", "Learning to Rank Queries",
+            "Tables as Graphs", "Grammar Constrained Decoding",
+        ),
+        "venue": ("ACL", "EMNLP", "ICDE", "VLDB", "SIGMOD", "NeurIPS",
+                  "KDD", "NAACL"),
+    }
+    return Domain(name="academic", schema=schema, vocabulary=vocabulary)
+
+
+def _healthcare_domain() -> Domain:
+    schema = Schema(
+        db_id="healthcare",
+        domain="healthcare",
+        tables=(
+            TableSchema(
+                "patients",
+                (
+                    _col("patient_id", _NUM),
+                    _col("name", _TXT, "patient name"),
+                    _col("age", _NUM, "years old"),
+                    _col("city", _TXT),
+                ),
+                primary_key="patient_id",
+            ),
+            TableSchema(
+                "doctors",
+                (
+                    _col("doctor_id", _NUM),
+                    _col("name", _TXT, "doctor name", "physician"),
+                    _col("specialty", _TXT, "specialization", "department"),
+                ),
+                primary_key="doctor_id",
+                synonyms=("physicians",),
+            ),
+            TableSchema(
+                "visits",
+                (
+                    _col("visit_id", _NUM),
+                    _col("patient_id", _NUM),
+                    _col("doctor_id", _NUM),
+                    _col("visit_date", _DATE, "date", "appointment date"),
+                    _col("cost", _NUM, "bill", "charge"),
+                ),
+                primary_key="visit_id",
+                synonyms=("appointments", "consultations"),
+            ),
+        ),
+        foreign_keys=(
+            ForeignKey("visits", "patient_id", "patients", "patient_id"),
+            ForeignKey("visits", "doctor_id", "doctors", "doctor_id"),
+        ),
+    )
+    vocabulary = {
+        "name": _PEOPLE,
+        "city": _CITIES,
+        "specialty": ("cardiology", "oncology", "pediatrics", "neurology",
+                      "dermatology", "radiology", "surgery"),
+        "date": _DATES,
+    }
+    return Domain(name="healthcare", schema=schema, vocabulary=vocabulary)
+
+
+def _restaurants_domain() -> Domain:
+    schema = Schema(
+        db_id="restaurants",
+        domain="restaurants",
+        tables=(
+            TableSchema(
+                "restaurants",
+                (
+                    _col("restaurant_id", _NUM),
+                    _col("name", _TXT, "restaurant name"),
+                    _col("cuisine", _TXT, "food type", "kind of food"),
+                    _col("city", _TXT, "location"),
+                    _col("rating", _NUM, "stars", "score"),
+                ),
+                primary_key="restaurant_id",
+                synonyms=("eateries", "places to eat"),
+            ),
+            TableSchema(
+                "reviews",
+                (
+                    _col("review_id", _NUM),
+                    _col("restaurant_id", _NUM),
+                    _col("reviewer", _TXT, "reviewer name"),
+                    _col("score", _NUM, "review score", "grade"),
+                ),
+                primary_key="review_id",
+            ),
+        ),
+        foreign_keys=(
+            ForeignKey("reviews", "restaurant_id", "restaurants",
+                       "restaurant_id"),
+        ),
+    )
+    vocabulary = {
+        "name": (
+            "Golden Fork", "Blue Plate", "Corner Bistro", "Harvest Table",
+            "Luna Cafe", "Red Lantern", "Sage Kitchen", "The Olive Branch",
+        ),
+        "cuisine": ("italian", "mexican", "thai", "indian", "french",
+                    "japanese", "american", "greek"),
+        "city": _CITIES,
+        "reviewer": _PEOPLE,
+    }
+    return Domain(name="restaurants", schema=schema, vocabulary=vocabulary)
+
+
+def _movies_domain() -> Domain:
+    schema = Schema(
+        db_id="movies",
+        domain="movies",
+        tables=(
+            TableSchema(
+                "movies",
+                (
+                    _col("movie_id", _NUM),
+                    _col("title", _TXT, "movie title", "film"),
+                    _col("genre", _TXT, "category"),
+                    _col("year", _NUM, "release year"),
+                    _col("gross", _NUM, "box office", "revenue"),
+                ),
+                primary_key="movie_id",
+                synonyms=("films",),
+            ),
+            TableSchema(
+                "directors",
+                (
+                    _col("director_id", _NUM),
+                    _col("name", _TXT, "director name"),
+                    _col("country", _TXT, "nationality"),
+                ),
+                primary_key="director_id",
+            ),
+            TableSchema(
+                "directed_by",
+                (
+                    _col("movie_id", _NUM),
+                    _col("director_id", _NUM),
+                ),
+            ),
+        ),
+        foreign_keys=(
+            ForeignKey("directed_by", "movie_id", "movies", "movie_id"),
+            ForeignKey("directed_by", "director_id", "directors",
+                       "director_id"),
+        ),
+    )
+    vocabulary = {
+        "title": (
+            "Midnight Harbor", "The Last Signal", "Paper Skies",
+            "Winter Orchard", "Glass Horizon", "Echoes of June",
+            "Static City", "The Ninth Door",
+        ),
+        "genre": ("drama", "comedy", "action", "thriller", "horror",
+                  "romance", "documentary", "animation"),
+        "name": _PEOPLE,
+        "country": _COUNTRIES,
+    }
+    return Domain(name="movies", schema=schema, vocabulary=vocabulary)
+
+
+def _employees_domain() -> Domain:
+    schema = Schema(
+        db_id="company",
+        domain="company",
+        tables=(
+            TableSchema(
+                "departments",
+                (
+                    _col("department_id", _NUM),
+                    _col("name", _TXT, "department name", "division"),
+                    _col("budget", _NUM, "funding"),
+                ),
+                primary_key="department_id",
+                synonyms=("divisions",),
+            ),
+            TableSchema(
+                "employees",
+                (
+                    _col("employee_id", _NUM),
+                    _col("name", _TXT, "employee name", "staff member"),
+                    _col("department_id", _NUM),
+                    _col("salary", _NUM, "wage", "pay"),
+                    _col("hire_date", _DATE, "date hired", "start date"),
+                ),
+                primary_key="employee_id",
+                synonyms=("staff", "workers", "personnel"),
+            ),
+        ),
+        foreign_keys=(
+            ForeignKey("employees", "department_id", "departments",
+                       "department_id"),
+        ),
+    )
+    vocabulary = {
+        "name": _PEOPLE + ("Engineering", "Marketing", "Finance", "Legal",
+                           "Operations", "Research", "Support", "Design"),
+        "date": _DATES,
+    }
+    return Domain(name="company", schema=schema, vocabulary=vocabulary)
+
+
+def _library_domain() -> Domain:
+    schema = Schema(
+        db_id="library",
+        domain="library",
+        tables=(
+            TableSchema(
+                "books",
+                (
+                    _col("book_id", _NUM),
+                    _col("title", _TXT, "book title"),
+                    _col("author", _TXT, "writer"),
+                    _col("pages", _NUM, "page count", "length"),
+                    _col("year", _NUM, "publication year"),
+                ),
+                primary_key="book_id",
+            ),
+            TableSchema(
+                "loans",
+                (
+                    _col("loan_id", _NUM),
+                    _col("book_id", _NUM),
+                    _col("member", _TXT, "borrower", "member name"),
+                    _col("loan_date", _DATE, "date borrowed"),
+                ),
+                primary_key="loan_id",
+                synonyms=("checkouts", "borrowings"),
+            ),
+        ),
+        foreign_keys=(ForeignKey("loans", "book_id", "books", "book_id"),),
+    )
+    vocabulary = {
+        "title": (
+            "The Quiet Valley", "A History of Maps", "Practical Gardens",
+            "River Mathematics", "Letters from Nowhere", "The Coral Atlas",
+            "Night Trains", "Field Notes",
+        ),
+        "author": _PEOPLE,
+        "member": _PEOPLE,
+        "date": _DATES,
+    }
+    return Domain(name="library", schema=schema, vocabulary=vocabulary)
+
+
+def _sports_domain() -> Domain:
+    schema = Schema(
+        db_id="sports",
+        domain="sports",
+        tables=(
+            TableSchema(
+                "teams",
+                (
+                    _col("team_id", _NUM),
+                    _col("name", _TXT, "team name", "club"),
+                    _col("city", _TXT, "home city"),
+                    _col("wins", _NUM, "victories", "games won"),
+                    _col("losses", _NUM, "defeats", "games lost"),
+                ),
+                primary_key="team_id",
+                synonyms=("clubs", "squads"),
+            ),
+            TableSchema(
+                "players",
+                (
+                    _col("player_id", _NUM),
+                    _col("name", _TXT, "player name", "athlete"),
+                    _col("team_id", _NUM),
+                    _col("position", _TXT, "role"),
+                    _col("points", _NUM, "score", "points scored"),
+                ),
+                primary_key="player_id",
+                synonyms=("athletes", "roster"),
+            ),
+        ),
+        foreign_keys=(ForeignKey("players", "team_id", "teams", "team_id"),),
+    )
+    vocabulary = {
+        "name": _PEOPLE + ("Falcons", "Rovers", "Comets", "Pioneers",
+                           "Harbor Sharks", "Summit Bears", "River Hawks",
+                           "Iron Wolves"),
+        "city": _CITIES,
+        "position": ("guard", "forward", "center", "keeper", "striker",
+                     "midfielder", "defender"),
+    }
+    return Domain(name="sports", schema=schema, vocabulary=vocabulary)
+
+
+_FACTORIES = (
+    _sales_domain,
+    _flights_domain,
+    _geography_domain,
+    _academic_domain,
+    _healthcare_domain,
+    _restaurants_domain,
+    _movies_domain,
+    _employees_domain,
+    _library_domain,
+    _sports_domain,
+)
+
+
+def all_domains() -> list[Domain]:
+    """Fresh copies of every curated domain, in a stable order."""
+    return [factory() for factory in _FACTORIES]
+
+
+def domain_by_name(name: str) -> Domain:
+    """Look up one domain by its name; raise KeyError when unknown."""
+    for domain in all_domains():
+        if domain.name == name:
+            return domain
+    raise KeyError(f"unknown domain {name!r}")
+
+
+def domain_names() -> list[str]:
+    return [domain.name for domain in all_domains()]

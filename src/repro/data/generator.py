@@ -1,0 +1,208 @@
+"""Random database content generation.
+
+Given a schema (typically from :mod:`repro.data.domains`) the generator
+fills tables with plausible, referentially-consistent rows: primary keys
+are unique integers, foreign keys reference existing parent rows (tables
+are filled in FK-topological order), and value distributions come from the
+domain's vocabulary pools or from type-appropriate numeric ranges.
+
+A controllable fraction of NULLs and (for BIRD-style knowledge-grounded
+benchmarks) *dirty values* — inconsistent casing, stray whitespace, coded
+abbreviations — can be injected, reproducing the database-content
+challenges the survey highlights for knowledge-intensive datasets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.database import Database
+from repro.data.domains import Domain
+from repro.data.schema import Column, ColumnType, Schema, TableSchema
+from repro.data.values import Value
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for database content generation."""
+
+    rows_per_table: int = 24
+    null_fraction: float = 0.04
+    dirty_fraction: float = 0.0  # BIRD-style inconsistent values
+    numeric_max: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.rows_per_table < 0:
+            raise ValueError("rows_per_table must be non-negative")
+        if not 0.0 <= self.null_fraction <= 1.0:
+            raise ValueError("null_fraction must be within [0, 1]")
+        if not 0.0 <= self.dirty_fraction <= 1.0:
+            raise ValueError("dirty_fraction must be within [0, 1]")
+
+
+#: Fallback word pool used when a domain supplies no vocabulary for a column.
+_GENERIC_WORDS = (
+    "alpha", "bravo", "cedar", "delta", "ember", "fable", "grove", "harbor",
+    "iris", "juniper", "krill", "lumen", "maple", "nectar", "onyx", "pine",
+    "quartz", "raven", "sable", "tundra",
+)
+
+
+class DatabaseGenerator:
+    """Deterministic, seedable generator of database contents."""
+
+    def __init__(self, seed: int = 0, config: GeneratorConfig | None = None) -> None:
+        self._rng = random.Random(seed)
+        self.config = config or GeneratorConfig()
+
+    def populate(self, domain: Domain, rows_per_table: int | None = None) -> Database:
+        """Build a database for *domain* with generated contents."""
+        return self.populate_schema(
+            domain.schema, domain.vocabulary, rows_per_table
+        )
+
+    def populate_schema(
+        self,
+        schema: Schema,
+        vocabulary: dict[str, tuple[str, ...]] | None = None,
+        rows_per_table: int | None = None,
+    ) -> Database:
+        """Build a database for an arbitrary *schema*."""
+        vocabulary = vocabulary or {}
+        count = rows_per_table if rows_per_table is not None else (
+            self.config.rows_per_table
+        )
+        db = Database(schema=schema)
+        for table in _topological_tables(schema):
+            self._fill_table(db, schema, table, vocabulary, count)
+        return db
+
+    # ------------------------------------------------------------------
+    def _fill_table(
+        self,
+        db: Database,
+        schema: Schema,
+        table: TableSchema,
+        vocabulary: dict[str, tuple[str, ...]],
+        count: int,
+    ) -> None:
+        fk_by_column = {
+            fk.column.lower(): fk
+            for fk in schema.foreign_keys
+            if fk.table.lower() == table.name.lower()
+        }
+        pk = table.primary_key.lower() if table.primary_key else None
+        for row_index in range(count):
+            row: list[Value] = []
+            for column in table.columns:
+                name = column.name.lower()
+                if pk is not None and name == pk:
+                    row.append(row_index + 1)
+                    continue
+                fk = fk_by_column.get(name)
+                if fk is not None:
+                    row.append(self._foreign_value(db, fk))
+                    continue
+                row.append(
+                    self._column_value(column, table.name, vocabulary)
+                )
+            db.insert(table.name, tuple(row))
+
+    def _foreign_value(self, db: Database, fk) -> Value:
+        parent = db.table(fk.ref_table)
+        values = [v for v in parent.column_values(fk.ref_column) if v is not None]
+        if not values:
+            return None
+        return self._rng.choice(values)
+
+    def _column_value(
+        self,
+        column: Column,
+        table_name: str,
+        vocabulary: dict[str, tuple[str, ...]],
+    ) -> Value:
+        if self._rng.random() < self.config.null_fraction:
+            return None
+        if column.type is ColumnType.BOOLEAN:
+            return self._rng.random() < 0.5
+        if column.type is ColumnType.NUMBER:
+            return self._numeric_value(column.name.lower())
+        pool = self._pool_for(
+            column.name.lower(), table_name.lower(), vocabulary
+        )
+        value = self._rng.choice(pool)
+        if self._rng.random() < self.config.dirty_fraction:
+            value = self._make_dirty(value)
+        return value
+
+    def _numeric_value(self, name: str) -> Value:
+        rng = self._rng
+        if "year" in name:
+            return rng.randint(1980, 2025)
+        if "age" in name:
+            return rng.randint(1, 95)
+        if "rating" in name or "score" in name or "stars" in name:
+            return round(rng.uniform(1.0, 5.0), 1)
+        if "price" in name or "cost" in name or "salary" in name:
+            return round(rng.uniform(5.0, float(self.config.numeric_max)), 2)
+        if rng.random() < 0.3:
+            return round(rng.uniform(0, self.config.numeric_max), 2)
+        return rng.randint(0, self.config.numeric_max)
+
+    def _pool_for(
+        self,
+        name: str,
+        table_name: str,
+        vocabulary: dict[str, tuple[str, ...]],
+    ) -> tuple[str, ...]:
+        # a table-specific pool wins for generic column names ("name" in
+        # the products table draws product words, not person names)
+        singular_table = table_name.rstrip("s")
+        if name in ("name", "title") and singular_table in vocabulary:
+            return vocabulary[singular_table]
+        # exact key, then keyword containment, then the generic pool
+        if name in vocabulary:
+            return vocabulary[name]
+        for keyword, pool in vocabulary.items():
+            if keyword in name:
+                return pool
+        if "date" in name and "date" in vocabulary:
+            return vocabulary["date"]
+        return _GENERIC_WORDS
+
+    def _make_dirty(self, value: str) -> str:
+        """Perturb a text value the way real-world databases are dirty."""
+        choice = self._rng.randrange(4)
+        if choice == 0:
+            return value.upper()
+        if choice == 1:
+            return value.lower()
+        if choice == 2:
+            return f" {value} "
+        return value[:3].upper() + "."  # coded abbreviation
+
+
+def _topological_tables(schema: Schema) -> list[TableSchema]:
+    """Tables ordered so FK parents come before children (cycles broken)."""
+    remaining = {t.name.lower(): t for t in schema.tables}
+    depends: dict[str, set[str]] = {name: set() for name in remaining}
+    for fk in schema.foreign_keys:
+        child, parent = fk.table.lower(), fk.ref_table.lower()
+        if child != parent and child in depends and parent in remaining:
+            depends[child].add(parent)
+    ordered: list[TableSchema] = []
+    while remaining:
+        ready = [
+            name
+            for name, deps in depends.items()
+            if name in remaining and not (deps & set(remaining))
+        ]
+        if not ready:  # FK cycle: emit the rest in schema order
+            ordered.extend(
+                t for t in schema.tables if t.name.lower() in remaining
+            )
+            break
+        for name in sorted(ready):
+            ordered.append(remaining.pop(name))
+    return ordered

@@ -1,0 +1,96 @@
+"""Value domain shared by the data model and the SQL executor.
+
+SQL values in this library are Python ``None`` (NULL), ``bool``, ``int``,
+``float``, and ``str``.  This module centralizes the comparison and coercion
+rules so the executor, metrics, and generators agree exactly — including the
+SQL convention that any comparison involving NULL is unknown.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Value = Union[None, bool, int, float, str]
+
+#: Total order over type families used only for deterministic ORDER BY of
+#: mixed-type columns: NULLs first, then numbers, then text.
+_TYPE_RANK = {"null": 0, "number": 1, "text": 2}
+
+
+def value_type_of(value: Value) -> str:
+    """Classify *value* into the families ``null``, ``number``, or ``text``."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "number"
+    if isinstance(value, (int, float)):
+        return "number"
+    return "text"
+
+
+def compare_values(left: Value, right: Value) -> int | None:
+    """Three-valued SQL comparison.
+
+    Returns a negative/zero/positive int like :func:`cmp`, or ``None`` when
+    either side is NULL (SQL's *unknown*).  Numbers compare numerically,
+    strings lexicographically; comparing a number to a string compares their
+    type ranks, which keeps the ordering total and deterministic.
+    """
+    if left is None or right is None:
+        return None
+    lrank = _TYPE_RANK[value_type_of(left)]
+    rrank = _TYPE_RANK[value_type_of(right)]
+    if lrank != rrank:
+        return -1 if lrank < rrank else 1
+    if isinstance(left, bool):
+        left = int(left)
+    if isinstance(right, bool):
+        right = int(right)
+    if left == right:
+        return 0
+    return -1 if left < right else 1  # type: ignore[operator]
+
+
+def sort_key(value: Value) -> tuple[int, float | str]:
+    """Key usable with :func:`sorted` that matches :func:`compare_values`.
+
+    NULLs sort first (SQL ``NULLS FIRST`` behaviour of SQLite's default
+    ascending order), then numbers, then text.
+    """
+    family = value_type_of(value)
+    if family == "null":
+        return (0, 0.0)
+    if family == "number":
+        return (1, float(value))  # type: ignore[arg-type]
+    return (2, str(value))
+
+
+def coerce_value(text: str | None) -> Value:
+    """Parse a CSV/text cell into the closest typed value.
+
+    Empty strings and the literal ``NULL`` become ``None``; otherwise an int,
+    then float, then the original string is attempted, in that order.
+    """
+    if text is None:
+        return None
+    stripped = text.strip()
+    if stripped == "" or stripped.upper() == "NULL":
+        return None
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    return text
+
+
+def render_value(value: Value) -> str:
+    """Render a value for CSV output; inverse of :func:`coerce_value`."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value)

@@ -1,0 +1,30 @@
+"""Benchmark dataset synthesis.
+
+One builder per dataset *category* of the survey's Table 1:
+
+- single-domain (ATIS/GeoQuery lineage) — :mod:`repro.datasets.sql`
+- cross-domain (WikiSQL/Spider lineage) — :mod:`repro.datasets.sql`
+- multi-turn (SParC/CoSQL lineage) — :mod:`repro.datasets.multiturn`
+- multilingual (CSpider lineage) — :mod:`repro.datasets.multilingual`
+- robustness (Spider-SYN/-realistic/Dr.Spider lineage) —
+  :mod:`repro.datasets.robustness`
+- knowledge-grounded (Spider-DK/BIRD lineage) —
+  :mod:`repro.datasets.knowledge`
+- Text-to-Vis (nvBench/ChartDialogs/Dial-NVBench/CNvBench lineage) —
+  :mod:`repro.datasets.vis`
+
+The registry (:mod:`repro.datasets.registry`) names one calibrated build
+per Table 1 row family, which the Table 1 benchmark regenerates.
+"""
+
+from repro.datasets.base import Dataset, Dialogue, Example, Split
+from repro.datasets.registry import build_dataset, dataset_names
+
+__all__ = [
+    "Dataset",
+    "Dialogue",
+    "Example",
+    "Split",
+    "build_dataset",
+    "dataset_names",
+]

@@ -1,0 +1,170 @@
+"""Core dataset types: examples, dialogues, splits, datasets, statistics.
+
+The field layout mirrors the published benchmarks: every example carries a
+``db_id`` naming its database (Spider convention), gold SQL text, optional
+gold VQL text (Text-to-Vis examples), an optional external-knowledge string
+(BIRD convention), a language tag, and — for multi-turn data — dialogue and
+turn identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.errors import DatasetError
+
+
+@dataclass
+class Example:
+    """One (question, gold program) pair."""
+
+    question: str
+    db_id: str
+    sql: str
+    vql: str | None = None
+    language: str = "en"
+    hardness: str = "easy"
+    pattern: str = ""
+    knowledge: str | None = None
+    dialogue_id: str | None = None
+    turn_index: int = 0
+
+    @property
+    def is_vis(self) -> bool:
+        return self.vql is not None
+
+
+@dataclass
+class Dialogue:
+    """An ordered multi-turn interaction over one database."""
+
+    dialogue_id: str
+    db_id: str
+    turns: list[Example]
+
+    def __post_init__(self) -> None:
+        for index, turn in enumerate(self.turns):
+            if turn.turn_index != index:
+                raise DatasetError(
+                    f"dialogue {self.dialogue_id!r} turn order broken at "
+                    f"{index}"
+                )
+
+
+@dataclass
+class Split:
+    """A named split (train/dev/test) of examples."""
+
+    name: str
+    examples: list[Example] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def by_hardness(self) -> dict[str, list[Example]]:
+        buckets: dict[str, list[Example]] = {}
+        for example in self.examples:
+            buckets.setdefault(example.hardness, []).append(example)
+        return buckets
+
+
+@dataclass
+class Dataset:
+    """A complete benchmark: databases plus splits plus metadata.
+
+    ``feature`` tags the Table 1 category ("Single Domain", "Cross Domain",
+    "Multi-turn", "Multilingual", "Robustness", "Knowledge Grounding") and
+    ``task`` is ``"sql"`` or ``"vis"``.
+    """
+
+    name: str
+    task: str
+    feature: str
+    databases: dict[str, Database]
+    splits: dict[str, Split]
+    language: str = "en"
+    dialogues: list[Dialogue] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.task not in ("sql", "vis"):
+            raise DatasetError(f"unknown task {self.task!r}")
+        for split in self.splits.values():
+            for example in split.examples:
+                if example.db_id not in self.databases:
+                    raise DatasetError(
+                        f"example references unknown database "
+                        f"{example.db_id!r} in dataset {self.name!r}"
+                    )
+
+    @property
+    def examples(self) -> list[Example]:
+        """All examples across splits, train first."""
+        ordered = sorted(
+            self.splits, key=lambda s: {"train": 0, "dev": 1, "test": 2}.get(s, 3)
+        )
+        return [e for name in ordered for e in self.splits[name].examples]
+
+    def split(self, name: str) -> Split:
+        try:
+            return self.splits[name]
+        except KeyError:
+            raise DatasetError(
+                f"dataset {self.name!r} has no split {name!r}"
+            ) from None
+
+    def database(self, db_id: str) -> Database:
+        try:
+            return self.databases[db_id]
+        except KeyError:
+            raise DatasetError(
+                f"dataset {self.name!r} has no database {db_id!r}"
+            ) from None
+
+    def statistics(self) -> "DatasetStatistics":
+        examples = self.examples
+        domains = {db.schema.domain for db in self.databases.values()}
+        table_counts = [
+            len(db.schema.tables) for db in self.databases.values()
+        ]
+        return DatasetStatistics(
+            name=self.name,
+            task=self.task,
+            feature=self.feature,
+            language=self.language,
+            num_queries=len(examples),
+            num_databases=len(self.databases),
+            num_domains=len(domains),
+            tables_per_db=(
+                round(sum(table_counts) / len(table_counts), 1)
+                if table_counts
+                else 0.0
+            ),
+            num_dialogues=len(self.dialogues),
+        )
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The Table 1 row for one dataset."""
+
+    name: str
+    task: str
+    feature: str
+    language: str
+    num_queries: int
+    num_databases: int
+    num_domains: int
+    tables_per_db: float
+    num_dialogues: int = 0
+
+    def as_row(self) -> tuple:
+        return (
+            self.name,
+            self.num_queries,
+            self.num_databases,
+            self.num_domains,
+            self.tables_per_db,
+            self.language,
+            self.feature,
+        )

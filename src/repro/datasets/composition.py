@@ -1,0 +1,195 @@
+"""Compositional-generalization splits (Spider-SSP / Spider-CG lineage).
+
+Spider-SSP re-splits a benchmark so the dev set demands *composing* known
+constructs in unseen combinations; Spider-CG builds composed examples by
+sub-sentence substitution.  We reproduce both constructions:
+
+- :func:`make_ssp_split` — re-split by pattern *composition signature*:
+  training examples use atomic patterns (single clause phenomena), dev
+  examples use composed ones (e.g. condition + ordering together).  A
+  parser that merely memorizes whole-pattern templates fails; one that
+  composes clause decisions generalizes.
+- :func:`build_spider_cg_like` — generate composed examples directly by
+  stacking two independently-sampled phenomena onto one query, yielding
+  the "sub-sentence substitution" appendix set (CG-SUB/CG-APP style).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dc_replace
+
+from repro.data.domains import all_domains
+from repro.data.generator import DatabaseGenerator
+from repro.datasets.base import Dataset, Example, Split
+from repro.datasets.patterns import PatternContext, filter_list
+from repro.datasets.sql import build_cross_domain, clone_domain
+from repro.errors import DatasetError
+from repro.sql.ast import OrderItem, Select
+from repro.sql.components import classify_hardness
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+
+#: patterns counted as atomic (one clause phenomenon beyond projection)
+_ATOMIC_PATTERNS = frozenset(
+    {
+        "select_columns", "filter_list", "filter_like", "filter_between",
+        "agg_scalar", "count_filter", "distinct_values", "superlative",
+        "scatter_pair",
+    }
+)
+
+
+def composition_signature(sql: str) -> int:
+    """Number of composed clause phenomena in a query."""
+    query = parse_sql(sql)
+    select = query
+    while not isinstance(select, Select):
+        select = select.left
+    phenomena = 0
+    if select.where is not None:
+        phenomena += 1
+    if select.group_by:
+        phenomena += 1
+    if select.order_by:
+        phenomena += 1
+    if select.limit is not None:
+        phenomena += 1
+    from repro.sql.ast import Join
+
+    if isinstance(select.from_, Join):
+        phenomena += 1
+    if query is not select:  # set operation
+        phenomena += 1
+    return phenomena
+
+
+def make_ssp_split(
+    dataset: Dataset, name: str | None = None, threshold: int = 2
+) -> Dataset:
+    """Re-split *dataset* compositionally (Spider-SSP construction).
+
+    Examples with fewer than *threshold* composed phenomena train; the
+    rest are dev.  Raises :class:`DatasetError` when either side would be
+    empty.
+    """
+    atomic: list[Example] = []
+    composed: list[Example] = []
+    for example in dataset.examples:
+        if composition_signature(example.sql) < threshold:
+            atomic.append(example)
+        else:
+            composed.append(example)
+    if not atomic or not composed:
+        raise DatasetError(
+            "compositional split needs both atomic and composed examples"
+        )
+    return Dataset(
+        name=name or f"{dataset.name}_ssp",
+        task=dataset.task,
+        feature="Robustness",
+        databases=dataset.databases,
+        splits={
+            "train": Split("train", atomic),
+            "dev": Split("dev", composed),
+        },
+        language=dataset.language,
+    )
+
+
+def build_spider_ssp_like(
+    num_examples: int = 320, seed: int = 0, dataset_name: str = "spider_ssp_like"
+) -> Dataset:
+    """A compositional-generalization benchmark (Spider-SSP lineage)."""
+    base = build_cross_domain(
+        num_examples=num_examples, seed=seed, dataset_name=dataset_name
+    )
+    return make_ssp_split(base, name=dataset_name)
+
+
+def build_spider_cg_like(
+    num_examples: int = 400,
+    seed: int = 0,
+    dataset_name: str = "spider_cg_like",
+) -> Dataset:
+    """A Spider-CG-like set: composed examples built by stacking phenomena.
+
+    Each example starts from a filter query and appends an independently
+    sampled ordering phenomenon (the CG-APP construction), so every dev
+    example is a composition whose parts occur atomically in train.
+    """
+    rng = random.Random(seed)
+    generator = DatabaseGenerator(seed=rng.randrange(1 << 30))
+    databases = {}
+    contexts = {}
+    for domain in all_domains():
+        db_id = f"{domain.name}_cg"
+        clone = clone_domain(domain, db_id)
+        databases[db_id] = generator.populate(clone)
+        contexts[db_id] = PatternContext(clone, databases[db_id], rng)
+
+    db_ids = sorted(databases)
+    train: list[Example] = []
+    dev: list[Example] = []
+    attempts = 0
+    while len(train) + len(dev) < num_examples and attempts < num_examples * 30:
+        attempts += 1
+        db_id = db_ids[attempts % len(db_ids)]
+        ctx = contexts[db_id]
+        base = filter_list(ctx)
+        if base is None or not isinstance(base.query, Select):
+            continue
+        if len(train) < int(num_examples * 0.8):
+            # atomic training example
+            train.append(
+                Example(
+                    question=base.question,
+                    db_id=db_id,
+                    sql=base.sql,
+                    hardness=base.hardness,
+                    pattern=base.pattern,
+                )
+            )
+            continue
+        # composed dev example: append an ordering phenomenon
+        table = ctx.schema.table(base.table)
+        numeric = ctx.numeric_columns(table)
+        if not numeric:
+            continue
+        column = ctx.rng.choice(numeric)
+        descending = ctx.rng.random() < 0.5
+        composed_query = dc_replace(
+            base.query,
+            order_by=(
+                OrderItem(
+                    expr=_col_ref(column.name), descending=descending
+                ),
+            ),
+        )
+        suffix = ctx.realizer.order_suffix(
+            ctx.realizer.column_noun(column), descending
+        )
+        question = base.question.rstrip("?") + f" {suffix}?"
+        dev.append(
+            Example(
+                question=question,
+                db_id=db_id,
+                sql=to_sql(composed_query),
+                hardness=classify_hardness(composed_query),
+                pattern="filter_list+order",
+            )
+        )
+
+    return Dataset(
+        name=dataset_name,
+        task="sql",
+        feature="Robustness",
+        databases=databases,
+        splits={"train": Split("train", train), "dev": Split("dev", dev)},
+    )
+
+
+def _col_ref(name: str):
+    from repro.sql.ast import ColumnRef
+
+    return ColumnRef(column=name.lower())

@@ -1,0 +1,234 @@
+"""Dataset persistence in the Spider interchange format.
+
+The published benchmarks ship as JSON: one ``tables.json`` describing every
+database schema and one JSON list of examples per split (``train.json``,
+``dev.json``), with database contents alongside.  This module writes and
+reads our datasets in that layout, so synthetic benchmarks built here can
+be consumed by external Spider-format tooling and vice versa:
+
+- ``tables.json`` — ``db_id``, ``table_names_original``,
+  ``column_names_original`` (Spider's (table index, name) pairs),
+  ``column_types``, ``primary_keys``, ``foreign_keys``;
+- ``<split>.json`` — ``question``, ``query``, ``db_id``, plus our extra
+  fields (``vql``, ``knowledge``, dialogue bookkeeping) which Spider
+  tooling ignores;
+- ``database/<db_id>/`` — CSV contents per table.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.data.database import Database
+from repro.data.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.datasets.base import Dataset, Example, Split
+from repro.errors import DatasetError
+
+
+def save_dataset(dataset: Dataset, directory: str | pathlib.Path) -> None:
+    """Write *dataset* in the Spider interchange layout under *directory*."""
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    tables = [
+        schema_to_spider(db.schema) for db in dataset.databases.values()
+    ]
+    (root / "tables.json").write_text(json.dumps(tables, indent=1))
+
+    for split_name, split in dataset.splits.items():
+        payload = [example_to_json(e) for e in split.examples]
+        (root / f"{split_name}.json").write_text(
+            json.dumps(payload, indent=1)
+        )
+
+    meta = {
+        "name": dataset.name,
+        "task": dataset.task,
+        "feature": dataset.feature,
+        "language": dataset.language,
+        "splits": sorted(dataset.splits),
+    }
+    (root / "meta.json").write_text(json.dumps(meta, indent=1))
+
+    for db in dataset.databases.values():
+        db.to_csv_dir(root / "database" / db.db_id)
+
+
+def load_dataset(directory: str | pathlib.Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    root = pathlib.Path(directory)
+    meta_path = root / "meta.json"
+    if not meta_path.exists():
+        raise DatasetError(f"no meta.json under {root}")
+    meta = json.loads(meta_path.read_text())
+
+    schemas = [
+        spider_to_schema(entry)
+        for entry in json.loads((root / "tables.json").read_text())
+    ]
+    databases = {
+        schema.db_id: Database.from_csv_dir(
+            schema, root / "database" / schema.db_id
+        )
+        for schema in schemas
+    }
+
+    splits = {}
+    for split_name in meta["splits"]:
+        payload = json.loads((root / f"{split_name}.json").read_text())
+        splits[split_name] = Split(
+            split_name, [json_to_example(item) for item in payload]
+        )
+
+    return Dataset(
+        name=meta["name"],
+        task=meta["task"],
+        feature=meta["feature"],
+        databases=databases,
+        splits=splits,
+        language=meta.get("language", "en"),
+    )
+
+
+# ----------------------------------------------------------------------
+def schema_to_spider(schema: Schema) -> dict:
+    """One ``tables.json`` entry in Spider's column-index convention."""
+    table_names = [t.name for t in schema.tables]
+    column_names: list[list] = [[-1, "*"]]
+    column_types = ["text"]
+    index_of: dict[tuple[str, str], int] = {}
+    for t_index, table in enumerate(schema.tables):
+        for column in table.columns:
+            index_of[(table.name.lower(), column.name.lower())] = len(
+                column_names
+            )
+            column_names.append([t_index, column.name])
+            column_types.append(column.type.value)
+
+    primary_keys = [
+        index_of[(t.name.lower(), t.primary_key.lower())]
+        for t in schema.tables
+        if t.primary_key
+    ]
+    foreign_keys = [
+        [
+            index_of[(fk.table.lower(), fk.column.lower())],
+            index_of[(fk.ref_table.lower(), fk.ref_column.lower())],
+        ]
+        for fk in schema.foreign_keys
+    ]
+    # synonyms are our extension fields; Spider tooling ignores them
+    column_synonyms: list[list[str]] = [[]]
+    for table in schema.tables:
+        for column in table.columns:
+            column_synonyms.append(list(column.synonyms))
+    table_synonyms = [list(t.synonyms) for t in schema.tables]
+
+    return {
+        "db_id": schema.db_id,
+        "domain": schema.domain,
+        "table_names_original": table_names,
+        "table_names": [n.replace("_", " ") for n in table_names],
+        "column_names_original": column_names,
+        "column_names": [
+            [t, n.replace("_", " ")] for t, n in column_names
+        ],
+        "column_types": column_types,
+        "primary_keys": primary_keys,
+        "foreign_keys": foreign_keys,
+        "column_synonyms": column_synonyms,
+        "table_synonyms": table_synonyms,
+    }
+
+
+def spider_to_schema(entry: dict) -> Schema:
+    """Rebuild a :class:`Schema` from a ``tables.json`` entry."""
+    table_names = entry["table_names_original"]
+    column_synonyms = entry.get(
+        "column_synonyms", [[]] * len(entry["column_names_original"])
+    )
+    table_synonyms = entry.get("table_synonyms", [[]] * len(table_names))
+    columns_per_table: list[list[Column]] = [[] for _ in table_names]
+    flat: list[tuple[int, str]] = []
+    for index, ((t_index, name), col_type) in enumerate(
+        zip(entry["column_names_original"], entry["column_types"])
+    ):
+        flat.append((t_index, name))
+        if t_index < 0:
+            continue
+        try:
+            ctype = ColumnType(col_type)
+        except ValueError:
+            ctype = ColumnType.TEXT
+        columns_per_table[t_index].append(
+            Column(
+                name=name,
+                type=ctype,
+                synonyms=tuple(column_synonyms[index]),
+            )
+        )
+
+    primary_of: dict[int, str] = {}
+    for pk_index in entry.get("primary_keys", ()):
+        t_index, name = flat[pk_index]
+        primary_of[t_index] = name
+
+    tables = tuple(
+        TableSchema(
+            name=table_names[i],
+            columns=tuple(columns_per_table[i]),
+            primary_key=primary_of.get(i),
+            synonyms=tuple(table_synonyms[i]),
+        )
+        for i in range(len(table_names))
+    )
+    fks = tuple(
+        ForeignKey(
+            table=table_names[flat[src][0]],
+            column=flat[src][1],
+            ref_table=table_names[flat[dst][0]],
+            ref_column=flat[dst][1],
+        )
+        for src, dst in entry.get("foreign_keys", ())
+    )
+    return Schema(
+        db_id=entry["db_id"],
+        tables=tables,
+        foreign_keys=fks,
+        domain=entry.get("domain", "general"),
+    )
+
+
+def example_to_json(example: Example) -> dict:
+    payload = {
+        "question": example.question,
+        "query": example.sql,
+        "db_id": example.db_id,
+        "hardness": example.hardness,
+        "pattern": example.pattern,
+        "language": example.language,
+    }
+    if example.vql is not None:
+        payload["vql"] = example.vql
+    if example.knowledge is not None:
+        payload["evidence"] = example.knowledge  # BIRD's field name
+    if example.dialogue_id is not None:
+        payload["dialogue_id"] = example.dialogue_id
+        payload["turn_index"] = example.turn_index
+    return payload
+
+
+def json_to_example(payload: dict) -> Example:
+    return Example(
+        question=payload["question"],
+        db_id=payload["db_id"],
+        sql=payload["query"],
+        vql=payload.get("vql"),
+        language=payload.get("language", "en"),
+        hardness=payload.get("hardness", "easy"),
+        pattern=payload.get("pattern", ""),
+        knowledge=payload.get("evidence"),
+        dialogue_id=payload.get("dialogue_id"),
+        turn_index=payload.get("turn_index", 0),
+    )

@@ -1,0 +1,145 @@
+"""Knowledge-grounded dataset builder (Spider-DK / knowSQL / BIRD lineage).
+
+BIRD's distinguishing challenges, per the survey: questions whose terms
+only resolve through *external knowledge*, and databases whose *values are
+dirty/inconsistent*.  This builder reproduces both:
+
+- each example uses a domain-specific alias term ("premium products",
+  "senior patients") whose definition lives in an attached ``knowledge``
+  string, not in the schema — parsers that ignore the evidence cannot
+  recover the gold predicate;
+- databases are generated with a non-zero dirty-value fraction, so value
+  linking meets inconsistent casing/whitespace, BIRD's content challenge.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.database import Database
+from repro.data.domains import all_domains
+from repro.data.generator import DatabaseGenerator, GeneratorConfig
+from repro.datasets.base import Dataset, Example, Split
+from repro.datasets.patterns import PatternContext
+from repro.datasets.sql import clone_domain
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.components import classify_hardness
+from repro.sql.unparser import to_sql
+
+#: Alias adjectives usable for "column > threshold" style definitions.
+_HIGH_ADJECTIVES = ("premium", "major", "top-tier", "heavyweight", "flagship")
+_LOW_ADJECTIVES = ("budget", "minor", "entry-level", "lightweight")
+
+
+def _knowledge_example(
+    ctx: PatternContext, db: Database, rng: random.Random
+) -> Example | None:
+    table = ctx.any_table()
+    numeric = ctx.numeric_columns(table)
+    if not numeric:
+        return None
+    column = rng.choice(numeric)
+    value = ctx.sample_value(table, column)
+    if value is None:
+        return None
+    if isinstance(value, float):
+        value = round(value)
+    high = rng.random() < 0.6
+    adjective = rng.choice(_HIGH_ADJECTIVES if high else _LOW_ADJECTIVES)
+    op = ">" if high else "<"
+
+    realizer = ctx.realizer
+    table_noun = table.mentions()[0]
+    column_noun = column.mentions()[0]
+    knowledge = (
+        f"{adjective.capitalize()} {table_noun} are {table_noun} whose "
+        f"{column_noun} is {'greater' if high else 'less'} than "
+        f"{realizer.value_text(value)}."
+    )
+
+    condition = BinaryOp(
+        op=op,
+        left=ColumnRef(column=column.name.lower()),
+        right=Literal(value),
+    )
+    if rng.random() < 0.5:
+        proj_col = ctx.name_column(table)
+        query = Select(
+            items=(SelectItem(expr=ColumnRef(column=proj_col.name.lower())),),
+            from_=TableRef(name=table.name.lower()),
+            where=condition,
+        )
+        question = realizer.list_question(
+            f"the {realizer.column_noun(proj_col)} of {adjective} {table_noun}"
+        )
+    else:
+        query = Select(
+            items=(SelectItem(expr=FuncCall(name="count", args=(Star(),))),),
+            from_=TableRef(name=table.name.lower()),
+            where=condition,
+        )
+        question = realizer.scalar_question(
+            f"{realizer.choose(('the number of', 'how many'))} "
+            f"{adjective} {table_noun}"
+        )
+
+    return Example(
+        question=question,
+        db_id=db.db_id,
+        sql=to_sql(query),
+        hardness=classify_hardness(query),
+        pattern="knowledge_alias",
+        knowledge=knowledge,
+    )
+
+
+def build_bird_like(
+    num_examples: int = 300,
+    dirty_fraction: float = 0.15,
+    seed: int = 0,
+    dataset_name: str = "bird_like",
+) -> Dataset:
+    """A BIRD-like knowledge-grounded benchmark over dirty databases."""
+    rng = random.Random(seed)
+    generator = DatabaseGenerator(
+        seed=rng.randrange(1 << 30),
+        config=GeneratorConfig(dirty_fraction=dirty_fraction),
+    )
+    databases: dict[str, Database] = {}
+    contexts: dict[str, PatternContext] = {}
+    for domain in all_domains():
+        db_id = f"{domain.name}_kg"
+        clone = clone_domain(domain, db_id)
+        databases[db_id] = generator.populate(clone)
+        contexts[db_id] = PatternContext(clone, databases[db_id], rng)
+
+    db_ids = sorted(databases)
+    examples: list[Example] = []
+    attempts = 0
+    while len(examples) < num_examples and attempts < num_examples * 20:
+        attempts += 1
+        db_id = db_ids[attempts % len(db_ids)]
+        example = _knowledge_example(contexts[db_id], databases[db_id], rng)
+        if example is not None:
+            examples.append(example)
+
+    train_len = int(len(examples) * 0.8)
+    return Dataset(
+        name=dataset_name,
+        task="sql",
+        feature="Knowledge Grounding",
+        databases=databases,
+        splits={
+            "train": Split("train", examples[:train_len]),
+            "dev": Split("dev", examples[train_len:]),
+        },
+    )

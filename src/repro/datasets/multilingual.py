@@ -1,0 +1,64 @@
+"""Multilingual dataset variants (CSpider / ViText2SQL / CNvBench lineage).
+
+The published multilingual benchmarks translate an English benchmark's
+questions while keeping schemas and gold programs in English.  We apply
+the same construction: :func:`translate_dataset` maps every question of a
+source dataset through the lexicon translator, preserving databases, gold
+SQL/VQL, splits, and dialogue structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.datasets.base import Dataset, Dialogue, Example, Split
+from repro.nlg.translate import SUPPORTED_LANGUAGES, translate
+
+
+def translate_dataset(
+    dataset: Dataset,
+    language: str,
+    name: str | None = None,
+    feature: str = "Multilingual",
+) -> Dataset:
+    """A copy of *dataset* with every question translated to *language*.
+
+    ``feature`` defaults to "Multilingual" but can preserve the source
+    category (CHASE is a multi-turn benchmark that happens to be Chinese;
+    knowSQL is knowledge-grounded)."""
+    if language not in SUPPORTED_LANGUAGES:
+        raise KeyError(
+            f"unsupported language {language!r}; choose from "
+            f"{SUPPORTED_LANGUAGES}"
+        )
+
+    def _translate(example: Example) -> Example:
+        return dc_replace(
+            example,
+            question=translate(example.question, language),
+            language=language,
+        )
+
+    splits = {
+        split_name: Split(
+            split_name, [_translate(e) for e in split.examples]
+        )
+        for split_name, split in dataset.splits.items()
+    }
+    dialogues = [
+        Dialogue(
+            dialogue_id=d.dialogue_id,
+            db_id=d.db_id,
+            turns=[_translate(t) for t in d.turns],
+        )
+        for d in dataset.dialogues
+    ]
+    return Dataset(
+        name=name or f"{dataset.name}_{language}",
+        task=dataset.task,
+        feature=feature,
+        databases=dataset.databases,
+        splits=splits,
+        language=language,
+        dialogues=dialogues,
+    )

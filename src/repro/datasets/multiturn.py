@@ -1,0 +1,342 @@
+"""Multi-turn (conversational) dataset builders: SParC/CoSQL/Dial-NVBench.
+
+Conversational benchmarks chain questions whose meaning depends on the
+dialogue context.  Following SParC's construction, each dialogue starts
+from a base query and every further turn *edits* the previous gold query —
+adding a condition, switching the projection to a count, adding an
+ordering, or (for Vis dialogues, following ChartDialogs/Dial-NVBench)
+changing the chart type.  Every turn carries the full gold program, as the
+published datasets do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dc_replace
+
+from repro.data.database import Database
+from repro.data.domains import all_domains
+from repro.data.generator import DatabaseGenerator
+from repro.datasets.base import Dataset, Dialogue, Example, Split
+from repro.datasets.patterns import (
+    CHARTABLE_PATTERNS,
+    PatternContext,
+    filter_list,
+    group_agg,
+    select_columns,
+)
+from repro.datasets.sql import clone_domain
+from repro.datasets.vis import make_vis_example
+from repro.nlg.realizer import Realizer
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+)
+from repro.sql.components import classify_hardness
+from repro.sql.unparser import to_sql
+from repro.vis.vql import parse_vql, to_vql
+
+_BASE_PATTERNS = ((select_columns, 1), (filter_list, 2), (group_agg, 1))
+
+
+def _edit_add_condition(
+    select: Select, ctx: PatternContext, table_name: str
+) -> tuple[Select, str] | None:
+    """AND a new comparison onto the WHERE clause."""
+    table = ctx.schema.table(table_name)
+    numeric = ctx.numeric_columns(table)
+    if not numeric:
+        return None
+    column = ctx.rng.choice(numeric)
+    value = ctx.sample_value(table, column)
+    if value is None:
+        return None
+    if isinstance(value, float):
+        value = round(value)
+    op = ctx.rng.choice((">", "<"))
+    condition = BinaryOp(
+        op=op, left=ColumnRef(column=column.name.lower()), right=Literal(value)
+    )
+    where = (
+        condition
+        if select.where is None
+        else BinaryOp(op="and", left=select.where, right=condition)
+    )
+    realizer = ctx.realizer
+    phrase = realizer.condition(realizer.column_noun(column), op, value)
+    question = realizer.followup(f"keep only those whose {phrase}")
+    return dc_replace(select, where=where), question
+
+
+def _edit_to_count(
+    select: Select, ctx: PatternContext, table_name: str
+) -> tuple[Select, str] | None:
+    """Replace the projection with COUNT(*)."""
+    if select.group_by or any(
+        isinstance(i.expr, FuncCall) for i in select.items
+    ):
+        return None
+    counted = dc_replace(
+        select,
+        items=(SelectItem(expr=FuncCall(name="count", args=(Star(),))),),
+        order_by=(),
+        limit=None,
+    )
+    question = ctx.realizer.choose(
+        ("How many are there?", "How many is that?", "Count them?")
+    )
+    return counted, question
+
+
+def _edit_add_order(
+    select: Select, ctx: PatternContext, table_name: str
+) -> tuple[Select, str] | None:
+    """Add ORDER BY a numeric column plus a LIMIT."""
+    if select.order_by or select.group_by:
+        return None
+    table = ctx.schema.table(table_name)
+    numeric = ctx.numeric_columns(table)
+    if not numeric:
+        return None
+    column = ctx.rng.choice(numeric)
+    descending = ctx.rng.random() < 0.7
+    limit = ctx.rng.choice((3, 5))
+    ordered = dc_replace(
+        select,
+        items=select.items
+        + (SelectItem(expr=ColumnRef(column=column.name.lower())),),
+        order_by=(
+            OrderItem(
+                expr=ColumnRef(column=column.name.lower()),
+                descending=descending,
+            ),
+        ),
+        limit=limit,
+    )
+    realizer = ctx.realizer
+    direction = "highest" if descending else "lowest"
+    question = realizer.followup(
+        f"show only the {limit} with the {direction} "
+        f"{realizer.column_noun(column)}"
+    )
+    return ordered, question
+
+
+def _edit_change_projection(
+    select: Select, ctx: PatternContext, table_name: str
+) -> tuple[Select, str] | None:
+    """Swap the projection to a different column."""
+    if select.group_by:
+        return None
+    table = ctx.schema.table(table_name)
+    candidates = ctx.text_columns(table) + ctx.numeric_columns(table)
+    current = {
+        item.expr.column
+        for item in select.items
+        if isinstance(item.expr, ColumnRef)
+    }
+    fresh = [c for c in candidates if c.name.lower() not in current]
+    if not fresh:
+        return None
+    column = ctx.rng.choice(fresh)
+    changed = dc_replace(
+        select, items=(SelectItem(expr=ColumnRef(column=column.name.lower())),)
+    )
+    realizer = ctx.realizer
+    question = realizer.followup(
+        f"show their {realizer.column_noun(column)} instead"
+    )
+    return changed, question
+
+
+_EDITS = (
+    _edit_add_condition,
+    _edit_to_count,
+    _edit_add_order,
+    _edit_change_projection,
+)
+
+
+def _build_dialogue(
+    ctx: PatternContext,
+    db: Database,
+    dialogue_id: str,
+    max_turns: int,
+) -> Dialogue:
+    instance = None
+    for _ in range(40):
+        pattern, _w = ctx.rng.choice(_BASE_PATTERNS)
+        candidate = pattern(ctx)
+        if candidate is None or not isinstance(candidate.query, Select):
+            continue
+        instance = candidate
+        # a dialogue needs at least one applicable edit; bases over tables
+        # without editable columns would stall at a single turn
+        if any(
+            edit(candidate.query, ctx, candidate.table) is not None
+            for edit in _EDITS
+        ):
+            break
+    assert instance is not None and isinstance(instance.query, Select)
+
+    turns = [
+        Example(
+            question=instance.question,
+            db_id=db.db_id,
+            sql=instance.sql,
+            hardness=instance.hardness,
+            pattern=instance.pattern,
+            dialogue_id=dialogue_id,
+            turn_index=0,
+        )
+    ]
+    select = instance.query
+    for turn_index in range(1, max_turns):
+        edits = list(_EDITS)
+        ctx.rng.shuffle(edits)
+        applied = None
+        for edit in edits:
+            applied = edit(select, ctx, instance.table)
+            if applied is not None:
+                break
+        if applied is None:
+            break
+        select, question = applied
+        turns.append(
+            Example(
+                question=question,
+                db_id=db.db_id,
+                sql=to_sql(select),
+                hardness=classify_hardness(select),
+                pattern=f"{instance.pattern}+edit",
+                dialogue_id=dialogue_id,
+                turn_index=turn_index,
+            )
+        )
+    return Dialogue(dialogue_id=dialogue_id, db_id=db.db_id, turns=turns)
+
+
+def build_sparc_like(
+    num_dialogues: int = 150,
+    max_turns: int = 4,
+    seed: int = 0,
+    dataset_name: str = "sparc_like",
+) -> Dataset:
+    """A SParC-like multi-turn Text-to-SQL benchmark."""
+    rng = random.Random(seed)
+    generator = DatabaseGenerator(seed=rng.randrange(1 << 30))
+    databases: dict[str, Database] = {}
+    contexts: dict[str, PatternContext] = {}
+    for domain in all_domains():
+        db_id = f"{domain.name}_mt"
+        clone = clone_domain(domain, db_id)
+        databases[db_id] = generator.populate(clone)
+        contexts[db_id] = PatternContext(clone, databases[db_id], rng)
+
+    db_ids = sorted(databases)
+    dialogues = []
+    for index in range(num_dialogues):
+        db_id = db_ids[index % len(db_ids)]
+        turns = rng.randint(2, max_turns)
+        dialogues.append(
+            _build_dialogue(
+                contexts[db_id], databases[db_id], f"dlg_{index:04d}", turns
+            )
+        )
+
+    examples = [turn for dialogue in dialogues for turn in dialogue.turns]
+    train_len = int(len(dialogues) * 0.8)
+    train = [t for d in dialogues[:train_len] for t in d.turns]
+    dev = [t for d in dialogues[train_len:] for t in d.turns]
+    return Dataset(
+        name=dataset_name,
+        task="sql",
+        feature="Multi-turn",
+        databases=databases,
+        splits={"train": Split("train", train), "dev": Split("dev", dev)},
+        dialogues=dialogues,
+    )
+
+
+def build_dial_vis_like(
+    num_dialogues: int = 120,
+    seed: int = 0,
+    dataset_name: str = "dial_nvbench_like",
+) -> Dataset:
+    """A Dial-NVBench/ChartDialogs-like multi-turn Text-to-Vis benchmark.
+
+    Turn 0 requests a chart; follow-up turns re-style it ("make it a pie
+    chart") or refine the underlying data query.
+    """
+    rng = random.Random(seed)
+    generator = DatabaseGenerator(seed=rng.randrange(1 << 30))
+    databases: dict[str, Database] = {}
+    contexts: dict[str, PatternContext] = {}
+    for domain in all_domains():
+        db_id = f"{domain.name}_dvis"
+        clone = clone_domain(domain, db_id)
+        databases[db_id] = generator.populate(clone)
+        contexts[db_id] = PatternContext(clone, databases[db_id], rng)
+
+    db_ids = sorted(databases)
+    realizer = Realizer(rng)
+    dialogues: list[Dialogue] = []
+    for index in range(num_dialogues):
+        db_id = db_ids[index % len(db_ids)]
+        ctx = contexts[db_id]
+        from repro.datasets.patterns import sample_instance
+
+        instance = sample_instance(ctx, CHARTABLE_PATTERNS)
+        base = make_vis_example(instance, databases[db_id], rng, realizer)
+        dialogue_id = f"vdlg_{index:04d}"
+        base.dialogue_id = dialogue_id
+        turns = [base]
+
+        vql = parse_vql(base.vql or "")
+        other_types = [
+            t for t in ("bar", "pie", "line") if t != vql.chart_type
+        ]
+        if instance.pattern == "scatter_pair":
+            other_types = ["line"]
+        new_type = rng.choice(other_types)
+        restyled = vql.with_chart(new_type)
+        phrasing = rng.choice(
+            (
+                f"Make it a {new_type} chart instead?",
+                f"Can you show that as a {new_type} chart?",
+                f"Switch to a {new_type} chart?",
+            )
+        )
+        turns.append(
+            Example(
+                question=phrasing,
+                db_id=db_id,
+                sql=base.sql,
+                vql=to_vql(restyled),
+                hardness=base.hardness,
+                pattern="restyle",
+                dialogue_id=dialogue_id,
+                turn_index=1,
+            )
+        )
+        dialogues.append(
+            Dialogue(dialogue_id=dialogue_id, db_id=db_id, turns=turns)
+        )
+
+    train_len = int(len(dialogues) * 0.8)
+    train = [t for d in dialogues[:train_len] for t in d.turns]
+    dev = [t for d in dialogues[train_len:] for t in d.turns]
+    return Dataset(
+        name=dataset_name,
+        task="vis",
+        feature="Multi-turn",
+        databases=databases,
+        splits={"train": Split("train", train), "dev": Split("dev", dev)},
+        dialogues=dialogues,
+    )

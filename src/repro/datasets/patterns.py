@@ -1,0 +1,918 @@
+"""Query-pattern grammar: the generative heart of benchmark synthesis.
+
+Each pattern builds one (SQL AST, English question) pair over a domain
+database, sampling schema elements and database values so that gold queries
+execute to non-trivial results.  Patterns cover the SQL phenomena the
+survey's hardness taxonomy stratifies: projections, filters (comparison,
+LIKE, BETWEEN), aggregates, GROUP BY / HAVING, ORDER BY / LIMIT,
+superlatives, joins, nested subqueries, and set operations.
+
+The ``meta`` slots on a :class:`PatternInstance` record which schema
+elements filled which roles, so downstream builders (multi-turn edits, Vis
+synthesis, knowledge grounding) can manipulate instances structurally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.data.domains import Domain
+from repro.data.schema import Column, ColumnType, Schema, TableSchema
+from repro.data.values import Value
+from repro.errors import DatasetError
+from repro.nlg.realizer import Realizer
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InSubquery,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    SetOperation,
+    Star,
+    TableRef,
+)
+from repro.sql.components import classify_hardness
+from repro.sql.unparser import to_sql
+
+
+@dataclass
+class PatternInstance:
+    """One synthesized example before dataset packaging."""
+
+    query: Query
+    question: str
+    pattern: str
+    table: str
+    chart: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def sql(self) -> str:
+        return to_sql(self.query)
+
+    @property
+    def hardness(self) -> str:
+        return classify_hardness(self.query)
+
+
+class PatternContext:
+    """Sampling context shared by all patterns for one domain database."""
+
+    def __init__(self, domain: Domain, db: Database, rng: random.Random) -> None:
+        self.domain = domain
+        self.db = db
+        self.schema: Schema = domain.schema
+        self.rng = rng
+        self.realizer = Realizer(rng)
+
+    # ------------------------------------------------------------------
+    # schema sampling helpers
+    # ------------------------------------------------------------------
+    def any_table(self) -> TableSchema:
+        return self.rng.choice(list(self.schema.tables))
+
+    def numeric_columns(self, table: TableSchema) -> list[Column]:
+        return [
+            c
+            for c in table.columns
+            if c.type is ColumnType.NUMBER and not self._is_key(table, c)
+        ]
+
+    def text_columns(self, table: TableSchema) -> list[Column]:
+        return [
+            c
+            for c in table.columns
+            if c.type in (ColumnType.TEXT, ColumnType.DATE)
+            and not self._is_key(table, c)
+        ]
+
+    def groupable_columns(self, table: TableSchema) -> list[Column]:
+        """Text columns with low cardinality in the database contents."""
+        out = []
+        contents = self.db.table(table.name)
+        for column in self.text_columns(table):
+            values = {
+                v for v in contents.column_values(column.name) if v is not None
+            }
+            if 2 <= len(values) <= max(2, len(contents) // 2):
+                out.append(column)
+        return out
+
+    def name_column(self, table: TableSchema) -> Column:
+        for column in table.columns:
+            if column.name.lower() in ("name", "title"):
+                return column
+        texts = self.text_columns(table)
+        if texts:
+            return texts[0]
+        return table.columns[0]
+
+    def sample_value(self, table: TableSchema, column: Column) -> Value | None:
+        values = [
+            v
+            for v in self.db.table(table.name).column_values(column.name)
+            if v is not None
+        ]
+        if not values:
+            return None
+        return self.rng.choice(values)
+
+    def fk_pairs(self) -> list[tuple[TableSchema, TableSchema, str, str]]:
+        """(child, parent, child_col, parent_col) for every FK edge."""
+        pairs = []
+        for fk in self.schema.foreign_keys:
+            pairs.append(
+                (
+                    self.schema.table(fk.table),
+                    self.schema.table(fk.ref_table),
+                    fk.column,
+                    fk.ref_column,
+                )
+            )
+        return pairs
+
+    def _is_key(self, table: TableSchema, column: Column) -> bool:
+        name = column.name.lower()
+        if table.primary_key and name == table.primary_key.lower():
+            return True
+        if name.endswith("_id") or name == "id":
+            return True
+        return any(
+            fk.table.lower() == table.name.lower()
+            and fk.column.lower() == name
+            for fk in self.schema.foreign_keys
+        )
+
+
+# ----------------------------------------------------------------------
+# AST building helpers
+# ----------------------------------------------------------------------
+def _ref(column: Column, table: TableSchema | None = None) -> ColumnRef:
+    if table is None:
+        return ColumnRef(column=column.name.lower())
+    return ColumnRef(column=column.name.lower(), table=table.name.lower())
+
+
+def _table(table: TableSchema) -> TableRef:
+    return TableRef(name=table.name.lower())
+
+
+def _cond(column: Column, op: str, value: Value,
+          table: TableSchema | None = None) -> BinaryOp:
+    return BinaryOp(op=op, left=_ref(column, table), right=Literal(value))
+
+
+def _round_value(value: Value, rng: random.Random) -> Value:
+    """Round a sampled numeric threshold so questions read naturally."""
+    if isinstance(value, float):
+        return round(value)
+    return value
+
+
+_COMPARE_OPS = ("=", ">", "<", ">=", "<=")
+_AGGS = ("avg", "sum", "min", "max")
+
+
+# ----------------------------------------------------------------------
+# pattern functions (each returns None when preconditions fail)
+# ----------------------------------------------------------------------
+def select_columns(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    candidates = ctx.text_columns(table) + ctx.numeric_columns(table)
+    if not candidates:
+        return None
+    count = min(len(candidates), ctx.rng.choice((1, 1, 2)))
+    columns = ctx.rng.sample(candidates, count)
+    query = Select(
+        items=tuple(SelectItem(expr=_ref(c)) for c in columns),
+        from_=_table(table),
+    )
+    realizer = ctx.realizer
+    noun = realizer.projection_np(
+        [realizer.column_noun(c) for c in columns], realizer.table_noun(table)
+    )
+    question = realizer.list_question(f"{noun} for all of them")
+    question = realizer.list_question(noun)
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="select_columns",
+        table=table.name,
+        meta={"proj": [c.name for c in columns]},
+    )
+
+
+def filter_list(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    projections = ctx.text_columns(table) or list(table.columns)
+    proj = ctx.name_column(table)
+    numeric = ctx.numeric_columns(table)
+    text = ctx.groupable_columns(table)
+    realizer = ctx.realizer
+
+    if numeric and (not text or ctx.rng.random() < 0.5):
+        column = ctx.rng.choice(numeric)
+        value = ctx.sample_value(table, column)
+        if value is None:
+            return None
+        value = _round_value(value, ctx.rng)
+        op = ctx.rng.choice(_COMPARE_OPS[1:])  # numeric: inequality reads best
+    elif text:
+        column = ctx.rng.choice(text)
+        value = ctx.sample_value(table, column)
+        if value is None:
+            return None
+        op = "=" if ctx.rng.random() < 0.8 else "<>"
+    else:
+        return None
+
+    query = Select(
+        items=(SelectItem(expr=_ref(proj)),),
+        from_=_table(table),
+        where=_cond(column, op, value),
+    )
+    noun = realizer.projection_np(
+        [realizer.column_noun(proj)], realizer.table_noun(table)
+    )
+    condition = realizer.condition(realizer.column_noun(column), op, value)
+    question = realizer.list_question(noun, [f"whose {condition}"])
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="filter_list",
+        table=table.name,
+        meta={
+            "proj": [proj.name],
+            "where_col": column.name,
+            "where_op": op,
+            "where_val": value,
+        },
+    )
+
+
+def filter_like(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    proj = ctx.name_column(table)
+    texts = [c for c in ctx.text_columns(table) if c.type is ColumnType.TEXT]
+    if not texts:
+        return None
+    column = ctx.rng.choice(texts)
+    value = ctx.sample_value(table, column)
+    if not isinstance(value, str) or len(value) < 3:
+        return None
+    start = ctx.rng.randrange(0, max(1, len(value) - 3))
+    substring = value[start : start + 3].strip()
+    if len(substring) < 2:
+        return None
+    query = Select(
+        items=(SelectItem(expr=_ref(proj)),),
+        from_=_table(table),
+        where=Like(expr=_ref(column), pattern=Literal(f"%{substring}%")),
+    )
+    realizer = ctx.realizer
+    noun = realizer.projection_np(
+        [realizer.column_noun(proj)], realizer.table_noun(table)
+    )
+    condition = realizer.like_condition(realizer.column_noun(column), substring)
+    question = realizer.list_question(noun, [f"whose {condition}"])
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="filter_like",
+        table=table.name,
+        meta={"where_col": column.name, "like": substring},
+    )
+
+
+def filter_between(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    proj = ctx.name_column(table)
+    numeric = ctx.numeric_columns(table)
+    if not numeric:
+        return None
+    column = ctx.rng.choice(numeric)
+    first = ctx.sample_value(table, column)
+    second = ctx.sample_value(table, column)
+    if first is None or second is None or first == second:
+        return None
+    low, high = sorted(
+        (_round_value(first, ctx.rng), _round_value(second, ctx.rng))
+    )
+    if low == high:
+        return None
+    query = Select(
+        items=(SelectItem(expr=_ref(proj)),),
+        from_=_table(table),
+        where=Between(expr=_ref(column), low=Literal(low), high=Literal(high)),
+    )
+    realizer = ctx.realizer
+    noun = realizer.projection_np(
+        [realizer.column_noun(proj)], realizer.table_noun(table)
+    )
+    condition = realizer.between_condition(
+        realizer.column_noun(column), low, high
+    )
+    question = realizer.list_question(noun, [f"whose {condition}"])
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="filter_between",
+        table=table.name,
+        meta={"where_col": column.name, "low": low, "high": high},
+    )
+
+
+def agg_scalar(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    numeric = ctx.numeric_columns(table)
+    if not numeric:
+        return None
+    column = ctx.rng.choice(numeric)
+    func = ctx.rng.choice(_AGGS)
+    where = None
+    where_meta: dict = {}
+    realizer = ctx.realizer
+    suffixes: list[str] = []
+    if ctx.rng.random() < 0.45:
+        groupables = ctx.groupable_columns(table)
+        if groupables:
+            wcol = ctx.rng.choice(groupables)
+            value = ctx.sample_value(table, wcol)
+            if value is not None:
+                where = _cond(wcol, "=", value)
+                condition = realizer.condition(
+                    realizer.column_noun(wcol), "=", value
+                )
+                suffixes.append(f"whose {condition}")
+                where_meta = {"where_col": wcol.name, "where_op": "=",
+                              "where_val": value}
+    query = Select(
+        items=(
+            SelectItem(
+                expr=FuncCall(name=func, args=(_ref(column),))
+            ),
+        ),
+        from_=_table(table),
+        where=where,
+    )
+    noun = realizer.agg_np(
+        func, realizer.column_noun(column), realizer.table_noun(table)
+    )
+    question = realizer.scalar_question(noun, suffixes)
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="agg_scalar",
+        table=table.name,
+        meta={"agg": func, "agg_col": column.name, **where_meta},
+    )
+
+
+def count_filter(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    realizer = ctx.realizer
+    where = None
+    suffixes: list[str] = []
+    meta: dict = {"agg": "count"}
+    groupables = ctx.groupable_columns(table)
+    numeric = ctx.numeric_columns(table)
+    if groupables and (not numeric or ctx.rng.random() < 0.5):
+        column = ctx.rng.choice(groupables)
+        value = ctx.sample_value(table, column)
+        if value is None:
+            return None
+        where = _cond(column, "=", value)
+        suffixes.append(
+            f"whose {realizer.condition(realizer.column_noun(column), '=', value)}"
+        )
+        meta.update(where_col=column.name, where_op="=", where_val=value)
+    elif numeric:
+        column = ctx.rng.choice(numeric)
+        value = ctx.sample_value(table, column)
+        if value is None:
+            return None
+        value = _round_value(value, ctx.rng)
+        op = ctx.rng.choice((">", "<"))
+        where = _cond(column, op, value)
+        suffixes.append(
+            f"whose {realizer.condition(realizer.column_noun(column), op, value)}"
+        )
+        meta.update(where_col=column.name, where_op=op, where_val=value)
+    query = Select(
+        items=(SelectItem(expr=FuncCall(name="count", args=(Star(),))),),
+        from_=_table(table),
+        where=where,
+    )
+    noun = realizer.agg_np("count", "", realizer.table_noun(table))
+    question = realizer.scalar_question(noun, suffixes)
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="count_filter",
+        table=table.name,
+        meta=meta,
+    )
+
+
+def group_agg(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    groupables = ctx.groupable_columns(table)
+    if not groupables:
+        return None
+    group = ctx.rng.choice(groupables)
+    numeric = ctx.numeric_columns(table)
+    realizer = ctx.realizer
+    if numeric and ctx.rng.random() < 0.6:
+        column = ctx.rng.choice(numeric)
+        func = ctx.rng.choice(_AGGS)
+        agg_expr = FuncCall(name=func, args=(_ref(column),))
+        noun = realizer.agg_np(
+            func, realizer.column_noun(column), realizer.table_noun(table)
+        )
+        meta = {"agg": func, "agg_col": column.name, "group_col": group.name}
+    else:
+        agg_expr = FuncCall(name="count", args=(Star(),))
+        noun = realizer.agg_np("count", "", realizer.table_noun(table))
+        meta = {"agg": "count", "agg_col": None, "group_col": group.name}
+    query = Select(
+        items=(SelectItem(expr=_ref(group)), SelectItem(expr=agg_expr)),
+        from_=_table(table),
+        group_by=(_ref(group),),
+    )
+    question = realizer.scalar_question(
+        noun, [realizer.group_suffix(realizer.column_noun(group))]
+    )
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="group_agg",
+        table=table.name,
+        chart=ctx.rng.choice(("bar", "pie", "line")),
+        meta=meta,
+    )
+
+
+def group_having(ctx: PatternContext) -> PatternInstance | None:
+    base = group_agg(ctx)
+    if base is None or not isinstance(base.query, Select):
+        return None
+    threshold = ctx.rng.randint(2, 5)
+    having = BinaryOp(
+        op=">=",
+        left=FuncCall(name="count", args=(Star(),)),
+        right=Literal(threshold),
+    )
+    query = Select(
+        items=base.query.items,
+        from_=base.query.from_,
+        group_by=base.query.group_by,
+        having=having,
+    )
+    question = base.question.rstrip("?") + (
+        f", considering only groups with at least {threshold} entries?"
+    )
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="group_having",
+        table=base.table,
+        chart=base.chart,
+        meta={**base.meta, "having_min": threshold},
+    )
+
+
+def order_limit(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    proj = ctx.name_column(table)
+    numeric = ctx.numeric_columns(table)
+    if not numeric:
+        return None
+    column = ctx.rng.choice(numeric)
+    descending = ctx.rng.random() < 0.7
+    limit = ctx.rng.choice((3, 5, 10))
+    realizer = ctx.realizer
+    query = Select(
+        items=(SelectItem(expr=_ref(proj)), SelectItem(expr=_ref(column))),
+        from_=_table(table),
+        order_by=(OrderItem(expr=_ref(column), descending=descending),),
+        limit=limit,
+    )
+    noun = realizer.projection_np(
+        [realizer.column_noun(proj), realizer.column_noun(column)],
+        realizer.table_noun(table),
+    )
+    direction = "top" if descending else "bottom"
+    question = realizer.list_question(
+        f"the {direction} {limit} {realizer.table_noun(table)} "
+        f"showing {noun}",
+        [realizer.order_suffix(realizer.column_noun(column), descending)],
+    )
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="order_limit",
+        table=table.name,
+        meta={
+            "proj": [proj.name, column.name],
+            "order_col": column.name,
+            "desc": descending,
+            "limit": limit,
+        },
+    )
+
+
+def superlative(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    proj = ctx.name_column(table)
+    numeric = ctx.numeric_columns(table)
+    if not numeric:
+        return None
+    column = ctx.rng.choice(numeric)
+    descending = ctx.rng.random() < 0.6
+    realizer = ctx.realizer
+    query = Select(
+        items=(SelectItem(expr=_ref(proj)),),
+        from_=_table(table),
+        order_by=(OrderItem(expr=_ref(column), descending=descending),),
+        limit=1,
+    )
+    noun = realizer.projection_np(
+        [realizer.column_noun(proj)], realizer.table_noun(table)
+    )
+    question = realizer.list_question(
+        noun, [realizer.superlative(realizer.column_noun(column), descending)]
+    )
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="superlative",
+        table=table.name,
+        meta={"order_col": column.name, "desc": descending, "limit": 1},
+    )
+
+
+def join_filter(ctx: PatternContext) -> PatternInstance | None:
+    pairs = ctx.fk_pairs()
+    if not pairs:
+        return None
+    child, parent, child_col, parent_col = ctx.rng.choice(pairs)
+    proj = ctx.name_column(child)
+    # condition on the parent side
+    parent_conds = ctx.groupable_columns(parent) or ctx.text_columns(parent)
+    if not parent_conds:
+        return None
+    column = ctx.rng.choice(parent_conds)
+    value = ctx.sample_value(parent, column)
+    if value is None:
+        return None
+    realizer = ctx.realizer
+    join = Join(
+        left=_table(child),
+        right=_table(parent),
+        kind="inner",
+        condition=BinaryOp(
+            op="=",
+            left=ColumnRef(column=child_col.lower(), table=child.name.lower()),
+            right=ColumnRef(
+                column=parent_col.lower(), table=parent.name.lower()
+            ),
+        ),
+    )
+    query = Select(
+        items=(SelectItem(expr=_ref(proj, child)),),
+        from_=join,
+        where=_cond(column, "=", value, parent),
+    )
+    noun = realizer.projection_np(
+        [realizer.column_noun(proj)], realizer.table_noun(child)
+    )
+    condition = realizer.condition(realizer.column_noun(column), "=", value)
+    question = realizer.list_question(
+        noun,
+        [f"whose {realizer.table_noun(parent)} {condition}"],
+    )
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="join_filter",
+        table=child.name,
+        meta={
+            "join_parent": parent.name,
+            "where_col": column.name,
+            "where_val": value,
+        },
+    )
+
+
+def join_group(ctx: PatternContext) -> PatternInstance | None:
+    pairs = ctx.fk_pairs()
+    if not pairs:
+        return None
+    child, parent, child_col, parent_col = ctx.rng.choice(pairs)
+    group_candidates = (
+        ctx.groupable_columns(parent) or [ctx.name_column(parent)]
+    )
+    group = ctx.rng.choice(group_candidates)
+    realizer = ctx.realizer
+    join = Join(
+        left=_table(child),
+        right=_table(parent),
+        kind="inner",
+        condition=BinaryOp(
+            op="=",
+            left=ColumnRef(column=child_col.lower(), table=child.name.lower()),
+            right=ColumnRef(
+                column=parent_col.lower(), table=parent.name.lower()
+            ),
+        ),
+    )
+    query = Select(
+        items=(
+            SelectItem(expr=_ref(group, parent)),
+            SelectItem(expr=FuncCall(name="count", args=(Star(),))),
+        ),
+        from_=join,
+        group_by=(_ref(group, parent),),
+    )
+    noun = realizer.agg_np("count", "", realizer.table_noun(child))
+    question = realizer.scalar_question(
+        noun,
+        [
+            realizer.group_suffix(
+                f"{realizer.table_noun(parent)} {realizer.column_noun(group)}"
+            )
+        ],
+    )
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="join_group",
+        table=child.name,
+        chart=ctx.rng.choice(("bar", "pie")),
+        meta={"join_parent": parent.name, "group_col": group.name},
+    )
+
+
+def nested_in(ctx: PatternContext) -> PatternInstance | None:
+    pairs = ctx.fk_pairs()
+    if not pairs:
+        return None
+    child, parent, child_col, parent_col = ctx.rng.choice(pairs)
+    proj = ctx.name_column(parent)
+    # inner condition on the child side
+    inner_numeric = ctx.numeric_columns(child)
+    if not inner_numeric:
+        return None
+    column = ctx.rng.choice(inner_numeric)
+    value = ctx.sample_value(child, column)
+    if value is None:
+        return None
+    value = _round_value(value, ctx.rng)
+    op = ctx.rng.choice((">", "<"))
+    realizer = ctx.realizer
+    inner = Select(
+        items=(SelectItem(expr=ColumnRef(column=child_col.lower())),),
+        from_=_table(child),
+        where=_cond(column, op, value),
+    )
+    query = Select(
+        items=(SelectItem(expr=_ref(proj)),),
+        from_=_table(parent),
+        where=InSubquery(
+            expr=ColumnRef(column=parent_col.lower()), query=inner
+        ),
+    )
+    noun = realizer.projection_np(
+        [realizer.column_noun(proj)], realizer.table_noun(parent)
+    )
+    condition = realizer.condition(realizer.column_noun(column), op, value)
+    question = realizer.list_question(
+        noun,
+        [f"that have {realizer.table_noun(child)} whose {condition}"],
+    )
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="nested_in",
+        table=parent.name,
+        meta={"inner_table": child.name, "where_col": column.name},
+    )
+
+
+def nested_compare_avg(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    proj = ctx.name_column(table)
+    numeric = ctx.numeric_columns(table)
+    if not numeric:
+        return None
+    column = ctx.rng.choice(numeric)
+    op = ctx.rng.choice((">", "<"))
+    realizer = ctx.realizer
+    inner = Select(
+        items=(SelectItem(expr=FuncCall(name="avg", args=(_ref(column),))),),
+        from_=_table(table),
+    )
+    query = Select(
+        items=(SelectItem(expr=_ref(proj)),),
+        from_=_table(table),
+        where=BinaryOp(
+            op=op, left=_ref(column), right=ScalarSubquery(query=inner)
+        ),
+    )
+    noun = realizer.projection_np(
+        [realizer.column_noun(proj)], realizer.table_noun(table)
+    )
+    direction = "above" if op == ">" else "below"
+    question = realizer.list_question(
+        noun,
+        [f"whose {realizer.column_noun(column)} is {direction} the average"],
+    )
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="nested_compare_avg",
+        table=table.name,
+        meta={"where_col": column.name, "op": op},
+    )
+
+
+def set_operation(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    proj = ctx.name_column(table)
+    groupables = ctx.groupable_columns(table)
+    if len(groupables) == 0:
+        return None
+    column = ctx.rng.choice(groupables)
+    first = ctx.sample_value(table, column)
+    second = ctx.sample_value(table, column)
+    if first is None or second is None or first == second:
+        return None
+    op = ctx.rng.choice(("union", "intersect", "except"))
+    realizer = ctx.realizer
+
+    def _branch(value: Value) -> Select:
+        return Select(
+            items=(SelectItem(expr=_ref(proj)),),
+            from_=_table(table),
+            where=_cond(column, "=", value),
+        )
+
+    if op == "intersect":
+        # same projection, two different columns would be needed for a
+        # non-empty intersect; reuse one condition column with numeric pair
+        numeric = ctx.numeric_columns(table)
+        if not numeric:
+            return None
+        ncol = ctx.rng.choice(numeric)
+        nval = ctx.sample_value(table, ncol)
+        if nval is None:
+            return None
+        nval = _round_value(nval, ctx.rng)
+        left = _branch(first)
+        right = Select(
+            items=(SelectItem(expr=_ref(proj)),),
+            from_=_table(table),
+            where=_cond(ncol, ">", nval),
+        )
+        cond_b = realizer.condition(realizer.column_noun(ncol), ">", nval)
+    else:
+        left = _branch(first)
+        right = _branch(second)
+        cond_b = realizer.condition(realizer.column_noun(column), "=", second)
+
+    query = SetOperation(op=op, left=left, right=right)
+    noun = realizer.projection_np(
+        [realizer.column_noun(proj)], realizer.table_noun(table)
+    )
+    cond_a = realizer.condition(realizer.column_noun(column), "=", first)
+    connective = realizer.set_op_connective(op)
+    question = realizer.list_question(
+        noun, [f"whose {cond_a} {connective} {cond_b}"]
+    )
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern=f"set_{op}",
+        table=table.name,
+        meta={"set_op": op, "where_col": column.name},
+    )
+
+
+def scatter_pair(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    numeric = ctx.numeric_columns(table)
+    if len(numeric) < 2:
+        return None
+    x_col, y_col = ctx.rng.sample(numeric, 2)
+    query = Select(
+        items=(SelectItem(expr=_ref(x_col)), SelectItem(expr=_ref(y_col))),
+        from_=_table(table),
+    )
+    realizer = ctx.realizer
+    noun = realizer.projection_np(
+        [realizer.column_noun(x_col), realizer.column_noun(y_col)],
+        realizer.table_noun(table),
+    )
+    question = realizer.list_question(noun)
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="scatter_pair",
+        table=table.name,
+        chart="scatter",
+        meta={"x": x_col.name, "y": y_col.name},
+    )
+
+
+def distinct_values(ctx: PatternContext) -> PatternInstance | None:
+    table = ctx.any_table()
+    groupables = ctx.groupable_columns(table)
+    if not groupables:
+        return None
+    column = ctx.rng.choice(groupables)
+    query = Select(
+        items=(SelectItem(expr=_ref(column)),),
+        from_=_table(table),
+        distinct=True,
+    )
+    realizer = ctx.realizer
+    question = realizer.list_question(
+        f"the distinct {realizer.column_noun(column)} values of "
+        f"{realizer.table_noun(table)}"
+    )
+    return PatternInstance(
+        query=query,
+        question=question,
+        pattern="distinct_values",
+        table=table.name,
+        meta={"proj": [column.name], "distinct": True},
+    )
+
+
+#: All patterns with sampling weights.  Simple patterns are more frequent,
+#: matching the hardness mix of the published benchmarks (Spider dev is
+#: roughly 25/40/20/15 across easy/medium/hard/extra).
+ALL_PATTERNS: tuple[tuple, ...] = (
+    (select_columns, 3),
+    (filter_list, 5),
+    (filter_like, 1),
+    (filter_between, 1),
+    (agg_scalar, 4),
+    (count_filter, 4),
+    (group_agg, 3),
+    (group_having, 1),
+    (order_limit, 2),
+    (superlative, 2),
+    (join_filter, 3),
+    (join_group, 2),
+    (nested_in, 1),
+    (nested_compare_avg, 1),
+    (set_operation, 1),
+    (scatter_pair, 1),
+    (distinct_values, 1),
+)
+
+#: The WikiSQL-style restriction: single table, no join/group/nesting.
+SIMPLE_PATTERNS: tuple[tuple, ...] = (
+    (select_columns, 3),
+    (filter_list, 6),
+    (filter_like, 1),
+    (filter_between, 1),
+    (agg_scalar, 4),
+    (count_filter, 4),
+)
+
+#: Patterns that yield chartable results, for Text-to-Vis synthesis.
+CHARTABLE_PATTERNS: tuple[tuple, ...] = (
+    (group_agg, 5),
+    (group_having, 1),
+    (join_group, 2),
+    (scatter_pair, 2),
+)
+
+
+def sample_instance(
+    ctx: PatternContext,
+    patterns: tuple[tuple, ...] = ALL_PATTERNS,
+    max_attempts: int = 50,
+) -> PatternInstance:
+    """Sample one pattern instance, retrying on precondition failures."""
+    functions = [f for f, w in patterns for _ in range(w)]
+    for _ in range(max_attempts):
+        instance = ctx.rng.choice(functions)(ctx)
+        if instance is not None:
+            return instance
+    raise DatasetError(
+        f"could not instantiate any pattern for domain "
+        f"{ctx.domain.name!r} after {max_attempts} attempts"
+    )

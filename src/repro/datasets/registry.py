@@ -1,0 +1,450 @@
+"""Named benchmark registry: one calibrated build per Table 1 row family.
+
+Published benchmark sizes range from ten examples (Gao et al.) to 80k
+(WikiSQL).  Every builder's base size equals the published benchmark's
+query count and the caller's ``scale`` multiplies it linearly (with a
+floor so tiny sets stay statistically useful), so at any common scale the
+relative size ordering of the paper's Table 1 is preserved.  The default
+benchmark scale is 0.01 (1/100), which regenerates all 38 families in
+well under a minute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import Dataset
+from repro.datasets.composition import build_spider_cg_like, build_spider_ssp_like
+from repro.datasets.knowledge import build_bird_like
+from repro.datasets.multilingual import translate_dataset
+from repro.datasets.multiturn import build_dial_vis_like, build_sparc_like
+from repro.datasets.robustness import (
+    make_realistic_variant,
+    make_synonym_variant,
+    make_typo_variant,
+)
+from repro.datasets.sql import (
+    build_cross_domain,
+    build_single_domain,
+    build_wikisql_like,
+)
+from repro.datasets.vis import build_nvbench_like, build_single_domain_vis
+from repro.errors import DatasetError
+
+
+def _scaled(base: int, scale: float, floor: int = 60) -> int:
+    return max(floor, int(base * scale))
+
+
+def _build_geoquery(scale: float, seed: int) -> Dataset:
+    return build_single_domain(
+        "geography", _scaled(877, scale), seed, dataset_name="geoquery_like"
+    )
+
+
+def _build_academic(scale: float, seed: int) -> Dataset:
+    return build_single_domain(
+        "academic", _scaled(196, scale, floor=50), seed,
+        dataset_name="academic_like",
+    )
+
+
+def _build_restaurants(scale: float, seed: int) -> Dataset:
+    return build_single_domain(
+        "restaurants", _scaled(378, scale, floor=50), seed,
+        dataset_name="restaurants_like",
+    )
+
+
+def _build_atis(scale: float, seed: int) -> Dataset:
+    return build_single_domain(
+        "flights", _scaled(5280, scale), seed, dataset_name="atis_like"
+    )
+
+
+def _build_scholar(scale: float, seed: int) -> Dataset:
+    return build_single_domain(
+        "academic", _scaled(817, scale, floor=60), seed,
+        dataset_name="scholar_like",
+    )
+
+
+def _build_imdb(scale: float, seed: int) -> Dataset:
+    return build_single_domain(
+        "movies", _scaled(131, scale, floor=50), seed,
+        dataset_name="imdb_like",
+    )
+
+
+def _build_yelp(scale: float, seed: int) -> Dataset:
+    return build_single_domain(
+        "restaurants", _scaled(128, scale, floor=50), seed + 1,
+        dataset_name="yelp_like",
+    )
+
+
+def _build_advising(scale: float, seed: int) -> Dataset:
+    return build_single_domain(
+        "library", _scaled(3898, scale, floor=80), seed,
+        dataset_name="advising_like",
+    )
+
+
+def _build_sede(scale: float, seed: int) -> Dataset:
+    return build_single_domain(
+        "company", _scaled(12023, scale, floor=100), seed,
+        dataset_name="sede_like",
+    )
+
+
+def _build_mimicsql(scale: float, seed: int) -> Dataset:
+    return build_single_domain(
+        "healthcare", _scaled(10000, scale), seed,
+        dataset_name="mimicsql_like",
+    )
+
+
+def _build_wikisql(scale: float, seed: int) -> Dataset:
+    return build_wikisql_like(
+        num_examples=_scaled(80654, scale, floor=200),
+        num_databases=max(40, int(26521 * scale / 3)),
+        seed=seed,
+    )
+
+
+def _build_spider(scale: float, seed: int) -> Dataset:
+    return build_cross_domain(
+        num_examples=_scaled(10181, scale, floor=200),
+        copies_per_domain=2,
+        seed=seed,
+    )
+
+
+def _build_sparc(scale: float, seed: int) -> Dataset:
+    return build_sparc_like(
+        num_dialogues=_scaled(4300, scale, floor=40), seed=seed
+    )
+
+
+def _build_cosql(scale: float, seed: int) -> Dataset:
+    return build_sparc_like(
+        num_dialogues=_scaled(3000, scale, floor=40),
+        max_turns=5,
+        seed=seed + 3,
+        dataset_name="cosql_like",
+    )
+
+
+def _build_chase(scale: float, seed: int) -> Dataset:
+    return translate_dataset(
+        build_sparc_like(
+            num_dialogues=_scaled(5459, scale, floor=40), seed=seed + 5
+        ),
+        "zh",
+        "chase_like",
+        feature="Multi-turn",
+    )
+
+
+def _build_dusql(scale: float, seed: int) -> Dataset:
+    return translate_dataset(
+        build_cross_domain(
+            num_examples=_scaled(23797, scale, floor=150), seed=seed + 7,
+            dataset_name="dusql_base",
+        ),
+        "zh",
+        "dusql_like",
+    )
+
+
+def _build_tableqa(scale: float, seed: int) -> Dataset:
+    return translate_dataset(
+        build_wikisql_like(
+            num_examples=_scaled(64891, scale, floor=150),
+            num_databases=max(30, int(6029 * scale)),
+            seed=seed + 9,
+            dataset_name="tableqa_base",
+        ),
+        "zh",
+        "tableqa_like",
+    )
+
+
+def _build_pauq(scale: float, seed: int) -> Dataset:
+    return translate_dataset(_build_spider(scale, seed), "ru", "pauq_like")
+
+
+def _build_spider_dk(scale: float, seed: int) -> Dataset:
+    return build_bird_like(
+        num_examples=_scaled(535, scale, floor=60),
+        dirty_fraction=0.0,
+        seed=seed + 11,
+        dataset_name="spider_dk_like",
+    )
+
+
+def _build_knowsql(scale: float, seed: int) -> Dataset:
+    return translate_dataset(
+        build_bird_like(
+            num_examples=_scaled(25888, scale, floor=60), seed=seed + 13,
+            dataset_name="knowsql_base",
+        ),
+        "zh",
+        "knowsql_like",
+        feature="Knowledge Grounding",
+    )
+
+
+def _build_cspider(scale: float, seed: int) -> Dataset:
+    return translate_dataset(_build_spider(scale, seed), "zh", "cspider_like")
+
+
+def _build_vitext(scale: float, seed: int) -> Dataset:
+    return translate_dataset(
+        _build_spider(scale, seed), "vi", "vitext2sql_like"
+    )
+
+
+def _build_ptspider(scale: float, seed: int) -> Dataset:
+    return translate_dataset(
+        _build_spider(scale, seed), "pt", "portuguese_spider_like"
+    )
+
+
+def _build_squall(scale: float, seed: int) -> Dataset:
+    return build_wikisql_like(
+        num_examples=_scaled(11468, scale, floor=120),
+        num_databases=max(25, int(1679 * scale)),
+        seed=seed,
+        dataset_name="squall_like",
+    )
+
+
+def _build_kaggledbqa(scale: float, seed: int) -> Dataset:
+    return build_cross_domain(
+        num_examples=_scaled(272, scale, floor=80),
+        copies_per_domain=1,
+        seed=seed,
+        dataset_name="kaggledbqa_like",
+    )
+
+
+def _build_spider_ssp(scale: float, seed: int) -> Dataset:
+    return build_spider_ssp_like(
+        num_examples=_scaled(3282, scale, floor=150), seed=seed
+    )
+
+
+def _build_spider_cg(scale: float, seed: int) -> Dataset:
+    return build_spider_cg_like(
+        num_examples=_scaled(45599 // 10, scale, floor=150), seed=seed
+    )
+
+
+def _build_spider_syn(scale: float, seed: int) -> Dataset:
+    return make_synonym_variant(
+        _build_spider(scale, seed), seed, "spider_syn_like"
+    )
+
+
+def _build_spider_realistic(scale: float, seed: int) -> Dataset:
+    return make_realistic_variant(
+        _build_spider(scale, seed), seed, "spider_realistic_like"
+    )
+
+
+def _build_dr_spider(scale: float, seed: int) -> Dataset:
+    return make_typo_variant(
+        _build_spider(scale, seed), seed, "dr_spider_nlq_like"
+    )
+
+
+def _build_bird(scale: float, seed: int) -> Dataset:
+    return build_bird_like(
+        num_examples=_scaled(12751, scale, floor=60), seed=seed
+    )
+
+
+def _build_nvbench(scale: float, seed: int) -> Dataset:
+    return build_nvbench_like(
+        num_examples=_scaled(25750, scale, floor=200), seed=seed
+    )
+
+
+def _build_vis_single(scale: float, seed: int) -> Dataset:
+    return build_single_domain_vis(
+        "sales", _scaled(490, scale, floor=50), seed,
+        dataset_name="kumar_like",
+    )
+
+
+def _build_gao(scale: float, seed: int) -> Dataset:
+    return build_single_domain_vis(
+        "movies", max(20, int(10 * scale * 20)), seed + 2,
+        dataset_name="gao_like",
+    )
+
+
+def _build_srinivasan(scale: float, seed: int) -> Dataset:
+    return build_single_domain_vis(
+        "geography", _scaled(893, scale, floor=50), seed + 4,
+        dataset_name="srinivasan_like",
+    )
+
+
+def _build_dial_nvbench(scale: float, seed: int) -> Dataset:
+    return build_dial_vis_like(
+        num_dialogues=_scaled(4495, scale, floor=40), seed=seed + 6,
+        dataset_name="dial_nvbench_like",
+    )
+
+
+def _build_chartdialogs(scale: float, seed: int) -> Dataset:
+    return build_dial_vis_like(
+        num_dialogues=_scaled(3284, scale, floor=40), seed=seed,
+        dataset_name="chartdialogs_like",
+    )
+
+
+def _build_cnvbench(scale: float, seed: int) -> Dataset:
+    return translate_dataset(_build_nvbench(scale, seed), "zh", "cnvbench_like")
+
+
+_BUILDERS: dict[str, Callable[[float, int], Dataset]] = {
+    # Text-to-SQL, Table 1 order
+    "atis_like": _build_atis,
+    "geoquery_like": _build_geoquery,
+    "restaurants_like": _build_restaurants,
+    "academic_like": _build_academic,
+    "scholar_like": _build_scholar,
+    "imdb_like": _build_imdb,
+    "yelp_like": _build_yelp,
+    "advising_like": _build_advising,
+    "mimicsql_like": _build_mimicsql,
+    "sede_like": _build_sede,
+    "wikisql_like": _build_wikisql,
+    "squall_like": _build_squall,
+    "kaggledbqa_like": _build_kaggledbqa,
+    "spider_like": _build_spider,
+    "sparc_like": _build_sparc,
+    "cosql_like": _build_cosql,
+    "chase_like": _build_chase,
+    "spider_syn_like": _build_spider_syn,
+    "spider_ssp_like": _build_spider_ssp,
+    "spider_cg_like": _build_spider_cg,
+    "spider_realistic_like": _build_spider_realistic,
+    "dr_spider_nlq_like": _build_dr_spider,
+    "cspider_like": _build_cspider,
+    "dusql_like": _build_dusql,
+    "tableqa_like": _build_tableqa,
+    "vitext2sql_like": _build_vitext,
+    "portuguese_spider_like": _build_ptspider,
+    "pauq_like": _build_pauq,
+    "spider_dk_like": _build_spider_dk,
+    "knowsql_like": _build_knowsql,
+    "bird_like": _build_bird,
+    # Text-to-Vis
+    "gao_like": _build_gao,
+    "kumar_like": _build_vis_single,
+    "srinivasan_like": _build_srinivasan,
+    "nvbench_like": _build_nvbench,
+    "chartdialogs_like": _build_chartdialogs,
+    "dial_nvbench_like": _build_dial_nvbench,
+    "cnvbench_like": _build_cnvbench,
+}
+
+#: The paper's reference statistics for each reproduced family, used by the
+#: Table 1 benchmark to print paper-vs-ours rows.
+PAPER_REFERENCE: dict[str, dict] = {
+    "atis_like": {"paper": "ATIS", "queries": 5280, "dbs": 1, "lang": "English"},
+    "geoquery_like": {"paper": "GeoQuery", "queries": 877, "dbs": 1,
+                      "lang": "English"},
+    "restaurants_like": {"paper": "Restaurants", "queries": 378, "dbs": 1,
+                         "lang": "English"},
+    "academic_like": {"paper": "Academic", "queries": 196, "dbs": 1,
+                      "lang": "English"},
+    "scholar_like": {"paper": "Scholar", "queries": 817, "dbs": 1,
+                     "lang": "English"},
+    "imdb_like": {"paper": "IMDB", "queries": 131, "dbs": 1,
+                  "lang": "English"},
+    "yelp_like": {"paper": "Yelp", "queries": 128, "dbs": 1,
+                  "lang": "English"},
+    "advising_like": {"paper": "Advising", "queries": 3898, "dbs": 1,
+                      "lang": "English"},
+    "sede_like": {"paper": "SEDE", "queries": 12023, "dbs": 1,
+                  "lang": "English"},
+    "mimicsql_like": {"paper": "MIMICSQL", "queries": 10000, "dbs": 1,
+                      "lang": "English"},
+    "wikisql_like": {"paper": "WikiSQL", "queries": 80654, "dbs": 26521,
+                     "lang": "English"},
+    "spider_like": {"paper": "Spider", "queries": 10181, "dbs": 200,
+                    "lang": "English"},
+    "sparc_like": {"paper": "SParC", "queries": 12726, "dbs": 200,
+                   "lang": "English"},
+    "cosql_like": {"paper": "CoSQL", "queries": 15598, "dbs": 200,
+                   "lang": "English"},
+    "chase_like": {"paper": "CHASE", "queries": 17940, "dbs": 280,
+                   "lang": "Chinese"},
+    "squall_like": {"paper": "Squall", "queries": 11468, "dbs": 1679,
+                    "lang": "English"},
+    "kaggledbqa_like": {"paper": "KaggleDBQA", "queries": 272, "dbs": 8,
+                        "lang": "English"},
+    "spider_syn_like": {"paper": "Spider-SYN", "queries": 7990, "dbs": 166,
+                        "lang": "English"},
+    "spider_ssp_like": {"paper": "Spider-SSP", "queries": 3282, "dbs": None,
+                        "lang": "English"},
+    "spider_cg_like": {"paper": "Spider-CG", "queries": 45599, "dbs": None,
+                       "lang": "English"},
+    "spider_realistic_like": {"paper": "Spider-realistic", "queries": 508,
+                              "dbs": None, "lang": "English"},
+    "dr_spider_nlq_like": {"paper": "Dr. Spider", "queries": None,
+                           "dbs": 166, "lang": "English"},
+    "cspider_like": {"paper": "CSpider", "queries": 10181, "dbs": 200,
+                     "lang": "Chinese"},
+    "dusql_like": {"paper": "DuSQL", "queries": 23797, "dbs": 200,
+                   "lang": "Chinese"},
+    "tableqa_like": {"paper": "TableQA", "queries": 64891, "dbs": 6029,
+                     "lang": "Chinese"},
+    "pauq_like": {"paper": "PAUQ", "queries": 9691, "dbs": 166,
+                  "lang": "Russian"},
+    "spider_dk_like": {"paper": "Spider-DK", "queries": 535, "dbs": 10,
+                       "lang": "English"},
+    "knowsql_like": {"paper": "knowSQL", "queries": 25888, "dbs": 200,
+                     "lang": "Chinese"},
+    "vitext2sql_like": {"paper": "ViText2SQL", "queries": 9691, "dbs": 166,
+                        "lang": "Vietnamese"},
+    "portuguese_spider_like": {"paper": "PortugueseSpider", "queries": 9691,
+                               "dbs": 166, "lang": "Portuguese"},
+    "bird_like": {"paper": "BIRD", "queries": 12751, "dbs": 95,
+                  "lang": "English"},
+    "gao_like": {"paper": "Gao et al., 2015", "queries": 10, "dbs": 3,
+                 "lang": "English"},
+    "kumar_like": {"paper": "Kumar et al., 2016", "queries": 490, "dbs": 1,
+                   "lang": "English"},
+    "srinivasan_like": {"paper": "Srinivasan et al., 2021", "queries": 893,
+                        "dbs": 3, "lang": "English"},
+    "nvbench_like": {"paper": "nvBench", "queries": 25750, "dbs": 153,
+                     "lang": "English"},
+    "chartdialogs_like": {"paper": "ChartDialogs", "queries": 3284,
+                          "dbs": None, "lang": "English"},
+    "dial_nvbench_like": {"paper": "Dial-NVBench", "queries": 4495,
+                          "dbs": None, "lang": "English"},
+    "cnvbench_like": {"paper": "CNvBench", "queries": 25750, "dbs": 153,
+                      "lang": "Chinese"},
+}
+
+
+def dataset_names() -> list[str]:
+    """All registered benchmark names, Table 1 order."""
+    return list(_BUILDERS)
+
+
+def build_dataset(name: str, scale: float = 0.01, seed: int = 0) -> Dataset:
+    """Build the named benchmark at the given scale (default 1/100)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {', '.join(_BUILDERS)}"
+        ) from None
+    return builder(scale, seed)

@@ -1,0 +1,108 @@
+"""Robustness dataset variants (Spider-SYN / Spider-realistic / Dr.Spider).
+
+Each variant perturbs the *questions* of a source dataset while keeping
+gold programs fixed, so any accuracy drop isolates the robustness
+dimension being probed:
+
+- :func:`make_synonym_variant` — schema mentions replaced with synonyms
+  (stresses schema linking; Spider-SYN);
+- :func:`make_realistic_variant` — explicit column mentions removed
+  (stresses inference from context; Spider-realistic);
+- :func:`make_typo_variant` — surface noise on function words (one of
+  Dr.Spider's NLQ perturbation dimensions).
+
+:func:`make_dr_spider_suite` bundles all dimensions, mirroring Dr.Spider's
+multi-dimensional diagnostic design.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dc_replace
+from typing import Callable
+
+from repro.data.schema import Schema
+from repro.datasets.base import Dataset, Example, Split
+from repro.nlg.perturb import (
+    drop_column_mentions,
+    substitute_synonyms,
+    typo_perturb,
+)
+
+
+def _perturb_dataset(
+    dataset: Dataset,
+    name: str,
+    perturb: Callable[[Example, Schema, random.Random], str],
+    seed: int,
+    splits: tuple[str, ...] = ("dev",),
+) -> Dataset:
+    rng = random.Random(seed)
+    new_splits: dict[str, Split] = {}
+    for split_name, split in dataset.splits.items():
+        if split_name not in splits:
+            new_splits[split_name] = split
+            continue
+        examples = []
+        for example in split.examples:
+            schema = dataset.database(example.db_id).schema
+            examples.append(
+                dc_replace(example, question=perturb(example, schema, rng))
+            )
+        new_splits[split_name] = Split(split_name, examples)
+    return Dataset(
+        name=name,
+        task=dataset.task,
+        feature="Robustness",
+        databases=dataset.databases,
+        splits=new_splits,
+        language=dataset.language,
+        dialogues=dataset.dialogues,
+    )
+
+
+def make_synonym_variant(
+    dataset: Dataset, seed: int = 0, name: str | None = None
+) -> Dataset:
+    """Spider-SYN-style variant: schema mentions replaced by synonyms."""
+    return _perturb_dataset(
+        dataset,
+        name or f"{dataset.name}_syn",
+        lambda e, s, r: substitute_synonyms(e.question, s, r),
+        seed,
+    )
+
+
+def make_realistic_variant(
+    dataset: Dataset, seed: int = 0, name: str | None = None
+) -> Dataset:
+    """Spider-realistic-style variant: explicit column mentions removed."""
+    return _perturb_dataset(
+        dataset,
+        name or f"{dataset.name}_realistic",
+        lambda e, s, r: drop_column_mentions(e.question, s),
+        seed,
+    )
+
+
+def make_typo_variant(
+    dataset: Dataset, seed: int = 0, name: str | None = None
+) -> Dataset:
+    """Dr.Spider-style NLQ-noise variant: typos on function words."""
+    return _perturb_dataset(
+        dataset,
+        name or f"{dataset.name}_typo",
+        lambda e, s, r: typo_perturb(e.question, r),
+        seed,
+    )
+
+
+def make_dr_spider_suite(
+    dataset: Dataset, seed: int = 0
+) -> dict[str, Dataset]:
+    """All robustness dimensions of one source dataset, keyed by dimension."""
+    return {
+        "synonym": make_synonym_variant(dataset, seed),
+        "realistic": make_realistic_variant(dataset, seed + 1),
+        "typo": make_typo_variant(dataset, seed + 2),
+    }

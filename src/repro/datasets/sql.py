@@ -1,0 +1,216 @@
+"""Text-to-SQL dataset builders: single-domain, cross-domain, WikiSQL-like.
+
+The builders reproduce the structural axes of the survey's Table 1:
+
+- :func:`build_single_domain` — one domain, one database (ATIS/GeoQuery/
+  Academic lineage); splits share the database, so approaches may memorize
+  domain phrasing.
+- :func:`build_cross_domain` — many domains, several databases per domain
+  (Spider lineage); dev databases are *held out* from train, so evaluation
+  is zero-shot on unseen schemas, the property that makes Spider harder
+  than WikiSQL.
+- :func:`build_wikisql_like` — very many single-table databases with only
+  simple query patterns (WikiSQL lineage).
+"""
+
+from __future__ import annotations
+
+import random
+from repro.data.database import Database
+from repro.data.domains import Domain, all_domains, domain_by_name
+from repro.data.generator import DatabaseGenerator, GeneratorConfig
+from repro.data.schema import Schema, TableSchema
+from repro.datasets.base import Dataset, Example, Split
+from repro.datasets.patterns import (
+    ALL_PATTERNS,
+    SIMPLE_PATTERNS,
+    PatternContext,
+    sample_instance,
+)
+from repro.errors import DatasetError
+
+
+def clone_domain(domain: Domain, db_id: str) -> Domain:
+    """A copy of *domain* whose schema carries a new ``db_id``."""
+    schema = Schema(
+        db_id=db_id,
+        tables=domain.schema.tables,
+        foreign_keys=domain.schema.foreign_keys,
+        domain=domain.schema.domain,
+    )
+    return Domain(name=domain.name, schema=schema, vocabulary=domain.vocabulary)
+
+
+def _make_examples(
+    domain: Domain,
+    db: Database,
+    count: int,
+    rng: random.Random,
+    patterns=ALL_PATTERNS,
+) -> list[Example]:
+    ctx = PatternContext(domain, db, rng)
+    examples = []
+    for _ in range(count):
+        instance = sample_instance(ctx, patterns)
+        examples.append(
+            Example(
+                question=instance.question,
+                db_id=db.db_id,
+                sql=instance.sql,
+                hardness=instance.hardness,
+                pattern=instance.pattern,
+            )
+        )
+    return examples
+
+
+def build_single_domain(
+    domain_name: str = "academic",
+    num_examples: int = 200,
+    seed: int = 0,
+    dataset_name: str | None = None,
+) -> Dataset:
+    """A single-domain benchmark over one curated database."""
+    rng = random.Random(seed)
+    domain = domain_by_name(domain_name)
+    generator = DatabaseGenerator(seed=rng.randrange(1 << 30))
+    db = generator.populate(domain)
+    examples = _make_examples(domain, db, num_examples, rng)
+    train_len = int(len(examples) * 0.8)
+    return Dataset(
+        name=dataset_name or f"{domain_name}_single",
+        task="sql",
+        feature="Single Domain",
+        databases={db.db_id: db},
+        splits={
+            "train": Split("train", examples[:train_len]),
+            "dev": Split("dev", examples[train_len:]),
+        },
+    )
+
+
+def build_cross_domain(
+    num_examples: int = 1000,
+    copies_per_domain: int = 2,
+    rows_per_table: int = 24,
+    seed: int = 0,
+    dataset_name: str = "spider_like",
+    dev_fraction: float = 0.25,
+) -> Dataset:
+    """A Spider-like cross-domain benchmark with held-out dev databases."""
+    rng = random.Random(seed)
+    generator = DatabaseGenerator(
+        seed=rng.randrange(1 << 30),
+        config=GeneratorConfig(rows_per_table=rows_per_table),
+    )
+
+    databases: dict[str, Database] = {}
+    domain_of: dict[str, Domain] = {}
+    for domain in all_domains():
+        for copy in range(copies_per_domain):
+            db_id = f"{domain.name}_{copy}"
+            clone = clone_domain(domain, db_id)
+            databases[db_id] = generator.populate(clone)
+            domain_of[db_id] = clone
+
+    db_ids = sorted(databases)
+    rng.shuffle(db_ids)
+    dev_count = max(1, int(len(db_ids) * dev_fraction))
+    dev_ids = set(db_ids[:dev_count])
+    train_ids = [i for i in db_ids if i not in dev_ids]
+    if not train_ids:
+        raise DatasetError("cross-domain build needs at least 2 databases")
+
+    train_examples: list[Example] = []
+    dev_examples: list[Example] = []
+    train_quota = int(num_examples * 0.8)
+    dev_quota = num_examples - train_quota
+    for index in range(train_quota):
+        db_id = train_ids[index % len(train_ids)]
+        train_examples.extend(
+            _make_examples(domain_of[db_id], databases[db_id], 1, rng)
+        )
+    dev_list = sorted(dev_ids)
+    for index in range(dev_quota):
+        db_id = dev_list[index % len(dev_list)]
+        dev_examples.extend(
+            _make_examples(domain_of[db_id], databases[db_id], 1, rng)
+        )
+
+    return Dataset(
+        name=dataset_name,
+        task="sql",
+        feature="Cross Domain",
+        databases=databases,
+        splits={
+            "train": Split("train", train_examples),
+            "dev": Split("dev", dev_examples),
+        },
+    )
+
+
+def build_wikisql_like(
+    num_examples: int = 800,
+    num_databases: int = 120,
+    rows_per_table: int = 16,
+    seed: int = 0,
+    dataset_name: str = "wikisql_like",
+) -> Dataset:
+    """A WikiSQL-like benchmark: one-table databases, simple patterns."""
+    rng = random.Random(seed)
+    generator = DatabaseGenerator(
+        seed=rng.randrange(1 << 30),
+        config=GeneratorConfig(rows_per_table=rows_per_table),
+    )
+
+    # carve every domain table into its own single-table database
+    table_pool: list[tuple[Domain, TableSchema]] = []
+    for domain in all_domains():
+        for table in domain.schema.tables:
+            if len(table.columns) >= 3:
+                table_pool.append((domain, table))
+
+    databases: dict[str, Database] = {}
+    domain_of: dict[str, Domain] = {}
+    for index in range(num_databases):
+        base_domain, table = table_pool[index % len(table_pool)]
+        db_id = f"wtq_{index:04d}"
+        schema = Schema(
+            db_id=db_id,
+            tables=(table,),
+            foreign_keys=(),
+            domain=base_domain.name,
+        )
+        single = Domain(
+            name=base_domain.name,
+            schema=schema,
+            vocabulary=base_domain.vocabulary,
+        )
+        databases[db_id] = generator.populate(single)
+        domain_of[db_id] = single
+
+    db_ids = sorted(databases)
+    examples: list[Example] = []
+    for index in range(num_examples):
+        db_id = db_ids[index % len(db_ids)]
+        examples.extend(
+            _make_examples(
+                domain_of[db_id],
+                databases[db_id],
+                1,
+                rng,
+                patterns=SIMPLE_PATTERNS,
+            )
+        )
+    rng.shuffle(examples)
+    train_len = int(len(examples) * 0.8)
+    return Dataset(
+        name=dataset_name,
+        task="sql",
+        feature="Cross Domain",
+        databases=databases,
+        splits={
+            "train": Split("train", examples[:train_len]),
+            "dev": Split("dev", examples[train_len:]),
+        },
+    )

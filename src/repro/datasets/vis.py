@@ -1,0 +1,155 @@
+"""Text-to-Vis dataset builders: nvBench-like and variants.
+
+nvBench was synthesized from the Spider NL2SQL benchmark by pairing
+chartable SQL queries with chart-type directives; we replicate that exact
+construction: chartable pattern instances (group-aggregates, joins with
+grouping, numeric pairs) are paired with a sampled chart type, the gold
+program is a VQL string ``VISUALIZE <TYPE> <SQL>``, and the question adds a
+chart request phrase.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.database import Database
+from repro.data.domains import all_domains
+from repro.data.generator import DatabaseGenerator, GeneratorConfig
+from repro.datasets.base import Dataset, Example, Split
+from repro.datasets.patterns import (
+    CHARTABLE_PATTERNS,
+    PatternContext,
+    PatternInstance,
+    sample_instance,
+)
+from repro.datasets.sql import clone_domain
+from repro.nlg.realizer import Realizer
+from repro.vis.vql import VQLQuery, to_vql
+
+
+def vis_question(
+    instance: PatternInstance, chart_type: str, realizer: Realizer
+) -> str:
+    """Build a chart-request question from a chartable pattern instance."""
+    base = instance.question.rstrip("?")
+    # strip the original opener ("Show", "What is", ...) down to the subject
+    subject = base
+    for opener in (
+        "Show ", "List ", "What are ", "What is ", "Give me ", "Return ",
+        "Find ", "Display ", "Tell me ", "Compute ",
+    ):
+        if base.startswith(opener):
+            subject = base[len(opener):]
+            break
+    chart_np = realizer.chart_np(chart_type)
+    opener = realizer.choose(("Show", "Display", "Draw", "Give me", "Plot"))
+    text = f"{opener} {chart_np} {subject}".strip()
+    if not text.endswith("?"):
+        text += "?"
+    return text
+
+
+def make_vis_example(
+    instance: PatternInstance,
+    db: Database,
+    rng: random.Random,
+    realizer: Realizer,
+) -> Example:
+    """Package a chartable instance as a Text-to-Vis example."""
+    chart_type = instance.chart or "bar"
+    if instance.pattern != "scatter_pair" and rng.random() < 0.3:
+        # chart-type diversity beyond the pattern's suggestion
+        chart_type = rng.choice(("bar", "pie", "line"))
+    vql = VQLQuery(chart_type=chart_type, query=instance.query)
+    return Example(
+        question=vis_question(instance, chart_type, realizer),
+        db_id=db.db_id,
+        sql=instance.sql,
+        vql=to_vql(vql),
+        hardness=instance.hardness,
+        pattern=instance.pattern,
+    )
+
+
+def build_nvbench_like(
+    num_examples: int = 500,
+    copies_per_domain: int = 1,
+    rows_per_table: int = 24,
+    seed: int = 0,
+    dataset_name: str = "nvbench_like",
+    dev_fraction: float = 0.25,
+) -> Dataset:
+    """An nvBench-like cross-domain Text-to-Vis benchmark."""
+    rng = random.Random(seed)
+    generator = DatabaseGenerator(
+        seed=rng.randrange(1 << 30),
+        config=GeneratorConfig(rows_per_table=rows_per_table),
+    )
+
+    databases: dict[str, Database] = {}
+    contexts: dict[str, PatternContext] = {}
+    for domain in all_domains():
+        for copy in range(copies_per_domain):
+            db_id = f"{domain.name}_vis_{copy}"
+            clone = clone_domain(domain, db_id)
+            databases[db_id] = generator.populate(clone)
+            contexts[db_id] = PatternContext(clone, databases[db_id], rng)
+
+    db_ids = sorted(databases)
+    rng.shuffle(db_ids)
+    dev_count = max(1, int(len(db_ids) * dev_fraction))
+    dev_ids, train_ids = db_ids[:dev_count], db_ids[dev_count:]
+
+    realizer = Realizer(rng)
+    train: list[Example] = []
+    dev: list[Example] = []
+    train_quota = int(num_examples * 0.8)
+    for index in range(num_examples):
+        target, ids = (
+            (train, train_ids) if index < train_quota else (dev, dev_ids)
+        )
+        db_id = ids[index % len(ids)]
+        instance = sample_instance(contexts[db_id], CHARTABLE_PATTERNS)
+        target.append(
+            make_vis_example(instance, databases[db_id], rng, realizer)
+        )
+
+    return Dataset(
+        name=dataset_name,
+        task="vis",
+        feature="Cross Domain",
+        databases=databases,
+        splits={"train": Split("train", train), "dev": Split("dev", dev)},
+    )
+
+
+def build_single_domain_vis(
+    domain_name: str = "sales",
+    num_examples: int = 120,
+    seed: int = 0,
+    dataset_name: str | None = None,
+) -> Dataset:
+    """A small single-domain Text-to-Vis benchmark (Gao/Kumar lineage)."""
+    rng = random.Random(seed)
+    domain = next(d for d in all_domains() if d.name == domain_name)
+    generator = DatabaseGenerator(seed=rng.randrange(1 << 30))
+    db = generator.populate(domain)
+    ctx = PatternContext(domain, db, rng)
+    realizer = Realizer(rng)
+    examples = [
+        make_vis_example(
+            sample_instance(ctx, CHARTABLE_PATTERNS), db, rng, realizer
+        )
+        for _ in range(num_examples)
+    ]
+    train_len = int(len(examples) * 0.8)
+    return Dataset(
+        name=dataset_name or f"{domain_name}_vis_single",
+        task="vis",
+        feature="Single Domain",
+        databases={db.db_id: db},
+        splits={
+            "train": Split("train", examples[:train_len]),
+            "dev": Split("dev", examples[train_len:]),
+        },
+    )

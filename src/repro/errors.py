@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class at the NLI boundary.  Sub-hierarchies mirror the
+pipeline stages of the survey's Fig. 1: lexing/parsing of formal languages,
+schema analysis, execution, natural-language parsing, and system-level faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL substrate."""
+
+
+class LexError(SQLError):
+    """Raised when the SQL lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """Raised when the SQL parser cannot build an AST from the token stream."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        suffix = f" (at token {position})" if position >= 0 else ""
+        super().__init__(message + suffix)
+        self.position = position
+
+
+class AnalysisError(SQLError):
+    """Raised when a query does not validate against a database schema."""
+
+
+class ExecutionError(SQLError):
+    """Raised when a valid query fails during execution."""
+
+
+class VQLError(ReproError):
+    """Base class for errors in the visualization query language substrate."""
+
+
+class VQLParseError(VQLError):
+    """Raised when a VQL string cannot be parsed."""
+
+
+class ChartError(VQLError):
+    """Raised when a chart specification cannot be rendered."""
+
+
+class DatasetError(ReproError):
+    """Raised when a benchmark dataset cannot be generated or loaded."""
+
+
+class NLParseError(ReproError):
+    """Raised when a natural-language parser cannot produce any candidate."""
+
+
+class LLMError(ReproError):
+    """Raised by the simulated LLM substrate (e.g. malformed prompt)."""
+
+
+class SystemConfigError(ReproError):
+    """Raised when an NLI system is assembled from incompatible components."""

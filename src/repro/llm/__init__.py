@@ -1,0 +1,37 @@
+"""Simulated large language model substrate.
+
+There is no network access in this environment, so the LLM-stage methods
+run against a *simulated* LLM: a deterministic text-completion engine whose
+internal solver is the library's grammar semantic parser and whose error
+behaviour responds to prompt structure the way the surveyed literature
+reports real LLMs responding (see DESIGN.md's substitution table):
+
+- serializing the schema into the prompt is what enables schema linking;
+  omitting it cripples the model (the model only knows what the prompt
+  holds — the simulator literally re-parses the schema out of the prompt);
+- adding column descriptions ("clear prompting", C3) improves linking;
+- in-context demonstrations reduce the error rate, more so when they are
+  similar to the question (Nan et al.'s demonstration-selection finding);
+- chain-of-thought instructions reduce errors on hard questions;
+- temperature controls sampling: at T=0 completions are deterministic per
+  prompt, at T>0 self-consistency can vote across samples (SQL-PaLM);
+- error feedback in a repair prompt triggers a lower-error retry
+  (DIN-SQL's self-correction, Guo et al.'s revision chain).
+
+Model capability tiers come from :mod:`repro.llm.profiles`.
+"""
+
+from repro.llm.interface import Completion, SimulatedLLM
+from repro.llm.profiles import MODEL_PROFILES, ModelProfile, get_profile
+from repro.llm.prompts import PromptBuilder, extract_sql, extract_vql
+
+__all__ = [
+    "Completion",
+    "MODEL_PROFILES",
+    "ModelProfile",
+    "PromptBuilder",
+    "SimulatedLLM",
+    "extract_sql",
+    "extract_vql",
+    "get_profile",
+]

@@ -1,0 +1,275 @@
+"""Error injection for the simulated LLM.
+
+When the simulator decides a completion goes wrong, the failure must look
+like real LLM Text-to-SQL failures, which the literature characterizes as
+(in rough frequency order): schema-linking slips (wrong column/table),
+wrong comparison operator or aggregate, dropped or hallucinated
+conditions/clauses, value formatting errors, and (rarely, for strong
+models) outright syntax errors.  This module implements those failure
+modes as AST-level corruption operators.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dc_replace
+
+from repro.data.schema import Schema
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    Select,
+    SelectItem,
+    SetOperation,
+)
+
+#: corruption op name -> sampling weight (matches observed failure mixes)
+_OPS: tuple[tuple[str, int], ...] = (
+    ("swap_column", 5),
+    ("wrong_op", 3),
+    ("drop_condition", 2),
+    ("wrong_agg", 2),
+    ("value_error", 3),
+    ("drop_order", 1),
+    ("wrong_direction", 1),
+)
+
+
+def corrupt_query(
+    query: Query, schema: Schema, rng: random.Random, severity: int = 1
+) -> Query:
+    """Apply *severity* corruption operations to a copy of *query*."""
+    for _ in range(max(1, severity)):
+        op = _weighted_choice(rng)
+        query = _apply(op, query, schema, rng)
+    return query
+
+
+def syntax_error_text(sql: str, rng: random.Random) -> str:
+    """Turn valid SQL text into a plausibly broken completion."""
+    choice = rng.randrange(3)
+    if choice == 0:
+        # truncated generation with a dangling clause keyword
+        cut = max(8, int(len(sql) * rng.uniform(0.4, 0.8)))
+        return sql[:cut] + " WHERE"
+    if choice == 1:
+        # unbalanced parenthesis
+        return sql + ")"
+    # misspelled leading keyword
+    return sql.replace("SELECT", "SELCT", 1)
+
+
+# ----------------------------------------------------------------------
+def _weighted_choice(rng: random.Random) -> str:
+    total = sum(weight for _, weight in _OPS)
+    roll = rng.randrange(total)
+    for name, weight in _OPS:
+        roll -= weight
+        if roll < 0:
+            return name
+    return _OPS[0][0]  # pragma: no cover
+
+
+def _apply(op: str, query: Query, schema: Schema, rng: random.Random) -> Query:
+    if isinstance(query, SetOperation):
+        # corrupt one branch
+        if rng.random() < 0.5:
+            return SetOperation(
+                op=query.op,
+                left=_apply(op, query.left, schema, rng),
+                right=query.right,
+            )
+        return SetOperation(
+            op=query.op,
+            left=query.left,
+            right=_apply(op, query.right, schema, rng),
+        )
+    select = query
+    if op == "swap_column":
+        return _swap_column(select, schema, rng)
+    if op == "wrong_op":
+        return _wrong_op(select, rng)
+    if op == "drop_condition":
+        return _drop_condition(select)
+    if op == "wrong_agg":
+        return _wrong_agg(select, rng)
+    if op == "value_error":
+        return _value_error(select, rng)
+    if op == "drop_order":
+        return dc_replace(select, order_by=(), limit=select.limit)
+    if op == "wrong_direction":
+        if select.order_by:
+            flipped = tuple(
+                OrderItem(expr=o.expr, descending=not o.descending)
+                for o in select.order_by
+            )
+            return dc_replace(select, order_by=flipped)
+        return _swap_column(select, schema, rng)
+    return select  # pragma: no cover
+
+
+def _other_column(
+    ref: ColumnRef, schema: Schema, rng: random.Random
+) -> ColumnRef:
+    """A plausible wrong column: same table, same type family if possible."""
+    for table in schema.tables:
+        if not table.has_column(ref.column):
+            continue
+        target = table.column(ref.column)
+        same_type = [
+            c
+            for c in table.columns
+            if c.name.lower() != ref.column.lower()
+            and c.type.family == target.type.family
+        ]
+        pool = same_type or [
+            c for c in table.columns if c.name.lower() != ref.column.lower()
+        ]
+        if pool:
+            pick = rng.choice(pool)
+            return ColumnRef(column=pick.name.lower(), table=ref.table)
+    return ref
+
+
+def _swap_column(select: Select, schema: Schema, rng: random.Random) -> Select:
+    # prefer swapping a projection column; fall back to a condition column
+    items = list(select.items)
+    refs = [
+        (i, item)
+        for i, item in enumerate(items)
+        if isinstance(item.expr, ColumnRef)
+    ]
+    if refs:
+        index, item = rng.choice(refs)
+        items[index] = SelectItem(
+            expr=_other_column(item.expr, schema, rng), alias=item.alias
+        )
+        return dc_replace(select, items=tuple(items))
+    if select.where is not None:
+        return dc_replace(
+            select, where=_swap_where_column(select.where, schema, rng)
+        )
+    return select
+
+
+def _swap_where_column(expr, schema: Schema, rng: random.Random):
+    if isinstance(expr, BinaryOp) and isinstance(expr.left, ColumnRef):
+        if expr.op == "and":
+            return BinaryOp(
+                op="and",
+                left=_swap_where_column(expr.left, schema, rng),
+                right=expr.right,
+            )
+        return BinaryOp(
+            op=expr.op,
+            left=_other_column(expr.left, schema, rng),
+            right=expr.right,
+        )
+    if isinstance(expr, (Like, Between)) and isinstance(expr.expr, ColumnRef):
+        return dc_replace(expr, expr=_other_column(expr.expr, schema, rng))
+    return expr
+
+
+def _wrong_op(select: Select, rng: random.Random) -> Select:
+    if select.where is None:
+        return select
+
+    def flip(expr):
+        if isinstance(expr, BinaryOp):
+            if expr.op == "and":
+                return BinaryOp(
+                    op="and", left=flip(expr.left), right=expr.right
+                )
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                alternatives = [
+                    op
+                    for op in ("=", "<>", "<", "<=", ">", ">=")
+                    if op != expr.op
+                ]
+                return BinaryOp(
+                    op=rng.choice(alternatives),
+                    left=expr.left,
+                    right=expr.right,
+                )
+        return expr
+
+    return dc_replace(select, where=flip(select.where))
+
+
+def _drop_condition(select: Select) -> Select:
+    if select.where is None:
+        return select
+    where = select.where
+    if isinstance(where, BinaryOp) and where.op == "and":
+        return dc_replace(select, where=where.left)
+    return dc_replace(select, where=None)
+
+
+def _wrong_agg(select: Select, rng: random.Random) -> Select:
+    items = list(select.items)
+    for index, item in enumerate(items):
+        if isinstance(item.expr, FuncCall) and item.expr.is_aggregate:
+            alternatives = [
+                f
+                for f in ("count", "sum", "avg", "min", "max")
+                if f != item.expr.name.lower()
+            ]
+            # COUNT(*) cannot become SUM(*): reuse args when present
+            name = rng.choice(alternatives)
+            args = item.expr.args
+            from repro.sql.ast import Star
+
+            if name != "count" and args and isinstance(args[0], Star):
+                continue
+            items[index] = SelectItem(
+                expr=FuncCall(name=name, args=args, distinct=item.expr.distinct),
+                alias=item.alias,
+            )
+            return dc_replace(select, items=tuple(items))
+    return _wrong_op(select, rng)
+
+
+def _value_error(select: Select, rng: random.Random) -> Select:
+    if select.where is None:
+        return select
+
+    def perturb(expr):
+        if isinstance(expr, BinaryOp):
+            if expr.op == "and":
+                return BinaryOp(
+                    op="and", left=perturb(expr.left), right=expr.right
+                )
+            if isinstance(expr.right, Literal):
+                return BinaryOp(
+                    op=expr.op,
+                    left=expr.left,
+                    right=_perturb_literal(expr.right, rng),
+                )
+        if isinstance(expr, Between) and isinstance(expr.low, Literal):
+            return dc_replace(expr, low=_perturb_literal(expr.low, rng))
+        return expr
+
+    return dc_replace(select, where=perturb(select.where))
+
+
+def _perturb_literal(literal: Literal, rng: random.Random) -> Literal:
+    value = literal.value
+    if isinstance(value, bool) or value is None:
+        return literal
+    if isinstance(value, int):
+        return Literal(value + rng.choice((-2, -1, 1, 2)))
+    if isinstance(value, float):
+        return Literal(round(value * rng.uniform(0.8, 1.2), 2))
+    text = str(value)
+    choice = rng.randrange(3)
+    if choice == 0:
+        return Literal(text.lower())
+    if choice == 1:
+        return Literal(text.upper())
+    return Literal(text.rstrip("aeiou") or text)

@@ -1,0 +1,33 @@
+"""Evaluation metrics for Text-to-SQL and Text-to-Vis (survey Section 5).
+
+String-based: exact string match (strict and normalized), fuzzy match
+(BLEU), component match (Spider exact-set match).  Execution-based: naive
+execution match and distilled test-suite match over database variants.
+Text-to-Vis: overall (exact VQL) accuracy and per-component accuracy.
+:mod:`repro.metrics.report` provides the evaluation loop and accuracy
+aggregation used by every benchmark.
+"""
+
+from repro.metrics.bleu import bleu, fuzzy_match
+from repro.metrics.component_match import component_match, partial_match
+from repro.metrics.execution import execution_match
+from repro.metrics.report import EvaluationReport, evaluate_parser
+from repro.metrics.string_match import exact_string_match, strict_string_match
+from repro.metrics.test_suite import make_database_variants, test_suite_match
+from repro.metrics.vis_match import vis_component_match, vis_exact_match
+
+__all__ = [
+    "EvaluationReport",
+    "bleu",
+    "component_match",
+    "evaluate_parser",
+    "execution_match",
+    "exact_string_match",
+    "fuzzy_match",
+    "make_database_variants",
+    "partial_match",
+    "strict_string_match",
+    "test_suite_match",
+    "vis_component_match",
+    "vis_exact_match",
+]

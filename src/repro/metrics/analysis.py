@@ -1,0 +1,97 @@
+"""Error analysis: categorizing wrong predictions.
+
+Accuracy alone hides *why* a parser fails; the surveyed papers all report
+error breakdowns (schema-linking slips, wrong operators, missing clauses).
+``categorize_error`` compares a wrong prediction to the gold at the clause
+level and names the first divergence; ``error_profile`` aggregates a
+parser's failures over a dataset split into a category histogram — the
+error-analysis tooling a downstream user needs to improve a system.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.datasets.base import Dataset
+from repro.errors import SQLError
+from repro.metrics.component_match import partial_match
+from repro.metrics.execution import execution_match
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+
+#: category names in diagnosis priority order
+CATEGORIES = (
+    "parse_failure",      # no prediction at all
+    "invalid_sql",        # prediction does not parse
+    "wrong_table",        # FROM clause differs
+    "wrong_projection",   # SELECT clause differs
+    "wrong_condition",    # WHERE clause differs
+    "wrong_grouping",     # GROUP BY / HAVING differ
+    "wrong_ordering",     # ORDER BY / LIMIT differ
+    "structural",         # something else structural (set op, distinct)
+    "semantic_only",      # clause-identical but results differ (values)
+)
+
+
+def categorize_error(predicted: str | None, gold: str) -> str:
+    """Name the first clause-level divergence of a wrong prediction."""
+    if not predicted:
+        return "parse_failure"
+    try:
+        parse_sql(predicted)
+    except SQLError:
+        return "invalid_sql"
+    scores = partial_match(predicted, gold)
+    if not scores["from"]:
+        return "wrong_table"
+    if not scores["select"]:
+        return "wrong_projection"
+    if not scores["where"]:
+        return "wrong_condition"
+    if not scores["group_by"] or not scores["having"]:
+        return "wrong_grouping"
+    if not scores["order_by"] or not scores["limit"]:
+        return "wrong_ordering"
+    # every clause set matches but the queries still differ (nesting,
+    # set operations, distinct) or only the execution differs
+    from repro.metrics.component_match import component_match
+
+    if not component_match(predicted, gold):
+        return "structural"
+    return "semantic_only"
+
+
+def error_profile(
+    parser,
+    dataset: Dataset,
+    split: str = "dev",
+    limit: int | None = None,
+) -> Counter:
+    """Histogram of error categories for *parser* on a dataset split.
+
+    Only wrong predictions (by execution match) are counted; a perfect
+    parser yields an empty counter.
+    """
+    from repro.parsers.base import ParseRequest
+
+    examples = dataset.split(split).examples
+    if limit is not None:
+        examples = examples[:limit]
+
+    profile: Counter = Counter()
+    for example in examples:
+        db = dataset.database(example.db_id)
+        result = parser.parse(
+            ParseRequest(
+                question=example.question,
+                schema=db.schema,
+                db=db,
+                knowledge=example.knowledge,
+                language=example.language,
+            )
+        )
+        predicted = to_sql(result.query) if result.query is not None else None
+        if predicted and execution_match(predicted, example.sql, db):
+            continue
+        profile[categorize_error(predicted, example.sql)] += 1
+    return profile

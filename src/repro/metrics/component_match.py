@@ -1,0 +1,52 @@
+"""Component matching: Spider's exact-set match (survey Section 5.1.1).
+
+Queries are decomposed per clause into canonical component sets
+(:mod:`repro.sql.components`) and compared set-wise, so condition order and
+alias naming never matter, and simple alias expressions are forgiven — the
+advantage Table 3 credits to component matching.  ``partial_match`` exposes
+Spider's per-clause partial scores.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLError
+from repro.sql.components import Components, decompose
+from repro.sql.parser import parse_sql
+
+
+def component_match(predicted: str, gold: str) -> bool:
+    """Spider-style exact-set match between two SQL strings."""
+    pair = _decompose_pair(predicted, gold)
+    if pair is None:
+        return False
+    pred, gold_components = pair
+    return pred.matches(gold_components)
+
+
+def partial_match(predicted: str, gold: str) -> dict[str, bool]:
+    """Per-clause match flags; all-False when the prediction is unparseable."""
+    pair = _decompose_pair(predicted, gold)
+    if pair is None:
+        return {
+            key: False
+            for key in (
+                "select", "from", "where", "group_by", "having",
+                "order_by", "limit",
+            )
+        }
+    pred, gold_components = pair
+    return pred.partial_scores(gold_components)
+
+
+def _decompose_pair(
+    predicted: str, gold: str
+) -> tuple[Components, Components] | None:
+    try:
+        gold_components = decompose(parse_sql(gold))
+    except SQLError:
+        return None
+    try:
+        pred_components = decompose(parse_sql(predicted))
+    except SQLError:
+        return None
+    return pred_components, gold_components

@@ -1,0 +1,61 @@
+"""Execution-based matching (survey Section 5.1.2, "Execution Match").
+
+A prediction is correct when executing it returns the same result as the
+gold query — regardless of how differently the two are written.  Result
+comparison is order-sensitive only when the gold query imposes an ORDER
+BY; otherwise multisets are compared, following the Spider/test-suite
+convention.
+
+The survey's caveat — naive execution match is "prone to false positives"
+when different queries coincidentally return equal results on one database
+— is what :mod:`repro.metrics.test_suite` addresses.
+"""
+
+from __future__ import annotations
+
+from repro.data.database import Database
+from repro.errors import SQLError
+from repro.sql.executor import Result, execute
+from repro.sql.parser import parse_sql
+
+
+def execution_match(predicted: str, gold: str, db: Database) -> bool:
+    """Compare execution results of *predicted* and *gold* on *db*."""
+    try:
+        gold_result = execute(parse_sql(gold), db)
+    except SQLError:
+        return False
+    try:
+        pred_result = execute(parse_sql(predicted), db)
+    except SQLError:
+        return False
+    return results_equal(pred_result, gold_result)
+
+
+def results_equal(predicted: Result, gold: Result) -> bool:
+    """Result equality with the gold's ordered-ness deciding order sensitivity."""
+    pred_rows = [_normalize_row(r) for r in predicted.rows]
+    gold_rows = [_normalize_row(r) for r in gold.rows]
+    if gold.ordered:
+        return pred_rows == gold_rows
+    return _multiset(pred_rows) == _multiset(gold_rows)
+
+
+def _normalize_row(row: tuple) -> tuple:
+    """Round floats so 10.0 == 10 and float noise does not break equality."""
+    out = []
+    for value in row:
+        if isinstance(value, bool):
+            out.append(int(value))
+        elif isinstance(value, float):
+            out.append(round(value, 6))
+        else:
+            out.append(value)
+    return tuple(out)
+
+
+def _multiset(rows: list[tuple]) -> dict[tuple, int]:
+    counts: dict[tuple, int] = {}
+    for row in rows:
+        counts[row] = counts.get(row, 0) + 1
+    return counts

@@ -1,0 +1,38 @@
+"""String-based matching metrics (survey Section 5.1.1).
+
+``strict_string_match`` is the rawest form — character equality after
+whitespace collapse.  ``exact_string_match`` is the form used in practice
+(and reported as "Exact String Match" by e.g. the Advising benchmark):
+queries are canonicalized first, so casing/alias/whitespace variation is
+forgiven, but any structural difference — including semantically
+equivalent reorderings the normalizer cannot see through — still counts as
+a mismatch.  That residual blindness is the documented disadvantage the
+Table 3 benchmark measures.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLError
+from repro.sql.normalize import normalize_sql
+
+
+def strict_string_match(predicted: str, gold: str) -> bool:
+    """Whitespace-collapsed character equality."""
+    return " ".join(predicted.split()) == " ".join(gold.split())
+
+
+def exact_string_match(predicted: str, gold: str) -> bool:
+    """Equality of canonicalized query text.
+
+    Unparseable predictions never match (a syntax error cannot be the gold
+    query); an unparseable *gold* falls back to strict comparison.
+    """
+    try:
+        gold_norm = normalize_sql(gold)
+    except SQLError:
+        return strict_string_match(predicted, gold)
+    try:
+        pred_norm = normalize_sql(predicted)
+    except SQLError:
+        return False
+    return pred_norm == gold_norm

@@ -1,0 +1,84 @@
+"""Text-to-Vis metrics (survey Section 5.2).
+
+``vis_exact_match`` is the overall accuracy of RGVisNet/Seq2Vis: canonical
+equality of the whole predicted VQL against the gold.  ``vis_component_match``
+returns per-component flags — chart type, data query (by execution), and
+axes — following the component analyses those papers report.
+"""
+
+from __future__ import annotations
+
+from repro.data.database import Database
+from repro.errors import ReproError
+from repro.metrics.execution import results_equal
+from repro.sql.executor import execute
+from repro.vis.vql import normalize_vql, parse_vql
+
+
+def vis_exact_match(predicted: str, gold: str) -> bool:
+    """Canonical whole-VQL equality (the 'overall accuracy' metric)."""
+    try:
+        gold_norm = normalize_vql(gold)
+    except ReproError:
+        return False
+    try:
+        pred_norm = normalize_vql(predicted)
+    except ReproError:
+        return False
+    return pred_norm == gold_norm
+
+
+def vis_component_match(
+    predicted: str, gold: str, db: Database | None = None
+) -> dict[str, bool]:
+    """Per-component flags: ``chart_type``, ``data`` (execution), ``axes``.
+
+    ``data`` needs a database; without one it falls back to SQL-structure
+    equality.  All flags are False when the prediction does not parse.
+    """
+    flags = {"chart_type": False, "data": False, "axes": False}
+    try:
+        gold_vql = parse_vql(gold)
+    except ReproError:
+        return flags
+    try:
+        pred_vql = parse_vql(predicted)
+    except ReproError:
+        return flags
+
+    flags["chart_type"] = pred_vql.chart_type == gold_vql.chart_type
+
+    from repro.sql.normalize import normalize_query
+    from repro.sql.unparser import to_sql
+
+    gold_sql = to_sql(normalize_query(gold_vql.query))
+    pred_sql = to_sql(normalize_query(pred_vql.query))
+
+    if db is not None:
+        try:
+            gold_result = execute(gold_vql.query, db)
+            pred_result = execute(pred_vql.query, db)
+            flags["data"] = results_equal(pred_result, gold_result)
+        except ReproError:
+            flags["data"] = False
+    else:
+        flags["data"] = pred_sql == gold_sql
+
+    flags["axes"] = _axes_of(pred_sql) == _axes_of(gold_sql)
+    return flags
+
+
+def _axes_of(normalized_sql: str) -> tuple[str, ...]:
+    """The projection list of a normalized query, as the chart's axes."""
+    from repro.errors import SQLError
+    from repro.sql.ast import Select
+    from repro.sql.parser import parse_sql
+    from repro.sql.unparser import to_sql
+
+    try:
+        query = parse_sql(normalized_sql)
+    except SQLError:
+        return ()
+    while not isinstance(query, Select):
+        query = query.left
+    return tuple(to_sql(item.expr) for item in query.items)

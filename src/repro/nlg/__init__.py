@@ -1,0 +1,32 @@
+"""Natural-language generation channel for benchmark synthesis.
+
+The surveyed benchmarks pair formal queries with natural-language
+questions.  Our synthetic counterparts realize questions from query
+semantics through this package: op/aggregate lexicons with paraphrase
+variation (:mod:`repro.nlg.lexicon`), a compositional English realizer
+(:mod:`repro.nlg.realizer`), lexicon-based translation for multilingual
+datasets (:mod:`repro.nlg.translate`), and the robustness perturbations —
+synonym substitution, explicit-mention removal, typos — used by the
+Spider-SYN / Spider-realistic / Dr.Spider-style variants
+(:mod:`repro.nlg.perturb`).
+"""
+
+from repro.nlg.lexicon import AGG_PHRASES, OP_PHRASES
+from repro.nlg.realizer import Realizer
+from repro.nlg.translate import SUPPORTED_LANGUAGES, translate
+from repro.nlg.perturb import (
+    drop_column_mentions,
+    substitute_synonyms,
+    typo_perturb,
+)
+
+__all__ = [
+    "AGG_PHRASES",
+    "OP_PHRASES",
+    "Realizer",
+    "SUPPORTED_LANGUAGES",
+    "drop_column_mentions",
+    "substitute_synonyms",
+    "translate",
+    "typo_perturb",
+]

@@ -1,0 +1,103 @@
+"""Surface-form lexicons for question realization.
+
+Each SQL-level concept (aggregate, comparison operator, ordering, ...) maps
+to several natural phrasings.  The realizer samples among them, which gives
+the synthetic datasets the lexical variety that separates rule/template
+parsers (brittle to phrasing) from learned parsers (robust to it) — the
+central contrast of the survey's approach taxonomy.
+"""
+
+from __future__ import annotations
+
+#: Aggregate function -> question phrasings.  ``{col}`` is the column noun.
+AGG_PHRASES: dict[str, tuple[str, ...]] = {
+    "count": ("the number of", "how many", "the count of"),
+    "sum": ("the total {col} of", "the sum of {col} for", "the combined {col} of"),
+    "avg": ("the average {col} of", "the mean {col} of", "the typical {col} of"),
+    "min": ("the minimum {col} of", "the lowest {col} of", "the smallest {col} of"),
+    "max": ("the maximum {col} of", "the highest {col} of", "the largest {col} of"),
+}
+
+#: Comparison operator -> phrasings.
+OP_PHRASES: dict[str, tuple[str, ...]] = {
+    "=": ("is", "equals", "is exactly"),
+    "<>": ("is not", "is different from", "does not equal"),
+    ">": ("is greater than", "is more than", "is above", "exceeds"),
+    "<": ("is less than", "is under", "is below", "is smaller than"),
+    ">=": ("is at least", "is no less than", "is greater than or equal to"),
+    "<=": ("is at most", "is no more than", "is less than or equal to"),
+}
+
+#: Openers for listing questions.
+LIST_OPENERS: tuple[str, ...] = (
+    "Show {x}", "List {x}", "What are {x}", "Give me {x}", "Return {x}",
+    "Find {x}", "Display {x}",
+)
+
+#: Openers for scalar (aggregate) questions.
+SCALAR_OPENERS: tuple[str, ...] = (
+    "What is {x}", "Tell me {x}", "Compute {x}", "Find {x}",
+)
+
+#: Phrasings for "for each <group>".
+GROUP_PHRASES: tuple[str, ...] = (
+    "for each {g}", "per {g}", "grouped by {g}", "broken down by {g}",
+)
+
+#: Phrasings for ORDER BY direction.
+ORDER_PHRASES: dict[bool, tuple[str, ...]] = {
+    False: ("in ascending order of {col}", "sorted by {col}",
+            "ordered by {col} from low to high"),
+    True: ("in descending order of {col}", "sorted by {col} from high to low",
+           "ordered by decreasing {col}"),
+}
+
+#: Superlative phrasings, keyed by descending flag.
+SUPERLATIVE_PHRASES: dict[bool, tuple[str, ...]] = {
+    True: ("with the highest {col}", "with the largest {col}",
+           "with the greatest {col}", "with the most {col}"),
+    False: ("with the lowest {col}", "with the smallest {col}",
+            "with the least {col}"),
+}
+
+#: LIKE phrasings. ``{val}`` is the raw substring.
+LIKE_PHRASES: tuple[str, ...] = (
+    "contains the substring '{val}'", "includes '{val}'",
+    "has '{val}' in it",
+)
+
+#: BETWEEN phrasings.
+BETWEEN_PHRASES: tuple[str, ...] = (
+    "is between {low} and {high}",
+    "falls between {low} and {high}",
+    "is in the range {low} to {high}",
+)
+
+#: Set-operation connectives.
+SET_OP_PHRASES: dict[str, tuple[str, ...]] = {
+    "union": ("or", "as well as"),
+    "intersect": ("and also", "that also"),
+    "except": ("but not", "excluding"),
+}
+
+#: Chart-type request phrasings for Text-to-Vis questions.
+CHART_PHRASES: dict[str, tuple[str, ...]] = {
+    "bar": ("a bar chart of", "a bar graph showing", "bars for"),
+    "line": ("a line chart of", "a line graph showing", "a trend line of"),
+    "pie": ("a pie chart of", "a pie graph showing",
+            "the proportion breakdown of"),
+    "scatter": ("a scatter plot of", "a scatter chart comparing",
+                "points plotting"),
+}
+
+#: Multi-turn follow-up templates.
+FOLLOWUP_PHRASES: tuple[str, ...] = (
+    "Now {x}", "Next, {x}", "And {x}", "Also {x}", "Then {x}",
+)
+
+#: Words the typo channel may corrupt (function words are safe to corrupt
+#: without destroying schema-linking evidence).
+SAFE_TYPO_WORDS: frozenset[str] = frozenset(
+    {"show", "list", "what", "give", "return", "find", "display", "the",
+     "number", "average", "total", "whose", "with", "each", "sorted"}
+)

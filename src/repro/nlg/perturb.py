@@ -1,0 +1,162 @@
+"""Robustness perturbations for dataset variants.
+
+The survey catalogs a family of Spider variants probing robustness:
+
+- **Spider-SYN** — schema-related terms replaced by synonyms, stressing
+  schema linking (:func:`substitute_synonyms`);
+- **Spider-realistic** — explicit column-name mentions removed or replaced
+  with vaguer references (:func:`drop_column_mentions`);
+- **Dr.Spider** — multi-dimensional perturbations including surface noise;
+  our typo channel (:func:`typo_perturb`) reproduces the NLQ-side
+  perturbation dimension.
+
+Each function is pure and deterministic given its RNG, so perturbed
+datasets are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.schema import Schema
+from repro.nlg.lexicon import SAFE_TYPO_WORDS
+
+#: Out-of-schema paraphrases.  Spider-SYN deliberately replaces schema
+#: mentions with synonyms that do NOT occur in the schema, so exact-match
+#: schema linking breaks; this table is the substitution source.  The same
+#: table doubles as the "world knowledge" that LLM-grade parsers use to
+#: recover such mentions (see ``repro.parsers.linker``).
+OUT_OF_SCHEMA_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "name": ("label", "designation", "moniker"),
+    "price": ("cost figure", "amount charged"),
+    "city": ("town", "municipality"),
+    "country": ("nation", "homeland"),
+    "year": ("calendar year",),
+    "rating": ("grade", "mark"),
+    "salary": ("earnings", "compensation"),
+    "population": ("head count", "populace"),
+    "quantity": ("volume", "unit count"),
+    "title": ("heading",),
+    "age": ("years of age",),
+    "budget": ("allocated funds",),
+    "distance": ("mileage",),
+    "length": ("extent",),
+    "stock": ("inventory level",),
+    "category": ("classification", "grouping"),
+    "genre": ("style",),
+    "cuisine": ("cooking style",),
+    "specialty": ("field of practice",),
+    "segment": ("market group",),
+    "wins": ("victory total",),
+    "points": ("tally",),
+    "cost": ("expense",),
+    "area": ("surface extent",),
+    "citations": ("reference count",),
+    "pages": ("page total",),
+    "gross": ("takings",),
+}
+
+# backwards-compatible alias used by tests of the perturbation channel
+_FALLBACK_SYNONYMS = OUT_OF_SCHEMA_SYNONYMS
+
+
+def substitute_synonyms(
+    question: str, schema: Schema, rng: random.Random, probability: float = 1.0
+) -> str:
+    """Replace schema-term mentions with synonyms (Spider-SYN style).
+
+    Every maximal schema mention found in the question is, with
+    *probability*, replaced by a synonym: first choice is a synonym
+    declared on the schema element, falling back to a generic paraphrase
+    table.  Mentions without any synonym are left untouched.
+    """
+    replacements: dict[str, tuple[str, ...]] = {}
+    for table in schema.tables:
+        mentions = table.mentions()
+        if len(mentions) > 1:
+            replacements[mentions[0]] = mentions[1:]
+        for column in table.columns:
+            col_mentions = column.mentions()
+            # out-of-schema synonyms first: Spider-SYN's point is that the
+            # replacement is NOT discoverable by exact schema matching
+            options = OUT_OF_SCHEMA_SYNONYMS.get(col_mentions[0], ())
+            options = options or col_mentions[1:]
+            if options:
+                replacements[col_mentions[0]] = tuple(options)
+
+    # longest mentions first so multi-word phrases win over their sub-words
+    text = question
+    for mention in sorted(replacements, key=len, reverse=True):
+        if mention in text.lower() and rng.random() < probability:
+            text = _replace_ci(text, mention, rng.choice(replacements[mention]))
+    return text
+
+
+def drop_column_mentions(question: str, schema: Schema) -> str:
+    """Remove explicit column-name mentions (Spider-realistic style).
+
+    Column mentions are replaced by a vague placeholder so the parser must
+    infer the column from context rather than string match it.
+    """
+    text = question
+    column_mentions = sorted(
+        {
+            column.mentions()[0]
+            for table in schema.tables
+            for column in table.columns
+        },
+        key=len,
+        reverse=True,
+    )
+    for mention in column_mentions:
+        if " " + mention in text.lower() or text.lower().startswith(mention):
+            text = _replace_ci(text, mention, "value")
+    return " ".join(text.split())
+
+
+def typo_perturb(
+    question: str, rng: random.Random, rate: float = 0.25
+) -> str:
+    """Inject keyboard typos into safe function words (Dr.Spider style).
+
+    Only words in the safe list are corrupted, so schema-linking evidence
+    survives — matching Dr.Spider's NLQ perturbations, which are meant to
+    be answerable by a robust model.
+    """
+    out: list[str] = []
+    for token in question.split():
+        stripped = token.strip("?,.'").lower()
+        if stripped in SAFE_TYPO_WORDS and rng.random() < rate:
+            out.append(_typo(token, rng))
+        else:
+            out.append(token)
+    return " ".join(out)
+
+
+def _typo(word: str, rng: random.Random) -> str:
+    if len(word) < 3:
+        return word
+    kind = rng.randrange(3)
+    index = rng.randrange(1, len(word) - 1)
+    if kind == 0:  # swap adjacent characters
+        chars = list(word)
+        chars[index], chars[index - 1] = chars[index - 1], chars[index]
+        return "".join(chars)
+    if kind == 1:  # drop a character
+        return word[:index] + word[index + 1 :]
+    return word[:index] + word[index] + word[index:]  # double a character
+
+
+def _replace_ci(text: str, old: str, new: str) -> str:
+    """Case-insensitive single-pass replacement of *old* with *new*."""
+    lowered = text.lower()
+    out: list[str] = []
+    i = 0
+    while True:
+        j = lowered.find(old, i)
+        if j < 0:
+            out.append(text[i:])
+            return "".join(out)
+        out.append(text[i:j])
+        out.append(new)
+        i = j + len(old)

@@ -1,0 +1,141 @@
+"""Compositional English realizer for synthesized questions.
+
+The realizer turns query semantics into natural questions, sampling among
+the lexicon's paraphrases with an explicit RNG so dataset builds are
+reproducible.  Dataset patterns (:mod:`repro.datasets.patterns`) assemble
+questions from these helpers, mirroring how nvBench-style benchmarks were
+synthesized from NL2SQL templates.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.data.schema import Column, TableSchema
+from repro.data.values import Value
+from repro.nlg import lexicon
+
+
+class Realizer:
+    """Samples surface realizations of query semantics."""
+
+    def __init__(self, rng: random.Random, synonym_prob: float = 0.35) -> None:
+        self._rng = rng
+        self.synonym_prob = synonym_prob
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def choose(self, options: Sequence[str]) -> str:
+        """Pick one option uniformly."""
+        return self._rng.choice(list(options))
+
+    def table_noun(self, table: TableSchema) -> str:
+        """A noun phrase for a table, sometimes using a synonym."""
+        mentions = table.mentions()
+        if len(mentions) > 1 and self._rng.random() < self.synonym_prob:
+            return self.choose(mentions[1:])
+        return mentions[0]
+
+    def column_noun(self, column: Column) -> str:
+        """A noun phrase for a column, sometimes using a synonym."""
+        mentions = column.mentions()
+        if len(mentions) > 1 and self._rng.random() < self.synonym_prob:
+            return self.choose(mentions[1:])
+        return mentions[0]
+
+    def value_text(self, value: Value) -> str:
+        """Render a literal value as it appears inside a question."""
+        if isinstance(value, str):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+
+    # ------------------------------------------------------------------
+    # noun phrases
+    # ------------------------------------------------------------------
+    def projection_np(self, column_nouns: Sequence[str], table_noun: str) -> str:
+        """``the name and price of products``."""
+        joined = self._join_nouns(column_nouns)
+        return f"the {joined} of {table_noun}"
+
+    def agg_np(self, func: str, column_noun: str, table_noun: str) -> str:
+        """``the average price of products`` / ``the number of orders``."""
+        func = func.lower()
+        if func == "count":
+            template = self.choose(lexicon.AGG_PHRASES["count"])
+            return f"{template} {table_noun}"
+        template = self.choose(lexicon.AGG_PHRASES[func])
+        return f"{template.format(col=column_noun)} {table_noun}"
+
+    def _join_nouns(self, nouns: Sequence[str]) -> str:
+        nouns = list(nouns)
+        if len(nouns) == 1:
+            return nouns[0]
+        return ", ".join(nouns[:-1]) + " and " + nouns[-1]
+
+    # ------------------------------------------------------------------
+    # clauses
+    # ------------------------------------------------------------------
+    def condition(self, column_noun: str, op: str, value: Value) -> str:
+        """``whose price is greater than 100`` (without the 'whose')."""
+        phrase = self.choose(lexicon.OP_PHRASES[op])
+        return f"{column_noun} {phrase} {self.value_text(value)}"
+
+    def like_condition(self, column_noun: str, substring: str) -> str:
+        phrase = self.choose(lexicon.LIKE_PHRASES).format(val=substring)
+        return f"{column_noun} {phrase}"
+
+    def between_condition(self, column_noun: str, low: Value, high: Value) -> str:
+        phrase = self.choose(lexicon.BETWEEN_PHRASES).format(
+            low=self.value_text(low), high=self.value_text(high)
+        )
+        return f"{column_noun} {phrase}"
+
+    def group_suffix(self, group_noun: str) -> str:
+        return self.choose(lexicon.GROUP_PHRASES).format(g=group_noun)
+
+    def order_suffix(self, column_noun: str, descending: bool) -> str:
+        return self.choose(lexicon.ORDER_PHRASES[descending]).format(
+            col=column_noun
+        )
+
+    def superlative(self, column_noun: str, descending: bool) -> str:
+        return self.choose(lexicon.SUPERLATIVE_PHRASES[descending]).format(
+            col=column_noun
+        )
+
+    def set_op_connective(self, op: str) -> str:
+        key = "union" if op.startswith("union") else op
+        return self.choose(lexicon.SET_OP_PHRASES[key])
+
+    def chart_np(self, chart_type: str) -> str:
+        return self.choose(lexicon.CHART_PHRASES[chart_type])
+
+    # ------------------------------------------------------------------
+    # sentence assembly
+    # ------------------------------------------------------------------
+    def list_question(self, subject_np: str, suffixes: Sequence[str] = ()) -> str:
+        opener = self.choose(lexicon.LIST_OPENERS).format(x=subject_np)
+        return self._finish(opener, suffixes)
+
+    def scalar_question(self, subject_np: str, suffixes: Sequence[str] = ()) -> str:
+        opener = self.choose(lexicon.SCALAR_OPENERS).format(x=subject_np)
+        return self._finish(opener, suffixes)
+
+    def followup(self, question: str) -> str:
+        """Wrap a question as a conversational follow-up turn."""
+        body = question.rstrip("?.")
+        body = body[0].lower() + body[1:] if body else body
+        return self.choose(lexicon.FOLLOWUP_PHRASES).format(x=body) + "?"
+
+    def _finish(self, text: str, suffixes: Sequence[str]) -> str:
+        for suffix in suffixes:
+            if suffix:
+                text = f"{text} {suffix}"
+        text = " ".join(text.split())
+        if not text.endswith("?"):
+            text += "?"
+        return text[0].upper() + text[1:]

@@ -1,0 +1,137 @@
+"""Lexicon-based translation for multilingual dataset variants.
+
+CSpider, ViText2SQL, PortugueseSpider, and CNvBench translate an English
+benchmark's questions while keeping the databases (and SQL) in English.
+We reproduce that construction with function-word lexicons: English
+function words are mapped to the target language, schema words and values
+are left untouched (real multilingual benchmarks exhibit exactly this
+code-switching for schema terms).  The translation is deterministic so the
+multilingual variant of an example is stable across builds.
+"""
+
+from __future__ import annotations
+
+#: language code -> English function word -> translation
+_LEXICONS: dict[str, dict[str, str]] = {
+    "zh": {
+        "show": "显示", "list": "列出", "what": "什么", "are": "是",
+        "is": "是", "the": "", "of": "的", "all": "所有", "whose": "其",
+        "with": "带有", "and": "和", "or": "或", "for": "对于",
+        "each": "每个", "number": "数量", "how": "多少", "many": "个",
+        "average": "平均", "total": "总", "sum": "总和", "highest": "最高",
+        "lowest": "最低", "maximum": "最大", "minimum": "最小",
+        "greater": "大", "less": "小", "than": "于", "more": "多",
+        "sorted": "排序", "by": "按", "descending": "降序",
+        "ascending": "升序", "order": "顺序", "find": "查找",
+        "give": "给出", "me": "我", "return": "返回", "display": "展示",
+        "between": "之间", "contains": "包含", "not": "不",
+        "but": "但", "also": "也", "now": "现在", "then": "然后",
+        "chart": "图表", "bar": "柱状", "line": "折线", "pie": "饼",
+        "scatter": "散点", "plot": "图", "graph": "图", "showing": "显示",
+        "tell": "告诉", "compute": "计算", "per": "每",
+    },
+    "vi": {
+        "show": "hiển thị", "list": "liệt kê", "what": "gì", "are": "là",
+        "is": "là", "the": "", "of": "của", "all": "tất cả",
+        "whose": "mà có", "with": "với", "and": "và", "or": "hoặc",
+        "for": "cho", "each": "mỗi", "number": "số lượng",
+        "how": "bao nhiêu", "many": "", "average": "trung bình",
+        "total": "tổng", "sum": "tổng", "highest": "cao nhất",
+        "lowest": "thấp nhất", "maximum": "tối đa", "minimum": "tối thiểu",
+        "greater": "lớn hơn", "less": "nhỏ hơn", "than": "", "more": "hơn",
+        "sorted": "sắp xếp", "by": "theo", "descending": "giảm dần",
+        "ascending": "tăng dần", "order": "thứ tự", "find": "tìm",
+        "give": "cho", "me": "tôi", "return": "trả về",
+        "display": "hiển thị", "between": "giữa", "contains": "chứa",
+        "not": "không", "but": "nhưng", "also": "cũng",
+        "chart": "biểu đồ", "bar": "cột", "line": "đường", "pie": "tròn",
+        "scatter": "phân tán", "plot": "đồ thị", "graph": "đồ thị",
+    },
+    "ru": {
+        "show": "покажи", "list": "перечисли", "what": "какой",
+        "are": "есть", "is": "есть", "the": "", "of": "из",
+        "all": "все", "whose": "чей", "with": "с", "and": "и",
+        "or": "или", "for": "для", "each": "каждый",
+        "number": "количество", "how": "сколько", "many": "",
+        "average": "средний", "total": "общий", "sum": "сумма",
+        "highest": "наибольший", "lowest": "наименьший",
+        "maximum": "максимум", "minimum": "минимум",
+        "greater": "больше", "less": "меньше", "than": "чем",
+        "more": "более", "sorted": "отсортированный", "by": "по",
+        "descending": "убыванию", "ascending": "возрастанию",
+        "order": "порядке", "find": "найди", "give": "дай",
+        "me": "мне", "return": "верни", "display": "покажи",
+        "between": "между", "contains": "содержит", "not": "не",
+        "but": "но", "also": "также", "chart": "график",
+        "bar": "столбчатый", "line": "линейный", "pie": "круговой",
+        "scatter": "точечный", "plot": "график", "graph": "график",
+    },
+    "pt": {
+        "show": "mostre", "list": "liste", "what": "qual", "are": "são",
+        "is": "é", "the": "o", "of": "de", "all": "todos",
+        "whose": "cujo", "with": "com", "and": "e", "or": "ou",
+        "for": "para", "each": "cada", "number": "número",
+        "how": "quantos", "many": "", "average": "média",
+        "total": "total", "sum": "soma", "highest": "mais alto",
+        "lowest": "mais baixo", "maximum": "máximo", "minimum": "mínimo",
+        "greater": "maior", "less": "menor", "than": "que", "more": "mais",
+        "sorted": "ordenado", "by": "por", "descending": "decrescente",
+        "ascending": "crescente", "order": "ordem", "find": "encontre",
+        "give": "dê", "me": "me", "return": "retorne",
+        "display": "exiba", "between": "entre", "contains": "contém",
+        "not": "não", "but": "mas", "also": "também",
+        "chart": "gráfico", "bar": "de barras", "line": "de linhas",
+        "pie": "de pizza", "scatter": "de dispersão", "plot": "gráfico",
+        "graph": "gráfico",
+    },
+}
+
+SUPPORTED_LANGUAGES: tuple[str, ...] = ("en",) + tuple(sorted(_LEXICONS))
+
+
+def reverse_translate(question: str, language: str) -> str:
+    """Map a translated question back to its English function words.
+
+    Used by parsers with multilingual capability: the inverse lexicon is
+    applied longest-entry-first so multi-word translations ("hiển thị")
+    reverse correctly.  Untranslatable tokens (schema words, values) pass
+    through, as they were never translated in the first place.
+    """
+    if language == "en":
+        return question
+    lexicon = _LEXICONS[language]
+    reverse: dict[str, str] = {}
+    for english, target in lexicon.items():
+        if target and target not in reverse:
+            reverse[target] = english
+    import re
+
+    text = question
+    for target in sorted(reverse, key=len, reverse=True):
+        pattern = r"(?<!\w)" + re.escape(target) + r"(?!\w)"
+        text = re.sub(pattern, f" {reverse[target]} ", text)
+    return " ".join(text.split())
+
+
+def translate(question: str, language: str) -> str:
+    """Translate *question* into *language* (see module docstring).
+
+    ``language == "en"`` returns the question unchanged.  Raises
+    ``KeyError`` for unsupported languages.
+    """
+    if language == "en":
+        return question
+    lexicon = _LEXICONS[language]
+    out: list[str] = []
+    for token in question.split():
+        stripped = token.strip("?,.'").lower()
+        punct = "?" if token.endswith("?") else ""
+        replacement = lexicon.get(stripped)
+        if replacement is None:
+            out.append(token)
+        elif replacement:
+            out.append(replacement + punct)
+        elif punct:
+            out.append(punct)
+    text = " ".join(out)
+    return " ".join(text.split())

@@ -1,0 +1,45 @@
+"""Semantic parsing approaches: one working representative per surveyed family.
+
+The survey's approach taxonomy (Section 4, Fig. 4) has three stages for
+each task; every family below is implemented and benchmarked:
+
+==================  ==========================================  ==============
+Stage               Text-to-SQL family                          Module
+==================  ==========================================  ==============
+Traditional         keyword/rule-based (PRECISE/NaLIR lineage)  ``rule``
+Traditional         grammar-template semantic parsing           ``semantic``
+Neural network      sketch/slot-filling (SQLNet lineage)        ``sketch``
+Neural network      grammar-constrained decoding (IRNet/PICARD) ``grammar``
+Neural network      graph-encoded schema (RAT-SQL lineage)      ``graph``
+Neural network      execution-guided decoding                   ``execution``
+Foundation (PLM)    pretrain-then-finetune (TaBERT/Grappa)      ``plm``
+Foundation (LLM)    prompting strategies (C3/DIN-SQL/SQL-PaLM)  ``llm``
+Any stage           Text-to-Vis counterparts                    ``vis``
+==================  ==========================================  ==============
+"""
+
+from repro.parsers.base import (
+    ParseRequest,
+    ParseResult,
+    Parser,
+    TRADITIONAL,
+    NEURAL,
+    PLM,
+    LLM,
+)
+from repro.parsers.linker import SchemaLinker
+from repro.parsers.rule import KeywordRuleParser
+from repro.parsers.semantic import GrammarSemanticParser
+
+__all__ = [
+    "KeywordRuleParser",
+    "GrammarSemanticParser",
+    "LLM",
+    "NEURAL",
+    "PLM",
+    "ParseRequest",
+    "ParseResult",
+    "Parser",
+    "SchemaLinker",
+    "TRADITIONAL",
+]

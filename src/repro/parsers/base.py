@@ -1,0 +1,83 @@
+"""Parser interface shared by every approach family.
+
+A parser maps a :class:`ParseRequest` — the survey's input ``x = {q, s}``
+plus the optional evidence channels the literature added over time
+(database content for value linking, external knowledge à la BIRD,
+dialogue history à la SParC) — to a :class:`ParseResult` holding the
+predicted query (and candidates, for rankers and self-consistency).
+
+Trainable parsers additionally implement ``train(examples, datasets)``;
+rule-based and prompting-based parsers are training-free, matching the
+survey's taxonomy.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.data.schema import Schema
+from repro.datasets.base import Example
+from repro.sql.ast import Query
+
+#: Approach-stage tags (Fig. 4's three colored eras; the foundation stage
+#: splits into PLM and LLM, as Section 4.1.3 does).
+TRADITIONAL = "traditional"
+NEURAL = "neural"
+PLM = "plm"
+LLM = "llm"
+
+STAGES = (TRADITIONAL, NEURAL, PLM, LLM)
+
+
+@dataclass
+class ParseRequest:
+    """One parsing problem instance."""
+
+    question: str
+    schema: Schema
+    db: Database | None = None
+    knowledge: str | None = None
+    history: list[tuple[str, Query]] = field(default_factory=list)
+    language: str = "en"
+
+
+@dataclass
+class ParseResult:
+    """A parser's answer: best query plus ranked alternatives."""
+
+    query: Query | None
+    candidates: list[Query] = field(default_factory=list)
+    confidence: float = 0.0
+    notes: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.query is None
+
+
+class Parser(abc.ABC):
+    """Base class for all Text-to-SQL parsers."""
+
+    #: human-readable approach name, e.g. "SQLNet-like sketch parser"
+    name: str = "parser"
+    #: stage tag (one of :data:`STAGES`)
+    stage: str = TRADITIONAL
+    #: publication year of the family's representative (Fig. 4 timeline)
+    year: int = 2000
+
+    @abc.abstractmethod
+    def parse(self, request: ParseRequest) -> ParseResult:
+        """Translate the request's question into a SQL query AST."""
+
+    def train(
+        self,
+        examples: list[Example],
+        databases: dict[str, Database],
+    ) -> None:
+        """Fit the parser on training examples (no-op for rule/LLM parsers)."""
+        del examples, databases
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} stage={self.stage}>"

@@ -1,0 +1,37 @@
+"""LLM-stage parsers: prompting strategies over the simulated LLM.
+
+One class per surveyed prompting family (Section 4.1.3, "LLM-based"):
+
+- :class:`ZeroShotLLMParser` — zero-shot prompting (Rajkumar et al.,
+  Liu et al.), with C3-style *clear prompting* as an option;
+- :class:`FewShotLLMParser` — in-context learning with demonstration
+  selection strategies (random / similar / diverse; Nan et al.);
+- :class:`ChainOfThoughtLLMParser` — CoT prompting (Tai et al.,
+  Divide-and-Prompt);
+- :class:`SelfConsistencyLLMParser` — execution-based self-consistency
+  sampling (SQL-PaLM);
+- :class:`MultiStageLLMParser` — decomposed prompting with self-correction
+  (DIN-SQL);
+- :class:`RetrievalRevisionLLMParser` — retrieval-augmented prompting with
+  a dynamic revision chain (Guo et al.).
+"""
+
+from repro.parsers.llm.strategies import (
+    ChainOfThoughtLLMParser,
+    FewShotLLMParser,
+    LLMParserBase,
+    MultiStageLLMParser,
+    RetrievalRevisionLLMParser,
+    SelfConsistencyLLMParser,
+    ZeroShotLLMParser,
+)
+
+__all__ = [
+    "ChainOfThoughtLLMParser",
+    "FewShotLLMParser",
+    "LLMParserBase",
+    "MultiStageLLMParser",
+    "RetrievalRevisionLLMParser",
+    "SelfConsistencyLLMParser",
+    "ZeroShotLLMParser",
+]

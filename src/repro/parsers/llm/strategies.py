@@ -1,0 +1,363 @@
+"""Prompting strategies (see package docstring)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.database import Database
+from repro.datasets.base import Example
+from repro.errors import SQLError
+from repro.llm.interface import SimulatedLLM
+from repro.llm.profiles import ModelProfile
+from repro.llm.prompts import PromptBuilder, extract_sql
+from repro.parsers.base import LLM, ParseRequest, ParseResult, Parser
+from repro.sql.ast import Query
+from repro.sql.executor import execute
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+
+
+class LLMParserBase(Parser):
+    """Shared plumbing: model handle, prompt building, output extraction."""
+
+    stage = LLM
+    year = 2022
+
+    def __init__(
+        self,
+        model: str | ModelProfile = "chatgpt-like",
+        seed: int = 0,
+        clear_prompting: bool = True,
+        name: str | None = None,
+    ) -> None:
+        self.llm = SimulatedLLM(model, seed=seed)
+        self.clear_prompting = clear_prompting
+        self.seed = seed
+        if name:
+            self.name = name
+
+    # ------------------------------------------------------------------
+    def _builder(self, chain_of_thought: bool = False) -> PromptBuilder:
+        return PromptBuilder(
+            include_schema=True,
+            include_descriptions=self.clear_prompting,
+            include_foreign_keys=self.clear_prompting,
+            chain_of_thought=chain_of_thought,
+        )
+
+    def _history_text(
+        self, request: ParseRequest
+    ) -> list[tuple[str, str]]:
+        return [(q, to_sql(query)) for q, query in request.history]
+
+    def _completions_to_queries(self, completions) -> list[Query]:
+        queries = []
+        for completion in completions:
+            sql = extract_sql(completion.text)
+            try:
+                queries.append(parse_sql(sql))
+            except SQLError:
+                continue
+        return queries
+
+    def _single(self, prompt: str, temperature: float = 0.0) -> Query | None:
+        completions = self.llm.complete(prompt, temperature=temperature)
+        queries = self._completions_to_queries(completions)
+        return queries[0] if queries else None
+
+
+class ZeroShotLLMParser(LLMParserBase):
+    """Zero-shot prompting; ``clear_prompting`` adds C3's ingredients."""
+
+    name = "zero-shot llm"
+    year = 2022
+
+    def parse(self, request: ParseRequest) -> ParseResult:
+        prompt = self._builder().build(
+            question=request.question,
+            schema=request.schema,
+            knowledge=request.knowledge,
+            history=self._history_text(request) or None,
+        )
+        query = self._single(prompt)
+        if query is None:
+            return ParseResult(query=None, notes="no parseable completion")
+        return ParseResult(query=query, candidates=[query], confidence=0.7)
+
+
+class FewShotLLMParser(LLMParserBase):
+    """In-context learning with demonstration selection."""
+
+    name = "few-shot llm"
+    year = 2023
+
+    def __init__(
+        self,
+        model: str | ModelProfile = "chatgpt-like",
+        seed: int = 0,
+        num_demos: int = 4,
+        selection: str = "similar",  # "random" | "similar" | "diverse"
+        clear_prompting: bool = True,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(model, seed, clear_prompting, name)
+        self.num_demos = num_demos
+        self.selection = selection
+        self.pool: list[tuple[str, str]] = []
+
+    def train(
+        self, examples: list[Example], databases: dict[str, Database]
+    ) -> None:
+        self.pool = [(e.question, e.sql) for e in examples]
+
+    # ------------------------------------------------------------------
+    def _select_demos(self, question: str) -> list[tuple[str, str]]:
+        if not self.pool:
+            return []
+        k = min(self.num_demos, len(self.pool))
+        if self.selection == "random":
+            rng = random.Random(self.seed)
+            return rng.sample(self.pool, k)
+        scored = sorted(
+            self.pool,
+            key=lambda pair: -_similarity(question, pair[0]),
+        )
+        if self.selection == "similar":
+            return scored[:k]
+        # diverse: greedy max-min over the similarity-ranked shortlist
+        shortlist = scored[: max(k * 5, 20)]
+        chosen: list[tuple[str, str]] = [shortlist[0]]
+        while len(chosen) < k and len(chosen) < len(shortlist):
+            best = max(
+                (c for c in shortlist if c not in chosen),
+                key=lambda c: min(
+                    1.0 - _similarity(c[0], picked[0]) for picked in chosen
+                ),
+            )
+            chosen.append(best)
+        return chosen
+
+    def parse(self, request: ParseRequest) -> ParseResult:
+        demos = self._select_demos(request.question)
+        prompt = self._builder().build(
+            question=request.question,
+            schema=request.schema,
+            demonstrations=demos or None,
+            knowledge=request.knowledge,
+            history=self._history_text(request) or None,
+        )
+        query = self._single(prompt)
+        if query is None:
+            return ParseResult(query=None, notes="no parseable completion")
+        return ParseResult(query=query, candidates=[query], confidence=0.75)
+
+
+class ChainOfThoughtLLMParser(FewShotLLMParser):
+    """Few-shot plus a chain-of-thought instruction."""
+
+    name = "chain-of-thought llm"
+    year = 2023
+
+    def parse(self, request: ParseRequest) -> ParseResult:
+        demos = self._select_demos(request.question)
+        prompt = self._builder(chain_of_thought=True).build(
+            question=request.question,
+            schema=request.schema,
+            demonstrations=demos or None,
+            knowledge=request.knowledge,
+            history=self._history_text(request) or None,
+        )
+        query = self._single(prompt)
+        if query is None:
+            return ParseResult(query=None, notes="no parseable completion")
+        return ParseResult(query=query, candidates=[query], confidence=0.8)
+
+
+class SelfConsistencyLLMParser(FewShotLLMParser):
+    """Execution-based self-consistency voting (SQL-PaLM recipe)."""
+
+    name = "self-consistency llm"
+    year = 2023
+
+    def __init__(
+        self,
+        model: str | ModelProfile = "palm-like",
+        seed: int = 0,
+        num_demos: int = 4,
+        samples: int = 7,
+        temperature: float = 0.7,
+        clear_prompting: bool = True,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(
+            model, seed, num_demos, "similar", clear_prompting, name
+        )
+        self.samples = samples
+        self.temperature = temperature
+
+    def parse(self, request: ParseRequest) -> ParseResult:
+        demos = self._select_demos(request.question)
+        prompt = self._builder(chain_of_thought=True).build(
+            question=request.question,
+            schema=request.schema,
+            demonstrations=demos or None,
+            knowledge=request.knowledge,
+            history=self._history_text(request) or None,
+        )
+        completions = self.llm.complete(
+            prompt, temperature=self.temperature, n=self.samples
+        )
+        queries = self._completions_to_queries(completions)
+        if not queries:
+            return ParseResult(query=None, notes="no parseable completion")
+        chosen = _majority_by_execution(queries, request.db)
+        return ParseResult(query=chosen, candidates=queries, confidence=0.85)
+
+
+class MultiStageLLMParser(FewShotLLMParser):
+    """DIN-SQL-style decomposition with self-correction.
+
+    Stage 1 (classification): estimate question hardness from surface cues.
+    Stage 2 (generation): easy questions get a plain few-shot prompt; hard
+    questions get chain-of-thought.  Stage 3 (self-correction): execute the
+    candidate; on error or empty result, issue a repair prompt carrying the
+    failure, up to ``max_repairs`` times.
+    """
+
+    name = "multi-stage llm"
+    year = 2023
+
+    def __init__(
+        self,
+        model: str | ModelProfile = "chatgpt-like",
+        seed: int = 0,
+        num_demos: int = 4,
+        max_repairs: int = 2,
+        clear_prompting: bool = True,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(
+            model, seed, num_demos, "similar", clear_prompting, name
+        )
+        self.max_repairs = max_repairs
+
+    _HARD_CUES = (
+        "for each", "per", "grouped", "broken down", "that have",
+        "average", "at least", "sorted", "top", "bottom", "but not",
+        "as well as", "also",
+    )
+
+    def _is_hard(self, question: str) -> bool:
+        lowered = question.lower()
+        return any(cue in lowered for cue in self._HARD_CUES)
+
+    def parse(self, request: ParseRequest) -> ParseResult:
+        demos = self._select_demos(request.question)
+        cot = self._is_hard(request.question)
+        builder = self._builder(chain_of_thought=cot)
+        prompt = builder.build(
+            question=request.question,
+            schema=request.schema,
+            demonstrations=demos or None,
+            knowledge=request.knowledge,
+            history=self._history_text(request) or None,
+        )
+        query = self._single(prompt)
+        candidates = [query] if query is not None else []
+
+        for _ in range(self.max_repairs):
+            failure = self._failure_of(query, request.db)
+            if failure is None:
+                break
+            previous = to_sql(query) if query is not None else "(unparseable)"
+            repair_prompt = builder.build(
+                question=request.question,
+                schema=request.schema,
+                demonstrations=demos or None,
+                knowledge=request.knowledge,
+                history=self._history_text(request) or None,
+                repair_of=previous,
+                error=failure,
+            )
+            repaired = self._single(repair_prompt)
+            if repaired is None:
+                break
+            query = repaired
+            candidates.append(repaired)
+
+        if query is None:
+            return ParseResult(query=None, notes="no parseable completion")
+        return ParseResult(query=query, candidates=candidates, confidence=0.85)
+
+    def _failure_of(
+        self, query: Query | None, db: Database | None
+    ) -> str | None:
+        if query is None:
+            return "the answer was not valid SQL"
+        if db is None:
+            return None
+        try:
+            result = execute(query, db)
+        except SQLError as exc:
+            return str(exc)
+        if not result.rows:
+            return "the query returned an empty result"
+        return None
+
+
+class RetrievalRevisionLLMParser(MultiStageLLMParser):
+    """Retrieval-augmented prompting with a dynamic revision chain.
+
+    Guo et al.'s recipe: sample-aware demonstrations (nearest neighbours
+    from the pool) plus an iterative revision loop driven by execution
+    feedback — structurally the multi-stage parser with retrieval-first
+    demo selection and more revision rounds.
+    """
+
+    name = "retrieval-revision llm"
+    year = 2023
+
+    def __init__(
+        self,
+        model: str | ModelProfile = "chatgpt-like",
+        seed: int = 0,
+        num_demos: int = 6,
+        max_repairs: int = 3,
+        clear_prompting: bool = True,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(
+            model, seed, num_demos, max_repairs, clear_prompting, name
+        )
+
+
+# ----------------------------------------------------------------------
+def _similarity(a: str, b: str) -> float:
+    ta, tb = set(a.lower().split()), set(b.lower().split())
+    union = ta | tb
+    return len(ta & tb) / len(union) if union else 0.0
+
+
+def _majority_by_execution(
+    queries: list[Query], db: Database | None
+) -> Query:
+    """Self-consistency vote: group candidates by execution result."""
+    if db is None or len(queries) == 1:
+        return queries[0]
+    buckets: dict[tuple, list[Query]] = {}
+    order: list[tuple] = []
+    for query in queries:
+        try:
+            result = execute(query, db)
+            key = ("ok", tuple(sorted(map(str, result.rows)))[:50])
+        except SQLError:
+            key = ("error",)
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(query)
+    best_key = max(
+        order,
+        key=lambda k: (len(buckets[k]), k[0] == "ok"),
+    )
+    return buckets[best_key][0]

@@ -1,0 +1,33 @@
+"""Neural-network-stage parsers (survey Section 4.1.2), trained with numpy.
+
+The three encoder/decoder families the survey profiles are each
+represented by a trainable model:
+
+- :class:`~repro.parsers.neural.sketch.SketchParser` — SQLNet/TypeSQL-style
+  sketch-based slot filling; single-table sketches only, which is why the
+  family reports WikiSQL numbers and no Spider numbers in Table 2;
+- :class:`~repro.parsers.neural.grammar.GrammarNeuralParser` — IRNet /
+  RAT-SQL / LGESQL-style grammar decoding with learned sketch bits and
+  schema rankers; feature configuration selects the sub-family (sequence
+  features only vs. graph/relation-aware features);
+- :class:`~repro.parsers.neural.execution.ExecutionGuidedParser` — the
+  execution-guided decoding wrapper (Wang et al., 2018; SQLova).
+
+Training is honest supervised learning: gold slots are read off gold SQL
+ASTs (:mod:`repro.parsers.neural.slots`), featurized
+(:mod:`repro.parsers.neural.features`), and fit by SGD
+(:mod:`repro.parsers.neural.models`).  No model sees gold queries at
+inference time.
+"""
+
+from repro.parsers.neural.execution import ExecutionGuidedParser
+from repro.parsers.neural.features import FeatureConfig
+from repro.parsers.neural.grammar import GrammarNeuralParser
+from repro.parsers.neural.sketch import SketchParser
+
+__all__ = [
+    "ExecutionGuidedParser",
+    "FeatureConfig",
+    "GrammarNeuralParser",
+    "SketchParser",
+]

@@ -1,0 +1,66 @@
+"""Execution-guided decoding (Wang et al. 2018; SQLova's EG mode).
+
+The wrapper takes any base parser's ranked candidate list, executes each
+candidate against the database, and keeps the first one that (a) executes
+without error and (b) — in strict mode — returns a non-empty result.  When
+every candidate fails, the base parser's original best is kept, so the
+wrapper can only help, exactly as the surveyed execution-guided decoders
+report.
+"""
+
+from __future__ import annotations
+
+from repro.data.database import Database
+from repro.errors import SQLError
+from repro.parsers.base import ParseRequest, ParseResult, Parser
+from repro.sql.ast import Query
+from repro.sql.executor import execute
+
+
+class ExecutionGuidedParser(Parser):
+    """Wrap a base parser with execution-guided candidate filtering."""
+
+    def __init__(
+        self,
+        base: Parser,
+        strict_nonempty: bool = True,
+        name: str | None = None,
+    ) -> None:
+        self.base = base
+        self.strict_nonempty = strict_nonempty
+        self.name = name or f"{base.name} + execution-guided"
+        self.stage = base.stage
+        self.year = max(base.year, 2018)
+
+    def train(self, examples, databases) -> None:
+        self.base.train(examples, databases)
+
+    def parse(self, request: ParseRequest) -> ParseResult:
+        result = self.base.parse(request)
+        if result.query is None or request.db is None:
+            return result
+        candidates = result.candidates or [result.query]
+        chosen = self._first_executable(candidates, request.db)
+        if chosen is None:
+            return result
+        return ParseResult(
+            query=chosen,
+            candidates=candidates,
+            confidence=result.confidence,
+            notes=result.notes,
+        )
+
+    def _first_executable(
+        self, candidates: list[Query], db: Database
+    ) -> Query | None:
+        fallback = None
+        for candidate in candidates:
+            try:
+                result = execute(candidate, db)
+            except SQLError:
+                continue
+            if fallback is None:
+                fallback = candidate
+            if not self.strict_nonempty or result.rows:
+                return candidate
+        return fallback

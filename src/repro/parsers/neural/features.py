@@ -1,0 +1,244 @@
+"""Feature extraction for the neural-stage models.
+
+Two feature families:
+
+- **question features** (for sketch-bit classifiers): hashed unigrams and
+  (configurable) bigrams of the question;
+- **role-column features** (for schema rankers): lexical overlap between a
+  column/table's surface forms and the question, type flags, and
+  (configurable) *context* features describing which cue region of the
+  question the mention occurs in, plus (configurable) *graph* features
+  describing FK adjacency — the relation-aware encoding that separates the
+  RAT-SQL family from plain sequence encoders in the survey's taxonomy.
+
+Everything is deterministic: hashing uses a fixed polynomial hash, not
+Python's randomized ``hash``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import Column, ColumnType, Schema, TableSchema
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Feature switches selecting the neural sub-family.
+
+    ``bigrams``      richer question encoding (Transformer-era models)
+    ``context``      role-context features (relation-aware encoders)
+    ``graph``        FK/graph features (graph-based encoders)
+    ``value_link``   database content matching for value features
+    ``dim``          hashed question-feature dimensionality
+    """
+
+    bigrams: bool = True
+    context: bool = True
+    graph: bool = True
+    value_link: bool = True
+    world_knowledge: bool = False
+    dim: int = 2048
+
+
+_WORD_RE = re.compile(r"[a-z0-9']+")
+
+#: cue words whose presence near a mention signals its role
+_ROLE_CUES: dict[str, tuple[str, ...]] = {
+    "condition": ("whose", "that", "have", "is", "equals", "greater",
+                  "less", "above", "below", "exceeds", "between",
+                  "contains", "includes", "least", "most"),
+    "group": ("each", "per", "grouped", "broken", "down"),
+    "order": ("sorted", "ordered", "ascending", "descending", "order",
+              "top", "bottom", "high", "low", "decreasing"),
+    "agg": ("average", "mean", "typical", "total", "sum", "combined",
+            "minimum", "maximum", "lowest", "highest", "smallest",
+            "largest", "number", "many", "count"),
+    "projection": ("show", "list", "what", "give", "return", "find",
+                   "display", "of"),
+}
+
+ROLES = tuple(_ROLE_CUES)
+
+
+def tokenize_question(question: str) -> list[str]:
+    return _WORD_RE.findall(question.lower())
+
+
+def _stable_hash(text: str) -> int:
+    value = 2166136261
+    for ch in text:
+        value = ((value ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+def question_vector(question: str, config: FeatureConfig) -> np.ndarray:
+    """Hashed bag-of-ngrams vector for the sketch-bit classifiers.
+
+    Two synthetic indicator tokens are added — quoted-span presence and
+    numeral presence — the structural cues pointer decoders condition on.
+    """
+    tokens = tokenize_question(question)
+    vec = np.zeros(config.dim, dtype=np.float32)
+    for token in tokens:
+        vec[_stable_hash("u:" + token) % config.dim] += 1.0
+    if config.bigrams:
+        for left, right in zip(tokens, tokens[1:]):
+            vec[_stable_hash(f"b:{left}_{right}") % config.dim] += 1.0
+    if "'" in question:
+        vec[_stable_hash("ind:quoted") % config.dim] += 1.0
+    if re.search(r"\d", question):
+        vec[_stable_hash("ind:number") % config.dim] += 1.0
+    norm = np.linalg.norm(vec)
+    if norm > 0:
+        vec /= norm
+    return vec
+
+
+# ----------------------------------------------------------------------
+# role-column features
+# ----------------------------------------------------------------------
+#: fixed feature layout for the column ranker
+COLUMN_FEATURES = (
+    "exact_overlap", "partial_overlap", "synonym_overlap", "is_numeric",
+    "is_text", "is_date", "is_key", "in_main_table", "fk_adjacent",
+    "cue_condition", "cue_group", "cue_order", "cue_agg", "cue_projection",
+    "mention_early", "mention_late", "value_type_match", "bias",
+)
+
+
+def column_features(
+    question: str,
+    column: Column,
+    table: TableSchema,
+    main_table: TableSchema | None,
+    schema: Schema,
+    role: str,
+    config: FeatureConfig,
+    value_is_numeric: bool | None = None,
+) -> np.ndarray:
+    """Feature vector scoring *column* as the filler of *role*."""
+    lowered = question.lower()
+    tokens = tokenize_question(question)
+    vec = np.zeros(len(COLUMN_FEATURES), dtype=np.float32)
+    idx = {name: i for i, name in enumerate(COLUMN_FEATURES)}
+
+    mentions = column.mentions()
+    if config.world_knowledge:
+        # PLM/LLM-grade lexical knowledge: out-of-schema synonyms link too
+        from repro.nlg.perturb import OUT_OF_SCHEMA_SYNONYMS
+
+        mentions = mentions + OUT_OF_SCHEMA_SYNONYMS.get(mentions[0], ())
+    position = -1
+    exact = 0.0
+    partial = 0.0
+    synonym = 0.0
+    for m_index, mention in enumerate(mentions):
+        pos = lowered.find(mention)
+        if pos >= 0:
+            exact = 1.0
+            if m_index > 0:
+                synonym = 1.0
+            position = pos
+            break
+    if exact == 0.0:
+        base_words = set(mentions[0].split())
+        shared = base_words & set(tokens)
+        if shared:
+            partial = len(shared) / len(base_words)
+            position = min(
+                (lowered.find(w) for w in shared if lowered.find(w) >= 0),
+                default=-1,
+            )
+
+    vec[idx["exact_overlap"]] = exact
+    vec[idx["partial_overlap"]] = partial
+    vec[idx["synonym_overlap"]] = synonym
+    vec[idx["is_numeric"]] = float(column.type is ColumnType.NUMBER)
+    vec[idx["is_text"]] = float(column.type is ColumnType.TEXT)
+    vec[idx["is_date"]] = float(column.type is ColumnType.DATE)
+    name = column.name.lower()
+    vec[idx["is_key"]] = float(name == "id" or name.endswith("_id"))
+    if main_table is not None:
+        vec[idx["in_main_table"]] = float(
+            table.name.lower() == main_table.name.lower()
+        )
+        if config.graph and table.name.lower() != main_table.name.lower():
+            vec[idx["fk_adjacent"]] = float(
+                bool(schema.foreign_keys_between(main_table.name, table.name))
+            )
+
+    if config.context and position >= 0:
+        window = _window_words(lowered, position, radius=28)
+        for cue_role, cues in _ROLE_CUES.items():
+            if any(cue in window for cue in cues):
+                vec[idx[f"cue_{cue_role}"]] = 1.0
+        vec[idx["mention_early"]] = float(position < len(lowered) * 0.4)
+        vec[idx["mention_late"]] = float(position > len(lowered) * 0.6)
+
+    if config.value_link and value_is_numeric is not None:
+        matches = (
+            value_is_numeric and column.type is ColumnType.NUMBER
+        ) or (not value_is_numeric and column.type is not ColumnType.NUMBER)
+        vec[idx["value_type_match"]] = float(matches)
+
+    vec[idx["bias"]] = 1.0
+    return vec
+
+
+TABLE_FEATURES = (
+    "exact_overlap", "partial_overlap", "synonym_overlap",
+    "column_mentions", "has_fk", "bias",
+)
+
+
+def table_features(
+    question: str,
+    table: TableSchema,
+    schema: Schema,
+    config: FeatureConfig,
+) -> np.ndarray:
+    """Feature vector scoring *table* as the query's main table."""
+    lowered = question.lower()
+    tokens = set(tokenize_question(question))
+    vec = np.zeros(len(TABLE_FEATURES), dtype=np.float32)
+    idx = {name: i for i, name in enumerate(TABLE_FEATURES)}
+
+    for m_index, mention in enumerate(table.mentions()):
+        variants = (mention, mention.rstrip("s"), mention + "s")
+        if any(v in lowered for v in variants):
+            vec[idx["exact_overlap"]] = 1.0
+            if m_index > 0:
+                vec[idx["synonym_overlap"]] = 1.0
+            break
+    else:
+        base_words = set(table.mentions()[0].split())
+        shared = base_words & tokens
+        if shared:
+            vec[idx["partial_overlap"]] = len(shared) / len(base_words)
+
+    column_hits = 0
+    for column in table.columns:
+        if column.mentions()[0] in lowered:
+            column_hits += 1
+    vec[idx["column_mentions"]] = min(column_hits, 4) / 4.0
+
+    if config.graph:
+        vec[idx["has_fk"]] = float(
+            any(
+                fk.table.lower() == table.name.lower()
+                or fk.ref_table.lower() == table.name.lower()
+                for fk in schema.foreign_keys
+            )
+        )
+    vec[idx["bias"]] = 1.0
+    return vec
+
+
+def _window_words(text: str, position: int, radius: int) -> str:
+    start = max(0, position - radius)
+    end = min(len(text), position + radius)
+    return text[start:end]

@@ -1,0 +1,791 @@
+"""Grammar-decoding neural parser (IRNet / RAT-SQL / LGESQL lineage).
+
+The parser predicts a query in two learned stages, mirroring the surveyed
+grammar-based decoders:
+
+1. **sketch bits** — softmax classifiers over hashed question features
+   decide the clause skeleton: aggregate choice, grouping, ordering and
+   direction, limit presence, condition count and kind, set operation,
+   nesting, distinctness, projection arity;
+2. **slot filling** — linear rankers score schema tables/columns as the
+   filler of each role (main table, projection, condition, group, order,
+   aggregate argument), using lexical-overlap, type, role-context, and —
+   when :class:`~repro.parsers.neural.features.FeatureConfig` enables graph
+   features — FK-adjacency features (the RAT-SQL relation-aware channel).
+
+Values are copied from the question via the pointer channel
+(:mod:`repro.parsers.neural.values`).  Everything is trained with SGD on
+gold slots; nothing consults the gold at inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.data.schema import Column, ColumnType, Schema, TableSchema
+from repro.datasets.base import Example
+from repro.errors import NLParseError, SQLError
+from repro.parsers.base import NEURAL, ParseRequest, ParseResult, Parser
+from repro.parsers.neural.features import (
+    COLUMN_FEATURES,
+    FeatureConfig,
+    TABLE_FEATURES,
+    column_features,
+    question_vector,
+    table_features,
+)
+from repro.parsers.neural.models import LinearRanker, SoftmaxClassifier
+from repro.parsers.neural.slots import (
+    AGG_CLASSES,
+    COND_AVG,
+    COND_BETWEEN,
+    COND_COMPARE,
+    COND_LIKE,
+    GoldSlots,
+    OP_CLASSES,
+    SETOP_CLASSES,
+    extract_slots,
+)
+from repro.parsers.neural.values import (
+    extract_numbers,
+    extract_quoted,
+    extract_reserved_number,
+    string_candidates,
+)
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InSubquery,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    SetOperation,
+    Star,
+    TableRef,
+)
+from repro.sql.parser import parse_sql
+
+#: the learned role rankers
+_ROLES = ("projection", "condition", "group", "order", "agg")
+
+#: sketch-bit classifier heads: name -> number of classes
+_HEADS = {
+    "agg": len(AGG_CLASSES),
+    "group": 2,
+    "order": 3,       # none / asc / desc
+    "limit": 2,
+    "n_conds": 3,     # 0 / 1 / 2
+    "cond_kind": 4,   # compare / like / between / avg_compare
+    "setop": len(SETOP_CLASSES),
+    "nested": 2,
+    "distinct": 2,
+    "n_proj": 2,      # 1 or 2 projection columns
+}
+
+_COND_KINDS = (COND_COMPARE, COND_LIKE, COND_BETWEEN, COND_AVG)
+
+
+class GrammarNeuralParser(Parser):
+    """See module docstring."""
+
+    stage = NEURAL
+    year = 2019
+
+    def __init__(
+        self,
+        config: FeatureConfig | None = None,
+        name: str = "grammar neural parser",
+        year: int = 2019,
+        seed: int = 0,
+        epochs: int = 60,
+    ) -> None:
+        self.config = config or FeatureConfig()
+        self.name = name
+        self.year = year
+        self.seed = seed
+        self.epochs = epochs
+        self.heads = {
+            head: SoftmaxClassifier(
+                self.config.dim, classes, epochs=epochs, seed=seed
+            )
+            for head, classes in _HEADS.items()
+        }
+        self.op_head = SoftmaxClassifier(
+            self.config.dim, len(OP_CLASSES), epochs=epochs, seed=seed
+        )
+        self.table_ranker = LinearRanker(
+            len(TABLE_FEATURES), epochs=epochs, seed=seed
+        )
+        self.role_rankers = {
+            role: LinearRanker(len(COLUMN_FEATURES), epochs=epochs, seed=seed)
+            for role in _ROLES
+        }
+        self.trained = False
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        examples: list[Example],
+        databases: dict[str, Database],
+    ) -> None:
+        head_features: dict[str, list[np.ndarray]] = {h: [] for h in _HEADS}
+        head_labels: dict[str, list[int]] = {h: [] for h in _HEADS}
+        op_features: list[np.ndarray] = []
+        op_labels: list[int] = []
+        table_groups: list[tuple[np.ndarray, int]] = []
+        role_groups: dict[str, list[tuple[np.ndarray, int]]] = {
+            role: [] for role in _ROLES
+        }
+
+        for example in examples:
+            db = databases.get(example.db_id)
+            if db is None:
+                continue
+            slots = self._gold_slots(example)
+            if slots is None:
+                continue
+            schema = db.schema
+            question = example.question
+
+            qvec = question_vector(question, self.config)
+            labels = {
+                "agg": slots.agg_label(),
+                "group": slots.group_label(),
+                "order": slots.order_label(),
+                "limit": slots.limit_label(),
+                "n_conds": slots.conds_label(),
+                "cond_kind": slots.cond_kind_label(),
+                "setop": slots.setop_label(),
+                "nested": slots.nested_label(),
+                "distinct": slots.distinct_label(),
+                "n_proj": min(len(slots.projection), 2) - 1
+                if slots.projection
+                else 0,
+            }
+            for head, label in labels.items():
+                head_features[head].append(qvec)
+                head_labels[head].append(label)
+
+            self._collect_table_group(
+                question, schema, slots.main_table, table_groups
+            )
+            self._collect_role_groups(
+                question, schema, slots, role_groups
+            )
+            self._collect_op_examples(
+                question, schema, slots, op_features, op_labels
+            )
+
+        for head, classifier in self.heads.items():
+            if head_features[head]:
+                classifier.fit(
+                    np.stack(head_features[head]),
+                    np.array(head_labels[head]),
+                )
+        if op_features:
+            self.op_head.fit(np.stack(op_features), np.array(op_labels))
+        self.table_ranker.fit(table_groups)
+        for role, ranker in self.role_rankers.items():
+            ranker.fit(role_groups[role])
+        self.trained = True
+
+    def _gold_slots(self, example: Example) -> GoldSlots | None:
+        try:
+            query = parse_sql(example.sql)
+        except SQLError:
+            return None
+        return extract_slots(query)
+
+    def _collect_table_group(
+        self,
+        question: str,
+        schema: Schema,
+        gold_table: str,
+        groups: list[tuple[np.ndarray, int]],
+    ) -> None:
+        tables = list(schema.tables)
+        if len(tables) < 2:
+            return
+        features = np.stack(
+            [table_features(question, t, schema, self.config) for t in tables]
+        )
+        gold = next(
+            (
+                i
+                for i, t in enumerate(tables)
+                if t.name.lower() == gold_table
+            ),
+            None,
+        )
+        if gold is not None:
+            groups.append((features, gold))
+
+    def _collect_role_groups(
+        self,
+        question: str,
+        schema: Schema,
+        slots: GoldSlots,
+        role_groups: dict[str, list[tuple[np.ndarray, int]]],
+    ) -> None:
+        main = schema.table(slots.main_table)
+        role_targets: dict[str, tuple[str | None, str] | None] = {
+            "projection": slots.projection[0] if slots.projection else None,
+            "condition": (
+                slots.conditions[0].column if slots.conditions else None
+            ),
+            "group": slots.group,
+            "order": slots.order,
+            "agg": slots.agg_column,
+        }
+        all_columns = schema.all_columns()
+        for role, target in role_targets.items():
+            if target is None:
+                continue
+            target_table = target[0] or slots.main_table
+            features = []
+            gold = None
+            for index, (table_name, column) in enumerate(all_columns):
+                table = schema.table(table_name)
+                features.append(
+                    column_features(
+                        question, column, table, main, schema, role,
+                        self.config,
+                    )
+                )
+                if (
+                    table_name.lower() == target_table.lower()
+                    and column.name.lower() == target[1]
+                ):
+                    gold = index
+            if gold is not None and len(features) > 1:
+                role_groups[role].append((np.stack(features), gold))
+
+    def _collect_op_examples(
+        self,
+        question: str,
+        schema: Schema,
+        slots: GoldSlots,
+        op_features: list[np.ndarray],
+        op_labels: list[int],
+    ) -> None:
+        for condition in slots.conditions:
+            if condition.kind != COND_COMPARE:
+                continue
+            window = self._op_window(question, schema, condition.column)
+            op_features.append(question_vector(window, self.config))
+            op_labels.append(OP_CLASSES.index(condition.op))
+
+    def _op_window(
+        self, question: str, schema: Schema, column: tuple[str | None, str]
+    ) -> str:
+        """The question span following the condition column's mention."""
+        lowered = question.lower()
+        surfaces = [column[1].replace("_", " ")]
+        for table in schema.tables:
+            if column[0] is not None and table.name.lower() != column[0]:
+                continue
+            for col in table.columns:
+                if col.name.lower() == column[1]:
+                    surfaces = list(col.mentions())
+                    break
+        position = -1
+        for surface in surfaces:
+            position = lowered.find(surface)
+            if position >= 0:
+                break
+        if position < 0:
+            return question
+        return question[position : position + 60]
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def parse(self, request: ParseRequest) -> ParseResult:
+        if not self.trained:
+            return ParseResult(query=None, notes="parser is not trained")
+        try:
+            query, alternatives = self._predict(request)
+        except NLParseError as exc:
+            return ParseResult(query=None, notes=str(exc))
+        return ParseResult(
+            query=query, candidates=[query] + alternatives, confidence=0.7
+        )
+
+    # capability switches overridden by the sketch subclass
+    supports_join = True
+    supports_group = True
+    supports_order = True
+    supports_nested = True
+    supports_setop = True
+
+    def _predict(self, request: ParseRequest) -> tuple[Query, list[Query]]:
+        question = request.question
+        schema = request.schema
+        qvec = question_vector(question, self.config)
+        bits = {
+            head: classifier.predict(qvec)
+            for head, classifier in self.heads.items()
+        }
+
+        main = self._predict_table(question, schema)
+        joins: list[str] = []
+
+        items: list[SelectItem] = []
+        group_ref: ColumnRef | None = None
+
+        if bits["group"] == 1 and self.supports_group:
+            group_col = self._predict_column(
+                question, schema, main, "group",
+                type_filter=(ColumnType.TEXT, ColumnType.DATE),
+            )
+            if group_col is not None:
+                group_ref = self._make_ref(group_col, main, joins)
+
+        agg = AGG_CLASSES[bits["agg"]]
+        if agg != "none":
+            if agg == "count":
+                agg_expr = FuncCall(name="count", args=(Star(),))
+            else:
+                agg_col = self._predict_column(
+                    question, schema, main, "agg",
+                    type_filter=(ColumnType.NUMBER,),
+                )
+                if agg_col is None:
+                    raise NLParseError("no aggregate column candidate")
+                agg_expr = FuncCall(
+                    name=agg, args=(self._make_ref(agg_col, main, joins),)
+                )
+            if group_ref is not None:
+                items.append(SelectItem(expr=group_ref))
+            items.append(SelectItem(expr=agg_expr))
+        else:
+            n_proj = bits["n_proj"] + 1
+            columns = self._predict_columns(
+                question, schema, main, "projection", top_k=n_proj
+            )
+            if not columns:
+                raise NLParseError("no projection candidates")
+            if group_ref is not None:
+                items.append(SelectItem(expr=group_ref))
+            for column in columns:
+                items.append(
+                    SelectItem(expr=self._make_ref(column, main, joins))
+                )
+
+        where = None
+        n_conds = bits["n_conds"] if self.supports_group else min(
+            bits["n_conds"], 2
+        )
+        nested_expr = None
+        if bits["nested"] == 1 and self.supports_nested:
+            nested_expr = self._predict_nested(question, schema, main)
+        elif n_conds > 0:
+            where = self._predict_conditions(
+                question, schema, main, joins, n_conds,
+                _COND_KINDS[bits["cond_kind"]], request.db,
+            )
+        if nested_expr is not None:
+            where = (
+                nested_expr
+                if where is None
+                else BinaryOp(op="and", left=where, right=nested_expr)
+            )
+
+        order_by: tuple[OrderItem, ...] = ()
+        limit = None
+        if bits["order"] > 0 and self.supports_order:
+            order_col = self._predict_column(
+                question, schema, main, "order",
+                type_filter=(ColumnType.NUMBER,),
+            )
+            if order_col is not None:
+                order_ref = self._make_ref(order_col, main, joins)
+                order_by = (
+                    OrderItem(expr=order_ref, descending=bits["order"] == 2),
+                )
+                if (
+                    agg == "none"
+                    and group_ref is None
+                    and not any(
+                        isinstance(i.expr, ColumnRef)
+                        and i.expr.column == order_ref.column
+                        for i in items
+                    )
+                    and bits["limit"] == 1
+                    and extract_reserved_number(question, "top") is not None
+                ):
+                    items.append(SelectItem(expr=order_ref))
+        if bits["limit"] == 1 and self.supports_order:
+            limit = (
+                extract_reserved_number(question, "top")
+                or extract_reserved_number(question, "bottom")
+                or 1
+            )
+
+        having = None
+        having_min = extract_reserved_number(question, "at least")
+        if having_min is not None and group_ref is not None:
+            having = BinaryOp(
+                op=">=",
+                left=FuncCall(name="count", args=(Star(),)),
+                right=Literal(having_min),
+            )
+
+        select = self._assemble(
+            schema, main, items, joins, where, group_ref, having, order_by,
+            limit, bool(bits["distinct"]),
+        )
+
+        setop = SETOP_CLASSES[bits["setop"]]
+        if setop != "none" and self.supports_setop:
+            second = self._predict_second_branch(
+                question, schema, main, items, request.db
+            )
+            if second is not None:
+                from dataclasses import replace as dc_replace
+
+                return (
+                    SetOperation(
+                        op=setop,
+                        left=dc_replace(select, order_by=(), limit=None),
+                        right=second,
+                    ),
+                    [],
+                )
+        return select, []
+
+    # ------------------------------------------------------------------
+    def _predict_table(self, question: str, schema: Schema) -> TableSchema:
+        tables = list(schema.tables)
+        if len(tables) == 1:
+            return tables[0]
+        features = np.stack(
+            [table_features(question, t, schema, self.config) for t in tables]
+        )
+        return tables[self.table_ranker.best(features)]
+
+    def _candidate_columns(
+        self,
+        schema: Schema,
+        main: TableSchema,
+        type_filter: tuple[ColumnType, ...] | None,
+    ) -> list[tuple[TableSchema, Column]]:
+        out = []
+        for table in schema.tables:
+            if not self.supports_join and table.name != main.name:
+                continue
+            for column in table.columns:
+                if type_filter and column.type not in type_filter:
+                    continue
+                out.append((table, column))
+        return out
+
+    def _score_columns(
+        self,
+        question: str,
+        schema: Schema,
+        main: TableSchema,
+        role: str,
+        candidates: list[tuple[TableSchema, Column]],
+    ) -> np.ndarray:
+        features = np.stack(
+            [
+                column_features(
+                    question, column, table, main, schema, role, self.config
+                )
+                for table, column in candidates
+            ]
+        )
+        return self.role_rankers[role].score(features)
+
+    def _predict_column(
+        self,
+        question: str,
+        schema: Schema,
+        main: TableSchema,
+        role: str,
+        type_filter: tuple[ColumnType, ...] | None = None,
+    ) -> tuple[TableSchema, Column] | None:
+        columns = self._predict_columns(
+            question, schema, main, role, top_k=1, type_filter=type_filter
+        )
+        return columns[0] if columns else None
+
+    def _predict_columns(
+        self,
+        question: str,
+        schema: Schema,
+        main: TableSchema,
+        role: str,
+        top_k: int,
+        type_filter: tuple[ColumnType, ...] | None = None,
+    ) -> list[tuple[TableSchema, Column]]:
+        candidates = self._candidate_columns(schema, main, type_filter)
+        if not candidates:
+            return []
+        scores = self._score_columns(question, schema, main, role, candidates)
+        order = np.argsort(-scores)
+        return [candidates[int(i)] for i in order[:top_k]]
+
+    def _make_ref(
+        self,
+        pick: tuple[TableSchema, Column],
+        main: TableSchema,
+        joins: list[str],
+    ) -> ColumnRef:
+        table, column = pick
+        if table.name.lower() != main.name.lower():
+            joins.append(table.name)
+            return ColumnRef(
+                column=column.name.lower(), table=table.name.lower()
+            )
+        return ColumnRef(column=column.name.lower())
+
+    # ------------------------------------------------------------------
+    def _predict_conditions(
+        self,
+        question: str,
+        schema: Schema,
+        main: TableSchema,
+        joins: list[str],
+        n_conds: int,
+        first_kind: str,
+        db: Database | None,
+    ):
+        numbers = extract_numbers(question)
+        quoted = extract_quoted(question)
+        strings = string_candidates(question, db, self.config.value_link)
+        used_numbers = 0
+        used_strings = 0
+
+        picks = self._predict_columns(
+            question, schema, main, "condition", top_k=n_conds
+        )
+        exprs = []
+        for index, pick in enumerate(picks):
+            kind = first_kind if index == 0 else COND_COMPARE
+            table, column = pick
+            ref = self._make_ref(pick, main, joins)
+            if kind == COND_LIKE and quoted:
+                exprs.append(
+                    Like(
+                        expr=ref,
+                        pattern=Literal(f"%{quoted[0].value}%"),
+                    )
+                )
+                continue
+            if kind == COND_BETWEEN and len(numbers) - used_numbers >= 2:
+                low = numbers[used_numbers].value
+                high = numbers[used_numbers + 1].value
+                used_numbers += 2
+                if isinstance(low, (int, float)) and isinstance(
+                    high, (int, float)
+                ) and low > high:
+                    low, high = high, low
+                exprs.append(
+                    Between(expr=ref, low=Literal(low), high=Literal(high))
+                )
+                continue
+            if kind == COND_AVG:
+                op = ">" if "above" in question.lower() else "<"
+                inner = Select(
+                    items=(
+                        SelectItem(
+                            expr=FuncCall(
+                                name="avg",
+                                args=(ColumnRef(column=ref.column),),
+                            )
+                        ),
+                    ),
+                    from_=TableRef(name=table.name.lower()),
+                )
+                exprs.append(
+                    BinaryOp(op=op, left=ref, right=ScalarSubquery(inner))
+                )
+                continue
+            # plain comparison
+            op = OP_CLASSES[
+                self.op_head.predict(
+                    question_vector(
+                        self._op_window(
+                            question, schema,
+                            (table.name.lower(), column.name.lower()),
+                        ),
+                        self.config,
+                    )
+                )
+            ]
+            if column.type is ColumnType.NUMBER:
+                if used_numbers < len(numbers):
+                    value = numbers[used_numbers].value
+                    used_numbers += 1
+                else:
+                    continue
+            else:
+                if used_strings < len(strings):
+                    value = strings[used_strings].value
+                    used_strings += 1
+                elif quoted:
+                    value = quoted[0].value
+                else:
+                    continue
+            exprs.append(BinaryOp(op=op, left=ref, right=Literal(value)))
+
+        if not exprs:
+            return None
+        where = exprs[0]
+        for expr in exprs[1:]:
+            where = BinaryOp(op="and", left=where, right=expr)
+        return where
+
+    def _predict_nested(
+        self, question: str, schema: Schema, main: TableSchema
+    ):
+        # child table: best non-main table by the table ranker
+        others = [
+            t
+            for t in schema.tables
+            if t.name.lower() != main.name.lower()
+            and schema.foreign_keys_between(main.name, t.name)
+        ]
+        if not others:
+            return None
+        features = np.stack(
+            [
+                table_features(question, t, schema, self.config)
+                for t in others
+            ]
+        )
+        child = others[self.table_ranker.best(features)]
+        fk = schema.foreign_keys_between(main.name, child.name)[0]
+        if fk.table.lower() == child.name.lower():
+            child_col, parent_col = fk.column, fk.ref_column
+        else:
+            child_col, parent_col = fk.ref_column, fk.column
+        inner_joins: list[str] = []
+        inner_where = self._predict_conditions(
+            question, schema, child, inner_joins, 1, COND_COMPARE, None
+        )
+        if inner_where is None:
+            return None
+        inner = Select(
+            items=(SelectItem(expr=ColumnRef(column=child_col.lower())),),
+            from_=TableRef(name=child.name.lower()),
+            where=inner_where,
+        )
+        return InSubquery(
+            expr=ColumnRef(column=parent_col.lower()), query=inner
+        )
+
+    def _predict_second_branch(
+        self,
+        question: str,
+        schema: Schema,
+        main: TableSchema,
+        items: list[SelectItem],
+        db: Database | None,
+    ) -> Select | None:
+        """Second operand of a set operation: same projection, last value."""
+        strings = string_candidates(question, db, self.config.value_link)
+        numbers = extract_numbers(question)
+        pick = self._predict_column(question, schema, main, "condition")
+        if pick is None:
+            return None
+        table, column = pick
+        if table.name.lower() != main.name.lower():
+            return None
+        ref = ColumnRef(column=column.name.lower())
+        value = None
+        if column.type is ColumnType.NUMBER and numbers:
+            value = numbers[-1].value
+        elif strings:
+            value = strings[-1].value
+        if value is None:
+            return None
+        plain_items = tuple(
+            item for item in items if isinstance(item.expr, ColumnRef)
+        )
+        if not plain_items:
+            return None
+        return Select(
+            items=plain_items,
+            from_=TableRef(name=main.name.lower()),
+            where=BinaryOp(op="=", left=ref, right=Literal(value)),
+        )
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        schema: Schema,
+        main: TableSchema,
+        items: list[SelectItem],
+        joins: list[str],
+        where,
+        group_ref,
+        having,
+        order_by,
+        limit,
+        distinct: bool,
+    ) -> Select:
+        from repro.parsers.semantic import _Qualifier
+
+        from_clause = TableRef(name=main.name.lower())
+        seen = {main.name.lower()}
+        for other in joins:
+            lowered = other.lower()
+            if lowered in seen:
+                continue
+            fks = schema.foreign_keys_between(main.name, other)
+            if not fks:
+                continue
+            fk = fks[0]
+            condition = BinaryOp(
+                op="=",
+                left=ColumnRef(
+                    column=fk.column.lower(), table=fk.table.lower()
+                ),
+                right=ColumnRef(
+                    column=fk.ref_column.lower(), table=fk.ref_table.lower()
+                ),
+            )
+            from_clause = Join(
+                left=from_clause,
+                right=TableRef(name=lowered),
+                kind="inner",
+                condition=condition,
+            )
+            seen.add(lowered)
+
+        if isinstance(from_clause, Join):
+            qualify = _Qualifier(main.name.lower())
+            items = [
+                SelectItem(expr=qualify(i.expr), alias=i.alias) for i in items
+            ]
+            where = qualify(where) if where is not None else None
+            if group_ref is not None:
+                group_ref = qualify(group_ref)
+            order_by = tuple(
+                OrderItem(expr=qualify(o.expr), descending=o.descending)
+                for o in order_by
+            )
+
+        return Select(
+            items=tuple(items),
+            from_=from_clause,
+            where=where,
+            group_by=(group_ref,) if group_ref is not None else (),
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )

@@ -1,0 +1,136 @@
+"""Minimal learners used by the neural-stage parsers.
+
+Two numpy models, trained by plain minibatch SGD:
+
+- :class:`SoftmaxClassifier` — multinomial logistic regression, used for
+  sketch-bit prediction (aggregate choice, clause presence, set-op type);
+- :class:`LinearRanker` — a pairwise hinge-loss ranker over feature
+  vectors, used for table and column scoring (a linear stand-in for the
+  attention-based pointer scorers of the surveyed models).
+
+Both are deterministic given their seed and expose ``state_dict`` /
+``load_state`` so the PLM stage can pretrain, snapshot, and fine-tune.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SoftmaxClassifier:
+    """Multinomial logistic regression with L2 regularization."""
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        learning_rate: float = 1.0,
+        l2: float = 1e-5,
+        epochs: int = 60,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        self.weights = np.zeros((num_features, num_classes), dtype=np.float32)
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """Train on (N, F) features and (N,) integer labels."""
+        if len(features) == 0:
+            return
+        rng = np.random.default_rng(self.seed)
+        n = len(features)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                x = features[batch]
+                y = labels[batch]
+                probs = self._softmax(x @ self.weights)
+                grad = x.T @ (probs - _one_hot(y, self.weights.shape[1]))
+                grad /= len(batch)
+                grad += self.l2 * self.weights
+                self.weights -= self.learning_rate * grad
+
+    def predict(self, features: np.ndarray) -> int:
+        return int(np.argmax(features @ self.weights))
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return self._softmax(features @ self.weights)
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        logits = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def state_dict(self) -> dict:
+        return {"weights": self.weights.copy()}
+
+    def load_state(self, state: dict) -> None:
+        self.weights = state["weights"].copy()
+
+
+class LinearRanker:
+    """Pairwise hinge-loss ranker: score(x) = w·x, gold above negatives."""
+
+    def __init__(
+        self,
+        num_features: int,
+        learning_rate: float = 0.2,
+        l2: float = 1e-4,
+        epochs: int = 10,
+        margin: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        self.weights = np.zeros(num_features, dtype=np.float32)
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.epochs = epochs
+        self.margin = margin
+        self.seed = seed
+
+    def fit(self, groups: list[tuple[np.ndarray, int]]) -> None:
+        """Train on groups of (candidate feature matrix, gold row index)."""
+        if not groups:
+            return
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.epochs):
+            for index in rng.permutation(len(groups)):
+                candidates, gold = groups[index]
+                if len(candidates) < 2:
+                    continue
+                scores = candidates @ self.weights
+                gold_score = scores[gold]
+                for row in range(len(candidates)):
+                    if row == gold:
+                        continue
+                    if scores[row] + self.margin > gold_score:
+                        update = self.learning_rate * (
+                            candidates[gold] - candidates[row]
+                        )
+                        self.weights += update
+                        self.weights -= (
+                            self.learning_rate * self.l2 * self.weights
+                        )
+
+    def score(self, candidates: np.ndarray) -> np.ndarray:
+        return candidates @ self.weights
+
+    def best(self, candidates: np.ndarray) -> int:
+        return int(np.argmax(self.score(candidates)))
+
+    def state_dict(self) -> dict:
+        return {"weights": self.weights.copy()}
+
+    def load_state(self, state: dict) -> None:
+        self.weights = state["weights"].copy()
+
+
+def _one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    out = np.zeros((len(labels), num_classes), dtype=np.float32)
+    out[np.arange(len(labels)), labels] = 1.0
+    return out

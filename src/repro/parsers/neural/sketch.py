@@ -1,0 +1,45 @@
+"""Sketch-based slot-filling parser (SQLNet / TypeSQL lineage).
+
+SQLNet fixed a single-table SQL sketch — ``SELECT $AGG $COL FROM $TABLE
+WHERE $COL $OP $VALUE (AND ...)`` — and predicted each slot independently.
+This parser is exactly that output space: the grammar parser's machinery
+restricted to one table, no grouping/ordering/nesting/set operations.
+
+The restriction is the point: on WikiSQL-like data the sketch covers the
+whole benchmark and the parser performs well; on Spider-like data most
+queries fall outside the sketch, reproducing why Table 2 reports SQLNet
+and its descendants on WikiSQL only.  ``TypeSQL``'s improvement — value
+linking against database content — corresponds to the ``value_link``
+feature flag.
+"""
+
+from __future__ import annotations
+
+from repro.parsers.base import NEURAL
+from repro.parsers.neural.features import FeatureConfig
+from repro.parsers.neural.grammar import GrammarNeuralParser
+
+
+class SketchParser(GrammarNeuralParser):
+    """Single-table sketch filler; see module docstring."""
+
+    stage = NEURAL
+
+    supports_join = False
+    supports_group = False
+    supports_order = False
+    supports_nested = False
+    supports_setop = False
+
+    def __init__(
+        self,
+        config: FeatureConfig | None = None,
+        name: str = "sketch slot-filling parser",
+        year: int = 2017,
+        seed: int = 0,
+        epochs: int = 60,
+    ) -> None:
+        config = config or FeatureConfig(graph=False)
+        super().__init__(
+            config=config, name=name, year=year, seed=seed, epochs=epochs
+        )

@@ -1,0 +1,312 @@
+"""Gold slot extraction: reading training targets off gold SQL ASTs.
+
+The neural-stage models are trained on *slots* — the sketch bits and role
+fillers that the surveyed sketch/grammar decoders predict.  This module
+maps a gold query AST to its :class:`GoldSlots`, the supervision used by
+:mod:`repro.parsers.neural.sketch` and :mod:`repro.parsers.neural.grammar`.
+Queries outside the sketch space (deep nesting beyond one level, arbitrary
+expressions) yield ``None`` and are skipped during training — mirroring how
+sketch-based systems define their output space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.values import Value
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InSubquery,
+    Like,
+    Literal,
+    Query,
+    ScalarSubquery,
+    Select,
+    SetOperation,
+    Star,
+    from_tables,
+)
+
+#: aggregate classes, index = classifier label
+AGG_CLASSES = ("none", "count", "avg", "sum", "min", "max")
+
+#: condition kinds
+COND_COMPARE = "compare"
+COND_LIKE = "like"
+COND_BETWEEN = "between"
+COND_AVG = "avg_compare"
+
+#: set-op classes, index = classifier label
+SETOP_CLASSES = ("none", "union", "intersect", "except")
+
+#: comparison operators, index = classifier label
+OP_CLASSES = ("=", ">", "<", ">=", "<=", "<>")
+
+
+@dataclass
+class GoldCondition:
+    """One WHERE conjunct in slot form."""
+
+    kind: str
+    column: tuple[str | None, str]  # (table or None, column)
+    op: str = "="
+    value: Value = None
+    low: Value = None
+    high: Value = None
+    substring: str = ""
+
+
+@dataclass
+class GoldSlots:
+    """The complete slot decomposition of one gold query."""
+
+    main_table: str
+    projection: list[tuple[str | None, str]] = field(default_factory=list)
+    agg: str = "none"
+    agg_column: tuple[str | None, str] | None = None
+    conditions: list[GoldCondition] = field(default_factory=list)
+    group: tuple[str | None, str] | None = None
+    having_min: int | None = None
+    order: tuple[str | None, str] | None = None
+    order_desc: bool = False
+    limit: int | None = None
+    distinct: bool = False
+    set_op: str = "none"
+    second_conditions: list[GoldCondition] = field(default_factory=list)
+    nested_table: str | None = None
+    nested_conditions: list[GoldCondition] = field(default_factory=list)
+    join_tables: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # sketch bits (classifier targets)
+    # ------------------------------------------------------------------
+    def agg_label(self) -> int:
+        return AGG_CLASSES.index(self.agg)
+
+    def group_label(self) -> int:
+        return int(self.group is not None)
+
+    def order_label(self) -> int:
+        if self.order is None:
+            return 0
+        return 2 if self.order_desc else 1
+
+    def limit_label(self) -> int:
+        return int(self.limit is not None)
+
+    def conds_label(self) -> int:
+        return min(len(self.conditions), 2)
+
+    def cond_kind_label(self) -> int:
+        kinds = (COND_COMPARE, COND_LIKE, COND_BETWEEN, COND_AVG)
+        if not self.conditions:
+            return 0
+        return kinds.index(self.conditions[0].kind)
+
+    def setop_label(self) -> int:
+        return SETOP_CLASSES.index(self.set_op)
+
+    def nested_label(self) -> int:
+        return int(self.nested_table is not None)
+
+    def distinct_label(self) -> int:
+        return int(self.distinct)
+
+
+def extract_slots(query: Query) -> GoldSlots | None:
+    """Decompose *query* into :class:`GoldSlots`, or None when outside the
+    sketch space."""
+    set_op = "none"
+    second: list[GoldCondition] = []
+    if isinstance(query, SetOperation):
+        if isinstance(query.left, SetOperation) or isinstance(
+            query.right, SetOperation
+        ):
+            return None
+        set_op = "union" if query.op == "union all" else query.op
+        right = query.right
+        if not isinstance(right, Select) or right.where is None:
+            return None
+        second = _extract_conditions(right.where)
+        if second is None:
+            return None
+        query = query.left
+    if not isinstance(query, Select):
+        return None
+
+    tables = [ref.name.lower() for ref in from_tables(query.from_)]
+    if not tables:
+        return None
+    slots = GoldSlots(main_table=tables[0])
+    slots.join_tables = tables[1:]
+    slots.set_op = set_op
+    slots.second_conditions = second
+    slots.distinct = query.distinct
+    slots.limit = query.limit
+
+    # projection / aggregate
+    for item in query.items:
+        expr = item.expr
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            slots.agg = expr.name.lower()
+            if expr.args and isinstance(expr.args[0], ColumnRef):
+                slots.agg_column = _colref(expr.args[0])
+            elif expr.args and isinstance(expr.args[0], Star):
+                slots.agg_column = None
+            else:
+                return None
+        elif isinstance(expr, ColumnRef):
+            slots.projection.append(_colref(expr))
+        elif isinstance(expr, Star):
+            slots.projection.append((None, "*"))
+        else:
+            return None
+
+    # group by
+    if query.group_by:
+        if len(query.group_by) != 1 or not isinstance(
+            query.group_by[0], ColumnRef
+        ):
+            return None
+        slots.group = _colref(query.group_by[0])
+        # group column is projected first by convention; drop the duplicate
+        if slots.projection and slots.projection[0] == slots.group:
+            slots.projection = slots.projection[1:]
+
+    # having (only the COUNT(*) >= n form)
+    if query.having is not None:
+        having = query.having
+        if (
+            isinstance(having, BinaryOp)
+            and having.op == ">="
+            and isinstance(having.left, FuncCall)
+            and having.left.name.lower() == "count"
+            and isinstance(having.right, Literal)
+            and isinstance(having.right.value, int)
+        ):
+            slots.having_min = having.right.value
+        else:
+            return None
+
+    # order by
+    if query.order_by:
+        if len(query.order_by) != 1 or not isinstance(
+            query.order_by[0].expr, ColumnRef
+        ):
+            return None
+        slots.order = _colref(query.order_by[0].expr)
+        slots.order_desc = query.order_by[0].descending
+        # the ordered column often also appears in the projection; keep both
+
+    # where
+    if query.where is not None:
+        extracted = _extract_where(query.where, slots)
+        if extracted is None:
+            return None
+    return slots
+
+
+def _extract_where(expr, slots: GoldSlots) -> bool | None:
+    conjuncts = _flatten_and(expr)
+    for conjunct in conjuncts:
+        if isinstance(conjunct, InSubquery):
+            nested = _extract_nested(conjunct)
+            if nested is None:
+                return None
+            slots.nested_table, slots.nested_conditions = nested
+            continue
+        condition = _extract_condition(conjunct)
+        if condition is None:
+            return None
+        slots.conditions.append(condition)
+    return True
+
+
+def _extract_conditions(expr) -> list[GoldCondition] | None:
+    out = []
+    for conjunct in _flatten_and(expr):
+        condition = _extract_condition(conjunct)
+        if condition is None:
+            return None
+        out.append(condition)
+    return out
+
+
+def _extract_condition(expr) -> GoldCondition | None:
+    if isinstance(expr, BinaryOp) and expr.op in OP_CLASSES:
+        if not isinstance(expr.left, ColumnRef):
+            return None
+        if isinstance(expr.right, Literal):
+            return GoldCondition(
+                kind=COND_COMPARE,
+                column=_colref(expr.left),
+                op=expr.op,
+                value=expr.right.value,
+            )
+        if isinstance(expr.right, ScalarSubquery):
+            inner = expr.right.query
+            if (
+                isinstance(inner, Select)
+                and len(inner.items) == 1
+                and isinstance(inner.items[0].expr, FuncCall)
+                and inner.items[0].expr.name.lower() == "avg"
+            ):
+                return GoldCondition(
+                    kind=COND_AVG, column=_colref(expr.left), op=expr.op
+                )
+        return None
+    if isinstance(expr, Like):
+        if not isinstance(expr.expr, ColumnRef) or not isinstance(
+            expr.pattern, Literal
+        ):
+            return None
+        pattern = str(expr.pattern.value)
+        return GoldCondition(
+            kind=COND_LIKE,
+            column=_colref(expr.expr),
+            substring=pattern.strip("%"),
+        )
+    if isinstance(expr, Between):
+        if (
+            isinstance(expr.expr, ColumnRef)
+            and isinstance(expr.low, Literal)
+            and isinstance(expr.high, Literal)
+        ):
+            return GoldCondition(
+                kind=COND_BETWEEN,
+                column=_colref(expr.expr),
+                low=expr.low.value,
+                high=expr.high.value,
+            )
+    return None
+
+
+def _extract_nested(
+    expr: InSubquery,
+) -> tuple[str, list[GoldCondition]] | None:
+    inner = expr.query
+    if not isinstance(inner, Select) or inner.where is None:
+        return None
+    tables = from_tables(inner.from_)
+    if len(tables) != 1:
+        return None
+    conditions = _extract_conditions(inner.where)
+    if conditions is None:
+        return None
+    return tables[0].name.lower(), conditions
+
+
+def _flatten_and(expr) -> list:
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return _flatten_and(expr.left) + _flatten_and(expr.right)
+    return [expr]
+
+
+def _colref(ref: ColumnRef) -> tuple[str | None, str]:
+    return (
+        ref.table.lower() if ref.table else None,
+        ref.column.lower(),
+    )

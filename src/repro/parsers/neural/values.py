@@ -1,0 +1,142 @@
+"""Value candidate extraction (the copy/pointer mechanism, rule edition).
+
+Neural Text-to-SQL models copy condition values out of the question with
+pointer networks; TypeSQL additionally matched question spans against
+database content ("type-aware value linking").  This module provides both
+channels as deterministic candidate extraction:
+
+- numeric literals (with guards so LIMIT/HAVING numbers are not consumed
+  as condition values);
+- quoted substrings (LIKE patterns);
+- database value linking — question spans matching stored cell values,
+  returning the *stored* casing (available only to configurations with
+  ``value_link``, reproducing the TypeSQL/BRIDGE advantage);
+- capitalized-span fallback for configurations without value linking.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.data.database import Database
+from repro.data.values import Value
+
+
+@dataclass
+class ValueCandidate:
+    """One potential condition value found in the question."""
+
+    value: Value
+    position: int
+    numeric: bool
+
+
+_NUMBER_RE = re.compile(r"\b\d+(?:\.\d+)?\b")
+_QUOTED_RE = re.compile(r"'([^']+)'")
+#: numbers in these contexts belong to LIMIT / HAVING, not conditions
+_RESERVED_BEFORE = re.compile(r"(?:top|bottom|least)\s*$", re.IGNORECASE)
+_RESERVED_AFTER = re.compile(r"^\s*entries", re.IGNORECASE)
+
+
+def extract_numbers(question: str) -> list[ValueCandidate]:
+    """Numeric literals usable as condition values, in question order."""
+    out = []
+    for match in _NUMBER_RE.finditer(question):
+        before = question[: match.start()]
+        after = question[match.end():]
+        if _RESERVED_BEFORE.search(before) or _RESERVED_AFTER.search(after):
+            continue
+        text = match.group()
+        value: Value = float(text) if "." in text else int(text)
+        out.append(
+            ValueCandidate(value=value, position=match.start(), numeric=True)
+        )
+    return out
+
+
+def extract_quoted(question: str) -> list[ValueCandidate]:
+    """Quoted substrings (LIKE patterns and explicit string values)."""
+    return [
+        ValueCandidate(value=m.group(1), position=m.start(), numeric=False)
+        for m in _QUOTED_RE.finditer(question)
+    ]
+
+
+def extract_reserved_number(question: str, cue: str) -> int | None:
+    """The number following a reserved cue ("top 3", "at least 2")."""
+    match = re.search(
+        re.escape(cue) + r"\s+(\d+)", question, flags=re.IGNORECASE
+    )
+    if match:
+        return int(match.group(1))
+    return None
+
+
+def extract_db_strings(
+    question: str, db: Database, max_cells: int = 4000
+) -> list[ValueCandidate]:
+    """Question spans matching stored cell values, with stored casing."""
+    lowered = question.lower()
+    out: list[ValueCandidate] = []
+    seen: set[str] = set()
+    scanned = 0
+    for table in db.tables.values():
+        for row in table.rows:
+            for value in row:
+                scanned += 1
+                if scanned > max_cells:
+                    return _sorted(out)
+                if not isinstance(value, str) or len(value) < 2:
+                    continue
+                key = value.lower()
+                if key in seen:
+                    continue
+                position = lowered.find(key)
+                if position >= 0:
+                    seen.add(key)
+                    out.append(
+                        ValueCandidate(
+                            value=value, position=position, numeric=False
+                        )
+                    )
+    return _sorted(out)
+
+
+_CAPITALIZED_RE = re.compile(r"\b([A-Z][a-zA-Z]+(?:\s+[A-Z][a-zA-Z0-9]+)*)\b")
+
+
+def extract_capitalized(question: str) -> list[ValueCandidate]:
+    """Capitalized spans as string-value guesses (no-value-link fallback).
+
+    The question-initial word is skipped — it is the opener, not a value.
+    """
+    out = []
+    for match in _CAPITALIZED_RE.finditer(question):
+        if match.start() == 0:
+            continue
+        out.append(
+            ValueCandidate(
+                value=match.group(1), position=match.start(), numeric=False
+            )
+        )
+    return out
+
+
+def string_candidates(
+    question: str, db: Database | None, value_link: bool
+) -> list[ValueCandidate]:
+    """The string-value channel for one configuration."""
+    if value_link and db is not None:
+        linked = extract_db_strings(question, db)
+        if linked:
+            return linked
+    return extract_capitalized(question)
+
+
+def _sorted(candidates: list[ValueCandidate]) -> list[ValueCandidate]:
+    # prefer longer matches at equal positions (more specific values)
+    return sorted(
+        candidates,
+        key=lambda c: (c.position, -len(str(c.value))),
+    )

@@ -1,0 +1,267 @@
+"""Weakly supervised learning from denotations (survey Section 6.3).
+
+The survey's "advanced learning methods" direction: reduce the reliance on
+gold SQL annotations by learning from *weak* signals.  This module
+implements the classic denotation-supervision recipe (hard-EM style, in
+the lineage of weakly supervised semantic parsing):
+
+1. the trainer sees only (question, answer rows) pairs — never gold SQL;
+2. a weight-free candidate enumerator proposes queries from lexical
+   overlap, cue words, and pointer values (the searcher's inductive bias);
+3. candidates whose execution matches the denotation become pseudo-gold
+   (ties broken by query simplicity — an Occam prior);
+4. the standard grammar parser trains on the pseudo-gold corpus.
+
+On our benchmarks the weakly supervised parser recovers most of the fully
+supervised accuracy (see ``tests/test_parsers_weak.py``), the survey's
+motivating claim for the direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.database import Database
+from repro.data.schema import ColumnType, Schema, TableSchema
+from repro.data.values import Value
+from repro.datasets.base import Example
+from repro.errors import SQLError
+from repro.metrics.execution import results_equal
+from repro.parsers.base import NEURAL
+from repro.parsers.neural.grammar import GrammarNeuralParser
+from repro.parsers.neural.values import (
+    extract_numbers,
+    string_candidates,
+)
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Query,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.executor import execute
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+
+
+@dataclass(frozen=True)
+class Denotation:
+    """One weak training signal: a question and its answer rows."""
+
+    question: str
+    db_id: str
+    rows: tuple[tuple[Value, ...], ...]
+
+    @classmethod
+    def from_example(cls, example: Example, db: Database) -> "Denotation":
+        """Derive the denotation by executing the gold — the trainer then
+        only ever sees the rows, never the SQL."""
+        result = execute(parse_sql(example.sql), db)
+        return cls(
+            question=example.question,
+            db_id=example.db_id,
+            rows=tuple(result.rows),
+        )
+
+
+_AGG_CUES = {
+    "count": ("how many", "number of", "count of"),
+    "avg": ("average", "mean", "typical"),
+    "sum": ("total", "sum", "combined"),
+    "min": ("minimum", "lowest", "smallest"),
+    "max": ("maximum", "highest", "largest"),
+}
+
+_GROUP_CUES = ("each", "per", "grouped by", "broken down by")
+
+
+def enumerate_candidates(
+    question: str,
+    schema: Schema,
+    db: Database,
+    limit: int = 300,
+) -> list[Query]:
+    """Weight-free candidate search over the query space.
+
+    No learned parameters: tables/columns come from lexical overlap with
+    the question, aggregates from cue words, values from the pointer
+    channels.  The enumeration order is simplest-first so the Occam tie
+    break falls out of taking the first denotation match.
+    """
+    lowered = question.lower()
+    tables = _mentioned_tables(lowered, schema) or list(schema.tables)
+    numbers = [c.value for c in extract_numbers(question)]
+    strings = [
+        c.value for c in string_candidates(question, db, value_link=True)
+    ]
+
+    aggs = [
+        func
+        for func, cues in _AGG_CUES.items()
+        if any(cue in lowered for cue in cues)
+    ]
+    wants_group = any(cue in lowered for cue in _GROUP_CUES)
+
+    candidates: list[Query] = []
+    for table in tables[:2]:
+        overlap_columns = _overlap_columns(lowered, table)
+        projections = overlap_columns or [table.columns[0]]
+        condition_columns = list(table.columns)
+
+        heads: list[tuple[SelectItem, ...]] = []
+        if aggs:
+            for func in aggs:
+                if func == "count":
+                    heads.append(
+                        (SelectItem(expr=FuncCall("count", (Star(),))),)
+                    )
+                else:
+                    for column in table.columns:
+                        if column.type is not ColumnType.NUMBER:
+                            continue
+                        heads.append(
+                            (
+                                SelectItem(
+                                    expr=FuncCall(
+                                        func,
+                                        (ColumnRef(column.name.lower()),),
+                                    )
+                                ),
+                            )
+                        )
+        else:
+            for column in projections[:3]:
+                heads.append(
+                    (SelectItem(expr=ColumnRef(column.name.lower())),)
+                )
+
+        group_columns = (
+            [
+                c
+                for c in table.columns
+                if c.type is ColumnType.TEXT
+            ][:3]
+            if wants_group
+            else [None]
+        )
+
+        for head in heads:
+            for group in group_columns:
+                items = head
+                group_by = ()
+                if group is not None:
+                    group_ref = ColumnRef(group.name.lower())
+                    items = (SelectItem(expr=group_ref),) + head
+                    group_by = (group_ref,)
+                base = Select(
+                    items=items,
+                    from_=TableRef(name=table.name.lower()),
+                    group_by=group_by,
+                )
+                candidates.append(base)
+                for column in condition_columns:
+                    values: list[Value]
+                    ops: tuple[str, ...]
+                    if column.type is ColumnType.NUMBER:
+                        values = numbers
+                        ops = ("=", ">", "<", ">=", "<=")
+                    else:
+                        values = strings
+                        ops = ("=",)
+                    for value in values[:3]:
+                        for op in ops:
+                            condition = BinaryOp(
+                                op=op,
+                                left=ColumnRef(column.name.lower()),
+                                right=_literal(value),
+                            )
+                            candidates.append(
+                                Select(
+                                    items=items,
+                                    from_=TableRef(name=table.name.lower()),
+                                    where=condition,
+                                    group_by=group_by,
+                                )
+                            )
+                            if len(candidates) >= limit:
+                                return candidates
+    return candidates
+
+
+class WeaklySupervisedParser(GrammarNeuralParser):
+    """Grammar parser trained from denotations only."""
+
+    stage = NEURAL
+    name = "weakly supervised parser"
+    year = 2021
+
+    def train_from_denotations(
+        self,
+        denotations: list[Denotation],
+        databases: dict[str, Database],
+    ) -> None:
+        """Hard-EM training: search → pseudo-label → supervised fit."""
+        pseudo: list[Example] = []
+        self.search_hits = 0
+        for signal in denotations:
+            db = databases.get(signal.db_id)
+            if db is None:
+                continue
+            match = self._search(signal, db)
+            if match is None:
+                continue
+            self.search_hits += 1
+            pseudo.append(
+                Example(
+                    question=signal.question,
+                    db_id=signal.db_id,
+                    sql=to_sql(match),
+                )
+            )
+        self.pseudo_corpus = pseudo
+        super().train(pseudo, databases)
+
+    def _search(self, signal: Denotation, db: Database) -> Query | None:
+        from repro.sql.executor import Result
+
+        target = Result(columns=[], rows=list(signal.rows), ordered=False)
+        for candidate in enumerate_candidates(
+            signal.question, db.schema, db
+        ):
+            try:
+                result = execute(candidate, db)
+            except SQLError:
+                continue
+            if results_equal(result, target):
+                return candidate
+        return None
+
+
+# ----------------------------------------------------------------------
+def _mentioned_tables(lowered: str, schema: Schema) -> list[TableSchema]:
+    out = []
+    for table in schema.tables:
+        for mention in table.mentions():
+            variants = (mention, mention.rstrip("s"))
+            if any(v in lowered for v in variants):
+                out.append(table)
+                break
+    return out
+
+
+def _overlap_columns(lowered: str, table: TableSchema):
+    out = []
+    for column in table.columns:
+        if any(mention in lowered for mention in column.mentions()):
+            out.append(column)
+    return out
+
+
+def _literal(value: Value):
+    from repro.sql.ast import Literal
+
+    return Literal(value)

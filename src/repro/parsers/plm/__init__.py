@@ -1,0 +1,13 @@
+"""PLM-stage parsers: pretrain-then-finetune (survey Section 4.1.3).
+
+The pretrained-language-model stage differs from the neural stage in two
+reproducible ways: (1) models arrive with *pretraining* — TaBERT/Grappa/GAP
+additionally pretrain on synthesized question-SQL pairs over tables, which
+is exactly what :class:`~repro.parsers.plm.pretrained.PLMParser` does with
+a self-generated cross-domain corpus; and (2) pretrained representations
+carry lexical world knowledge, modelled by world-knowledge schema linking.
+"""
+
+from repro.parsers.plm.pretrained import PLMParser, make_pretraining_corpus
+
+__all__ = ["PLMParser", "make_pretraining_corpus"]

@@ -1,0 +1,194 @@
+"""Keyword/rule-based parser: the traditional-stage representative.
+
+PRECISE (2004) assumed a one-to-one correspondence between question words
+and database elements; NaLIR (2014) matched parse-tree nodes to schema
+elements with hand-written rules.  This parser reproduces the family's
+essential character: a fixed set of keyword templates over *exact* schema
+names (no synonym lexicon, no learned robustness), covering projections,
+one comparison condition, and the four aggregates.
+
+Its documented strengths and weaknesses (Table 4 of the survey) follow
+directly: it is precise and predictable on in-template phrasings and
+collapses on anything else — paraphrases, synonyms, joins, grouping,
+nesting all fall outside its rule set.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.data.schema import ColumnType, Schema, TableSchema
+from repro.errors import NLParseError
+from repro.parsers.base import ParseRequest, ParseResult, Parser, TRADITIONAL
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+)
+
+#: The only operator phrasings the rules recognize (canonical forms only).
+_RULE_OPS = (
+    ("is greater than", ">"),
+    ("is less than", "<"),
+    ("is at least", ">="),
+    ("is at most", "<="),
+    ("is not", "<>"),
+    ("equals", "="),
+    ("is", "="),
+)
+
+#: The only aggregate keywords the rules recognize.
+_RULE_AGGS = (
+    ("how many", "count"),
+    ("the number of", "count"),
+    ("the average", "avg"),
+    ("the total", "sum"),
+    ("the minimum", "min"),
+    ("the maximum", "max"),
+)
+
+
+class KeywordRuleParser(Parser):
+    """See module docstring."""
+
+    name = "keyword rule parser"
+    stage = TRADITIONAL
+    year = 2004
+
+    def parse(self, request: ParseRequest) -> ParseResult:
+        try:
+            query = self._parse(request.question, request.schema)
+        except NLParseError as exc:
+            return ParseResult(query=None, notes=str(exc))
+        return ParseResult(query=query, candidates=[query], confidence=0.6)
+
+    # ------------------------------------------------------------------
+    def _parse(self, question: str, schema: Schema) -> Select:
+        text = question.strip().rstrip("?").strip()
+        lowered = text.lower()
+
+        table = self._find_table(lowered, schema)
+        if table is None:
+            raise NLParseError("no table keyword found")
+
+        agg = None
+        for phrase, func in _RULE_AGGS:
+            if phrase in lowered:
+                agg = func
+                break
+
+        where = self._find_condition(lowered, table)
+
+        if agg == "count":
+            items = (SelectItem(expr=FuncCall(name="count", args=(Star(),))),)
+        elif agg is not None:
+            column = self._column_after_agg(lowered, agg, table)
+            if column is None:
+                raise NLParseError("aggregate column not found")
+            items = (
+                SelectItem(
+                    expr=FuncCall(
+                        name=agg, args=(ColumnRef(column=column.lower()),)
+                    )
+                ),
+            )
+        else:
+            columns = self._projection_columns(lowered, table)
+            if not columns:
+                raise NLParseError("no projection columns found")
+            items = tuple(
+                SelectItem(expr=ColumnRef(column=c.lower())) for c in columns
+            )
+
+        return Select(
+            items=items,
+            from_=TableRef(name=table.name.lower()),
+            where=where,
+        )
+
+    # ------------------------------------------------------------------
+    def _find_table(self, lowered: str, schema: Schema) -> TableSchema | None:
+        # exact table-name match only (with a naive plural fallback)
+        best: TableSchema | None = None
+        best_pos = len(lowered) + 1
+        for table in schema.tables:
+            name = table.name.lower().replace("_", " ")
+            for variant in (name, name.rstrip("s"), name + "s"):
+                pos = lowered.find(variant)
+                if 0 <= pos < best_pos:
+                    best, best_pos = table, pos
+        return best
+
+    def _projection_columns(
+        self, lowered: str, table: TableSchema
+    ) -> list[str]:
+        found: list[tuple[int, str]] = []
+        for column in table.columns:
+            name = column.name.lower().replace("_", " ")
+            pos = lowered.find(name)
+            if pos >= 0:
+                found.append((pos, column.name))
+        found.sort()
+        # columns mentioned inside the condition clause are not projections
+        condition_start = lowered.find(" whose ")
+        if condition_start >= 0:
+            found = [f for f in found if f[0] < condition_start]
+        return [name for _, name in found]
+
+    def _column_after_agg(
+        self, lowered: str, agg: str, table: TableSchema
+    ) -> str | None:
+        for column in table.columns:
+            if column.type is not ColumnType.NUMBER:
+                continue
+            name = column.name.lower().replace("_", " ")
+            if name in lowered:
+                return column.name
+        return None
+
+    def _find_condition(self, lowered: str, table: TableSchema):
+        index = lowered.find(" whose ")
+        if index < 0:
+            return None
+        clause = lowered[index + len(" whose "):]
+        for phrase, op in _RULE_OPS:
+            pattern = r"\b" + re.escape(phrase) + r"\b"
+            match = re.search(pattern, clause)
+            if not match:
+                continue
+            col_part = clause[: match.start()].strip()
+            val_part = clause[match.end():].strip().rstrip("?,. ")
+            column = None
+            for candidate in table.columns:
+                if candidate.name.lower().replace("_", " ") in col_part:
+                    column = candidate
+                    break
+            if column is None or not val_part:
+                continue
+            value = _rule_value(val_part)
+            return BinaryOp(
+                op=op,
+                left=ColumnRef(column=column.name.lower()),
+                right=Literal(value),
+            )
+        raise NLParseError("condition outside rule templates")
+
+
+def _rule_value(text: str):
+    text = text.strip().strip("'\"")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    # the rule parser title-cases bare string values, an approximation that
+    # often misses the stored casing — a realistic rule-system failure mode
+    return text

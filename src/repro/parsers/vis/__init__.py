@@ -1,0 +1,30 @@
+"""Text-to-Vis parsers: one representative per surveyed family.
+
+- :class:`DataToneVisParser` — traditional template parsing (DataTone /
+  NL4DV lineage, 2015-2021);
+- :class:`Seq2VisParser` — seq2seq-era neural parser (Seq2Vis, 2021):
+  single-table sketch space, which is why its nvBench overall accuracy is
+  the lowest of the neural family;
+- :class:`NcNetParser` — transformer-era neural parser (ncNet, 2022):
+  grammar decoding without graph features;
+- :class:`RGVisNetParser` — retrieval-then-revision (RGVisNet, 2022):
+  delexicalized VQL skeleton retrieval plus learned slot filling;
+- :class:`Chat2VisParser` / :class:`NL2InterfaceParser` — LLM prompting
+  (Chat2VIS zero-shot; NL2INTERFACE few-shot), 2022-2023.
+"""
+
+from repro.parsers.vis.base import VisParser
+from repro.parsers.vis.llm import Chat2VisParser, NL2InterfaceParser
+from repro.parsers.vis.neural import NcNetParser, Seq2VisParser
+from repro.parsers.vis.retrieval import RGVisNetParser
+from repro.parsers.vis.rule import DataToneVisParser
+
+__all__ = [
+    "Chat2VisParser",
+    "DataToneVisParser",
+    "NL2InterfaceParser",
+    "NcNetParser",
+    "RGVisNetParser",
+    "Seq2VisParser",
+    "VisParser",
+]

@@ -1,0 +1,76 @@
+"""SQL substrate: a from-scratch SQL subset engine.
+
+This package implements the execution substrate every surveyed Text-to-SQL
+approach depends on: a lexer, a recursive-descent parser producing a typed
+AST, an unparser back to canonical SQL text, a schema-aware analyzer, an
+in-memory executor with SQL NULL semantics, a normalizer, and the
+Spider-style component decomposition used by the exact-set-match metric.
+
+The supported dialect is the Spider SQL subset: ``SELECT`` (with ``DISTINCT``
+and arithmetic/aggregate expressions), ``FROM`` with inner/left joins,
+``WHERE`` with three-valued boolean logic, ``IN``/``LIKE``/``BETWEEN``/
+``IS NULL``/``EXISTS`` predicates and nested subqueries, ``GROUP BY`` /
+``HAVING``, ``ORDER BY`` / ``LIMIT``, and the set operations ``UNION`` /
+``UNION ALL`` / ``INTERSECT`` / ``EXCEPT``.
+"""
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    SetOperation,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.components import classify_hardness, decompose
+from repro.sql.executor import execute
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.normalize import normalize_sql
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+
+__all__ = [
+    "Between",
+    "BinaryOp",
+    "ColumnRef",
+    "Exists",
+    "FuncCall",
+    "InList",
+    "InSubquery",
+    "IsNull",
+    "Join",
+    "Like",
+    "Literal",
+    "OrderItem",
+    "Query",
+    "ScalarSubquery",
+    "Select",
+    "SelectItem",
+    "SetOperation",
+    "Star",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "UnaryOp",
+    "classify_hardness",
+    "decompose",
+    "execute",
+    "normalize_sql",
+    "parse_sql",
+    "to_sql",
+    "tokenize",
+]

@@ -1,0 +1,312 @@
+"""Spider-style component decomposition and query hardness classification.
+
+The exact-set-match metric of the Spider benchmark (Yu et al., 2018) does
+not compare SQL strings; it decomposes gold and predicted queries into
+per-clause component sets and compares those sets, so condition order and
+alias choice do not matter.  This module reproduces that decomposition on
+our AST, plus the four-level hardness classifier (easy / medium / hard /
+extra) used throughout the surveyed literature to stratify results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    Query,
+    ScalarSubquery,
+    Select,
+    SetOperation,
+    UnaryOp,
+    from_tables,
+    walk,
+)
+from repro.sql.normalize import normalize_query
+from repro.sql.unparser import to_sql
+
+HARDNESS_LEVELS = ("easy", "medium", "hard", "extra")
+
+
+@dataclass
+class Components:
+    """The per-clause component sets of one SELECT block.
+
+    Each entry is a canonical string rendering of one component, so plain
+    set comparison implements Spider's exact-set match.  ``nested`` holds
+    the decompositions of subqueries (IN/EXISTS/scalar) so matching is
+    recursive.
+    """
+
+    select: frozenset[str] = frozenset()
+    from_tables: frozenset[str] = frozenset()
+    where: frozenset[str] = frozenset()
+    group_by: frozenset[str] = frozenset()
+    having: frozenset[str] = frozenset()
+    order_by: tuple[str, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+    set_op: str | None = None
+    nested: tuple["Components", ...] = ()
+
+    def matches(self, other: "Components") -> bool:
+        """Spider-style exact set match between two decompositions."""
+        if (
+            self.select != other.select
+            or self.from_tables != other.from_tables
+            or self.where != other.where
+            or self.group_by != other.group_by
+            or self.having != other.having
+            or self.order_by != other.order_by
+            or self.limit != other.limit
+            or self.distinct != other.distinct
+            or self.set_op != other.set_op
+        ):
+            return False
+        if len(self.nested) != len(other.nested):
+            return False
+        unmatched = list(other.nested)
+        for sub in self.nested:
+            for index, candidate in enumerate(unmatched):
+                if sub.matches(candidate):
+                    del unmatched[index]
+                    break
+            else:
+                return False
+        return True
+
+    def partial_scores(self, other: "Components") -> dict[str, bool]:
+        """Per-clause match flags (Spider's partial component scores)."""
+        return {
+            "select": self.select == other.select,
+            "from": self.from_tables == other.from_tables,
+            "where": self.where == other.where,
+            "group_by": self.group_by == other.group_by,
+            "having": self.having == other.having,
+            "order_by": self.order_by == other.order_by,
+            "limit": self.limit == other.limit,
+        }
+
+
+def decompose(query: Query) -> Components:
+    """Decompose *query* into canonical component sets.
+
+    The query is normalized first so alias and casing differences vanish.
+    """
+    return _decompose(normalize_query(query))
+
+
+def _decompose(query: Query) -> Components:
+    if isinstance(query, SetOperation):
+        left = _decompose(query.left)
+        right = _decompose(query.right)
+        return Components(
+            select=left.select,
+            from_tables=left.from_tables,
+            where=left.where,
+            group_by=left.group_by,
+            having=left.having,
+            order_by=left.order_by,
+            limit=left.limit,
+            distinct=left.distinct,
+            set_op=query.op,
+            nested=left.nested + (right,),
+        )
+
+    select = query
+    nested: list[Components] = []
+    where_parts = (
+        _conjuncts(select.where) if select.where is not None else []
+    )
+    having_parts = (
+        _conjuncts(select.having) if select.having is not None else []
+    )
+    for expr in where_parts + having_parts:
+        for sub in _subqueries_of(expr):
+            nested.append(_decompose(sub))
+
+    return Components(
+        select=frozenset(to_sql(item.expr) for item in select.items),
+        from_tables=frozenset(ref.name.lower() for ref in from_tables(select.from_)),
+        where=frozenset(_condition_key(c) for c in where_parts),
+        group_by=frozenset(to_sql(e) for e in select.group_by),
+        having=frozenset(_condition_key(c) for c in having_parts),
+        order_by=tuple(
+            f"{to_sql(o.expr)} {'DESC' if o.descending else 'ASC'}"
+            for o in select.order_by
+        ),
+        limit=select.limit,
+        distinct=select.distinct,
+        nested=tuple(nested),
+    )
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten a boolean expression into its top-level AND conjuncts."""
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _condition_key(expr: Expr) -> str:
+    """Canonical text of one condition, with subqueries opaque.
+
+    Subqueries are replaced by a placeholder so their (recursive) match is
+    handled by ``nested`` rather than by string equality.
+    """
+    return to_sql(_mask_subqueries(expr))
+
+
+_PLACEHOLDER = Literal("<subquery>")
+
+
+def _mask_subqueries(expr: Expr) -> Expr:
+    if isinstance(expr, InSubquery):
+        return InList(
+            expr=_mask_subqueries(expr.expr),
+            items=(_PLACEHOLDER,),
+            negated=expr.negated,
+        )
+    if isinstance(expr, Exists):
+        return Like(expr=_PLACEHOLDER, pattern=_PLACEHOLDER, negated=expr.negated)
+    if isinstance(expr, ScalarSubquery):
+        return _PLACEHOLDER
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            op=expr.op,
+            left=_mask_subqueries(expr.left),
+            right=_mask_subqueries(expr.right),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(op=expr.op, operand=_mask_subqueries(expr.operand))
+    if isinstance(expr, Between):
+        return Between(
+            expr=_mask_subqueries(expr.expr),
+            low=_mask_subqueries(expr.low),
+            high=_mask_subqueries(expr.high),
+            negated=expr.negated,
+        )
+    if isinstance(expr, Like):
+        return Like(
+            expr=_mask_subqueries(expr.expr),
+            pattern=_mask_subqueries(expr.pattern),
+            negated=expr.negated,
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(expr=_mask_subqueries(expr.expr), negated=expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            expr=_mask_subqueries(expr.expr),
+            items=tuple(_mask_subqueries(i) for i in expr.items),
+            negated=expr.negated,
+        )
+    return expr
+
+
+def _subqueries_of(expr: Expr) -> list[Query]:
+    out: list[Query] = []
+    for node in walk(expr):
+        if isinstance(node, (InSubquery, Exists, ScalarSubquery)):
+            out.append(node.query)
+    return out
+
+
+def classify_hardness(query: Query) -> str:
+    """Classify *query* as easy / medium / hard / extra (Spider scheme).
+
+    The classifier counts SQL components in the style of the official
+    Spider evaluation script: the number of clause-level components
+    (WHERE, GROUP BY, ORDER BY, LIMIT, joins, OR/LIKE), the number of
+    "other" complexity markers (aggregates beyond the first, nesting, set
+    operations), and buckets the totals.
+    """
+    if isinstance(query, SetOperation):
+        # the official Spider classifier puts IUE queries at the top level
+        return "extra"
+    selects = [n for n in walk(query) if isinstance(n, Select)]
+    top = query
+
+    comp1 = _count_component1(top)
+    comp2 = _count_component2(top)
+    others = _count_others(query, top, selects)
+
+    if comp1 <= 1 and others == 0 and comp2 == 0:
+        return "easy"
+    if (others <= 2 and comp1 <= 1 and comp2 == 0) or (
+        comp1 <= 2 and others < 2 and comp2 == 0
+    ):
+        return "medium"
+    if (
+        (others > 2 and comp1 <= 2 and comp2 == 0)
+        or (2 < comp1 <= 3 and others <= 2 and comp2 == 0)
+        or (comp1 <= 1 and others == 0 and comp2 <= 1)
+    ):
+        return "hard"
+    return "extra"
+
+
+def _count_component1(select: Select) -> int:
+    """WHERE / GROUP BY / ORDER BY / LIMIT / JOIN / OR / LIKE markers."""
+    count = 0
+    if select.where is not None:
+        count += 1
+    if select.group_by:
+        count += 1
+    if select.order_by:
+        count += 1
+    if select.limit is not None:
+        count += 1
+    count += max(0, len(from_tables(select.from_)) - 1)  # joins
+    if select.where is not None:
+        for node in walk(select.where):
+            if isinstance(node, BinaryOp) and node.op == "or":
+                count += 1
+            if isinstance(node, Like):
+                count += 1
+    return count
+
+
+def _count_component2(select: Select) -> int:
+    """Nesting markers: subqueries inside WHERE/HAVING/FROM."""
+    count = 0
+    exprs: list[Expr] = []
+    if select.where is not None:
+        exprs.append(select.where)
+    if select.having is not None:
+        exprs.append(select.having)
+    for expr in exprs:
+        for node in walk(expr):
+            if isinstance(node, (InSubquery, Exists, ScalarSubquery)):
+                count += 1
+    return count
+
+
+def _count_others(query: Query, top: Select, selects: list[Select]) -> int:
+    """Extra complexity: many aggregates, many select items, many conditions,
+    many group-by columns, set operations."""
+    count = 0
+    agg = sum(
+        1
+        for node in walk(top)
+        if isinstance(node, FuncCall) and node.is_aggregate
+    )
+    if agg > 1:
+        count += 1
+    if len(top.items) > 1:
+        count += 1
+    if top.where is not None and len(_conjuncts(top.where)) > 1:
+        count += 1
+    if len(top.group_by) > 1:
+        count += 1
+    if isinstance(query, SetOperation):
+        count += 2
+    return count

@@ -1,0 +1,157 @@
+"""Tokenizer for the SQL subset.
+
+The lexer is a single forward pass over the input string.  It produces a
+list of :class:`Token` values ending with an EOF token, which simplifies
+lookahead in the parser.  Keywords are case-insensitive; identifiers keep
+their original spelling but compare case-insensitively downstream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words of the dialect.  Anything else alphabetic is an identifier.
+KEYWORDS = frozenset(
+    {
+        "select", "distinct", "from", "where", "group", "by", "having",
+        "order", "limit", "asc", "desc", "join", "inner", "left", "right",
+        "outer", "on", "as", "and", "or", "not", "in", "like", "between",
+        "is", "null", "exists", "union", "all", "intersect", "except",
+        "count", "sum", "avg", "min", "max", "case", "when", "then",
+        "else", "end", "true", "false",
+    }
+)
+
+#: Multi-character operators, checked before single-character ones.
+_TWO_CHAR_OPS = ("<>", "!=", ">=", "<=")
+_ONE_CHAR_OPS = "=<>+-*/%"
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` is the lowercase form for keywords and the literal text for
+    everything else; ``position`` is the character offset in the source.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, type_: TokenType, value: str | None = None) -> bool:
+        """Return True when the token has the given type (and value)."""
+        if self.type is not type_:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text* into a list of tokens terminated by an EOF token.
+
+    Raises :class:`~repro.errors.LexError` on unterminated strings or
+    characters outside the dialect's alphabet.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'" or ch == '"':
+            tokens.append(_read_string(text, i, ch))
+            # advance past: opening quote + body (with doubled quotes) + close
+            i = _string_end(text, i, ch)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            token, i = _read_number(text, i)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            token, i = _read_word(text, i)
+            tokens.append(token)
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(TokenType.OPERATOR, "<>" if two == "!=" else two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(TokenType.OPERATOR, ch, i))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _string_end(text: str, start: int, quote: str) -> int:
+    """Return the index just past the closing quote of a string literal."""
+    i = start + 1
+    n = len(text)
+    while i < n:
+        if text[i] == quote:
+            if i + 1 < n and text[i + 1] == quote:  # doubled quote escape
+                i += 2
+                continue
+            return i + 1
+        i += 1
+    raise LexError("unterminated string literal", start)
+
+
+def _read_string(text: str, start: int, quote: str) -> Token:
+    """Read a quoted string literal starting at *start*."""
+    end = _string_end(text, start, quote)
+    body = text[start + 1 : end - 1].replace(quote * 2, quote)
+    return Token(TokenType.STRING, body, start)
+
+
+def _read_number(text: str, start: int) -> tuple[Token, int]:
+    """Read an integer or decimal literal starting at *start*."""
+    i = start
+    n = len(text)
+    seen_dot = False
+    while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            # a dot not followed by a digit terminates the number (e.g. "1.x")
+            if i + 1 >= n or not text[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    return Token(TokenType.NUMBER, text[start:i], start), i
+
+
+def _read_word(text: str, start: int) -> tuple[Token, int]:
+    """Read an identifier or keyword starting at *start*."""
+    i = start
+    n = len(text)
+    while i < n and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    word = text[start:i]
+    lowered = word.lower()
+    if lowered in KEYWORDS:
+        return Token(TokenType.KEYWORD, lowered, start), i
+    return Token(TokenType.IDENTIFIER, word, start), i

@@ -1,0 +1,419 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (EBNF, informal)::
+
+    query      := select_core (set_op select_core)*
+    set_op     := UNION [ALL] | INTERSECT | EXCEPT
+    select_core:= SELECT [DISTINCT] items [FROM from] [WHERE expr]
+                  [GROUP BY exprs [HAVING expr]] [ORDER BY order] [LIMIT n]
+    from       := table_ref (join_kind JOIN table_ref [ON expr])*
+    expr       := or_expr          (precedence climbing below)
+
+Operator precedence, loosest first: OR, AND, NOT, predicates/comparisons,
+additive (+ -), multiplicative (* / %), unary minus, atoms.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    Expr,
+    FromClause,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Query,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    SetOperation,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+def parse_sql(text: str) -> Query:
+    """Parse *text* into a :data:`~repro.sql.ast.Query` AST.
+
+    Raises :class:`~repro.errors.ParseError` (or
+    :class:`~repro.errors.LexError`) on malformed input.  A trailing
+    semicolon is permitted.
+    """
+    parser = _Parser(tokenize(text))
+    query = parser.parse_query()
+    parser.accept_punct(";")
+    parser.expect_eof()
+    return query
+
+
+class _Parser:
+    """Token-stream cursor with the recursive-descent methods."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token-stream helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> str | None:
+        """Consume and return the keyword if the current token is one of *words*."""
+        if self.current.type is TokenType.KEYWORD and self.current.value in words:
+            return self.advance().value
+        return None
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise ParseError(
+                f"expected keyword {word.upper()!r}, found {self.current.value!r}",
+                self._pos,
+            )
+
+    def accept_punct(self, char: str) -> bool:
+        if self.current.matches(TokenType.PUNCT, char):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            raise ParseError(
+                f"expected {char!r}, found {self.current.value!r}", self._pos
+            )
+
+    def accept_operator(self, *ops: str) -> str | None:
+        if self.current.type is TokenType.OPERATOR and self.current.value in ops:
+            return self.advance().value
+        return None
+
+    def expect_eof(self) -> None:
+        if self.current.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input {self.current.value!r}", self._pos
+            )
+
+    def _peek_is_select(self) -> bool:
+        return self.current.matches(TokenType.KEYWORD, "select")
+
+    # ------------------------------------------------------------------
+    # query level
+    # ------------------------------------------------------------------
+    def parse_query(self) -> Query:
+        left: Query = self.parse_select_core()
+        while True:
+            op = self.accept_keyword("union", "intersect", "except")
+            if op is None:
+                return left
+            if op == "union" and self.accept_keyword("all"):
+                op = "union all"
+            right = self.parse_select_core()
+            left = SetOperation(op=op, left=left, right=right)
+
+    def parse_select_core(self) -> Select:
+        if self.accept_punct("("):
+            # parenthesized SELECT used as an operand of a set operation
+            inner = self.parse_query()
+            self.expect_punct(")")
+            if isinstance(inner, Select):
+                return inner
+            raise ParseError("set operations may not be parenthesized operands")
+        self.expect_keyword("select")
+        distinct = bool(self.accept_keyword("distinct"))
+        if self.accept_keyword("all"):
+            distinct = False
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+
+        from_ = None
+        if self.accept_keyword("from"):
+            from_ = self.parse_from()
+
+        where = self.parse_expr() if self.accept_keyword("where") else None
+
+        group_by: tuple[Expr, ...] = ()
+        having = None
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            exprs = [self.parse_expr()]
+            while self.accept_punct(","):
+                exprs.append(self.parse_expr())
+            group_by = tuple(exprs)
+            if self.accept_keyword("having"):
+                having = self.parse_expr()
+
+        order_by: tuple[OrderItem, ...] = ()
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            orders = [self.parse_order_item()]
+            while self.accept_punct(","):
+                orders.append(self.parse_order_item())
+            order_by = tuple(orders)
+
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.current
+            if token.type is not TokenType.NUMBER:
+                raise ParseError("LIMIT requires an integer literal", self._pos)
+            self.advance()
+            try:
+                limit = int(token.value)
+            except ValueError:
+                raise ParseError("LIMIT requires an integer literal", self._pos)
+
+        return Select(
+            items=tuple(items),
+            from_=from_,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self._expect_name()
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expr=expr, descending=descending)
+
+    def parse_from(self) -> FromClause:
+        clause: FromClause = self.parse_table_ref()
+        while True:
+            kind = None
+            if self.accept_keyword("join"):
+                kind = "inner"
+            elif self.accept_keyword("inner"):
+                self.expect_keyword("join")
+                kind = "inner"
+            elif self.accept_keyword("left"):
+                self.accept_keyword("outer")
+                self.expect_keyword("join")
+                kind = "left"
+            elif self.accept_punct(","):
+                kind = "cross"
+            if kind is None:
+                return clause
+            right = self.parse_table_ref()
+            condition = self.parse_expr() if self.accept_keyword("on") else None
+            join_kind = "inner" if kind == "cross" else kind
+            clause = Join(left=clause, right=right, kind=join_kind, condition=condition)
+
+    def parse_table_ref(self) -> TableRef:
+        name = self._expect_name()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self._expect_name()
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return TableRef(name=name, alias=alias)
+
+    def _expect_name(self) -> str:
+        token = self.current
+        if token.type is TokenType.IDENTIFIER:
+            return self.advance().value
+        raise ParseError(f"expected a name, found {token.value!r}", self._pos)
+
+    # ------------------------------------------------------------------
+    # expression level (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept_keyword("or"):
+            left = BinaryOp(op="or", left=left, right=self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.accept_keyword("and"):
+            left = BinaryOp(op="and", left=left, right=self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return UnaryOp(op="not", operand=self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expr:
+        if self.current.matches(TokenType.KEYWORD, "exists"):
+            self.advance()
+            self.expect_punct("(")
+            query = self.parse_query()
+            self.expect_punct(")")
+            return Exists(query=query)
+
+        left = self.parse_additive()
+
+        op = self.accept_operator(*_COMPARISONS)
+        if op is not None:
+            return BinaryOp(op=op, left=left, right=self.parse_additive())
+
+        negated = False
+        if self.current.matches(TokenType.KEYWORD, "not"):
+            nxt = self._tokens[self._pos + 1]
+            if nxt.type is TokenType.KEYWORD and nxt.value in ("in", "like", "between"):
+                self.advance()
+                negated = True
+
+        if self.accept_keyword("in"):
+            return self._parse_in(left, negated)
+        if self.accept_keyword("like"):
+            return Like(expr=left, pattern=self.parse_additive(), negated=negated)
+        if self.accept_keyword("between"):
+            low = self.parse_additive()
+            self.expect_keyword("and")
+            high = self.parse_additive()
+            return Between(expr=left, low=low, high=high, negated=negated)
+        if self.accept_keyword("is"):
+            is_negated = bool(self.accept_keyword("not"))
+            self.expect_keyword("null")
+            return IsNull(expr=left, negated=is_negated)
+        if negated:
+            raise ParseError("dangling NOT in predicate", self._pos)
+        return left
+
+    def _parse_in(self, left: Expr, negated: bool) -> Expr:
+        self.expect_punct("(")
+        if self._peek_is_select():
+            query = self.parse_query()
+            self.expect_punct(")")
+            return InSubquery(expr=left, query=query, negated=negated)
+        items = [self.parse_additive()]
+        while self.accept_punct(","):
+            items.append(self.parse_additive())
+        self.expect_punct(")")
+        return InList(expr=left, items=tuple(items), negated=negated)
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            op = self.accept_operator("+", "-")
+            if op is None:
+                return left
+            left = BinaryOp(op=op, left=left, right=self.parse_multiplicative())
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            op = self.accept_operator("*", "/", "%")
+            # a bare "*" inside a projection list is a Star, never a product;
+            # the parser only reaches here with a left operand, so "*" is
+            # unambiguous multiplication.
+            if op is None:
+                return left
+            left = BinaryOp(op=op, left=left, right=self.parse_unary())
+
+    def parse_unary(self) -> Expr:
+        if self.accept_operator("-"):
+            operand = self.parse_unary()
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            return UnaryOp(op="-", operand=operand)
+        self.accept_operator("+")
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(_number(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.matches(TokenType.KEYWORD, "null"):
+            self.advance()
+            return Literal(None)
+        if token.matches(TokenType.KEYWORD, "true"):
+            self.advance()
+            return Literal(True)
+        if token.matches(TokenType.KEYWORD, "false"):
+            self.advance()
+            return Literal(False)
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self.advance()
+            return Star()
+        if token.type is TokenType.KEYWORD and token.value in (
+            "count", "sum", "avg", "min", "max",
+        ):
+            return self._parse_function(self.advance().value)
+        if self.accept_punct("("):
+            if self._peek_is_select():
+                query = self.parse_query()
+                self.expect_punct(")")
+                return ScalarSubquery(query=query)
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier()
+        raise ParseError(f"unexpected token {token.value!r}", self._pos)
+
+    def _parse_function(self, name: str) -> Expr:
+        self.expect_punct("(")
+        distinct = bool(self.accept_keyword("distinct"))
+        args: list[Expr] = []
+        if not self.accept_punct(")"):
+            args.append(self.parse_expr())
+            while self.accept_punct(","):
+                args.append(self.parse_expr())
+            self.expect_punct(")")
+        return FuncCall(name=name.lower(), args=tuple(args), distinct=distinct)
+
+    def _parse_identifier(self) -> Expr:
+        first = self.advance().value
+        if self.current.matches(TokenType.PUNCT, "("):
+            return self._parse_function(first)
+        if self.accept_punct("."):
+            token = self.current
+            if token.type is TokenType.OPERATOR and token.value == "*":
+                self.advance()
+                return Star(table=first)
+            column = self._expect_name()
+            return ColumnRef(column=column, table=first)
+        return ColumnRef(column=first)
+
+
+def _number(text: str) -> int | float:
+    """Convert a numeric literal's text to int when exact, else float."""
+    if "." in text:
+        return float(text)
+    return int(text)

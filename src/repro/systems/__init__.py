@@ -1,0 +1,41 @@
+"""System architectures (survey Section 5.3) and user-centric advice (5.4).
+
+The four architectural paradigms the survey contrasts are each a runnable
+system wrapping parsers with pre/post-processing:
+
+- :class:`RuleBasedSystem` — NaLIR/PRECISE/DataTone: template rules;
+  robust and consistent on familiar queries, refuses the rest.
+- :class:`ParsingBasedSystem` — SQLova/Seq2Tree/ncNet: a semantic parser
+  front end; grasps deeper structure, struggles with ambiguity.
+- :class:`MultiStageSystem` — DIN-SQL/DeepEye: sequenced stages (intent
+  classification, parsing with self-correction, chart ranking).
+- :class:`EndToEndSystem` — Photon/Sevi: one model call straight to an
+  executed answer, plus Photon's confusion detection.
+
+:func:`recommend_system` encodes Section 5.4's user-centric guidance.
+"""
+
+from repro.systems.base import NLISystem, SystemResponse
+from repro.systems.advisor import UserProfile, recommend_system
+from repro.systems.architectures import (
+    EndToEndSystem,
+    MultiStageSystem,
+    ParsingBasedSystem,
+    RuleBasedSystem,
+)
+from repro.systems.session import InteractiveSession
+from repro.systems.voice import SimulatedASR, VoiceInterface
+
+__all__ = [
+    "EndToEndSystem",
+    "InteractiveSession",
+    "MultiStageSystem",
+    "NLISystem",
+    "ParsingBasedSystem",
+    "RuleBasedSystem",
+    "SimulatedASR",
+    "SystemResponse",
+    "UserProfile",
+    "VoiceInterface",
+    "recommend_system",
+]

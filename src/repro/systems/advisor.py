@@ -1,0 +1,74 @@
+"""User-centric system selection (survey Section 5.4).
+
+The survey closes its system-design section with guidance matching user
+profiles to architectures: basic users in well-defined domains are served
+by rule-based systems; basic users needing flexibility by end-to-end
+systems; technically skilled users by parsing-based systems; professional
+users with complex data by multi-stage systems; and latency-sensitive
+professional environments by end-to-end systems.  ``recommend_system``
+encodes that decision table and explains its choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """The Section 5.4 axes describing a user and their environment."""
+
+    expertise: str = "basic"          # "basic" | "professional"
+    technical_skill: str = "low"      # "low" | "high"
+    data_complexity: str = "simple"   # "simple" | "complex"
+    environment: str = "stable"       # "stable" | "fast-paced"
+    needs_flexibility: bool = False
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    architecture: str
+    reason: str
+
+
+def recommend_system(profile: UserProfile) -> Recommendation:
+    """Pick an architecture for *profile* per the survey's guidance."""
+    if profile.expertise == "basic":
+        if profile.technical_skill == "high" or (
+            profile.data_complexity == "complex"
+        ):
+            return Recommendation(
+                "parsing-based",
+                "technically skilled users and intricate linguistic "
+                "structures are best served by a semantic parser front end",
+            )
+        if profile.needs_flexibility:
+            return Recommendation(
+                "end-to-end",
+                "basic users needing flexibility handle diverse queries "
+                "effortlessly with an end-to-end system",
+            )
+        return Recommendation(
+            "rule-based",
+            "basic users in well-defined domains get simplicity and "
+            "accuracy from rule-based systems",
+        )
+
+    # professional users
+    if profile.environment == "fast-paced":
+        return Recommendation(
+            "end-to-end",
+            "fast-paced environments need minimal latency and rapid "
+            "adaptation, the end-to-end strength",
+        )
+    if profile.data_complexity == "complex":
+        return Recommendation(
+            "multi-stage",
+            "complex data environments benefit from the adaptability and "
+            "accuracy of sequenced multi-stage processing",
+        )
+    return Recommendation(
+        "rule-based",
+        "stable, standardized data environments get reliable repetitive "
+        "performance from rule-based systems",
+    )

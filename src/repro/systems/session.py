@@ -1,0 +1,54 @@
+"""Interactive multi-turn sessions (the feedback loop of Fig. 1).
+
+``InteractiveSession`` wraps any system with conversation state: each
+answered query's (question, SQL) pair becomes history for the next turn,
+so follow-ups ("now only the ones whose ...") resolve against context —
+the SParC/CoSQL interaction pattern.  ``refine`` implements the Fig. 1
+feedback edge: the user reacts to an answer, and the reaction is treated
+as the next turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.errors import SQLError
+from repro.sql.ast import Query
+from repro.sql.parser import parse_sql
+from repro.systems.base import NLISystem, SystemResponse
+
+
+@dataclass
+class InteractiveSession:
+    """Conversation state over one database for one system."""
+
+    system: NLISystem
+    db: Database
+    knowledge: str | None = None
+    history: list[tuple[str, Query]] = field(default_factory=list)
+    transcript: list[SystemResponse] = field(default_factory=list)
+
+    def ask(self, question: str) -> SystemResponse:
+        """One conversational turn."""
+        response = self.system.answer(
+            question,
+            self.db,
+            knowledge=self.knowledge,
+            history=list(self.history),
+        )
+        self.transcript.append(response)
+        if response.answered and response.sql:
+            try:
+                self.history.append((question, parse_sql(response.sql)))
+            except SQLError:
+                pass
+        return response
+
+    def refine(self, feedback: str) -> SystemResponse:
+        """The Fig. 1 feedback edge: refine the previous answer."""
+        return self.ask(feedback)
+
+    def reset(self) -> None:
+        self.history.clear()
+        self.transcript.clear()

@@ -1,0 +1,131 @@
+"""Voice-driven querying (VoiceQuerySystem / Sevi lineage; Section 6.6).
+
+The survey's end-to-end exemplars include voice-first systems —
+VoiceQuerySystem "converts voice-based queries directly into SQL" and Sevi
+lets novices chart "using either natural language or voice commands" — and
+its future-work section names multimodal input as a direction.  This
+module provides the voice channel over our substrate:
+
+- :class:`SimulatedASR` — a speech-recognition stand-in that converts a
+  spoken utterance into a transcript with controllable, ASR-typical noise
+  (homophone substitutions, dropped function words, number formatting);
+  deterministic per seed, like every simulator in this library;
+- :class:`VoiceInterface` — any :class:`~repro.systems.base.NLISystem`
+  behind the ASR channel, returning both transcript and answer, with
+  Photon-style confusion detection inherited from the wrapped system.
+
+The interesting measurable behaviour (tested): systems whose parsers link
+fuzzily tolerate mild ASR noise far better than exact-template systems —
+the same robustness ordering the Dr.Spider dimension shows for typos.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.database import Database
+from repro.systems.base import NLISystem, SystemResponse
+
+#: ASR-typical confusions: homophones and near-homophones of the
+#: function words our question grammar uses.  Schema words are never
+#: substituted — matching real ASR, which handles open-vocabulary nouns
+#: with a lexicon but trips on short function words.
+_HOMOPHONES: dict[str, tuple[str, ...]] = {
+    "whose": ("who's",),
+    "their": ("there",),
+    "for": ("four",),
+    "to": ("two", "too"),
+    "by": ("buy",),
+    "sum": ("some",),
+    "which": ("witch",),
+    "than": ("then",),
+    "are": ("our",),
+    "ascending": ("a sending",),
+    "of": ("off",),
+}
+
+#: words ASR commonly drops entirely
+_DROPPABLE = frozenset({"the", "a", "an", "me"})
+
+
+@dataclass
+class Transcript:
+    """The ASR output for one utterance."""
+
+    spoken: str
+    text: str
+    word_error_rate: float
+
+
+class SimulatedASR:
+    """Deterministic speech-recognition noise channel."""
+
+    def __init__(self, noise: float = 0.15, seed: int = 0) -> None:
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be within [0, 1]")
+        self.noise = noise
+        self.seed = seed
+
+    def transcribe(self, spoken: str) -> Transcript:
+        """Produce a noisy transcript of *spoken*."""
+        rng = random.Random((hash_text(spoken) ^ self.seed) & 0xFFFFFFFF)
+        words = spoken.split()
+        out: list[str] = []
+        errors = 0
+        for word in words:
+            stripped = word.strip("?,.").lower()
+            punct = word[len(word.rstrip("?,.")):]
+            roll = rng.random()
+            if stripped in _HOMOPHONES and roll < self.noise:
+                out.append(rng.choice(_HOMOPHONES[stripped]) + punct)
+                errors += 1
+                continue
+            if stripped in _DROPPABLE and roll < self.noise:
+                errors += 1
+                continue  # dropped word
+            out.append(word)
+        text = " ".join(out)
+        rate = errors / len(words) if words else 0.0
+        return Transcript(spoken=spoken, text=text, word_error_rate=rate)
+
+
+def hash_text(text: str) -> int:
+    value = 2166136261
+    for ch in text:
+        value = ((value ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+@dataclass
+class VoiceResponse:
+    """A voice interaction's outcome: what was heard plus the answer."""
+
+    transcript: Transcript
+    response: SystemResponse
+
+
+class VoiceInterface:
+    """Any NLI system behind the simulated ASR channel."""
+
+    def __init__(
+        self,
+        system: NLISystem,
+        asr: SimulatedASR | None = None,
+    ) -> None:
+        self.system = system
+        self.asr = asr or SimulatedASR()
+
+    def say(
+        self,
+        utterance: str,
+        db: Database,
+        knowledge: str | None = None,
+        history: list | None = None,
+    ) -> VoiceResponse:
+        """One spoken turn: transcribe, then answer the transcript."""
+        transcript = self.asr.transcribe(utterance)
+        response = self.system.answer(
+            transcript.text, db, knowledge=knowledge, history=history
+        )
+        return VoiceResponse(transcript=transcript, response=response)

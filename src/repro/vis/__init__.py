@@ -1,0 +1,33 @@
+"""Visualization substrate: VQL, chart specs, rendering, recommendation.
+
+The survey describes Text-to-Vis systems as producing a *visualization
+query language* (VQL) — "a SQL-like pseudo syntax for combining database
+querying with visualization directives" — which is then compiled to a
+visualization specification (Vega-Lite style) and rendered.  This package
+implements that whole substrate:
+
+- :mod:`repro.vis.vql` — the VQL language (``VISUALIZE <TYPE> <SQL>`` with
+  an optional ``BIN ... BY ...`` clause, following nvBench);
+- :mod:`repro.vis.spec` — compilation of an executed VQL query into a
+  Vega-Lite-like spec dictionary;
+- :mod:`repro.vis.charts` — chart objects, execution, and ASCII rendering
+  for terminal examples;
+- :mod:`repro.vis.recommend` — DeepEye-style chart-quality ranking.
+"""
+
+from repro.vis.charts import Chart, render_chart
+from repro.vis.recommend import recommend_charts
+from repro.vis.spec import build_spec
+from repro.vis.vql import CHART_TYPES, VQLQuery, normalize_vql, parse_vql, to_vql
+
+__all__ = [
+    "CHART_TYPES",
+    "Chart",
+    "VQLQuery",
+    "build_spec",
+    "normalize_vql",
+    "parse_vql",
+    "recommend_charts",
+    "render_chart",
+    "to_vql",
+]

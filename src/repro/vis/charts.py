@@ -1,0 +1,151 @@
+"""Chart execution and rendering.
+
+``render_chart`` is the Text-to-Vis execution engine ``E(e, D) -> r``: it
+runs a VQL program's SQL against a database (applying the BIN clause as a
+pre-aggregation rewrite), compiles the spec, and returns a :class:`Chart`
+— the graphical result object.  ``Chart.to_ascii`` draws a terminal
+rendering so examples can show actual charts without a plotting library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.database import Database
+from repro.data.values import Value
+from repro.errors import ChartError
+from repro.sql.executor import Result, execute
+from repro.vis.spec import build_spec
+from repro.vis.vql import VQLQuery, parse_vql, to_vql
+
+
+@dataclass
+class Chart:
+    """The rendered result of a visualization query."""
+
+    chart_type: str
+    x_label: str
+    y_label: str
+    points: list[tuple[Value, Value]]
+    spec: dict = field(default_factory=dict)
+    vql: str = ""
+
+    def to_ascii(self, width: int = 40) -> str:
+        """Draw the chart with unicode block characters."""
+        if not self.points:
+            return f"[{self.chart_type} chart: no data]"
+        if self.chart_type == "scatter":
+            return self._ascii_scatter(width)
+        return self._ascii_bars(width)
+
+    def _ascii_bars(self, width: int) -> str:
+        numeric = [
+            (str(x), float(y))
+            for x, y in self.points
+            if isinstance(y, (int, float)) and not isinstance(y, bool)
+        ]
+        if not numeric:
+            return f"[{self.chart_type} chart: no numeric values]"
+        top = max(abs(y) for _, y in numeric) or 1.0
+        label_width = max(len(label) for label, _ in numeric)
+        lines = [f"{self.y_label} by {self.x_label} ({self.chart_type})"]
+        for label, y in numeric:
+            bar = "█" * max(1, int(round(width * abs(y) / top)))
+            lines.append(f"{label.rjust(label_width)} | {bar} {y:g}")
+        return "\n".join(lines)
+
+    def _ascii_scatter(self, width: int) -> str:
+        numeric = [
+            (float(x), float(y))
+            for x, y in self.points
+            if isinstance(x, (int, float)) and isinstance(y, (int, float))
+            and not isinstance(x, bool) and not isinstance(y, bool)
+        ]
+        if not numeric:
+            return "[scatter chart: no numeric points]"
+        height = 12
+        xs = [x for x, _ in numeric]
+        ys = [y for _, y in numeric]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        grid = [[" "] * width for _ in range(height)]
+        for x, y in numeric:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = "•"
+        lines = [f"{self.y_label} vs {self.x_label} (scatter)"]
+        lines.extend("".join(row) for row in grid)
+        return "\n".join(lines)
+
+
+def render_chart(vql: VQLQuery | str, db: Database) -> Chart:
+    """Execute a VQL program against *db* and build its :class:`Chart`."""
+    if isinstance(vql, str):
+        vql = parse_vql(vql)
+    query = vql.query
+    if vql.bin_column and vql.bin_unit:
+        result = _execute_binned(vql, db)
+    else:
+        result = execute(query, db)
+    if len(result.columns) < 2:
+        raise ChartError(
+            "visualization queries must return at least two columns"
+        )
+    spec = build_spec(vql, result)
+    return Chart(
+        chart_type=vql.chart_type,
+        x_label=result.columns[0],
+        y_label=result.columns[1],
+        points=[(row[0], row[1]) for row in result.rows],
+        spec=spec,
+        vql=to_vql(vql),
+    )
+
+
+def _execute_binned(vql: VQLQuery, db: Database) -> Result:
+    """Apply the BIN clause: post-process the x column into calendar bins.
+
+    The SQL part is executed as-is, then x values that look like ISO dates
+    are collapsed into the requested unit and the y values aggregated by
+    sum (counts and sums re-aggregate correctly; averages are approximated,
+    matching nvBench's binning semantics over pre-aggregated queries).
+    """
+    result = execute(vql.query, db)
+    bins: dict[str, float] = {}
+    order: list[str] = []
+    for row in result.rows:
+        key = _bin_key(row[0], vql.bin_unit or "year")
+        y = row[1]
+        if not isinstance(y, (int, float)) or isinstance(y, bool):
+            continue
+        if key not in bins:
+            bins[key] = 0.0
+            order.append(key)
+        bins[key] += float(y)
+    rows = [(key, bins[key]) for key in sorted(order)]
+    return Result(columns=list(result.columns[:2]), rows=rows, ordered=True)
+
+
+def _bin_key(value: Value, unit: str) -> str:
+    text = str(value)
+    if len(text) >= 10 and text[4] == "-" and text[7] == "-":
+        year, month, day = text[:4], text[5:7], text[8:10]
+        if unit == "year":
+            return year
+        if unit == "quarter":
+            quarter = (int(month) - 1) // 3 + 1
+            return f"{year}-Q{quarter}"
+        if unit == "month":
+            return f"{year}-{month}"
+        if unit == "weekday":
+            return _weekday(int(year), int(month), int(day))
+    return text
+
+
+def _weekday(year: int, month: int, day: int) -> str:
+    import datetime
+
+    names = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+    return names[datetime.date(year, month, day).weekday()]

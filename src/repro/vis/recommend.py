@@ -1,0 +1,146 @@
+"""DeepEye-style chart recommendation.
+
+DeepEye (Luo et al., 2018) is the survey's exemplar multi-stage Text-to-Vis
+system: it enumerates candidate visualizations of a dataset, scores their
+*quality*, ranks them, and returns the top-k.  This module reproduces that
+pipeline over our substrate: candidate VQL programs are enumerated from a
+table's schema, scored with interpretable goodness heuristics (cardinality
+fit, type fit, coverage), and ranked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.database import Database
+from repro.data.schema import ColumnType, TableSchema
+from repro.sql.ast import (
+    ColumnRef,
+    FuncCall,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.vis.charts import Chart, render_chart
+from repro.vis.vql import VQLQuery, to_vql
+
+
+@dataclass(frozen=True)
+class RankedChart:
+    """A candidate visualization with its quality score."""
+
+    vql: str
+    score: float
+    chart: Chart
+
+
+def recommend_charts(
+    db: Database, table_name: str, top_k: int = 3
+) -> list[RankedChart]:
+    """Rank candidate charts for one table, best first.
+
+    Candidates: for every low-cardinality category column, a bar/pie of
+    counts and of each numeric aggregate; for every numeric column pair, a
+    scatter.  Scores reward 3-12 categories (readable bars), penalize
+    singleton or huge category sets, and reward scatter plots with enough
+    points to show structure.
+    """
+    table = db.table(table_name).schema
+    candidates = _candidate_queries(db, table)
+    ranked: list[RankedChart] = []
+    for vql in candidates:
+        try:
+            chart = render_chart(vql, db)
+        except Exception:
+            continue
+        score = _quality(chart)
+        if score > 0:
+            ranked.append(RankedChart(vql=to_vql(vql), score=score, chart=chart))
+    ranked.sort(key=lambda r: r.score, reverse=True)
+    return ranked[:top_k]
+
+
+def _candidate_queries(db: Database, table: TableSchema) -> list[VQLQuery]:
+    numeric = [
+        c
+        for c in table.columns
+        if c.type is ColumnType.NUMBER and not c.name.lower().endswith("id")
+    ]
+    category: list = []
+    contents = db.table(table.name)
+    for column in table.columns:
+        if column.type is not ColumnType.TEXT:
+            continue
+        distinct = {
+            v for v in contents.column_values(column.name) if v is not None
+        }
+        if 2 <= len(distinct) <= 20:
+            category.append(column)
+
+    out: list[VQLQuery] = []
+    from_ = TableRef(name=table.name.lower())
+    for cat in category:
+        cat_ref = ColumnRef(column=cat.name.lower())
+        count_select = Select(
+            items=(
+                SelectItem(expr=cat_ref),
+                SelectItem(expr=FuncCall(name="count", args=(Star(),))),
+            ),
+            from_=from_,
+            group_by=(cat_ref,),
+        )
+        out.append(VQLQuery(chart_type="bar", query=count_select))
+        out.append(VQLQuery(chart_type="pie", query=count_select))
+        for num in numeric:
+            agg_select = Select(
+                items=(
+                    SelectItem(expr=cat_ref),
+                    SelectItem(
+                        expr=FuncCall(
+                            name="avg",
+                            args=(ColumnRef(column=num.name.lower()),),
+                        )
+                    ),
+                ),
+                from_=from_,
+                group_by=(cat_ref,),
+            )
+            out.append(VQLQuery(chart_type="bar", query=agg_select))
+    for i, x_col in enumerate(numeric):
+        for y_col in numeric[i + 1 :]:
+            scatter = Select(
+                items=(
+                    SelectItem(expr=ColumnRef(column=x_col.name.lower())),
+                    SelectItem(expr=ColumnRef(column=y_col.name.lower())),
+                ),
+                from_=from_,
+            )
+            out.append(VQLQuery(chart_type="scatter", query=scatter))
+    return out
+
+
+def _quality(chart: Chart) -> float:
+    """Heuristic quality score in [0, 1] (DeepEye's 'goodness')."""
+    n = len(chart.points)
+    if n == 0:
+        return 0.0
+    if chart.chart_type == "scatter":
+        return min(1.0, n / 20.0)
+    # category charts: reward readable category counts
+    if n < 2:
+        return 0.05
+    if n <= 12:
+        base = 1.0 - abs(n - 6) / 12.0
+    else:
+        base = max(0.0, 1.0 - (n - 12) / 20.0)
+    if chart.chart_type == "pie" and n > 8:
+        base *= 0.5  # pies with many slices are unreadable
+    ys = [
+        float(y)
+        for _, y in chart.points
+        if isinstance(y, (int, float)) and not isinstance(y, bool)
+    ]
+    if ys and max(ys) > 0 and (max(ys) - min(ys)) / max(abs(max(ys)), 1.0) < 0.01:
+        base *= 0.6  # flat charts carry little information
+    return round(base, 4)

@@ -1,0 +1,90 @@
+"""Compile an executed VQL query into a Vega-Lite-like specification.
+
+The spec is a plain dictionary mirroring Vega-Lite's core shape — ``mark``,
+``encoding`` with ``x``/``y`` channels (field + type), and inline
+``data.values`` — which is what surveyed Text-to-Vis systems emit as the
+final visualization specification.  Keeping it a dictionary makes specs
+comparable, serializable, and renderer-agnostic without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from repro.data.values import Value
+from repro.errors import ChartError
+from repro.sql.executor import Result
+from repro.vis.vql import VQLQuery
+
+#: VQL chart type -> Vega-Lite mark
+_MARKS = {"bar": "bar", "pie": "arc", "line": "line", "scatter": "point"}
+
+
+def build_spec(vql: VQLQuery, result: Result) -> dict:
+    """Build the Vega-Lite-like spec for *result* charted as *vql* asks.
+
+    The first result column is the x (or theta category) channel and the
+    second is the y (or theta value) channel.  Raises
+    :class:`~repro.errors.ChartError` when the result shape does not
+    support the chart type.
+    """
+    if len(result.columns) < 2:
+        raise ChartError(
+            f"a {vql.chart_type} chart needs two result columns, got "
+            f"{len(result.columns)}"
+        )
+    x_field, y_field = result.columns[0], result.columns[1]
+    values = [
+        {x_field: row[0], y_field: row[1]}
+        for row in result.rows
+    ]
+    x_type = _field_type([row[0] for row in result.rows])
+    y_type = _field_type([row[1] for row in result.rows])
+
+    # an empty result is a valid (empty) chart; type checks need data
+    if result.rows:
+        if vql.chart_type == "scatter" and (
+            x_type != "quantitative" or y_type != "quantitative"
+        ):
+            raise ChartError("scatter plots need numeric x and y columns")
+        if vql.chart_type in ("bar", "pie") and y_type != "quantitative":
+            raise ChartError(
+                f"{vql.chart_type} charts need a numeric y column"
+            )
+
+    if vql.chart_type == "pie":
+        encoding = {
+            "theta": {"field": y_field, "type": "quantitative"},
+            "color": {"field": x_field, "type": "nominal"},
+        }
+    else:
+        encoding = {
+            "x": {"field": x_field, "type": x_type},
+            "y": {"field": y_field, "type": y_type},
+        }
+        if vql.bin_column and vql.bin_unit:
+            encoding["x"]["timeUnit"] = vql.bin_unit
+
+    return {
+        "mark": _MARKS[vql.chart_type],
+        "encoding": encoding,
+        "data": {"values": values},
+    }
+
+
+def _field_type(values: list[Value]) -> str:
+    """Infer a Vega-Lite field type from result values."""
+    non_null = [v for v in values if v is not None]
+    if non_null and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in non_null
+    ):
+        return "quantitative"
+    if non_null and all(_looks_temporal(v) for v in non_null):
+        return "temporal"
+    return "nominal"
+
+
+def _looks_temporal(value: Value) -> bool:
+    if not isinstance(value, str) or len(value) != 10:
+        return False
+    return value[4] == "-" and value[7] == "-" and value[:4].isdigit()

@@ -1,0 +1,90 @@
+"""Shared fixtures: a small hand-built shop database plus generated ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.domains import domain_by_name
+from repro.data.generator import DatabaseGenerator
+from repro.data.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+
+NUM = ColumnType.NUMBER
+TXT = ColumnType.TEXT
+
+
+@pytest.fixture
+def shop_schema() -> Schema:
+    return Schema(
+        db_id="shop",
+        tables=(
+            TableSchema(
+                "products",
+                (
+                    Column("id", NUM),
+                    Column("name", TXT),
+                    Column("category", TXT),
+                    Column("price", NUM),
+                ),
+                primary_key="id",
+            ),
+            TableSchema(
+                "sales",
+                (
+                    Column("id", NUM),
+                    Column("product_id", NUM),
+                    Column("quantity", NUM),
+                    Column("quarter", TXT),
+                ),
+                primary_key="id",
+            ),
+        ),
+        foreign_keys=(ForeignKey("sales", "product_id", "products", "id"),),
+    )
+
+
+@pytest.fixture
+def shop_db(shop_schema) -> Database:
+    db = Database(schema=shop_schema)
+    for row in (
+        (1, "widget", "tools", 9.5),
+        (2, "gadget", "tools", 19.0),
+        (3, "apple", "food", 1.0),
+        (4, "bread", "food", None),
+    ):
+        db.insert("products", row)
+    for row in (
+        (1, 1, 3, "Q1"),
+        (2, 2, 1, "Q1"),
+        (3, 3, 10, "Q2"),
+        (4, 1, 2, "Q2"),
+        (5, 4, 5, "Q2"),
+    ):
+        db.insert("sales", row)
+    return db
+
+
+@pytest.fixture(scope="session")
+def sales_db() -> Database:
+    return DatabaseGenerator(seed=7).populate(domain_by_name("sales"))
+
+
+@pytest.fixture(scope="session")
+def tiny_spider():
+    from repro.datasets.sql import build_cross_domain
+
+    return build_cross_domain(num_examples=120, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_wikisql():
+    from repro.datasets.sql import build_wikisql_like
+
+    return build_wikisql_like(num_examples=160, num_databases=30, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_nvbench():
+    from repro.datasets.vis import build_nvbench_like
+
+    return build_nvbench_like(num_examples=120, seed=5)

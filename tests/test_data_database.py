@@ -1,0 +1,74 @@
+"""Database store tests: inserts, copies, CSV round-trips."""
+
+import pytest
+
+from repro.data.database import Database, Table
+from repro.errors import AnalysisError
+
+
+class TestTable:
+    def test_column_index(self, shop_db):
+        table = shop_db.table("products")
+        assert table.column_index("price") == 3
+        assert table.column_index("PRICE") == 3
+
+    def test_column_values(self, shop_db):
+        assert shop_db.table("products").column_values("name") == [
+            "widget", "gadget", "apple", "bread",
+        ]
+
+    def test_append_arity_checked(self, shop_db):
+        with pytest.raises(AnalysisError):
+            shop_db.table("products").append((1, "x"))
+
+    def test_len(self, shop_db):
+        assert len(shop_db.table("sales")) == 5
+
+
+class TestDatabase:
+    def test_missing_tables_created_empty(self, shop_schema):
+        db = Database(schema=shop_schema)
+        assert len(db.table("products")) == 0
+        assert len(db.table("sales")) == 0
+
+    def test_table_lookup_case_insensitive(self, shop_db):
+        assert shop_db.table("Products").name == "products"
+
+    def test_missing_table_raises(self, shop_db):
+        with pytest.raises(AnalysisError):
+            shop_db.table("nothing")
+
+    def test_copy_is_independent(self, shop_db):
+        clone = shop_db.copy()
+        clone.insert("products", (9, "new", "misc", 1.0))
+        assert len(clone.table("products")) == 5
+        assert len(shop_db.table("products")) == 4
+
+    def test_row_count(self, shop_db):
+        assert shop_db.row_count() == 9
+
+
+class TestCSV:
+    def test_round_trip(self, shop_db, tmp_path):
+        shop_db.to_csv_dir(tmp_path)
+        loaded = Database.from_csv_dir(shop_db.schema, tmp_path)
+        assert loaded.table("products").rows == shop_db.table("products").rows
+        assert loaded.table("sales").rows == shop_db.table("sales").rows
+
+    def test_null_round_trip(self, shop_db, tmp_path):
+        shop_db.to_csv_dir(tmp_path)
+        loaded = Database.from_csv_dir(shop_db.schema, tmp_path)
+        assert loaded.table("products").rows[3][3] is None
+
+    def test_missing_file_gives_empty_table(self, shop_db, tmp_path):
+        shop_db.to_csv_dir(tmp_path)
+        (tmp_path / "sales.csv").unlink()
+        loaded = Database.from_csv_dir(shop_db.schema, tmp_path)
+        assert len(loaded.table("sales")) == 0
+        assert len(loaded.table("products")) == 4
+
+    def test_header_mismatch_rejected(self, shop_db, tmp_path):
+        shop_db.to_csv_dir(tmp_path)
+        (tmp_path / "sales.csv").write_text("wrong,header\n1,2\n")
+        with pytest.raises(AnalysisError):
+            Database.from_csv_dir(shop_db.schema, tmp_path)

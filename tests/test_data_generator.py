@@ -1,0 +1,115 @@
+"""Generator and domain-library tests."""
+
+import pytest
+
+from repro.data.domains import all_domains, domain_by_name, domain_names
+from repro.data.generator import DatabaseGenerator, GeneratorConfig
+
+
+class TestDomains:
+    def test_ten_domains(self):
+        assert len(all_domains()) == 10
+        assert len(set(domain_names())) == 10
+
+    def test_all_schemas_validate(self):
+        for domain in all_domains():
+            domain.schema.validate()
+
+    def test_lookup_by_name(self):
+        assert domain_by_name("sales").name == "sales"
+        with pytest.raises(KeyError):
+            domain_by_name("nonexistent")
+
+    def test_every_domain_has_foreign_keys(self):
+        for domain in all_domains():
+            assert domain.schema.foreign_keys, domain.name
+
+    def test_every_domain_has_synonyms_somewhere(self):
+        for domain in all_domains():
+            has_synonym = any(
+                column.synonyms
+                for table in domain.schema.tables
+                for column in table.columns
+            )
+            assert has_synonym, domain.name
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        domain = domain_by_name("sales")
+        a = DatabaseGenerator(seed=3).populate(domain, rows_per_table=8)
+        b = DatabaseGenerator(seed=3).populate(domain, rows_per_table=8)
+        for name in a.tables:
+            assert a.tables[name].rows == b.tables[name].rows
+
+    def test_different_seeds_differ(self):
+        domain = domain_by_name("sales")
+        a = DatabaseGenerator(seed=1).populate(domain, rows_per_table=12)
+        b = DatabaseGenerator(seed=2).populate(domain, rows_per_table=12)
+        assert any(
+            a.tables[name].rows != b.tables[name].rows for name in a.tables
+        )
+
+    def test_primary_keys_unique(self):
+        for domain in all_domains():
+            db = DatabaseGenerator(seed=5).populate(domain, rows_per_table=15)
+            for table in db.tables.values():
+                pk = table.schema.primary_key
+                if pk is None:
+                    continue
+                values = table.column_values(pk)
+                assert len(values) == len(set(values))
+
+    def test_foreign_keys_reference_parents(self):
+        for domain in all_domains():
+            db = DatabaseGenerator(seed=5).populate(domain, rows_per_table=15)
+            for fk in domain.schema.foreign_keys:
+                parents = set(
+                    db.table(fk.ref_table).column_values(fk.ref_column)
+                )
+                for value in db.table(fk.table).column_values(fk.column):
+                    if value is not None:
+                        assert value in parents
+
+    def test_null_fraction_zero_gives_no_nulls(self):
+        config = GeneratorConfig(null_fraction=0.0)
+        db = DatabaseGenerator(seed=5, config=config).populate(
+            domain_by_name("sales"), rows_per_table=20
+        )
+        for table in db.tables.values():
+            for row in table.rows:
+                assert all(v is not None for v in row)
+
+    def test_dirty_fraction_produces_dirty_text(self):
+        config = GeneratorConfig(dirty_fraction=0.9, null_fraction=0.0)
+        db = DatabaseGenerator(seed=5, config=config).populate(
+            domain_by_name("sales"), rows_per_table=30
+        )
+        cells = [
+            value
+            for table in db.tables.values()
+            for row in table.rows
+            for value in row
+            if isinstance(value, str)
+        ]
+        dirty = [
+            c
+            for c in cells
+            if c != c.strip() or c.isupper() or c.endswith(".")
+        ]
+        assert dirty
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(rows_per_table=-1)
+        with pytest.raises(ValueError):
+            GeneratorConfig(null_fraction=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(dirty_fraction=-0.1)
+
+    def test_rows_per_table_respected(self):
+        db = DatabaseGenerator(seed=1).populate(
+            domain_by_name("movies"), rows_per_table=7
+        )
+        for table in db.tables.values():
+            assert len(table) == 7

@@ -1,0 +1,133 @@
+"""Schema model tests: lookups, graph, join paths, validation."""
+
+import pytest
+
+from repro.data.schema import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.errors import AnalysisError
+
+
+class TestLookups:
+    def test_table_case_insensitive(self, shop_schema):
+        assert shop_schema.table("PRODUCTS").name == "products"
+
+    def test_missing_table_raises(self, shop_schema):
+        with pytest.raises(AnalysisError):
+            shop_schema.table("nope")
+
+    def test_column_case_insensitive(self, shop_schema):
+        assert shop_schema.table("products").column("PRICE").name == "price"
+
+    def test_missing_column_raises(self, shop_schema):
+        with pytest.raises(AnalysisError):
+            shop_schema.table("products").column("nope")
+
+    def test_all_columns_order(self, shop_schema):
+        pairs = shop_schema.all_columns()
+        assert pairs[0] == ("products", shop_schema.table("products").columns[0])
+        assert len(pairs) == 8
+
+    def test_mentions_include_synonyms(self):
+        column = Column("unit_price", ColumnType.NUMBER, synonyms=("cost",))
+        assert column.mentions() == ("unit price", "cost")
+
+
+class TestForeignKeys:
+    def test_between_either_direction(self, shop_schema):
+        assert shop_schema.foreign_keys_between("products", "sales")
+        assert shop_schema.foreign_keys_between("sales", "products")
+        assert not shop_schema.foreign_keys_between("products", "products")
+
+    def test_join_path_direct(self, shop_schema):
+        assert shop_schema.join_path("sales", "products") == [
+            "sales", "products",
+        ]
+
+    def test_join_path_multi_hop(self):
+        schema = Schema(
+            db_id="hop",
+            tables=(
+                TableSchema("a", (Column("id"),), primary_key="id"),
+                TableSchema("b", (Column("id"), Column("a_id"))),
+                TableSchema("c", (Column("id"), Column("b_id"))),
+            ),
+            foreign_keys=(
+                ForeignKey("b", "a_id", "a", "id"),
+                ForeignKey("c", "b_id", "b", "id"),
+            ),
+        )
+        assert schema.join_path("c", "a") == ["c", "b", "a"]
+
+    def test_join_path_disconnected_raises(self):
+        schema = Schema(
+            db_id="dis",
+            tables=(
+                TableSchema("a", (Column("id"),)),
+                TableSchema("b", (Column("id"),)),
+            ),
+        )
+        with pytest.raises(AnalysisError):
+            schema.join_path("a", "b")
+
+
+class TestGraph:
+    def test_graph_structure(self, shop_schema):
+        graph = shop_schema.graph()
+        assert graph.has_node("table:products")
+        assert graph.has_node("column:products.price")
+        assert graph.has_edge("table:products", "column:products.price")
+        # FK edge between column nodes
+        assert graph.has_edge(
+            "column:sales.product_id", "column:products.id"
+        )
+
+    def test_primary_key_edge_kind(self, shop_schema):
+        graph = shop_schema.graph()
+        edge = graph.edges["table:products", "column:products.id"]
+        assert edge["kind"] == "primary"
+
+
+class TestValidation:
+    def test_valid_schema_passes(self, shop_schema):
+        shop_schema.validate()
+
+    def test_duplicate_table_rejected(self):
+        schema = Schema(
+            db_id="dup",
+            tables=(
+                TableSchema("t", (Column("a"),)),
+                TableSchema("T", (Column("b"),)),
+            ),
+        )
+        with pytest.raises(AnalysisError):
+            schema.validate()
+
+    def test_duplicate_column_rejected(self):
+        schema = Schema(
+            db_id="dup",
+            tables=(TableSchema("t", (Column("a"), Column("A"))),),
+        )
+        with pytest.raises(AnalysisError):
+            schema.validate()
+
+    def test_missing_primary_key_rejected(self):
+        schema = Schema(
+            db_id="pk",
+            tables=(TableSchema("t", (Column("a"),), primary_key="nope"),),
+        )
+        with pytest.raises(AnalysisError):
+            schema.validate()
+
+    def test_dangling_foreign_key_rejected(self):
+        schema = Schema(
+            db_id="fk",
+            tables=(TableSchema("t", (Column("a"),)),),
+            foreign_keys=(ForeignKey("t", "a", "u", "id"),),
+        )
+        with pytest.raises(AnalysisError):
+            schema.validate()
+
+    def test_column_type_family(self):
+        assert ColumnType.NUMBER.family == "number"
+        assert ColumnType.BOOLEAN.family == "number"
+        assert ColumnType.TEXT.family == "text"
+        assert ColumnType.DATE.family == "text"

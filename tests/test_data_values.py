@@ -1,0 +1,105 @@
+"""Value-domain tests, including hypothesis properties of the ordering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.values import (
+    coerce_value,
+    compare_values,
+    render_value,
+    sort_key,
+    value_type_of,
+)
+
+
+class TestTypeOf:
+    def test_families(self):
+        assert value_type_of(None) == "null"
+        assert value_type_of(True) == "number"
+        assert value_type_of(3) == "number"
+        assert value_type_of(2.5) == "number"
+        assert value_type_of("x") == "text"
+
+
+class TestCompare:
+    def test_null_is_unknown(self):
+        assert compare_values(None, 1) is None
+        assert compare_values("x", None) is None
+        assert compare_values(None, None) is None
+
+    def test_numbers(self):
+        assert compare_values(1, 2) < 0
+        assert compare_values(2, 2) == 0
+        assert compare_values(3, 2) > 0
+        assert compare_values(2, 2.0) == 0
+
+    def test_strings(self):
+        assert compare_values("a", "b") < 0
+        assert compare_values("b", "b") == 0
+
+    def test_cross_type_is_total(self):
+        assert compare_values(5, "a") < 0  # numbers before text
+        assert compare_values("a", 5) > 0
+
+    def test_bool_compares_as_number(self):
+        assert compare_values(True, 1) == 0
+        assert compare_values(False, 1) < 0
+
+
+value_strategy = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-1000, 1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=16),
+    st.text(max_size=8),
+)
+
+
+@given(a=value_strategy, b=value_strategy)
+def test_compare_antisymmetric(a, b):
+    ab = compare_values(a, b)
+    ba = compare_values(b, a)
+    if ab is None:
+        assert ba is None
+    else:
+        assert (ab > 0) == (ba < 0)
+        assert (ab == 0) == (ba == 0)
+
+
+@given(a=value_strategy, b=value_strategy)
+def test_sort_key_consistent_with_compare(a, b):
+    cmp = compare_values(a, b)
+    if cmp is None:
+        return  # NULL ordering handled by sort_key's rank 0
+    if cmp < 0:
+        assert sort_key(a) < sort_key(b)
+    elif cmp > 0:
+        assert sort_key(a) > sort_key(b)
+
+
+class TestCoercion:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("42", 42),
+            ("3.5", 3.5),
+            ("hello", "hello"),
+            ("", None),
+            ("NULL", None),
+            ("null", None),
+            ("  7  ", 7),
+            (None, None),
+        ],
+    )
+    def test_coerce(self, text, expected):
+        assert coerce_value(text) == expected
+
+    @given(value=st.one_of(st.integers(-99, 99), st.text(
+        alphabet="abcdefg", min_size=1, max_size=6)))
+    def test_render_coerce_roundtrip(self, value):
+        assert coerce_value(render_value(value)) == value
+
+    def test_render_null_and_bool(self):
+        assert render_value(None) == "NULL"
+        assert render_value(True) == "1"
+        assert render_value(False) == "0"

@@ -1,0 +1,212 @@
+"""Dataset builder tests across all Table 1 families."""
+
+import pytest
+
+from repro.datasets.base import Dataset, Example, Split
+from repro.datasets.knowledge import build_bird_like
+from repro.datasets.multilingual import translate_dataset
+from repro.datasets.multiturn import build_dial_vis_like, build_sparc_like
+from repro.datasets.robustness import make_dr_spider_suite
+from repro.datasets.sql import build_single_domain
+from repro.errors import DatasetError
+from repro.sql.analyzer import analyze
+from repro.sql.executor import execute
+from repro.sql.parser import parse_sql
+
+
+def assert_gold_valid(dataset: Dataset, sample: int = 40):
+    for example in dataset.examples[:sample]:
+        db = dataset.database(example.db_id)
+        query = parse_sql(example.sql)
+        analyze(query, db.schema)
+        execute(query, db)
+
+
+class TestCrossDomain:
+    def test_statistics(self, tiny_spider):
+        stats = tiny_spider.statistics()
+        assert stats.num_queries == 120
+        assert stats.num_domains == 10
+        assert stats.num_databases == 20
+        assert stats.feature == "Cross Domain"
+
+    def test_gold_valid(self, tiny_spider):
+        assert_gold_valid(tiny_spider)
+
+    def test_dev_databases_held_out(self, tiny_spider):
+        train_dbs = {e.db_id for e in tiny_spider.split("train").examples}
+        dev_dbs = {e.db_id for e in tiny_spider.split("dev").examples}
+        assert not train_dbs & dev_dbs
+
+    def test_deterministic(self):
+        from repro.datasets.sql import build_cross_domain
+
+        a = build_cross_domain(num_examples=40, seed=9)
+        b = build_cross_domain(num_examples=40, seed=9)
+        assert [e.sql for e in a.examples] == [e.sql for e in b.examples]
+        assert [e.question for e in a.examples] == [
+            e.question for e in b.examples
+        ]
+
+
+class TestWikiSQLLike:
+    def test_single_table_databases(self, tiny_wikisql):
+        for db in tiny_wikisql.databases.values():
+            assert len(db.schema.tables) == 1
+
+    def test_simple_queries_only(self, tiny_wikisql):
+        for example in tiny_wikisql.examples:
+            assert "JOIN" not in example.sql
+            assert "GROUP BY" not in example.sql
+
+    def test_gold_valid(self, tiny_wikisql):
+        assert_gold_valid(tiny_wikisql)
+
+
+class TestSingleDomain:
+    def test_one_database(self):
+        ds = build_single_domain("geography", num_examples=40, seed=2)
+        assert len(ds.databases) == 1
+        assert ds.feature == "Single Domain"
+        assert_gold_valid(ds)
+
+
+class TestMultiTurn:
+    def test_dialogue_structure(self):
+        ds = build_sparc_like(num_dialogues=20, seed=3)
+        assert ds.dialogues
+        for dialogue in ds.dialogues:
+            assert len(dialogue.turns) >= 2
+            for index, turn in enumerate(dialogue.turns):
+                assert turn.turn_index == index
+                assert turn.dialogue_id == dialogue.dialogue_id
+        assert_gold_valid(ds)
+
+    def test_later_turns_refine_earlier(self):
+        ds = build_sparc_like(num_dialogues=20, seed=3)
+        refined = 0
+        for dialogue in ds.dialogues:
+            first = dialogue.turns[0].sql
+            for turn in dialogue.turns[1:]:
+                if turn.sql != first:
+                    refined += 1
+        assert refined > 0
+
+    def test_dialogue_turn_order_enforced(self):
+        from repro.datasets.base import Dialogue
+
+        with pytest.raises(DatasetError):
+            Dialogue(
+                dialogue_id="d",
+                db_id="x",
+                turns=[
+                    Example(question="q", db_id="x", sql="SELECT 1",
+                            turn_index=1)
+                ],
+            )
+
+    def test_vis_dialogues_restyle(self):
+        ds = build_dial_vis_like(num_dialogues=10, seed=4)
+        for dialogue in ds.dialogues:
+            first = dialogue.turns[0]
+            second = dialogue.turns[1]
+            assert first.vql is not None and second.vql is not None
+            assert first.vql.split()[1] != second.vql.split()[1]  # chart type
+            assert first.sql == second.sql  # same data query
+
+
+class TestMultilingual:
+    def test_translate_dataset(self, tiny_spider):
+        zh = translate_dataset(tiny_spider, "zh")
+        assert zh.language == "zh"
+        assert zh.feature == "Multilingual"
+        pairs = zip(tiny_spider.examples, zh.examples)
+        changed = sum(a.question != b.question for a, b in pairs)
+        assert changed > len(tiny_spider.examples) * 0.9
+        # gold untouched
+        assert [e.sql for e in zh.examples] == [
+            e.sql for e in tiny_spider.examples
+        ]
+
+    def test_unsupported_language(self, tiny_spider):
+        with pytest.raises(KeyError):
+            translate_dataset(tiny_spider, "de")
+
+
+class TestRobustness:
+    def test_suite_has_three_dimensions(self, tiny_spider):
+        suite = make_dr_spider_suite(tiny_spider)
+        assert set(suite) == {"synonym", "realistic", "typo"}
+        for variant in suite.values():
+            assert variant.feature == "Robustness"
+            # dev perturbed, train untouched
+            assert [e.sql for e in variant.split("dev").examples] == [
+                e.sql for e in tiny_spider.split("dev").examples
+            ]
+
+    def test_dev_questions_perturbed(self, tiny_spider):
+        suite = make_dr_spider_suite(tiny_spider)
+        base_dev = [e.question for e in tiny_spider.split("dev").examples]
+        for name, variant in suite.items():
+            dev = [e.question for e in variant.split("dev").examples]
+            changed = sum(a != b for a, b in zip(base_dev, dev))
+            assert changed > 0, name
+
+    def test_train_untouched(self, tiny_spider):
+        suite = make_dr_spider_suite(tiny_spider)
+        base = [e.question for e in tiny_spider.split("train").examples]
+        for variant in suite.values():
+            assert [
+                e.question for e in variant.split("train").examples
+            ] == base
+
+
+class TestKnowledge:
+    def test_examples_carry_knowledge(self):
+        ds = build_bird_like(num_examples=40, seed=5)
+        assert ds.feature == "Knowledge Grounding"
+        for example in ds.examples:
+            assert example.knowledge
+            assert " are " in example.knowledge
+        assert_gold_valid(ds)
+
+    def test_alias_not_resolvable_without_knowledge(self):
+        """The alias adjective must not literally appear in the schema."""
+        ds = build_bird_like(num_examples=20, seed=6)
+        for example in ds.examples[:10]:
+            schema = ds.database(example.db_id).schema
+            adjective = example.knowledge.split()[0].lower()
+            for table in schema.tables:
+                assert adjective not in table.mentions()
+
+
+class TestDatasetInvariants:
+    def test_examples_reference_known_databases(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                name="bad",
+                task="sql",
+                feature="Single Domain",
+                databases={},
+                splits={
+                    "dev": Split(
+                        "dev",
+                        [Example(question="q", db_id="ghost", sql="SELECT 1")],
+                    )
+                },
+            )
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                name="bad",
+                task="audio",
+                feature="Single Domain",
+                databases={},
+                splits={},
+            )
+
+    def test_split_lookup(self, tiny_spider):
+        assert tiny_spider.split("dev").name == "dev"
+        with pytest.raises(DatasetError):
+            tiny_spider.split("test")

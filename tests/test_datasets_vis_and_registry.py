@@ -1,0 +1,81 @@
+"""Vis dataset builders and the benchmark registry."""
+
+import pytest
+
+from repro.datasets.registry import PAPER_REFERENCE, build_dataset, dataset_names
+from repro.errors import DatasetError
+from repro.sql.executor import execute
+from repro.sql.parser import parse_sql
+from repro.vis.charts import render_chart
+from repro.vis.vql import parse_vql
+
+
+class TestVisDatasets:
+    def test_every_example_has_vql(self, tiny_nvbench):
+        for example in tiny_nvbench.examples:
+            assert example.vql is not None
+            assert example.vql.startswith("VISUALIZE")
+
+    def test_vql_sql_consistency(self, tiny_nvbench):
+        for example in tiny_nvbench.examples[:30]:
+            vql = parse_vql(example.vql)
+            gold_sql = parse_sql(example.sql)
+            assert vql.query == gold_sql
+
+    def test_charts_render(self, tiny_nvbench):
+        for example in tiny_nvbench.examples[:25]:
+            db = tiny_nvbench.database(example.db_id)
+            chart = render_chart(example.vql, db)
+            assert chart.chart_type in ("bar", "pie", "line", "scatter")
+
+    def test_questions_mention_charts(self, tiny_nvbench):
+        cues = ("chart", "graph", "plot", "bars", "proportion", "points",
+                "trend")
+        mentioned = sum(
+            any(c in e.question.lower() for c in cues)
+            for e in tiny_nvbench.examples
+        )
+        assert mentioned / len(tiny_nvbench.examples) > 0.9
+
+    def test_chart_type_diversity(self, tiny_nvbench):
+        types = {e.vql.split()[1] for e in tiny_nvbench.examples}
+        assert len(types) >= 3
+
+    def test_scatter_examples_numeric(self, tiny_nvbench):
+        for example in tiny_nvbench.examples:
+            if example.vql.split()[1] == "SCATTER":
+                db = tiny_nvbench.database(example.db_id)
+                result = execute(parse_sql(example.sql), db)
+                assert len(result.columns) == 2
+
+
+class TestRegistry:
+    def test_thirty_eight_families(self):
+        assert len(dataset_names()) == 38
+        assert set(PAPER_REFERENCE) == set(dataset_names())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            build_dataset("nothing_like")
+
+    @pytest.mark.parametrize(
+        "name",
+        ["geoquery_like", "wikisql_like", "sparc_like", "bird_like",
+         "cnvbench_like"],
+    )
+    def test_representative_builds(self, name):
+        ds = build_dataset(name, scale=0.02, seed=1)
+        assert len(ds.examples) > 0
+        stats = ds.statistics()
+        assert stats.num_queries == len(ds.examples)
+
+    def test_scale_controls_size(self):
+        small = build_dataset("atis_like", scale=0.02, seed=1)
+        large = build_dataset("atis_like", scale=0.06, seed=1)
+        assert len(large.examples) > len(small.examples)
+
+    def test_size_ordering_preserved(self):
+        """WikiSQL-family must stay the largest SQL corpus at any scale."""
+        wikisql = build_dataset("wikisql_like", scale=0.05, seed=1)
+        academic = build_dataset("academic_like", scale=0.05, seed=1)
+        assert len(wikisql.examples) > len(academic.examples)

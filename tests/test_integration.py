@@ -1,0 +1,125 @@
+"""Cross-module integration tests: full train→parse→execute→score flows."""
+
+import pytest
+
+from repro.datasets import build_dataset
+from repro.metrics import evaluate_parser
+from repro.parsers.base import ParseRequest
+from repro.parsers.semantic import GrammarSemanticParser
+
+
+class TestEveryDatasetFamilyEvaluates:
+    """The semantic parser (appropriately configured) runs end to end on
+    every SQL dataset family without crashing, and beats chance."""
+
+    @pytest.mark.parametrize(
+        "name,kwargs,floor",
+        [
+            ("geoquery_like", {}, 0.6),
+            ("wikisql_like", {}, 0.6),
+            ("spider_like", {}, 0.6),
+            ("kaggledbqa_like", {}, 0.6),
+            ("sparc_like", {"use_history": True}, 0.5),
+            ("bird_like", {"use_knowledge": True}, 0.6),
+            ("cspider_like", {"languages": ("en", "zh")}, 0.5),
+            ("vitext2sql_like", {"languages": ("en", "vi")}, 0.4),
+            ("portuguese_spider_like", {"languages": ("en", "pt")}, 0.5),
+            ("pauq_like", {"languages": ("en", "ru")}, 0.5),
+            ("spider_dk_like", {"use_knowledge": True}, 0.6),
+            ("spider_syn_like", {"world_knowledge": True}, 0.5),
+            ("dr_spider_nlq_like", {"fuzzy": True}, 0.4),
+        ],
+    )
+    def test_family(self, name, kwargs, floor):
+        ds = build_dataset(name, scale=0.03, seed=13)
+        parser = GrammarSemanticParser(**kwargs)
+        report = evaluate_parser(parser, ds)
+        assert report.total > 0
+        assert report.accuracy("execution_match") >= floor, name
+
+
+class TestCapabilityAblationsAcrossFamilies:
+    """Each capability knob matters exactly on the family that probes it."""
+
+    def test_history_matters_only_multiturn(self):
+        mt = build_dataset("sparc_like", scale=0.05, seed=14)
+        with_history = evaluate_parser(
+            GrammarSemanticParser(use_history=True), mt
+        ).accuracy("execution_match")
+        without = evaluate_parser(
+            GrammarSemanticParser(use_history=False), mt
+        ).accuracy("execution_match")
+        assert with_history > without
+
+    def test_knowledge_matters_only_bird(self):
+        kg = build_dataset("bird_like", scale=0.05, seed=14)
+        with_knowledge = evaluate_parser(
+            GrammarSemanticParser(use_knowledge=True), kg
+        ).accuracy("execution_match")
+        without = evaluate_parser(
+            GrammarSemanticParser(use_knowledge=False), kg
+        ).accuracy("execution_match")
+        assert with_knowledge > without + 0.3
+
+    def test_language_capability_gates_multilingual(self):
+        zh = build_dataset("cspider_like", scale=0.05, seed=14)
+        capable = evaluate_parser(
+            GrammarSemanticParser(languages=("en", "zh")), zh
+        ).accuracy("execution_match")
+        english_only = evaluate_parser(
+            GrammarSemanticParser(languages=("en",)), zh
+        ).accuracy("execution_match")
+        assert capable > english_only + 0.3
+
+
+class TestFullStackRoundTrip:
+    """Dataset → parser → executor → metrics → report, one pass."""
+
+    def test_pipeline_on_vis(self, tiny_nvbench):
+        from repro.parsers.vis import Chat2VisParser
+        from repro.vis.charts import render_chart
+
+        parser = Chat2VisParser()
+        rendered = 0
+        for example in tiny_nvbench.split("dev").examples[:10]:
+            db = tiny_nvbench.database(example.db_id)
+            vql = parser.parse_vis(
+                ParseRequest(
+                    question=example.question, schema=db.schema, db=db
+                )
+            )
+            if vql is None:
+                continue
+            try:
+                chart = render_chart(vql, db)
+            except Exception:
+                continue
+            rendered += 1
+            assert chart.chart_type in ("bar", "pie", "line", "scatter")
+        assert rendered >= 7
+
+    def test_csv_roundtrip_preserves_evaluation(self, tmp_path):
+        """Persist a benchmark's database to CSV, reload, re-evaluate:
+        identical results."""
+        from repro.data.database import Database
+
+        ds = build_dataset("geoquery_like", scale=0.03, seed=15)
+        parser = GrammarSemanticParser()
+        before = evaluate_parser(parser, ds).accuracy("execution_match")
+
+        db_id, db = next(iter(ds.databases.items()))
+        db.to_csv_dir(tmp_path)
+        ds.databases[db_id] = Database.from_csv_dir(db.schema, tmp_path)
+        after = evaluate_parser(parser, ds).accuracy("execution_match")
+        assert before == after
+
+    def test_determinism_across_full_stack(self):
+        def one_pass():
+            ds = build_dataset("spider_like", scale=0.03, seed=99)
+            report = evaluate_parser(GrammarSemanticParser(), ds)
+            return (
+                report.accuracy("execution_match"),
+                [e.sql for e in ds.examples[:5]],
+            )
+
+        assert one_pass() == one_pass()

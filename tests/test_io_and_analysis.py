@@ -1,0 +1,145 @@
+"""Spider-format dataset IO, error analysis, CLI, and Vis dialogue tests."""
+
+import json
+
+import pytest
+
+from repro.datasets import build_dataset
+from repro.datasets.io import (
+    load_dataset,
+    save_dataset,
+    schema_to_spider,
+    spider_to_schema,
+)
+from repro.metrics import evaluate_parser
+from repro.metrics.analysis import categorize_error, error_profile
+from repro.parsers.rule import KeywordRuleParser
+from repro.parsers.semantic import GrammarSemanticParser
+
+
+class TestSpiderFormatIO:
+    def test_schema_round_trip(self, shop_schema):
+        entry = schema_to_spider(shop_schema)
+        rebuilt = spider_to_schema(entry)
+        assert rebuilt.table_names() == shop_schema.table_names()
+        assert rebuilt.table("products").primary_key == "id"
+        assert len(rebuilt.foreign_keys) == 1
+        fk = rebuilt.foreign_keys[0]
+        assert (fk.table, fk.column) == ("sales", "product_id")
+        rebuilt.validate()
+
+    def test_spider_column_convention(self, shop_schema):
+        entry = schema_to_spider(shop_schema)
+        assert entry["column_names_original"][0] == [-1, "*"]
+        assert entry["column_types"][0] == "text"
+        # indexes in FK pairs point into the flat column list
+        src, dst = entry["foreign_keys"][0]
+        assert entry["column_names_original"][src][1] == "product_id"
+        assert entry["column_names_original"][dst][1] == "id"
+
+    def test_dataset_round_trip(self, tmp_path):
+        original = build_dataset("geoquery_like", scale=0.02, seed=4)
+        save_dataset(original, tmp_path)
+        assert (tmp_path / "tables.json").exists()
+        assert (tmp_path / "train.json").exists()
+        loaded = load_dataset(tmp_path)
+        assert loaded.name == original.name
+        assert len(loaded.examples) == len(original.examples)
+        assert [e.sql for e in loaded.examples] == [
+            e.sql for e in original.examples
+        ]
+        # contents survive: evaluation is identical
+        before = evaluate_parser(
+            GrammarSemanticParser(), original
+        ).accuracy("execution_match")
+        after = evaluate_parser(GrammarSemanticParser(), loaded).accuracy(
+            "execution_match"
+        )
+        assert before == after
+
+    def test_bird_fields_use_evidence_key(self, tmp_path):
+        ds = build_dataset("bird_like", scale=0.02, seed=4)
+        save_dataset(ds, tmp_path)
+        payload = json.loads((tmp_path / "train.json").read_text())
+        assert all("evidence" in item for item in payload)
+        loaded = load_dataset(tmp_path)
+        assert all(e.knowledge for e in loaded.examples)
+
+    def test_vis_fields_preserved(self, tmp_path):
+        ds = build_dataset("nvbench_like", scale=0.02, seed=4)
+        save_dataset(ds, tmp_path)
+        loaded = load_dataset(tmp_path)
+        assert all(e.vql for e in loaded.examples)
+
+    def test_load_missing_meta_raises(self, tmp_path):
+        from repro.errors import DatasetError
+
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path)
+
+
+class TestErrorAnalysis:
+    GOLD = "SELECT name FROM products WHERE price > 100"
+
+    @pytest.mark.parametrize(
+        "predicted,category",
+        [
+            (None, "parse_failure"),
+            ("SELCT broken(", "invalid_sql"),
+            ("SELECT name FROM customers WHERE price > 100", "wrong_table"),
+            ("SELECT category FROM products WHERE price > 100",
+             "wrong_projection"),
+            ("SELECT name FROM products WHERE price > 200",
+             "wrong_condition"),
+            ("SELECT name FROM products WHERE price > 100 "
+             "ORDER BY name ASC", "wrong_ordering"),
+        ],
+    )
+    def test_categories(self, predicted, category):
+        assert categorize_error(predicted, self.GOLD) == category
+
+    def test_grouping_category(self):
+        gold = "SELECT category, COUNT(*) FROM products GROUP BY category"
+        wrong = "SELECT category, COUNT(*) FROM products GROUP BY name"
+        assert categorize_error(wrong, gold) == "wrong_grouping"
+
+    def test_profile_over_dataset(self, tiny_wikisql):
+        profile = error_profile(KeywordRuleParser(), tiny_wikisql, limit=40)
+        assert sum(profile.values()) > 0
+        assert set(profile) <= set(
+            ("parse_failure", "invalid_sql", "wrong_table",
+             "wrong_projection", "wrong_condition", "wrong_grouping",
+             "wrong_ordering", "structural", "semantic_only")
+        )
+        # the rule parser's dominant failure is refusing to parse
+        assert profile["parse_failure"] >= max(
+            count
+            for category, count in profile.items()
+            if category != "parse_failure"
+        ) or profile["parse_failure"] > 0
+
+
+class TestCLI:
+    def test_demo_mode_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--demo", "--domain", "sales"]) == 0
+        out = capsys.readouterr().out
+        assert "SQL:" in out and "VISUALIZE" in out
+
+    def test_demo_other_domain(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--demo", "--domain", "library", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "connected to 'library'" in out
+
+
+class TestVisDialogues:
+    def test_chat2vis_handles_restyle_turns(self):
+        from repro.parsers.vis import Chat2VisParser
+
+        ds = build_dataset("chartdialogs_like", scale=0.2, seed=6)
+        report = evaluate_parser(Chat2VisParser(), ds)
+        assert report.accuracy("exact_match") > 0.6
+        assert report.accuracy("vis_data") > 0.7

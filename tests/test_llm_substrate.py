@@ -1,0 +1,196 @@
+"""Simulated LLM substrate tests: prompts, profiles, corruption, interface."""
+
+import random
+
+import pytest
+
+from repro.data.domains import domain_by_name
+from repro.errors import LLMError
+from repro.llm.corruption import corrupt_query, syntax_error_text
+from repro.llm.interface import SimulatedLLM
+from repro.llm.profiles import MODEL_PROFILES, get_profile
+from repro.llm.prompts import (
+    PromptBuilder,
+    deserialize_schema,
+    extract_sql,
+    extract_vql,
+    parse_prompt,
+    serialize_schema,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+
+
+@pytest.fixture
+def schema():
+    return domain_by_name("sales").schema
+
+
+class TestPromptBuilder:
+    def test_zero_shot_prompt_has_sections(self, schema):
+        prompt = PromptBuilder().build("How many orders?", schema)
+        assert "### Task:" in prompt
+        assert "### Schema (sales):" in prompt
+        assert "CREATE TABLE orders" in prompt
+        assert prompt.rstrip().endswith("A:")
+
+    def test_descriptions_toggle(self, schema):
+        with_desc = PromptBuilder(include_descriptions=True).build("q", schema)
+        without = PromptBuilder(include_descriptions=False).build("q", schema)
+        assert "/* aka:" in with_desc
+        assert "/* aka:" not in without
+
+    def test_demonstrations_rendered(self, schema):
+        prompt = PromptBuilder().build(
+            "q", schema, demonstrations=[("dq", "SELECT 1")]
+        )
+        assert "### Examples:" in prompt and "Q: dq" in prompt
+
+    def test_repair_section(self, schema):
+        prompt = PromptBuilder().build(
+            "q", schema, repair_of="SELECT x FROM y", error="unknown table y"
+        )
+        assert "### It failed with: unknown table y" in prompt
+
+
+class TestPromptParsing:
+    def test_round_trip_fields(self, schema):
+        prompt = PromptBuilder(chain_of_thought=True).build(
+            "How many orders?",
+            schema,
+            demonstrations=[("dq", "SELECT 1"), ("dq2", "SELECT 2")],
+            knowledge="Premium products are products whose price is "
+            "greater than 10.",
+            history=[("prev", "SELECT name FROM products")],
+        )
+        parsed = parse_prompt(prompt)
+        assert parsed.question == "How many orders?"
+        assert parsed.chain_of_thought
+        assert len(parsed.demonstrations) == 2
+        assert len(parsed.history) == 1
+        assert parsed.knowledge.startswith("Premium")
+        assert parsed.schema is not None
+        assert parsed.schema.has_table("orders")
+
+    def test_schema_round_trip_with_synonyms_and_fks(self, schema):
+        body = serialize_schema(schema)
+        rebuilt = deserialize_schema("sales", body)
+        assert rebuilt.table_names() == schema.table_names()
+        assert rebuilt.foreign_keys
+        price = rebuilt.table("products").column("price")
+        assert "cost" in price.synonyms
+        assert price.type.value == "number"
+
+    def test_schema_without_descriptions_loses_synonyms(self, schema):
+        body = serialize_schema(schema, descriptions=False)
+        rebuilt = deserialize_schema("sales", body)
+        assert rebuilt.table("products").column("price").synonyms == ()
+
+    def test_extract_sql_from_code_block(self):
+        assert extract_sql("reasoning\n```sql\nSELECT 1\n```") == "SELECT 1"
+        assert extract_sql("SELECT a FROM t") == "SELECT a FROM t"
+
+    def test_extract_vql(self):
+        completion = "```sql\nVISUALIZE BAR SELECT a, b FROM t\n```"
+        assert extract_vql(completion).startswith("VISUALIZE BAR")
+
+
+class TestCorruption:
+    QUERY = "SELECT name FROM products WHERE price > 100"
+
+    def test_corruption_changes_query(self, schema):
+        rng = random.Random(0)
+        changed = 0
+        for seed in range(20):
+            rng = random.Random(seed)
+            corrupted = corrupt_query(parse_sql(self.QUERY), schema, rng)
+            if to_sql(corrupted) != self.QUERY:
+                changed += 1
+        assert changed >= 15
+
+    def test_corrupted_query_still_renders(self, schema):
+        for seed in range(25):
+            rng = random.Random(seed)
+            corrupted = corrupt_query(
+                parse_sql(self.QUERY), schema, rng, severity=2
+            )
+            assert to_sql(corrupted)  # never raises
+
+    def test_syntax_error_text_breaks_parsing(self):
+        from repro.errors import SQLError
+
+        rng = random.Random(3)
+        broken = syntax_error_text(self.QUERY, rng)
+        with pytest.raises(SQLError):
+            parse_sql(broken)
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(MODEL_PROFILES) == {
+            "small-llm", "codex-like", "chatgpt-like", "palm-like",
+        }
+        with pytest.raises(KeyError):
+            get_profile("gpt9")
+
+    def test_tier_ordering(self):
+        assert (
+            MODEL_PROFILES["palm-like"].base_error
+            < MODEL_PROFILES["chatgpt-like"].base_error
+            < MODEL_PROFILES["small-llm"].base_error
+        )
+
+
+class TestSimulatedLLM:
+    def test_deterministic_at_t0(self, schema):
+        prompt = PromptBuilder().build("How many orders?", schema)
+        a = SimulatedLLM(seed=1).complete(prompt)[0].text
+        b = SimulatedLLM(seed=1).complete(prompt)[0].text
+        assert a == b
+
+    def test_sampling_varies_at_temperature(self, schema):
+        prompt = PromptBuilder().build(
+            "Show the name of products whose price is greater than 100?",
+            schema,
+        )
+        llm = SimulatedLLM("small-llm", seed=1)
+        texts = {
+            c.text for c in llm.complete(prompt, temperature=0.8, n=10)
+        }
+        assert len(texts) > 1
+
+    def test_no_schema_means_guess(self):
+        llm = SimulatedLLM(seed=0)
+        out = llm.complete("### Task: x\n### Question: hello\nA:")[0].text
+        assert "SELECT" in out
+
+    def test_needs_question(self):
+        llm = SimulatedLLM(seed=0)
+        out = llm.complete("### Task: x\nA:")[0].text
+        assert "question" in out.lower()
+
+    def test_cot_adds_reasoning(self, schema):
+        prompt = PromptBuilder(chain_of_thought=True).build(
+            "How many orders?", schema
+        )
+        out = SimulatedLLM(seed=0).complete(prompt)[0].text
+        assert "1." in out and "```sql" in out
+
+    def test_vis_task_emits_vql(self, schema):
+        prompt = PromptBuilder(task="vis").build(
+            "Draw a pie chart of the number of orders per quarter?", schema
+        )
+        out = SimulatedLLM(seed=0).complete(prompt)[0].text
+        assert "VISUALIZE" in out
+
+    def test_n_must_be_positive(self, schema):
+        with pytest.raises(LLMError):
+            SimulatedLLM().complete("x", n=0)
+
+    def test_token_accounting(self, schema):
+        llm = SimulatedLLM(seed=0)
+        prompt = PromptBuilder().build("How many orders?", schema)
+        completion = llm.complete(prompt)[0]
+        assert completion.prompt_tokens > 10
+        assert llm.calls == 1
+        assert llm.total_prompt_tokens == completion.prompt_tokens

@@ -1,0 +1,246 @@
+"""Metric battery tests (survey Section 5): behaviour of every metric."""
+
+import pytest
+
+from repro.metrics import test_suite_match as suite_match
+from repro.metrics import (
+    bleu,
+    component_match,
+    evaluate_parser,
+    exact_string_match,
+    execution_match,
+    fuzzy_match,
+    make_database_variants,
+    partial_match,
+    strict_string_match,
+    vis_component_match,
+    vis_exact_match,
+)
+
+
+class TestStringMatch:
+    def test_strict_requires_identical(self):
+        assert strict_string_match("SELECT a FROM t", "SELECT  a  FROM t")
+        assert not strict_string_match("select a from t", "SELECT a FROM t")
+
+    def test_exact_forgives_case_and_alias(self):
+        assert exact_string_match(
+            "select P.name from products p", "SELECT name FROM products"
+        )
+
+    def test_exact_rejects_different_structure(self):
+        assert not exact_string_match(
+            "SELECT a FROM t", "SELECT a FROM t WHERE x = 1"
+        )
+
+    def test_exact_false_negative_on_equivalent_rewrites(self):
+        """The documented blindness: IN-subquery vs JOIN equivalents."""
+        assert not exact_string_match(
+            "SELECT name FROM products WHERE id IN "
+            "(SELECT product_id FROM sales)",
+            "SELECT p.name FROM products p JOIN sales s ON "
+            "s.product_id = p.id",
+        )
+
+    def test_unparseable_prediction_fails(self):
+        assert not exact_string_match("SELECT FROM", "SELECT a FROM t")
+
+
+class TestBleu:
+    def test_identical_scores_one(self):
+        assert bleu("SELECT a FROM t", "SELECT a FROM t") == pytest.approx(
+            1.0, abs=0.15
+        )
+
+    def test_bounds(self):
+        score = bleu("SELECT a FROM t WHERE x = 1", "SELECT b FROM u")
+        assert 0.0 <= score <= 1.0
+
+    def test_empty_is_zero(self):
+        assert bleu("", "SELECT a FROM t") == 0.0
+
+    def test_fuzzy_accepts_single_token_slip(self):
+        assert fuzzy_match(
+            "SELECT name FROM products WHERE price > 6",
+            "SELECT name FROM products WHERE price > 5",
+        )
+
+    def test_fuzzy_rejects_structurally_different(self):
+        assert not fuzzy_match(
+            "SELECT COUNT(*) FROM sales",
+            "SELECT name, price FROM products WHERE category = 'x' "
+            "ORDER BY price DESC LIMIT 3",
+        )
+
+    def test_fuzzy_leniency_is_a_false_positive_source(self):
+        """Fuzzy match accepts a wrong-column prediction exact match rejects."""
+        gold = "SELECT name FROM products WHERE price > 5"
+        wrong = "SELECT category FROM products WHERE price > 5"
+        assert not exact_string_match(wrong, gold)
+        assert fuzzy_match(wrong, gold)
+
+
+class TestComponentMatch:
+    def test_condition_order_forgiven(self):
+        assert component_match(
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+            "SELECT a FROM t WHERE y = 2 AND x = 1",
+        )
+
+    def test_partial_scores_clause_level(self):
+        scores = partial_match(
+            "SELECT a FROM t WHERE x = 1 ORDER BY a ASC",
+            "SELECT a FROM t WHERE x = 1 ORDER BY a DESC",
+        )
+        assert scores["select"] and scores["where"]
+        assert not scores["order_by"]
+
+    def test_unparseable_gives_all_false(self):
+        scores = partial_match("garbage(", "SELECT a FROM t")
+        assert not any(scores.values())
+
+
+class TestExecutionMatch:
+    def test_syntactically_different_equivalents_match(self, shop_db):
+        assert execution_match(
+            "SELECT name FROM products WHERE price > 5",
+            "SELECT name FROM products WHERE price > 5.0",
+            shop_db,
+        )
+
+    def test_semantically_different_fail(self, shop_db):
+        assert not execution_match(
+            "SELECT name FROM products WHERE price > 5",
+            "SELECT name FROM products WHERE price > 10",
+            shop_db,
+        )
+
+    def test_order_sensitive_only_with_gold_order(self, shop_db):
+        # unordered gold: row order is irrelevant
+        assert execution_match(
+            "SELECT name FROM products ORDER BY name",
+            "SELECT name FROM products",
+            shop_db,
+        )
+        # ordered gold: order matters
+        assert not execution_match(
+            "SELECT name FROM products ORDER BY price ASC",
+            "SELECT name FROM products ORDER BY price DESC",
+            shop_db,
+        )
+
+    def test_known_false_positive_on_coincidence(self, shop_db):
+        """Both categories have 2 products: COUNT collides — the naive
+        execution match false positive the survey documents."""
+        assert execution_match(
+            "SELECT COUNT(*) FROM products WHERE category = 'tools'",
+            "SELECT COUNT(*) FROM products WHERE category = 'food'",
+            shop_db,
+        )
+
+    def test_invalid_prediction_fails(self, shop_db):
+        assert not execution_match(
+            "SELECT missing FROM products", "SELECT name FROM products",
+            shop_db,
+        )
+
+
+class TestTestSuiteMatch:
+    def test_variants_generated(self, shop_db):
+        variants = make_database_variants(shop_db, count=5, seed=1)
+        assert len(variants) == 5
+        assert variants[0] is shop_db  # original kept
+        assert any(
+            v.table("products").rows != shop_db.table("products").rows
+            for v in variants[1:]
+        )
+
+    def test_equivalent_queries_survive_variants(self, shop_db):
+        assert suite_match(
+            "SELECT name FROM products WHERE price >= 5",
+            "SELECT name FROM products WHERE price >= 5.0",
+            shop_db,
+        )
+
+    def test_kills_coincidental_execution_match(self, shop_db):
+        """The false positive above dies under content fuzzing."""
+        assert not suite_match(
+            "SELECT COUNT(*) FROM products WHERE category = 'tools'",
+            "SELECT COUNT(*) FROM products WHERE category = 'food'",
+            shop_db,
+        )
+
+    def test_self_match_always_passes(self, shop_db):
+        sql = "SELECT category, COUNT(*) FROM products GROUP BY category"
+        assert suite_match(sql, sql, shop_db)
+
+
+class TestVisMetrics:
+    GOLD = "VISUALIZE BAR SELECT category, COUNT(*) FROM products GROUP BY category"
+
+    def test_exact_match_canonicalizes(self):
+        assert vis_exact_match(
+            "visualize bar select category, count(*) from products "
+            "group by category",
+            self.GOLD,
+        )
+
+    def test_chart_type_mismatch_fails_exact(self):
+        assert not vis_exact_match(
+            self.GOLD.replace("BAR", "PIE"), self.GOLD
+        )
+
+    def test_component_flags(self, shop_db):
+        flags = vis_component_match(
+            self.GOLD.replace("BAR", "PIE"), self.GOLD, shop_db
+        )
+        assert not flags["chart_type"]
+        assert flags["data"] and flags["axes"]
+
+    def test_wrong_data_detected(self, shop_db):
+        flags = vis_component_match(
+            "VISUALIZE BAR SELECT quarter, COUNT(*) FROM sales "
+            "GROUP BY quarter",
+            self.GOLD,
+            shop_db,
+        )
+        assert flags["chart_type"]
+        assert not flags["data"]
+
+    def test_unparseable_prediction_all_false(self, shop_db):
+        flags = vis_component_match("nonsense", self.GOLD, shop_db)
+        assert not any(flags.values())
+
+
+class TestEvaluationLoop:
+    def test_report_shape(self, tiny_wikisql):
+        from repro.parsers.semantic import GrammarSemanticParser
+
+        report = evaluate_parser(
+            GrammarSemanticParser(), tiny_wikisql, limit=25
+        )
+        assert report.total == 25
+        assert 0 <= report.accuracy("execution_match") <= 1
+        data = report.as_dict()
+        assert data["parser"] == "grammar semantic parser"
+        assert set(report.hardness_accuracy()) <= {
+            "easy", "medium", "hard", "extra",
+        }
+
+    def test_with_test_suite_metric(self, tiny_wikisql):
+        from repro.parsers.semantic import GrammarSemanticParser
+
+        report = evaluate_parser(
+            GrammarSemanticParser(), tiny_wikisql, with_test_suite=True,
+            limit=10,
+        )
+        assert "test_suite_match" in report.metric_hits or report.total == 10
+
+    def test_metric_ordering_invariant(self, tiny_wikisql):
+        """exact ⊆ component and exact ⊆ execution, always."""
+        from repro.parsers.semantic import GrammarSemanticParser
+
+        report = evaluate_parser(GrammarSemanticParser(), tiny_wikisql)
+        exact = report.metric_hits.get("exact_match", 0)
+        assert exact <= report.metric_hits.get("component_match", 0)
+        assert exact <= report.metric_hits.get("execution_match", 0)

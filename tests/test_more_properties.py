@@ -1,0 +1,126 @@
+"""Additional property-based tests: VQL, linker, metrics, reports."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data.domains import all_domains
+from repro.metrics import bleu
+from repro.parsers.linker import SchemaLinker
+from repro.vis.vql import CHART_TYPES, VQLQuery, parse_vql, to_vql
+
+_SQL_BODIES = st.sampled_from(
+    [
+        "SELECT a, COUNT(*) FROM t GROUP BY a",
+        "SELECT x, y FROM t WHERE x > 3",
+        "SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 2",
+        "SELECT name, price FROM products ORDER BY price DESC LIMIT 5",
+        "SELECT d, COUNT(*) FROM t GROUP BY d",
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    chart=st.sampled_from(CHART_TYPES),
+    sql=_SQL_BODIES,
+    bin_unit=st.sampled_from([None, "year", "quarter", "month", "weekday"]),
+)
+def test_vql_round_trip(chart, sql, bin_unit):
+    from repro.sql.parser import parse_sql
+
+    vql = VQLQuery(
+        chart_type=chart,
+        query=parse_sql(sql),
+        bin_column="d" if bin_unit else None,
+        bin_unit=bin_unit,
+    )
+    rendered = to_vql(vql)
+    assert parse_vql(rendered) == vql
+    # canonical text is a fixed point
+    assert to_vql(parse_vql(rendered)) == rendered
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    domain_index=st.integers(0, 9),
+    words=st.lists(
+        st.sampled_from(
+            ["show", "the", "of", "all", "whose", "is", "and", "zebra"]
+        ),
+        min_size=0,
+        max_size=6,
+    ),
+)
+def test_linker_mentions_never_overlap(domain_index, words):
+    domain = all_domains()[domain_index]
+    linker = SchemaLinker(domain.schema)
+    table = domain.schema.tables[0]
+    question = " ".join(
+        words + [table.mentions()[0], table.columns[-1].mentions()[0]]
+    )
+    mentions = linker.link(question)
+    # spans are disjoint and ordered
+    for first, second in zip(mentions, mentions[1:]):
+        assert first.end <= second.start
+    # every linked element exists in the schema
+    for mention in mentions:
+        schema_table = domain.schema.table(mention.table)
+        if mention.kind == "column":
+            assert schema_table.has_column(mention.column)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    tokens=st.lists(
+        st.sampled_from(["select", "a", "from", "t", "where", "x", "1"]),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_bleu_bounds_and_identity(tokens):
+    text = " ".join(tokens)
+    assert 0.0 <= bleu(text, "select a from t") <= 1.0
+    assert bleu(tokens, tokens) >= 0.5  # self-similarity is high
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), accuracy=st.floats(0.1, 0.9))
+def test_bootstrap_ci_contains_point_estimate(seed, accuracy):
+    from repro.metrics.report import EvaluationReport
+
+    rng = random.Random(seed)
+    hits = [rng.random() < accuracy for _ in range(60)]
+    report = EvaluationReport(
+        parser_name="p", dataset_name="d", split="dev", total=len(hits)
+    )
+    report.metric_hits["execution_match"] = sum(hits)
+    report.example_hits["execution_match"] = hits
+    lower, upper = report.confidence_interval("execution_match", seed=seed)
+    point = sum(hits) / len(hits)
+    assert 0.0 <= lower <= point <= upper <= 1.0
+
+
+def test_ci_empty_report():
+    from repro.metrics.report import EvaluationReport
+
+    report = EvaluationReport(parser_name="p", dataset_name="d", split="dev")
+    assert report.confidence_interval("execution_match") == (0.0, 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    question=st.text(
+        alphabet="abcdefghij ?'", min_size=0, max_size=40
+    )
+)
+def test_semantic_parser_never_crashes(question):
+    """The parser returns a result (possibly a failure) for any input."""
+    from repro.data.domains import domain_by_name
+    from repro.parsers.base import ParseRequest
+    from repro.parsers.semantic import GrammarSemanticParser
+
+    schema = domain_by_name("sales").schema
+    parser = GrammarSemanticParser()
+    result = parser.parse(ParseRequest(question=question, schema=schema))
+    assert result is not None

@@ -1,0 +1,163 @@
+"""NLG channel tests: realizer, translation, perturbations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.domains import domain_by_name
+from repro.nlg.lexicon import AGG_PHRASES, OP_PHRASES
+from repro.nlg.perturb import (
+    OUT_OF_SCHEMA_SYNONYMS,
+    drop_column_mentions,
+    substitute_synonyms,
+    typo_perturb,
+)
+from repro.nlg.realizer import Realizer
+from repro.nlg.translate import SUPPORTED_LANGUAGES, reverse_translate, translate
+
+
+@pytest.fixture
+def realizer():
+    return Realizer(random.Random(0))
+
+
+class TestRealizer:
+    def test_question_capitalized_and_terminated(self, realizer):
+        question = realizer.list_question("the name of products")
+        assert question[0].isupper()
+        assert question.endswith("?")
+
+    def test_condition_uses_op_lexicon(self, realizer):
+        text = realizer.condition("price", ">", 10)
+        assert "price" in text and "10" in text
+        assert any(
+            phrase in text for phrase in OP_PHRASES[">"]
+        )
+
+    def test_agg_np_count_has_no_column(self, realizer):
+        text = realizer.agg_np("count", "", "orders")
+        assert "orders" in text
+
+    def test_agg_np_formats_column(self, realizer):
+        text = realizer.agg_np("avg", "price", "products")
+        assert "price" in text and "products" in text
+
+    def test_value_text_formats(self, realizer):
+        assert realizer.value_text(10.0) == "10"
+        assert realizer.value_text(2.5) == "2.5"
+        assert realizer.value_text("abc") == "abc"
+
+    def test_followup_lowercases_and_prefixes(self, realizer):
+        out = realizer.followup("Show their names?")
+        assert out.endswith("?")
+        assert "show their names" in out.lower()
+
+    def test_deterministic_given_seed(self):
+        a = Realizer(random.Random(42)).list_question("x of y")
+        b = Realizer(random.Random(42)).list_question("x of y")
+        assert a == b
+
+    def test_table_noun_sometimes_synonym(self):
+        table = domain_by_name("sales").schema.table("orders")
+        rng = random.Random(0)
+        realizer = Realizer(rng, synonym_prob=1.0)
+        noun = realizer.table_noun(table)
+        assert noun in table.mentions()[1:]
+
+    def test_projection_np_joins_columns(self, realizer):
+        text = realizer.projection_np(["name", "price"], "products")
+        assert "name" in text and "price" in text and " and " in text
+
+
+class TestTranslate:
+    def test_supported_languages(self):
+        assert set(SUPPORTED_LANGUAGES) == {"en", "pt", "ru", "vi", "zh"}
+
+    def test_english_passthrough(self):
+        assert translate("Show the name?", "en") == "Show the name?"
+
+    def test_unknown_language_raises(self):
+        with pytest.raises(KeyError):
+            translate("x", "fr")
+
+    @pytest.mark.parametrize("language", ["zh", "vi", "pt"])
+    def test_translation_changes_function_words(self, language):
+        question = "Show the name of products whose price is greater than 5?"
+        translated = translate(question, language)
+        assert translated != question
+        # schema words survive untouched (code-switching)
+        assert "products" in translated
+        assert "price" in translated
+
+    @pytest.mark.parametrize("language", ["zh", "vi", "pt"])
+    def test_reverse_translation_restores_cues(self, language):
+        question = "Show the name of products whose price is greater than 5?"
+        reversed_ = reverse_translate(translate(question, language), language)
+        lowered = reversed_.lower()
+        assert "products" in lowered
+        assert "greater" in lowered or "is" in lowered
+
+    def test_reverse_translate_word_boundaries(self):
+        # "o" must not be replaced inside Portuguese content words
+        out = reverse_translate("mostre o nome dos products?", "pt")
+        assert "products" in out
+
+
+class TestPerturbations:
+    def test_synonym_substitution_changes_mentions(self):
+        schema = domain_by_name("sales").schema
+        rng = random.Random(0)
+        question = "Show the name of products whose price is above 5?"
+        out = substitute_synonyms(question, schema, rng)
+        assert out != question
+        assert "price" not in out.lower()
+
+    def test_synonym_substitution_prefers_out_of_schema(self):
+        schema = domain_by_name("sales").schema
+        rng = random.Random(1)
+        out = substitute_synonyms(
+            "What is the average price of products?", schema, rng
+        )
+        replaced = out.lower()
+        assert any(
+            syn in replaced for syn in OUT_OF_SCHEMA_SYNONYMS["price"]
+        )
+
+    def test_drop_column_mentions(self):
+        schema = domain_by_name("sales").schema
+        out = drop_column_mentions(
+            "Show the name of products whose price is above 5?", schema
+        )
+        assert "price" not in out.lower()
+        assert "value" in out.lower()
+
+    def test_typos_only_touch_safe_words(self):
+        rng = random.Random(0)
+        question = "Show the name of products whose price is above 5?"
+        out = typo_perturb(question, rng, rate=1.0)
+        # schema-ish words survive
+        assert "products" in out
+        assert "price" in out
+        assert out != question
+
+    def test_typo_rate_zero_is_identity(self):
+        rng = random.Random(0)
+        question = "Show the name of products?"
+        assert typo_perturb(question, rng, rate=0.0) == question
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_typo_output_same_word_count(self, seed):
+        rng = random.Random(seed)
+        question = "Show the average number of things sorted by size?"
+        out = typo_perturb(question, rng, rate=0.5)
+        assert len(out.split()) == len(question.split())
+
+
+class TestLexicons:
+    def test_agg_phrases_cover_all_aggregates(self):
+        assert set(AGG_PHRASES) == {"count", "sum", "avg", "min", "max"}
+
+    def test_op_phrases_cover_all_operators(self):
+        assert set(OP_PHRASES) == {"=", "<>", ">", "<", ">=", "<="}

@@ -1,0 +1,265 @@
+"""Neural-stage parser tests: training, inference, and family contrasts.
+
+Training fixtures are session-scoped so the (fast, but not free) SGD fits
+run once per test session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import evaluate_parser
+from repro.parsers.base import ParseRequest
+from repro.parsers.neural import (
+    ExecutionGuidedParser,
+    FeatureConfig,
+    GrammarNeuralParser,
+    SketchParser,
+)
+from repro.parsers.neural.features import (
+    column_features,
+    question_vector,
+    table_features,
+)
+from repro.parsers.neural.models import LinearRanker, SoftmaxClassifier
+from repro.parsers.neural.slots import extract_slots
+from repro.parsers.neural.values import (
+    extract_capitalized,
+    extract_numbers,
+    extract_quoted,
+    extract_reserved_number,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+
+
+@pytest.fixture(scope="module")
+def trained_grammar(tiny_spider):
+    parser = GrammarNeuralParser(epochs=30)
+    parser.train(tiny_spider.split("train").examples, tiny_spider.databases)
+    return parser
+
+
+@pytest.fixture(scope="module")
+def trained_sketch(tiny_wikisql):
+    parser = SketchParser(epochs=30)
+    parser.train(tiny_wikisql.split("train").examples, tiny_wikisql.databases)
+    return parser
+
+
+class TestModels:
+    def test_softmax_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 4)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(int)
+        model = SoftmaxClassifier(4, 2, epochs=30)
+        model.fit(x, y)
+        correct = sum(
+            model.predict(x[i]) == y[i] for i in range(len(x))
+        )
+        assert correct / len(x) > 0.9
+
+    def test_softmax_state_roundtrip(self):
+        model = SoftmaxClassifier(3, 2)
+        model.weights[:] = 1.5
+        clone = SoftmaxClassifier(3, 2)
+        clone.load_state(model.state_dict())
+        assert np.allclose(clone.weights, model.weights)
+
+    def test_ranker_learns_preference(self):
+        rng = np.random.default_rng(1)
+        groups = []
+        for _ in range(80):
+            candidates = rng.normal(size=(5, 3)).astype(np.float32)
+            gold = int(np.argmax(candidates[:, 1]))  # feature 1 is the signal
+            groups.append((candidates, gold))
+        ranker = LinearRanker(3, epochs=15)
+        ranker.fit(groups)
+        hits = sum(ranker.best(c) == g for c, g in groups)
+        assert hits / len(groups) > 0.85
+
+    def test_fit_empty_is_noop(self):
+        SoftmaxClassifier(3, 2).fit(np.zeros((0, 3)), np.zeros(0, dtype=int))
+        LinearRanker(3).fit([])
+
+
+class TestFeatures:
+    def test_question_vector_normalized_and_deterministic(self):
+        config = FeatureConfig()
+        a = question_vector("show the price of products", config)
+        b = question_vector("show the price of products", config)
+        assert np.allclose(a, b)
+        assert np.linalg.norm(a) == pytest.approx(1.0, abs=1e-5)
+
+    def test_column_features_detect_overlap(self, sales_db):
+        config = FeatureConfig()
+        schema = sales_db.schema
+        products = schema.table("products")
+        price = products.column("price")
+        stock = products.column("stock")
+        question = "what is the price of products"
+        price_vec = column_features(
+            question, price, products, products, schema, "condition", config
+        )
+        stock_vec = column_features(
+            question, stock, products, products, schema, "condition", config
+        )
+        assert price_vec[0] == 1.0  # exact overlap
+        assert stock_vec[0] == 0.0
+
+    def test_table_features_detect_mention(self, sales_db):
+        config = FeatureConfig()
+        schema = sales_db.schema
+        vec = table_features(
+            "how many orders", schema.table("orders"), schema, config
+        )
+        other = table_features(
+            "how many orders", schema.table("products"), schema, config
+        )
+        assert vec[0] == 1.0 and other[0] == 0.0
+
+
+class TestSlots:
+    def test_simple_projection(self):
+        slots = extract_slots(parse_sql("SELECT name, price FROM products"))
+        assert slots.main_table == "products"
+        assert slots.projection == [(None, "name"), (None, "price")]
+        assert slots.agg == "none"
+
+    def test_aggregate_and_condition(self):
+        slots = extract_slots(
+            parse_sql("SELECT AVG(price) FROM products WHERE stock > 5")
+        )
+        assert slots.agg == "avg"
+        assert slots.agg_column == (None, "price")
+        assert slots.conditions[0].op == ">"
+        assert slots.conditions[0].value == 5
+
+    def test_group_order_limit(self):
+        slots = extract_slots(
+            parse_sql(
+                "SELECT category, COUNT(*) FROM products GROUP BY category "
+                "HAVING COUNT(*) >= 2 ORDER BY category DESC LIMIT 3"
+            )
+        )
+        assert slots.group == (None, "category")
+        assert slots.having_min == 2
+        assert slots.order_desc and slots.limit == 3
+
+    def test_nested_in(self):
+        slots = extract_slots(
+            parse_sql(
+                "SELECT name FROM products WHERE product_id IN "
+                "(SELECT product_id FROM orders WHERE quantity > 2)"
+            )
+        )
+        assert slots.nested_table == "orders"
+        assert slots.nested_conditions[0].column == (None, "quantity")
+
+    def test_set_operation(self):
+        slots = extract_slots(
+            parse_sql(
+                "SELECT name FROM t WHERE x = 1 UNION "
+                "SELECT name FROM t WHERE x = 2"
+            )
+        )
+        assert slots.set_op == "union"
+        assert slots.second_conditions[0].value == 2
+
+    def test_out_of_space_returns_none(self):
+        assert extract_slots(
+            parse_sql("SELECT a + b FROM t")
+        ) is None
+
+
+class TestValuePointers:
+    def test_numbers_skip_reserved(self):
+        numbers = extract_numbers(
+            "the top 3 products whose price is above 100"
+        )
+        assert [n.value for n in numbers] == [100]
+
+    def test_reserved_number_extraction(self):
+        q = "top 5 items, considering only groups with at least 2 entries"
+        assert extract_reserved_number(q, "top") == 5
+        assert extract_reserved_number(q, "at least") == 2
+        assert extract_reserved_number(q, "bottom") is None
+
+    def test_quoted(self):
+        assert [v.value for v in extract_quoted("contains 'abc' here")] == [
+            "abc"
+        ]
+
+    def test_capitalized_skips_opener(self):
+        values = [v.value for v in extract_capitalized(
+            "Show the name of The Olive Branch"
+        )]
+        assert "The Olive Branch" in values
+        assert "Show" not in values
+
+
+class TestTrainedParsers:
+    def test_sketch_good_on_wikisql(self, trained_sketch, tiny_wikisql):
+        report = evaluate_parser(trained_sketch, tiny_wikisql)
+        assert report.accuracy("execution_match") > 0.5
+
+    def test_sketch_poor_on_spider(self, trained_sketch, tiny_spider):
+        report = evaluate_parser(trained_sketch, tiny_spider)
+        assert report.accuracy("execution_match") < 0.55
+
+    def test_grammar_beats_sketch_on_spider(
+        self, trained_grammar, trained_sketch, tiny_spider
+    ):
+        grammar = evaluate_parser(trained_grammar, tiny_spider)
+        sketch = evaluate_parser(trained_sketch, tiny_spider)
+        assert grammar.accuracy("execution_match") > sketch.accuracy(
+            "execution_match"
+        )
+
+    def test_sketch_never_emits_joins(self, trained_sketch, tiny_spider):
+        for example in tiny_spider.split("dev").examples[:20]:
+            db = tiny_spider.database(example.db_id)
+            result = trained_sketch.parse(
+                ParseRequest(
+                    question=example.question, schema=db.schema, db=db
+                )
+            )
+            if result.query is not None:
+                assert "JOIN" not in to_sql(result.query)
+
+    def test_untrained_parser_fails_gracefully(self, tiny_spider):
+        parser = GrammarNeuralParser()
+        example = tiny_spider.split("dev").examples[0]
+        db = tiny_spider.database(example.db_id)
+        result = parser.parse(
+            ParseRequest(question=example.question, schema=db.schema, db=db)
+        )
+        assert result.query is None
+        assert "not trained" in result.notes
+
+    def test_execution_guided_never_worse(self, trained_grammar, tiny_spider):
+        base = evaluate_parser(trained_grammar, tiny_spider)
+        guided = evaluate_parser(
+            ExecutionGuidedParser(trained_grammar), tiny_spider
+        )
+        assert guided.accuracy("execution_match") >= base.accuracy(
+            "execution_match"
+        ) - 1e-9
+
+    def test_predictions_are_valid_sql(self, trained_grammar, tiny_spider):
+        from repro.sql.analyzer import is_valid
+
+        valid = 0
+        total = 0
+        for example in tiny_spider.split("dev").examples[:25]:
+            db = tiny_spider.database(example.db_id)
+            result = trained_grammar.parse(
+                ParseRequest(
+                    question=example.question, schema=db.schema, db=db
+                )
+            )
+            if result.query is None:
+                continue
+            total += 1
+            if is_valid(result.query, db.schema):
+                valid += 1
+        assert total > 0 and valid / total > 0.85

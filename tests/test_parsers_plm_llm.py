@@ -1,0 +1,146 @@
+"""PLM- and LLM-stage parser tests: pretraining transfer and prompting."""
+
+import pytest
+
+from repro.metrics import evaluate_parser
+from repro.parsers.base import ParseRequest
+from repro.parsers.llm import (
+    ChainOfThoughtLLMParser,
+    FewShotLLMParser,
+    MultiStageLLMParser,
+    SelfConsistencyLLMParser,
+    ZeroShotLLMParser,
+)
+from repro.parsers.plm import PLMParser, make_pretraining_corpus
+
+
+class TestPLM:
+    def test_pretraining_corpus_shape(self):
+        examples, databases = make_pretraining_corpus(size=60, seed=1)
+        assert len(examples) == 60
+        assert len(databases) == 10
+        assert all(e.db_id in databases for e in examples)
+
+    def test_pretraining_corpus_deterministic(self):
+        a, _ = make_pretraining_corpus(size=20, seed=3)
+        b, _ = make_pretraining_corpus(size=20, seed=3)
+        assert [e.sql for e in a] == [e.sql for e in b]
+
+    def test_pretraining_transfer_on_small_data(self, tiny_spider):
+        """The survey's PLM claim: pretraining helps most on small data."""
+        small_train = tiny_spider.split("train").examples[:30]
+
+        from repro.parsers.neural import GrammarNeuralParser
+
+        scratch = GrammarNeuralParser(epochs=30)
+        scratch.train(small_train, tiny_spider.databases)
+        pretrained = PLMParser(epochs=30, pretrain_size=600)
+        pretrained.train(small_train, tiny_spider.databases)
+
+        scratch_report = evaluate_parser(scratch, tiny_spider)
+        plm_report = evaluate_parser(pretrained, tiny_spider)
+        assert plm_report.accuracy("execution_match") > scratch_report.accuracy(
+            "execution_match"
+        )
+
+    def test_pretrain_flag_off_skips_pretraining(self, tiny_spider):
+        parser = PLMParser(pretrain=False, epochs=10)
+        parser.train(
+            tiny_spider.split("train").examples[:20], tiny_spider.databases
+        )
+        assert not parser._pretrained
+
+
+class TestLLMStrategies:
+    @pytest.fixture(scope="class")
+    def dev_example(self, tiny_spider):
+        example = tiny_spider.split("dev").examples[0]
+        db = tiny_spider.database(example.db_id)
+        return example, db
+
+    def test_zero_shot_produces_query(self, dev_example):
+        example, db = dev_example
+        result = ZeroShotLLMParser().parse(
+            ParseRequest(question=example.question, schema=db.schema, db=db)
+        )
+        assert result.query is not None
+
+    def test_deterministic_at_temperature_zero(self, dev_example):
+        example, db = dev_example
+        request = ParseRequest(
+            question=example.question, schema=db.schema, db=db
+        )
+        a = ZeroShotLLMParser(seed=3).parse(request)
+        b = ZeroShotLLMParser(seed=3).parse(request)
+        assert a.query == b.query
+
+    def test_clear_prompting_improves_accuracy(self, tiny_spider):
+        plain = evaluate_parser(
+            ZeroShotLLMParser(clear_prompting=False), tiny_spider
+        )
+        clear = evaluate_parser(ZeroShotLLMParser(), tiny_spider)
+        assert clear.accuracy("execution_match") > plain.accuracy(
+            "execution_match"
+        )
+
+    def test_few_shot_beats_zero_shot(self, tiny_spider):
+        zero = evaluate_parser(ZeroShotLLMParser(), tiny_spider)
+        few = FewShotLLMParser()
+        few.train(tiny_spider.split("train").examples, tiny_spider.databases)
+        few_report = evaluate_parser(few, tiny_spider)
+        assert few_report.accuracy("execution_match") >= zero.accuracy(
+            "execution_match"
+        )
+
+    def test_demo_selection_strategies_run(self, tiny_spider):
+        for selection in ("random", "similar", "diverse"):
+            parser = FewShotLLMParser(selection=selection, num_demos=3)
+            parser.train(
+                tiny_spider.split("train").examples[:40],
+                tiny_spider.databases,
+            )
+            report = evaluate_parser(parser, tiny_spider, limit=10)
+            assert report.total == 10
+
+    def test_self_consistency_at_least_single_sample(self, tiny_spider):
+        single = FewShotLLMParser(model="palm-like")
+        single.train(
+            tiny_spider.split("train").examples, tiny_spider.databases
+        )
+        voted = SelfConsistencyLLMParser(model="palm-like", samples=5)
+        voted.train(
+            tiny_spider.split("train").examples, tiny_spider.databases
+        )
+        single_report = evaluate_parser(single, tiny_spider)
+        voted_report = evaluate_parser(voted, tiny_spider)
+        assert voted_report.accuracy("execution_match") >= (
+            single_report.accuracy("execution_match") - 0.05
+        )
+
+    def test_multi_stage_self_correction_counts_calls(self, dev_example):
+        example, db = dev_example
+        parser = MultiStageLLMParser(model="small-llm", max_repairs=2)
+        parser.parse(
+            ParseRequest(question=example.question, schema=db.schema, db=db)
+        )
+        assert parser.llm.calls >= 1
+
+    def test_weak_model_worse_than_strong(self, tiny_spider):
+        weak = evaluate_parser(
+            ZeroShotLLMParser(model="small-llm"), tiny_spider
+        )
+        strong = evaluate_parser(
+            ZeroShotLLMParser(model="palm-like"), tiny_spider
+        )
+        assert strong.accuracy("execution_match") > weak.accuracy(
+            "execution_match"
+        )
+
+    def test_cot_parser_runs(self, tiny_spider):
+        parser = ChainOfThoughtLLMParser()
+        parser.train(
+            tiny_spider.split("train").examples, tiny_spider.databases
+        )
+        report = evaluate_parser(parser, tiny_spider, limit=15)
+        assert report.total == 15
+        assert report.accuracy("execution_match") > 0.5

@@ -1,0 +1,219 @@
+"""Traditional-stage parser tests: keyword rules and grammar semantics."""
+
+import pytest
+
+from repro.metrics import evaluate_parser, execution_match
+from repro.parsers.base import ParseRequest
+from repro.parsers.rule import KeywordRuleParser
+from repro.parsers.semantic import GrammarSemanticParser
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+
+
+def ask(parser, question, db, **kwargs):
+    request = ParseRequest(
+        question=question, schema=db.schema, db=db, **kwargs
+    )
+    result = parser.parse(request)
+    return to_sql(result.query) if result.query is not None else None
+
+
+class TestKeywordRuleParser:
+    def test_in_template_projection(self, sales_db):
+        sql = ask(
+            KeywordRuleParser(), "Show the price of products?", sales_db
+        )
+        assert sql == "SELECT price FROM products"
+
+    def test_in_template_count(self, sales_db):
+        sql = ask(KeywordRuleParser(), "How many orders?", sales_db)
+        assert sql == "SELECT COUNT(*) FROM orders"
+
+    def test_in_template_condition(self, sales_db):
+        sql = ask(
+            KeywordRuleParser(),
+            "Show the name of products whose price is greater than 100?",
+            sales_db,
+        )
+        assert sql == "SELECT name FROM products WHERE price > 100"
+
+    def test_fails_on_synonym_phrasing(self, sales_db):
+        assert ask(
+            KeywordRuleParser(), "Show the wage of nobody?", sales_db
+        ) is None
+
+    def test_fails_on_out_of_template_op(self, sales_db):
+        assert ask(
+            KeywordRuleParser(),
+            "Show the name of products whose price exceeds 100?",
+            sales_db,
+        ) is None
+
+    def test_no_joins_ever(self, sales_db):
+        sql = ask(
+            KeywordRuleParser(),
+            "Show the name of customers of orders?",
+            sales_db,
+        )
+        assert sql is None or "JOIN" not in sql
+
+
+class TestGrammarSemanticParser:
+    @pytest.mark.parametrize(
+        "question,expected",
+        [
+            (
+                "Show the name of products?",
+                "SELECT name FROM products",
+            ),
+            (
+                "What is the average price of products?",
+                "SELECT AVG(price) FROM products",
+            ),
+            (
+                "How many orders whose quantity is greater than 3?",
+                "SELECT COUNT(*) FROM orders WHERE quantity > 3",
+            ),
+            (
+                "Tell me the number of orders for each quarter?",
+                "SELECT quarter, COUNT(*) FROM orders GROUP BY quarter",
+            ),
+            (
+                "Show the name of products with the highest price?",
+                "SELECT name FROM products ORDER BY price DESC LIMIT 1",
+            ),
+            (
+                "List the distinct category values of products?",
+                "SELECT DISTINCT category FROM products",
+            ),
+            (
+                "Show the name of products whose price is between 10 and 50?",
+                "SELECT name FROM products WHERE price BETWEEN 10 AND 50",
+            ),
+            (
+                "Show the name of products whose price is above the average?",
+                "SELECT name FROM products WHERE price > "
+                "(SELECT AVG(price) FROM products)",
+            ),
+        ],
+    )
+    def test_canonical_questions(self, sales_db, question, expected):
+        assert ask(GrammarSemanticParser(), question, sales_db) == expected
+
+    def test_join_via_parent_mention(self, sales_db):
+        sql = ask(
+            GrammarSemanticParser(),
+            "Show the quantity of orders whose customers city is Springfield?",
+            sales_db,
+        )
+        assert sql is not None and "JOIN" in sql and "customers" in sql
+
+    def test_nested_that_have(self, sales_db):
+        sql = ask(
+            GrammarSemanticParser(),
+            "Show the name of customers that have orders whose "
+            "quantity is greater than 5?",
+            sales_db,
+        )
+        assert sql is not None and "IN (SELECT" in sql
+
+    def test_set_operation(self, sales_db):
+        sql = ask(
+            GrammarSemanticParser(),
+            "Show the name of products whose category is toys "
+            "but not category is food?",
+            sales_db,
+        )
+        assert sql is not None and "EXCEPT" in sql
+
+    def test_value_case_restored_from_db(self, sales_db):
+        # the generator stores capitalized segments; the question carries
+        # the surface form verbatim so the db lookup must normalize case
+        city = sales_db.table("customers").column_values("city")[0]
+        sql = ask(
+            GrammarSemanticParser(),
+            f"Show the name of customers whose city is {city.lower()}?",
+            sales_db,
+        )
+        assert sql is not None and city in sql
+
+    def test_language_gate(self, sales_db):
+        english_only = GrammarSemanticParser(languages=("en",))
+        request_zh = ParseRequest(
+            question="显示 name 的 products?",
+            schema=sales_db.schema,
+            db=sales_db,
+            language="zh",
+        )
+        assert english_only.parse(request_zh).query is None
+        bilingual = GrammarSemanticParser(languages=("en", "zh"))
+        assert bilingual.parse(request_zh).query is not None
+
+    def test_followup_count(self, sales_db):
+        parser = GrammarSemanticParser(use_history=True)
+        first = parse_sql("SELECT name FROM products WHERE price > 100")
+        sql = ask(
+            parser,
+            "How many are there?",
+            sales_db,
+            history=[("q1", first)],
+        )
+        assert sql == "SELECT COUNT(*) FROM products WHERE price > 100"
+
+    def test_followup_add_condition(self, sales_db):
+        parser = GrammarSemanticParser(use_history=True)
+        first = parse_sql("SELECT name FROM products")
+        sql = ask(
+            parser,
+            "Now keep only those whose stock is less than 50?",
+            sales_db,
+            history=[("q1", first)],
+        )
+        assert sql == "SELECT name FROM products WHERE stock < 50"
+
+    def test_knowledge_alias_applied(self, sales_db):
+        parser = GrammarSemanticParser(use_knowledge=True)
+        sql = ask(
+            parser,
+            "Display the name of premium products?",
+            sales_db,
+            knowledge=(
+                "Premium products are products whose price is greater "
+                "than 500."
+            ),
+        )
+        assert sql == "SELECT name FROM products WHERE price > 500"
+
+    def test_knowledge_ignored_without_flag(self, sales_db):
+        parser = GrammarSemanticParser(use_knowledge=False)
+        sql = ask(
+            parser,
+            "Display the name of premium products?",
+            sales_db,
+            knowledge=(
+                "Premium products are products whose price is greater "
+                "than 500."
+            ),
+        )
+        assert sql is None or "500" not in sql
+
+
+class TestStageOrderingOnBenchmarks:
+    def test_semantic_beats_rules(self, tiny_spider):
+        rule = evaluate_parser(KeywordRuleParser(), tiny_spider)
+        semantic = evaluate_parser(GrammarSemanticParser(), tiny_spider)
+        assert semantic.accuracy("execution_match") > rule.accuracy(
+            "execution_match"
+        )
+
+    def test_world_knowledge_helps_on_synonyms(self, tiny_spider):
+        from repro.datasets.robustness import make_synonym_variant
+
+        syn = make_synonym_variant(tiny_spider, seed=1)
+        exact = evaluate_parser(GrammarSemanticParser(), syn)
+        world = evaluate_parser(
+            GrammarSemanticParser(world_knowledge=True), syn
+        )
+        assert world.accuracy("execution_match") > exact.accuracy(
+            "execution_match"
+        )

@@ -1,0 +1,129 @@
+"""Analyzer tests: validation and schema-linking ground truth."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sql.analyzer import analyze, is_valid
+from repro.sql.parser import parse_sql
+
+
+def check(schema, sql):
+    return analyze(parse_sql(sql), schema)
+
+
+class TestValidation:
+    def test_valid_simple(self, shop_schema):
+        assert is_valid(parse_sql("SELECT name FROM products"), shop_schema)
+
+    def test_unknown_table(self, shop_schema):
+        with pytest.raises(AnalysisError):
+            check(shop_schema, "SELECT a FROM missing")
+
+    def test_unknown_column(self, shop_schema):
+        with pytest.raises(AnalysisError):
+            check(shop_schema, "SELECT missing FROM products")
+
+    def test_unknown_qualified_column(self, shop_schema):
+        with pytest.raises(AnalysisError):
+            check(shop_schema, "SELECT products.missing FROM products")
+
+    def test_unknown_binding(self, shop_schema):
+        with pytest.raises(AnalysisError):
+            check(shop_schema, "SELECT x.name FROM products")
+
+    def test_alias_binding_resolves(self, shop_schema):
+        assert is_valid(
+            parse_sql("SELECT p.name FROM products AS p"), shop_schema
+        )
+
+    def test_original_name_hidden_by_alias(self, shop_schema):
+        with pytest.raises(AnalysisError):
+            check(shop_schema, "SELECT products.name FROM products AS p")
+
+    def test_ambiguous_unqualified_column(self, shop_schema):
+        with pytest.raises(AnalysisError):
+            check(
+                shop_schema,
+                "SELECT id FROM products JOIN sales ON "
+                "sales.product_id = products.id",
+            )
+
+    def test_duplicate_binding(self, shop_schema):
+        with pytest.raises(AnalysisError):
+            check(shop_schema, "SELECT name FROM products, products")
+
+    def test_set_op_arity_mismatch(self, shop_schema):
+        with pytest.raises(AnalysisError):
+            check(
+                shop_schema,
+                "SELECT name, price FROM products UNION "
+                "SELECT quarter FROM sales",
+            )
+
+    def test_negative_limit(self, shop_schema):
+        from repro.sql.ast import Select
+
+        query = parse_sql("SELECT name FROM products LIMIT 1")
+        from dataclasses import replace
+
+        bad = replace(query, limit=-1)
+        with pytest.raises(AnalysisError):
+            analyze(bad, shop_schema)
+
+    def test_order_by_projection_alias_allowed(self, shop_schema):
+        assert is_valid(
+            parse_sql(
+                "SELECT quarter, COUNT(*) AS n FROM sales GROUP BY quarter "
+                "ORDER BY n DESC"
+            ),
+            shop_schema,
+        )
+
+    def test_star_only_in_projection_and_count(self, shop_schema):
+        assert is_valid(parse_sql("SELECT COUNT(*) FROM sales"), shop_schema)
+        with pytest.raises(AnalysisError):
+            check(shop_schema, "SELECT SUM(*) FROM sales")
+
+    def test_correlated_subquery_sees_outer_binding(self, shop_schema):
+        sql = (
+            "SELECT name FROM products AS p WHERE EXISTS "
+            "(SELECT * FROM sales AS s WHERE s.product_id = p.id)"
+        )
+        assert is_valid(parse_sql(sql), shop_schema)
+
+
+class TestLinkingGroundTruth:
+    def test_tables_and_columns_collected(self, shop_schema):
+        analysis = check(
+            shop_schema,
+            "SELECT p.name FROM sales AS s JOIN products AS p ON "
+            "s.product_id = p.id WHERE s.quarter = 'Q1'",
+        )
+        assert analysis.tables == {"sales", "products"}
+        assert ("products", "name") in analysis.columns
+        assert ("sales", "quarter") in analysis.columns
+
+    def test_values_collected(self, shop_schema):
+        analysis = check(
+            shop_schema,
+            "SELECT name FROM products WHERE price > 5 AND category = 'food'",
+        )
+        assert 5 in analysis.values
+        assert "food" in analysis.values
+
+    def test_subquery_elements_collected(self, shop_schema):
+        analysis = check(
+            shop_schema,
+            "SELECT name FROM products WHERE id IN "
+            "(SELECT product_id FROM sales)",
+        )
+        assert analysis.tables == {"products", "sales"}
+        assert ("sales", "product_id") in analysis.columns
+
+    def test_merge(self, shop_schema):
+        from repro.sql.analyzer import Analysis
+
+        a = Analysis(tables={"x"}, columns={("x", "a")}, values={1})
+        b = Analysis(tables={"y"}, columns={("y", "b")}, values={2})
+        a.merge(b)
+        assert a.tables == {"x", "y"} and a.values == {1, 2}

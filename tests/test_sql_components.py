@@ -1,0 +1,112 @@
+"""Component decomposition and hardness classification tests."""
+
+import pytest
+
+from repro.sql.components import classify_hardness, decompose
+from repro.sql.parser import parse_sql
+
+
+def match(a, b):
+    return decompose(parse_sql(a)).matches(decompose(parse_sql(b)))
+
+
+class TestExactSetMatch:
+    def test_identical(self):
+        assert match("SELECT a FROM t", "SELECT a FROM t")
+
+    def test_condition_order_irrelevant(self):
+        assert match(
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+            "SELECT a FROM t WHERE y = 2 AND x = 1",
+        )
+
+    def test_alias_irrelevant(self):
+        assert match(
+            "SELECT p.a FROM t p JOIN u q ON p.i = q.i",
+            "SELECT x.a FROM t x JOIN u y ON x.i = y.i",
+        )
+
+    def test_different_projection_fails(self):
+        assert not match("SELECT a FROM t", "SELECT b FROM t")
+
+    def test_missing_condition_fails(self):
+        assert not match(
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+        )
+
+    def test_order_by_sequence_matters(self):
+        assert not match(
+            "SELECT a FROM t ORDER BY a ASC",
+            "SELECT a FROM t ORDER BY a DESC",
+        )
+
+    def test_limit_matters(self):
+        assert not match(
+            "SELECT a FROM t LIMIT 1", "SELECT a FROM t LIMIT 2"
+        )
+
+    def test_distinct_matters(self):
+        assert not match("SELECT DISTINCT a FROM t", "SELECT a FROM t")
+
+    def test_nested_subqueries_match_recursively(self):
+        assert match(
+            "SELECT a FROM t WHERE i IN (SELECT j FROM u WHERE x = 1 AND y = 2)",
+            "SELECT a FROM t WHERE i IN (SELECT j FROM u WHERE y = 2 AND x = 1)",
+        )
+
+    def test_nested_subquery_difference_detected(self):
+        assert not match(
+            "SELECT a FROM t WHERE i IN (SELECT j FROM u WHERE x = 1)",
+            "SELECT a FROM t WHERE i IN (SELECT j FROM u WHERE x = 2)",
+        )
+
+    def test_set_op_matters(self):
+        assert not match(
+            "SELECT a FROM t UNION SELECT a FROM u",
+            "SELECT a FROM t EXCEPT SELECT a FROM u",
+        )
+
+    def test_partial_scores(self):
+        scores = decompose(
+            parse_sql("SELECT a FROM t WHERE x = 1")
+        ).partial_scores(decompose(parse_sql("SELECT b FROM t WHERE x = 1")))
+        assert scores["from"] and scores["where"]
+        assert not scores["select"]
+
+
+class TestHardness:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("SELECT a FROM t", "easy"),
+            ("SELECT a FROM t WHERE x = 1", "easy"),
+            ("SELECT COUNT(*) FROM t WHERE x = 1", "easy"),
+            ("SELECT a, b FROM t WHERE x = 1 AND y = 2", "medium"),
+            (
+                "SELECT a FROM t JOIN u ON t.i = u.i WHERE u.x = 1",
+                "medium",
+            ),
+            (
+                "SELECT g, COUNT(*) FROM t GROUP BY g "
+                "ORDER BY COUNT(*) DESC LIMIT 3",
+                "hard",
+            ),
+            (
+                "SELECT a FROM t WHERE i IN (SELECT j FROM u WHERE x = 1)",
+                "hard",
+            ),
+            (
+                "SELECT a FROM t WHERE x = 1 UNION SELECT a FROM t "
+                "WHERE y = 2",
+                "extra",
+            ),
+        ],
+    )
+    def test_levels(self, sql, expected):
+        assert classify_hardness(parse_sql(sql)) == expected
+
+    def test_all_levels_reachable(self, tiny_spider):
+        levels = {e.hardness for e in tiny_spider.examples}
+        assert {"easy", "medium"} <= levels
+        assert levels <= {"easy", "medium", "hard", "extra"}

@@ -1,0 +1,91 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_keywords_are_lowercased(self):
+        assert values("SELECT FROM Where") == ["select", "from", "where"]
+
+    def test_identifier_keeps_case(self):
+        assert values("MyTable") == ["MyTable"]
+        assert tokenize("MyTable")[0].type is TokenType.IDENTIFIER
+
+    def test_integer_and_float(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == "42"
+        assert tokens[1].value == "3.14"
+        assert all(t.type is TokenType.NUMBER for t in tokens[:2])
+
+    def test_leading_dot_number(self):
+        assert values(".5") == [".5"]
+
+    def test_number_stops_at_non_digit_dot(self):
+        tokens = tokenize("1.x")
+        assert tokens[0].value == "1"
+        assert tokens[1].value == "."
+        assert tokens[2].value == "x"
+
+    def test_string_single_quotes(self):
+        token = tokenize("'hello world'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello world"
+
+    def test_string_doubled_quote_escape(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_double_quoted_string(self):
+        assert tokenize('"abc"')[0].value == "abc"
+
+    def test_operators_two_char(self):
+        assert values("<= >= <> !=") == ["<=", ">=", "<>", "<>"]
+
+    def test_operators_one_char(self):
+        assert values("= < > + - * / %") == list("=<>+-*/%")
+
+    def test_punctuation(self):
+        assert values("( ) , . ;") == ["(", ")", ",", ".", ";"]
+
+    def test_underscored_identifier(self):
+        assert values("order_date") == ["order_date"]
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("select")
+        assert tokens[-1].type is TokenType.EOF
+        assert tokens[-1].position == len("select")
+
+
+class TestErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'never closed")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("select #")
+        assert exc.value.position == 7
+
+
+class TestTokenMatches:
+    def test_matches_type_and_value(self):
+        token = Token(TokenType.KEYWORD, "select", 0)
+        assert token.matches(TokenType.KEYWORD, "select")
+        assert token.matches(TokenType.KEYWORD)
+        assert not token.matches(TokenType.KEYWORD, "from")
+        assert not token.matches(TokenType.IDENTIFIER)
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a = 1")
+        assert [t.position for t in tokens[:-1]] == [0, 2, 4]

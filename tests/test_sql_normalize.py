@@ -1,0 +1,88 @@
+"""Normalizer tests: canonicalization erases surface variation only."""
+
+import pytest
+
+from repro.sql.normalize import normalize_sql
+
+
+class TestErasedVariation:
+    def test_keyword_case(self):
+        assert normalize_sql("select A from T") == normalize_sql(
+            "SELECT a FROM t"
+        )
+
+    def test_identifier_case(self):
+        assert normalize_sql("SELECT Name FROM Products") == (
+            "SELECT name FROM products"
+        )
+
+    def test_single_table_alias_dropped(self):
+        assert normalize_sql("SELECT p.name FROM products p") == (
+            "SELECT name FROM products"
+        )
+
+    def test_join_aliases_renamed_positionally(self):
+        a = normalize_sql(
+            "SELECT s.quantity FROM sales s JOIN products p "
+            "ON s.product_id = p.id"
+        )
+        b = normalize_sql(
+            "SELECT x.quantity FROM sales x JOIN products y "
+            "ON x.product_id = y.id"
+        )
+        assert a == b
+        assert "t1" in a and "t2" in a
+
+    def test_projection_alias_dropped(self):
+        assert normalize_sql("SELECT COUNT(*) AS n FROM t") == (
+            "SELECT COUNT(*) FROM t"
+        )
+
+    def test_literal_moves_right_on_commutative_ops(self):
+        assert normalize_sql("SELECT a FROM t WHERE 5 = a") == (
+            normalize_sql("SELECT a FROM t WHERE a = 5")
+        )
+
+    def test_whitespace_collapsed(self):
+        assert normalize_sql("SELECT   a\nFROM   t") == "SELECT a FROM t"
+
+
+class TestPreservedSemantics:
+    def test_condition_order_not_normalized(self):
+        # exact string match famously cannot see through conjunct reordering
+        a = normalize_sql("SELECT a FROM t WHERE x = 1 AND y = 2")
+        b = normalize_sql("SELECT a FROM t WHERE y = 2 AND x = 1")
+        assert a != b
+
+    def test_distinct_preserved(self):
+        assert "DISTINCT" in normalize_sql("SELECT DISTINCT a FROM t")
+
+    def test_correlated_outer_qualifier_kept(self):
+        sql = (
+            "SELECT name FROM products p WHERE EXISTS "
+            "(SELECT * FROM sales s WHERE s.product_id = p.id)"
+        )
+        normalized = normalize_sql(sql)
+        # the inner single-table select must keep the correlated reference
+        # to the outer table distinguishable
+        assert normalized.count("products") >= 1
+        assert "product_id = " in normalized
+
+    def test_idempotent(self):
+        queries = [
+            "SELECT a FROM t WHERE a > 5 ORDER BY a DESC LIMIT 3",
+            "SELECT p.a FROM t p JOIN u q ON p.i = q.i",
+            "SELECT a FROM t UNION SELECT b FROM u",
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) >= 2",
+        ]
+        for sql in queries:
+            once = normalize_sql(sql)
+            assert normalize_sql(once) == once
+
+    def test_set_operation_normalized_per_branch(self):
+        out = normalize_sql(
+            "SELECT A FROM T WHERE X = 1 UNION SELECT a FROM t WHERE x = 2"
+        )
+        assert out == (
+            "SELECT a FROM t WHERE x = 1 UNION SELECT a FROM t WHERE x = 2"
+        )

@@ -1,0 +1,106 @@
+"""Unparser tests: canonical rendering and parse/unparse round-trips."""
+
+import pytest
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    TableRef,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+
+ROUND_TRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b FROM t",
+    "SELECT * FROM t WHERE a > 5",
+    "SELECT t.* FROM t",
+    "SELECT COUNT(*) FROM t",
+    "SELECT COUNT(DISTINCT a) FROM t",
+    "SELECT a FROM t WHERE a = 1 AND b = 2",
+    "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3",
+    "SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 5",
+    "SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5",
+    "SELECT a FROM t WHERE a IN (1, 2, 3)",
+    "SELECT a FROM t WHERE a NOT IN ('x', 'y')",
+    "SELECT a FROM t WHERE a LIKE '%x%'",
+    "SELECT a FROM t WHERE a IS NULL",
+    "SELECT a FROM t WHERE a IS NOT NULL",
+    "SELECT a FROM t WHERE NOT a = 1",
+    "SELECT a FROM t WHERE EXISTS (SELECT * FROM u)",
+    "SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE c < 2)",
+    "SELECT a FROM t WHERE a > (SELECT AVG(a) FROM t)",
+    "SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 10",
+    "SELECT a FROM t ORDER BY a DESC LIMIT 3",
+    "SELECT a FROM t AS x JOIN u AS y ON x.i = y.i",
+    "SELECT a FROM t LEFT JOIN u ON t.i = u.i",
+    "SELECT a FROM t UNION SELECT b FROM u",
+    "SELECT a FROM t UNION ALL SELECT b FROM u",
+    "SELECT a FROM t INTERSECT SELECT a FROM u",
+    "SELECT a FROM t EXCEPT SELECT a FROM u",
+    "SELECT a + b * c FROM t",
+    "SELECT (a + b) * c FROM t",
+    "SELECT a - (b - c) FROM t",
+    "SELECT a AS x, b AS y FROM t",
+    "SELECT -5",
+    "SELECT 'it''s' FROM t",
+    "SELECT upper(name) FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+def test_round_trip_is_stable(sql):
+    """to_sql(parse(s)) parses back to the identical AST."""
+    first = parse_sql(sql)
+    rendered = to_sql(first)
+    second = parse_sql(rendered)
+    assert first == second
+    # and the canonical text is a fixed point
+    assert to_sql(second) == rendered
+
+
+def test_keywords_uppercased():
+    assert to_sql(parse_sql("select a from t where a is null")) == (
+        "SELECT a FROM t WHERE a IS NULL"
+    )
+
+
+def test_literal_rendering():
+    assert to_sql(Literal(None)) == "NULL"
+    assert to_sql(Literal(True)) == "TRUE"
+    assert to_sql(Literal(False)) == "FALSE"
+    assert to_sql(Literal(3)) == "3"
+    assert to_sql(Literal(2.5)) == "2.5"
+    assert to_sql(Literal("o'clock")) == "'o''clock'"
+
+
+def test_order_item_direction():
+    item = OrderItem(expr=ColumnRef("a"), descending=True)
+    assert to_sql(item) == "a DESC"
+
+
+def test_expression_parenthesization_minimal():
+    # no needless parens around the tighter-binding side
+    sql = to_sql(parse_sql("SELECT a + b * c FROM t"))
+    assert sql == "SELECT a + b * c FROM t"
+    sql = to_sql(parse_sql("SELECT (a + b) * c FROM t"))
+    assert sql == "SELECT (a + b) * c FROM t"
+
+
+def test_unknown_node_raises():
+    with pytest.raises(TypeError):
+        to_sql(object())  # type: ignore[arg-type]
+
+
+def test_manual_ast_rendering():
+    query = Select(
+        items=(SelectItem(expr=ColumnRef("name")),),
+        from_=TableRef(name="products"),
+        where=BinaryOp(">", ColumnRef("price"), Literal(5)),
+    )
+    assert to_sql(query) == "SELECT name FROM products WHERE price > 5"

@@ -1,0 +1,234 @@
+"""System architectures, advisor, sessions, pipeline, and the NLI facade."""
+
+import pytest
+
+from repro import NaturalLanguageInterface
+from repro.core.pipeline import Pipeline
+from repro.core.registry import (
+    approach_registry,
+    dataset_registry,
+    functional_representations,
+    metric_registry,
+    system_registry,
+)
+from repro.parsers.semantic import GrammarSemanticParser
+from repro.systems import (
+    EndToEndSystem,
+    InteractiveSession,
+    MultiStageSystem,
+    ParsingBasedSystem,
+    RuleBasedSystem,
+    UserProfile,
+    recommend_system,
+)
+from repro.systems.base import wants_visualization
+
+
+class TestIntentRouting:
+    def test_vis_cues(self):
+        assert wants_visualization("Draw a bar chart of sales?")
+        assert wants_visualization("show the proportion breakdown of x")
+        assert not wants_visualization("Show the name of products?")
+
+
+@pytest.fixture(scope="module")
+def all_systems():
+    return {
+        "rule-based": RuleBasedSystem(),
+        "parsing-based": ParsingBasedSystem(),
+        "multi-stage": MultiStageSystem(),
+        "end-to-end": EndToEndSystem(),
+    }
+
+
+class TestArchitectures:
+    def test_all_answer_simple_query(self, all_systems, sales_db):
+        for name, system in all_systems.items():
+            response = system.answer(
+                "What is the average price of products?", sales_db
+            )
+            assert response.kind == "data", name
+            assert response.result is not None
+            assert response.latency_seconds > 0
+
+    def test_rule_based_refuses_out_of_template(self, all_systems, sales_db):
+        response = all_systems["rule-based"].answer(
+            "Give me the designation of items per kind sorted weirdly?",
+            sales_db,
+        )
+        assert response.kind == "clarification"
+
+    def test_parsing_based_handles_group(self, all_systems, sales_db):
+        response = all_systems["parsing-based"].answer(
+            "What is the number of orders for each quarter?", sales_db
+        )
+        assert response.kind == "data"
+        assert "GROUP BY" in (response.sql or "")
+
+    def test_chart_answers(self, all_systems, sales_db):
+        for name in ("parsing-based", "multi-stage", "end-to-end"):
+            response = all_systems[name].answer(
+                "Draw a bar chart of the number of orders per quarter?",
+                sales_db,
+            )
+            assert response.kind == "chart", name
+            assert response.chart is not None
+            assert response.chart.points
+
+    def test_multi_stage_deepeye_fallback(self, all_systems, sales_db):
+        response = all_systems["multi-stage"].answer(
+            "Draw a chart of something interesting about products?",
+            sales_db,
+        )
+        # either a parsed chart or the DeepEye recommendation path
+        assert response.kind == "chart"
+
+    def test_end_to_end_confusion_detection(self, all_systems, sales_db):
+        response = all_systems["end-to-end"].answer(
+            "completely unintelligible gibberish request", sales_db
+        )
+        assert response.kind in ("clarification", "data")
+
+
+class TestAdvisor:
+    def test_basic_user_defaults_to_rules(self):
+        assert recommend_system(UserProfile()).architecture == "rule-based"
+
+    def test_basic_flexible_gets_end_to_end(self):
+        rec = recommend_system(UserProfile(needs_flexibility=True))
+        assert rec.architecture == "end-to-end"
+
+    def test_technical_user_gets_parsing(self):
+        rec = recommend_system(UserProfile(technical_skill="high"))
+        assert rec.architecture == "parsing-based"
+
+    def test_professional_complex_gets_multi_stage(self):
+        rec = recommend_system(
+            UserProfile(expertise="professional", data_complexity="complex")
+        )
+        assert rec.architecture == "multi-stage"
+
+    def test_professional_fast_gets_end_to_end(self):
+        rec = recommend_system(
+            UserProfile(expertise="professional", environment="fast-paced")
+        )
+        assert rec.architecture == "end-to-end"
+
+    def test_professional_stable_gets_rules(self):
+        rec = recommend_system(UserProfile(expertise="professional"))
+        assert rec.architecture == "rule-based"
+
+    def test_every_recommendation_is_reasoned(self):
+        for profile in (
+            UserProfile(),
+            UserProfile(expertise="professional", environment="fast-paced"),
+        ):
+            assert recommend_system(profile).reason
+
+
+class TestSession:
+    def test_history_accumulates(self, sales_db):
+        session = InteractiveSession(
+            system=ParsingBasedSystem(), db=sales_db
+        )
+        first = session.ask(
+            "Show the name of products whose price is greater than 100?"
+        )
+        second = session.ask("How many are there?")
+        assert first.kind == "data" and second.kind == "data"
+        assert "COUNT(*)" in (second.sql or "")
+        assert "price > 100" in (second.sql or "")
+        assert len(session.transcript) == 2
+
+    def test_reset_clears_state(self, sales_db):
+        session = InteractiveSession(
+            system=ParsingBasedSystem(), db=sales_db
+        )
+        session.ask("Show the name of products?")
+        session.reset()
+        assert not session.history and not session.transcript
+
+
+class TestPipeline:
+    def test_trace_records_stages(self, sales_db):
+        pipeline = Pipeline(
+            GrammarSemanticParser(),
+            NaturalLanguageInterface(sales_db).pipeline.vis_parser,
+        )
+        trace = pipeline.run("Show the name of products?", sales_db)
+        assert trace.succeeded
+        stages = [record.stage for record in trace.stages]
+        assert stages == ["preprocess", "translate", "execute", "present"]
+        assert "SELECT" in trace.functional_expression
+        assert "question:" in trace.describe()
+
+    def test_vis_trace(self, sales_db):
+        nli = NaturalLanguageInterface(sales_db)
+        trace = nli.pipeline.run(
+            "Draw a pie chart of the number of orders per quarter?",
+            sales_db,
+        )
+        assert trace.succeeded and trace.chart is not None
+
+    def test_failed_translation_traced(self, sales_db):
+        pipeline = Pipeline(
+            GrammarSemanticParser(guess_unlinked=False),
+            NaturalLanguageInterface(sales_db).pipeline.vis_parser,
+        )
+        trace = pipeline.run("pure nonsense zebra unicorn?", sales_db)
+        assert not trace.succeeded
+        assert trace.error
+
+
+class TestNLIFacade:
+    def test_data_answer(self, sales_db):
+        nli = NaturalLanguageInterface(sales_db)
+        answer = nli.ask("What is the maximum price of products?")
+        assert answer.ok
+        assert answer.rows and answer.columns
+
+    def test_chart_answer(self, sales_db):
+        nli = NaturalLanguageInterface(sales_db)
+        answer = nli.ask(
+            "Show a bar chart of the number of orders per quarter?"
+        )
+        assert answer.ok and answer.chart is not None
+        assert "█" in answer.chart.to_ascii()
+
+    def test_conversation_and_reset(self, sales_db):
+        nli = NaturalLanguageInterface(sales_db)
+        nli.ask("Show the name of products whose price is above 100?")
+        follow = nli.ask("How many are there?")
+        assert "COUNT(*)" in (follow.sql or "")
+        nli.reset()
+        assert nli.history == []
+
+    def test_llm_backed_interface(self, sales_db):
+        nli = NaturalLanguageInterface(sales_db, model="chatgpt-like")
+        answer = nli.ask("How many customers?")
+        assert answer.ok
+
+
+class TestRegistries:
+    def test_approaches_instantiable(self):
+        registry = approach_registry()
+        assert len(registry) >= 18
+        for name, factory in registry.items():
+            instance = factory()
+            assert hasattr(instance, "parse") or hasattr(
+                instance, "parse_vis"
+            ), name
+
+    def test_all_stages_covered(self):
+        from repro.parsers.base import LLM, NEURAL, PLM, TRADITIONAL
+
+        stages = {
+            factory().stage for factory in approach_registry().values()
+        }
+        assert {TRADITIONAL, NEURAL, PLM, LLM} <= stages
+
+    def test_other_registries(self):
+        assert len(dataset_registry()) == 38
+        assert len(metric_registry()) == 8
+        assert len(system_registry()) == 4
+        assert len(functional_representations()) == 3
