@@ -8,6 +8,7 @@ the survey's Fig. 1.  Options::
     python -m repro --domain healthcare   # any curated domain
     python -m repro --model chatgpt-like  # the simulated-LLM stack
     python -m repro --demo                # non-interactive scripted demo
+    python -m repro lint --sql "..."      # SQL static analysis (repro-lint)
 
 Inside the REPL: ``\\schema`` prints the schema, ``\\reset`` clears the
 conversation, ``\\quit`` exits.
@@ -59,6 +60,12 @@ def answer_one(nli: NaturalLanguageInterface, question: str) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.sql.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )

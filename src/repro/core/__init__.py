@@ -9,7 +9,7 @@ components (Fig. 3) so benchmarks and docs can enumerate them.
 """
 
 from repro.core.interface import NaturalLanguageInterface
-from repro.core.pipeline import Pipeline, PipelineTrace
+from repro.core.pipeline import GateDecision, LintGate, Pipeline, PipelineTrace
 from repro.core.registry import (
     approach_registry,
     dataset_registry,
@@ -18,6 +18,8 @@ from repro.core.registry import (
 )
 
 __all__ = [
+    "GateDecision",
+    "LintGate",
     "NaturalLanguageInterface",
     "Pipeline",
     "PipelineTrace",

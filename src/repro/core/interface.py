@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.data.database import Database
-from repro.core.pipeline import Pipeline, PipelineTrace
+from repro.core.pipeline import LintGate, Pipeline, PipelineTrace
 from repro.parsers.base import Parser
 from repro.parsers.llm.strategies import MultiStageLLMParser
 from repro.parsers.semantic import GrammarSemanticParser
@@ -90,6 +90,7 @@ class NaturalLanguageInterface:
         db: Database,
         model: str | None = None,
         knowledge: str | None = None,
+        lint: bool = False,
     ) -> None:
         self.db = db
         self.knowledge = knowledge
@@ -104,7 +105,10 @@ class NaturalLanguageInterface:
         else:
             sql_parser = MultiStageLLMParser(model=model)
             vis_parser = Chat2VisParser(model=model)
-        self.pipeline = Pipeline(sql_parser, vis_parser)
+        # ``lint=True`` inserts the LintGate stage: candidates carrying
+        # error-severity static diagnostics are pruned before execution
+        gate = LintGate() if lint else None
+        self.pipeline = Pipeline(sql_parser, vis_parser, lint_gate=gate)
         self.history: list[tuple[str, Query]] = []
 
     def ask(self, question: str) -> Answer:

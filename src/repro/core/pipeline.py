@@ -7,6 +7,13 @@ database, and (5) presentation of data or visuals back to the user, who
 may then give feedback.  ``Pipeline.run`` executes those stages and
 records a :class:`PipelineTrace` so examples and tests can observe each
 one — the observable counterpart of the figure.
+
+Between translation and execution an optional :class:`LintGate` stage
+scores every candidate query with the static-analysis engine
+(:mod:`repro.sql.lint`) and prunes the ones carrying error-severity
+diagnostics — the survey's execution-guided decoding idea applied *before*
+execution, where rejecting a bad candidate costs microseconds instead of
+a database round-trip.
 """
 
 from __future__ import annotations
@@ -15,10 +22,13 @@ import time
 from dataclasses import dataclass, field
 
 from repro.data.database import Database
+from repro.data.schema import Schema
 from repro.errors import ReproError, SQLError
 from repro.parsers.base import ParseRequest, Parser
 from repro.parsers.vis.base import VisParser
+from repro.sql.ast import Query
 from repro.sql.executor import Result, execute
+from repro.sql.lint import LintReport, Severity, lint_query
 from repro.sql.unparser import to_sql
 from repro.systems.base import wants_visualization
 from repro.vis.charts import Chart, render_chart
@@ -62,12 +72,91 @@ class PipelineTrace:
         return "\n".join(lines)
 
 
-class Pipeline:
-    """Preprocess → translate → execute → present, with tracing."""
+@dataclass
+class GateDecision:
+    """What the :class:`LintGate` did with one candidate list.
 
-    def __init__(self, sql_parser: Parser, vis_parser: VisParser) -> None:
+    ``chosen`` is the candidate the gate ranked best (None when every
+    candidate was pruned — callers should fall back to the parser's own
+    best, so the gate can only help); ``kept``/``pruned`` partition the
+    deduplicated candidates, each paired with its lint report.
+    """
+
+    chosen: Query | None
+    kept: list[tuple[Query, LintReport]]
+    pruned: list[tuple[Query, LintReport]]
+
+    @property
+    def examined(self) -> int:
+        return len(self.kept) + len(self.pruned)
+
+    def describe(self) -> str:
+        return (
+            f"kept {len(self.kept)}/{self.examined} candidate(s), "
+            f"pruned {len(self.pruned)}"
+        )
+
+
+class LintGate:
+    """Score and prune candidate queries by static-diagnostic severity.
+
+    The execution-guided decoders the survey describes verify candidates
+    by *running* them; the gate applies the cheap static subset of that
+    check first.  A candidate is pruned when its lint report carries a
+    diagnostic at or above ``prune_at`` severity; survivors are ranked by
+    a weighted penalty (errors ≫ warnings ≫ infos), ties broken by the
+    parser's original ranking.
+    """
+
+    #: penalty weights per severity for candidate ranking
+    WEIGHTS = {Severity.ERROR: 100.0, Severity.WARNING: 3.0, Severity.INFO: 1.0}
+
+    def __init__(self, prune_at: Severity = Severity.ERROR) -> None:
+        self.prune_at = prune_at
+
+    def report(self, query: Query, schema: Schema) -> LintReport:
+        return lint_query(query, schema)
+
+    def score(self, report: LintReport) -> float:
+        """Weighted badness of a report; 0.0 means lint-clean."""
+        return sum(self.WEIGHTS[d.severity] for d in report.diagnostics)
+
+    def decide(self, candidates: list[Query], schema: Schema) -> GateDecision:
+        """Lint every distinct candidate and pick the cleanest survivor."""
+        distinct: list[Query] = []
+        for candidate in candidates:
+            if candidate not in distinct:
+                distinct.append(candidate)
+        kept: list[tuple[Query, LintReport]] = []
+        pruned: list[tuple[Query, LintReport]] = []
+        best: Query | None = None
+        best_score = float("inf")
+        for candidate in distinct:
+            report = self.report(candidate, schema)
+            if any(
+                self.prune_at <= d.severity for d in report.diagnostics
+            ):
+                pruned.append((candidate, report))
+                continue
+            kept.append((candidate, report))
+            score = self.score(report)
+            if score < best_score:
+                best, best_score = candidate, score
+        return GateDecision(chosen=best, kept=kept, pruned=pruned)
+
+
+class Pipeline:
+    """Preprocess → translate → [lint] → execute → present, with tracing."""
+
+    def __init__(
+        self,
+        sql_parser: Parser,
+        vis_parser: VisParser,
+        lint_gate: LintGate | None = None,
+    ) -> None:
         self.sql_parser = sql_parser
         self.vis_parser = vis_parser
+        self.lint_gate = lint_gate
 
     def run(
         self,
@@ -137,11 +226,24 @@ class Pipeline:
         if parse_result.query is None:
             trace.error = "translation failed"
             return trace
-        trace.functional_expression = to_sql(parse_result.query)
+        query = parse_result.query
+        if self.lint_gate is not None:
+            candidates = [query] + [
+                c for c in parse_result.candidates if c != query
+            ]
+            decision = self._stage(
+                trace,
+                "lint",
+                lambda: self.lint_gate.decide(candidates, db.schema),
+                render=lambda d: d.describe(),
+            )
+            if decision.chosen is not None:
+                query = decision.chosen
+        trace.functional_expression = to_sql(query)
         result = self._stage(
             trace,
             "execute",
-            lambda: self._execute(parse_result.query, db),
+            lambda: self._execute(query, db),
             render=lambda r: (
                 f"{len(r.rows)} row(s)" if r is not None else "(failed)"
             ),

@@ -81,6 +81,7 @@ def metric_registry() -> dict[str, Callable]:
         execution_match,
         exact_string_match,
         fuzzy_match,
+        lineage_match,
         strict_string_match,
         test_suite_match,
         vis_component_match,
@@ -94,6 +95,7 @@ def metric_registry() -> dict[str, Callable]:
         "component_match": component_match,
         "execution_match": execution_match,
         "test_suite_match": test_suite_match,
+        "lineage_match": lineage_match,
         "vis_exact_match": vis_exact_match,
         "vis_component_match": vis_component_match,
     }

@@ -98,7 +98,11 @@ def _edit_add_order(
     select: Select, ctx: PatternContext, table_name: str
 ) -> tuple[Select, str] | None:
     """Add ORDER BY a numeric column plus a LIMIT."""
-    if select.order_by or select.group_by:
+    # an aggregate projection (e.g. after _edit_to_count) must not gain a
+    # bare sort column: COUNT(*), col without GROUP BY is invalid SQL
+    if select.order_by or select.group_by or any(
+        isinstance(i.expr, FuncCall) for i in select.items
+    ):
         return None
     table = ctx.schema.table(table_name)
     numeric = ctx.numeric_columns(table)

@@ -18,7 +18,10 @@ class SQLError(ReproError):
 
 
 class LexError(SQLError):
-    """Raised when the SQL lexer encounters an invalid character sequence."""
+    """Raised when the SQL lexer encounters an invalid character sequence.
+
+    ``position`` is the character offset into the source text.
+    """
 
     def __init__(self, message: str, position: int) -> None:
         super().__init__(f"{message} (at position {position})")
@@ -26,10 +29,16 @@ class LexError(SQLError):
 
 
 class ParseError(SQLError):
-    """Raised when the SQL parser cannot build an AST from the token stream."""
+    """Raised when the SQL parser cannot build an AST from the token stream.
+
+    ``position`` is the character offset into the source text of the token
+    the parser stopped at (the same convention as :class:`LexError`, so
+    diagnostics can point at the offending token), or ``-1`` when no
+    source location is available.
+    """
 
     def __init__(self, message: str, position: int = -1) -> None:
-        suffix = f" (at token {position})" if position >= 0 else ""
+        suffix = f" (at position {position})" if position >= 0 else ""
         super().__init__(message + suffix)
         self.position = position
 

@@ -11,6 +11,7 @@ aggregation used by every benchmark.
 from repro.metrics.bleu import bleu, fuzzy_match
 from repro.metrics.component_match import component_match, partial_match
 from repro.metrics.execution import execution_match
+from repro.metrics.lineage import column_lineage, lineage_f1, lineage_match
 from repro.metrics.report import EvaluationReport, evaluate_parser
 from repro.metrics.string_match import exact_string_match, strict_string_match
 from repro.metrics.test_suite import make_database_variants, test_suite_match
@@ -19,11 +20,14 @@ from repro.metrics.vis_match import vis_component_match, vis_exact_match
 __all__ = [
     "EvaluationReport",
     "bleu",
+    "column_lineage",
     "component_match",
     "evaluate_parser",
     "execution_match",
     "exact_string_match",
     "fuzzy_match",
+    "lineage_f1",
+    "lineage_match",
     "make_database_variants",
     "partial_match",
     "strict_string_match",

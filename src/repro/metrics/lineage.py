@@ -1,0 +1,55 @@
+"""Lineage-based schema-linking evaluation.
+
+Exact-set schema linking (did the prediction touch the right columns?)
+over-credits queries that mention the right columns in the wrong roles.
+Column-level lineage is stricter gold: it records which base column feeds
+which *output* column, so a prediction only scores when the data flow
+matches.  ``lineage_match`` is the boolean metric; ``lineage_f1`` gives
+partial credit over the ``(output, source)`` edge sets, which the
+error-analysis tooling uses to grade near-misses.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import Schema
+from repro.errors import SQLError
+from repro.sql.lint.lineage import LineageGraph, build_lineage
+from repro.sql.parser import parse_sql
+
+
+def column_lineage(sql: str, schema: Schema) -> LineageGraph:
+    """Lineage graph of a SQL string (raises on parse failure)."""
+    return build_lineage(parse_sql(sql), schema)
+
+
+def _edge_set(sql: str, schema: Schema) -> set[tuple[str, str]] | None:
+    try:
+        graph = column_lineage(sql, schema)
+    except SQLError:
+        return None
+    return set(graph.edges())
+
+
+def lineage_match(predicted: str, gold: str, schema: Schema) -> bool:
+    """True when both queries induce identical lineage edge sets."""
+    predicted_edges = _edge_set(predicted, schema)
+    if predicted_edges is None:
+        return False
+    gold_edges = _edge_set(gold, schema)
+    return predicted_edges == gold_edges
+
+
+def lineage_f1(predicted: str, gold: str, schema: Schema) -> float:
+    """F1 over ``(output, source)`` lineage edges; 0.0 on parse failure."""
+    predicted_edges = _edge_set(predicted, schema)
+    gold_edges = _edge_set(gold, schema)
+    if predicted_edges is None or gold_edges is None:
+        return 0.0
+    if not predicted_edges and not gold_edges:
+        return 1.0
+    overlap = len(predicted_edges & gold_edges)
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(predicted_edges)
+    recall = overlap / len(gold_edges)
+    return 2 * precision * recall / (precision + recall)

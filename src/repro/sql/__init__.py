@@ -39,6 +39,15 @@ from repro.sql.ast import (
 from repro.sql.components import classify_hardness, decompose
 from repro.sql.executor import execute
 from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.lint import (
+    Diagnostic,
+    LineageGraph,
+    LintReport,
+    Severity,
+    build_lineage,
+    lint_query,
+    lint_sql,
+)
 from repro.sql.normalize import normalize_sql
 from repro.sql.parser import parse_sql
 from repro.sql.unparser import to_sql
@@ -47,6 +56,7 @@ __all__ = [
     "Between",
     "BinaryOp",
     "ColumnRef",
+    "Diagnostic",
     "Exists",
     "FuncCall",
     "InList",
@@ -54,6 +64,8 @@ __all__ = [
     "IsNull",
     "Join",
     "Like",
+    "LineageGraph",
+    "LintReport",
     "Literal",
     "OrderItem",
     "Query",
@@ -61,14 +73,18 @@ __all__ = [
     "Select",
     "SelectItem",
     "SetOperation",
+    "Severity",
     "Star",
     "TableRef",
     "Token",
     "TokenType",
     "UnaryOp",
+    "build_lineage",
     "classify_hardness",
     "decompose",
     "execute",
+    "lint_query",
+    "lint_sql",
     "normalize_sql",
     "parse_sql",
     "to_sql",

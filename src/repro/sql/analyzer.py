@@ -1,4 +1,4 @@
-"""Schema-aware static analysis of SQL queries.
+"""Schema-aware static analysis of SQL queries (fail-fast facade).
 
 The analyzer does two jobs the survey's framework needs:
 
@@ -12,66 +12,41 @@ The analyzer does two jobs the survey's framework needs:
 2. **Schema linking ground truth** — report exactly which schema elements a
    query references (:class:`Analysis`), which the dataset generators use to
    annotate examples and the schema-linking evaluations use as gold labels.
+
+Since the lint subsystem landed this module is a thin wrapper over
+:mod:`repro.sql.lint`: the multi-diagnostic engine runs the same scope
+checks in the same traversal order, marking the legacy error conditions
+``fatal``; :func:`analyze` raises on the first fatal diagnostic, which
+preserves the historical fail-fast behaviour (message included) exactly.
+Callers who want *all* problems, type findings, semantic lints, or
+column-level lineage should use :func:`repro.sql.lint.lint_query`
+directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.data.schema import Schema, TableSchema
+from repro.data.schema import Schema
 from repro.errors import AnalysisError
-from repro.sql.ast import (
-    Between,
-    BinaryOp,
-    ColumnRef,
-    Exists,
-    Expr,
-    FromClause,
-    FuncCall,
-    InList,
-    InSubquery,
-    IsNull,
-    Join,
-    Like,
-    Literal,
-    Query,
-    ScalarSubquery,
-    Select,
-    SetOperation,
-    Star,
-    UnaryOp,
-    from_tables,
-)
+from repro.sql.ast import Query
+from repro.sql.lint.engine import Analysis, lint_query
 
-
-@dataclass
-class Analysis:
-    """Which schema elements a query touches.
-
-    ``tables`` holds lowercase table names; ``columns`` holds lowercase
-    ``table.column`` pairs; ``values`` holds the literal constants that
-    appear in predicates (useful for value linking).
-    """
-
-    tables: set[str] = field(default_factory=set)
-    columns: set[tuple[str, str]] = field(default_factory=set)
-    values: set[object] = field(default_factory=set)
-
-    def merge(self, other: "Analysis") -> None:
-        self.tables |= other.tables
-        self.columns |= other.columns
-        self.values |= other.values
+__all__ = ["Analysis", "analyze", "is_valid"]
 
 
 def analyze(query: Query, schema: Schema) -> Analysis:
     """Validate *query* against *schema* and return its :class:`Analysis`.
 
     Raises :class:`~repro.errors.AnalysisError` when the query references
-    unknown tables or columns, or uses ambiguous unqualified columns.
+    unknown tables or columns, or uses ambiguous unqualified columns —
+    the first fatal diagnostic the lint engine records, matching the
+    historical fail-fast analyzer.
     """
-    analysis = Analysis()
-    _analyze_query(query, schema, parent_bindings=[], analysis=analysis)
-    return analysis
+    report = lint_query(query, schema, scope_only=True)
+    fatal = report.first_fatal
+    if fatal is not None:
+        raise AnalysisError(fatal.message)
+    assert report.analysis is not None
+    return report.analysis
 
 
 def is_valid(query: Query, schema: Schema) -> bool:
@@ -81,197 +56,3 @@ def is_valid(query: Query, schema: Schema) -> bool:
     except AnalysisError:
         return False
     return True
-
-
-# A binding environment: binding name -> table schema.
-_Bindings = dict[str, TableSchema]
-
-
-def _analyze_query(
-    query: Query,
-    schema: Schema,
-    parent_bindings: list[_Bindings],
-    analysis: Analysis,
-) -> None:
-    if isinstance(query, SetOperation):
-        _analyze_query(query.left, schema, parent_bindings, analysis)
-        _analyze_query(query.right, schema, parent_bindings, analysis)
-        left_arity = _query_arity(query.left)
-        right_arity = _query_arity(query.right)
-        if (
-            left_arity is not None
-            and right_arity is not None
-            and left_arity != right_arity
-        ):
-            raise AnalysisError(
-                f"set operation arity mismatch: {left_arity} vs {right_arity}"
-            )
-        return
-    _analyze_select(query, schema, parent_bindings, analysis)
-
-
-def _query_arity(query: Query) -> int | None:
-    select = query
-    while isinstance(select, SetOperation):
-        select = select.left
-    if any(isinstance(item.expr, Star) for item in select.items):
-        return None  # depends on schema; checked at execution time
-    return len(select.items)
-
-
-def _analyze_select(
-    select: Select,
-    schema: Schema,
-    parent_bindings: list[_Bindings],
-    analysis: Analysis,
-) -> None:
-    bindings = _collect_bindings(select.from_, schema, analysis)
-    env = parent_bindings + [bindings]
-
-    alias_names = {
-        item.alias.lower() for item in select.items if item.alias is not None
-    }
-
-    _analyze_from_conditions(select.from_, schema, env, analysis)
-    for item in select.items:
-        _analyze_expr(item.expr, schema, env, analysis, allow_star=True)
-    if select.where is not None:
-        _analyze_expr(select.where, schema, env, analysis)
-    for expr in select.group_by:
-        _analyze_expr(expr, schema, env, analysis)
-    if select.having is not None:
-        _analyze_expr(select.having, schema, env, analysis)
-    for order in select.order_by:
-        _analyze_expr(
-            order.expr, schema, env, analysis, select_aliases=alias_names
-        )
-    if select.limit is not None and select.limit < 0:
-        raise AnalysisError("LIMIT must be non-negative")
-
-
-def _collect_bindings(
-    clause: FromClause | None, schema: Schema, analysis: Analysis
-) -> _Bindings:
-    bindings: _Bindings = {}
-    for ref in from_tables(clause):
-        table = schema.table(ref.name)  # raises AnalysisError when absent
-        analysis.tables.add(table.name.lower())
-        if ref.binding in bindings:
-            raise AnalysisError(f"duplicate table binding {ref.binding!r}")
-        bindings[ref.binding] = table
-    return bindings
-
-
-def _analyze_from_conditions(
-    clause: FromClause | None,
-    schema: Schema,
-    env: list[_Bindings],
-    analysis: Analysis,
-) -> None:
-    if isinstance(clause, Join):
-        _analyze_from_conditions(clause.left, schema, env, analysis)
-        if clause.condition is not None:
-            _analyze_expr(clause.condition, schema, env, analysis)
-
-
-def _analyze_expr(
-    expr: Expr,
-    schema: Schema,
-    env: list[_Bindings],
-    analysis: Analysis,
-    allow_star: bool = False,
-    select_aliases: set[str] | None = None,
-) -> None:
-    if isinstance(expr, Literal):
-        if expr.value is not None:
-            analysis.values.add(expr.value)
-        return
-    if isinstance(expr, Star):
-        if not allow_star:
-            raise AnalysisError("'*' is only valid in projections and COUNT(*)")
-        if expr.table is not None:
-            _resolve_binding(expr.table, env)
-        return
-    if isinstance(expr, ColumnRef):
-        _resolve_column(expr, env, analysis, select_aliases)
-        return
-    if isinstance(expr, FuncCall):
-        star_ok = expr.name.lower() == "count"
-        for arg in expr.args:
-            _analyze_expr(arg, schema, env, analysis, allow_star=star_ok)
-        return
-    if isinstance(expr, BinaryOp):
-        _analyze_expr(expr.left, schema, env, analysis,
-                      select_aliases=select_aliases)
-        _analyze_expr(expr.right, schema, env, analysis,
-                      select_aliases=select_aliases)
-        return
-    if isinstance(expr, UnaryOp):
-        _analyze_expr(expr.operand, schema, env, analysis,
-                      select_aliases=select_aliases)
-        return
-    if isinstance(expr, Between):
-        for sub in (expr.expr, expr.low, expr.high):
-            _analyze_expr(sub, schema, env, analysis)
-        return
-    if isinstance(expr, InList):
-        _analyze_expr(expr.expr, schema, env, analysis)
-        for item in expr.items:
-            _analyze_expr(item, schema, env, analysis)
-        return
-    if isinstance(expr, InSubquery):
-        _analyze_expr(expr.expr, schema, env, analysis)
-        _analyze_query(expr.query, schema, env, analysis)
-        return
-    if isinstance(expr, Like):
-        _analyze_expr(expr.expr, schema, env, analysis)
-        _analyze_expr(expr.pattern, schema, env, analysis)
-        return
-    if isinstance(expr, IsNull):
-        _analyze_expr(expr.expr, schema, env, analysis)
-        return
-    if isinstance(expr, Exists):
-        _analyze_query(expr.query, schema, env, analysis)
-        return
-    if isinstance(expr, ScalarSubquery):
-        _analyze_query(expr.query, schema, env, analysis)
-        return
-    raise AnalysisError(f"cannot analyze expression {expr!r}")
-
-
-def _resolve_binding(name: str, env: list[_Bindings]) -> TableSchema:
-    lowered = name.lower()
-    for frame in reversed(env):
-        if lowered in frame:
-            return frame[lowered]
-    raise AnalysisError(f"unknown table binding {name!r}")
-
-
-def _resolve_column(
-    ref: ColumnRef,
-    env: list[_Bindings],
-    analysis: Analysis,
-    select_aliases: set[str] | None,
-) -> None:
-    if ref.table is not None:
-        table = _resolve_binding(ref.table, env)
-        if not table.has_column(ref.column):
-            raise AnalysisError(
-                f"table {table.name!r} has no column {ref.column!r}"
-            )
-        analysis.columns.add((table.name.lower(), ref.column.lower()))
-        return
-
-    lowered = ref.column.lower()
-    for frame in reversed(env):
-        hits = [
-            table for table in frame.values() if table.has_column(ref.column)
-        ]
-        if len(hits) > 1:
-            raise AnalysisError(f"ambiguous column reference {ref.column!r}")
-        if len(hits) == 1:
-            analysis.columns.add((hits[0].name.lower(), lowered))
-            return
-    if select_aliases is not None and lowered in select_aliases:
-        return  # ORDER BY referencing a projection alias
-    raise AnalysisError(f"unknown column reference {ref.column!r}")

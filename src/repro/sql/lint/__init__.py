@@ -1,0 +1,48 @@
+"""Multi-diagnostic SQL static analysis.
+
+Where the legacy :mod:`repro.sql.analyzer` raises
+:class:`~repro.errors.AnalysisError` on the *first* problem, this package
+walks the whole query and reports *everything* it finds as structured
+:class:`Diagnostic` records — the survey's candidate-pruning stage made
+observable.  Four passes:
+
+1. **scope** — the legacy analyzer's checks (unknown tables/columns,
+   ambiguity, duplicate bindings, arity, ``*`` placement), collected
+   instead of raised;
+2. **types** — expression type inference against the schema's column
+   types (``TEXT < 3``, ``SUM(text_col)``, mismatched ``BETWEEN`` bounds,
+   boolean/scalar confusion);
+3. **rules** — the registered semantic lint catalog (ungrouped columns,
+   cartesian joins, contradictions, redundant ``DISTINCT``, ...);
+4. **lineage** — column-level lineage extraction into a
+   :class:`LineageGraph`.
+
+Entry points: :func:`lint_sql` (a SQL string; parse failures become
+``E0xx`` diagnostics), :func:`lint_query` (a parsed AST), and the
+``repro-lint`` / ``python -m repro lint`` CLI.
+"""
+
+from repro.sql.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.sql.lint.engine import Analysis, Resolver, lint_query, lint_sql
+from repro.sql.lint.lineage import LineageColumn, LineageGraph, build_lineage
+from repro.sql.lint.rules import RULES, Rule, RuleContext, rule
+from repro.sql.lint.types import ExprType, infer_type
+
+__all__ = [
+    "Analysis",
+    "Diagnostic",
+    "ExprType",
+    "LineageColumn",
+    "LineageGraph",
+    "LintReport",
+    "RULES",
+    "Resolver",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "build_lineage",
+    "infer_type",
+    "lint_query",
+    "lint_sql",
+    "rule",
+]

@@ -1,0 +1,134 @@
+"""``python -m repro lint`` / ``repro-lint`` — the diagnostics CLI.
+
+Two modes::
+
+    # lint one SQL string against a curated domain schema
+    python -m repro lint --sql "SELECT name FROM products WHERE price > 'x'"
+
+    # lint every gold SQL query of a generated benchmark dataset
+    python -m repro lint --dataset spider_like --scale 0.02
+
+Exit status is 0 when no error-severity diagnostics were found, 1
+otherwise (``--strict`` also fails on warnings).  ``--lineage`` prints the
+column-level lineage graph alongside the diagnostics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.sql.lint.diagnostics import LintReport, Severity
+from repro.sql.lint.engine import lint_sql
+from repro.sql.lint.rules import RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="static analysis for the repro SQL subset",
+    )
+    parser.add_argument("--sql", help="one SQL string to lint")
+    parser.add_argument(
+        "--domain",
+        default="sales",
+        help="curated domain schema to lint --sql against (default: sales)",
+    )
+    parser.add_argument(
+        "--dataset",
+        help="lint every gold SQL query of this generated dataset "
+        "(e.g. spider_like, wikisql_like)",
+    )
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--lineage", action="store_true", help="also print column lineage"
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="exit nonzero on warnings too"
+    )
+    parser.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        _print_catalog()
+        return 0
+    if args.sql is not None:
+        return _lint_one(args)
+    if args.dataset is not None:
+        return _lint_dataset(args)
+    parser.print_usage(sys.stderr)
+    print(
+        "repro-lint: provide --sql, --dataset, or --rules", file=sys.stderr
+    )
+    return 2
+
+
+def _print_catalog() -> None:
+    print("rule catalog:")
+    for rule in RULES.values():
+        print(f"  {rule.code}  {rule.severity.value:<7}  {rule.name}")
+        if rule.doc:
+            print(f"        {rule.doc}")
+
+
+def _fails(report: LintReport, strict: bool) -> bool:
+    if report.errors:
+        return True
+    return strict and bool(report.warnings)
+
+
+def _lint_one(args: argparse.Namespace) -> int:
+    from repro.data.domains import domain_by_name
+
+    schema = domain_by_name(args.domain).schema
+    report = lint_sql(args.sql, schema)
+    print(report.render(source="query"))
+    if args.lineage and report.lineage is not None:
+        print("lineage:")
+        for output, sources in report.lineage.to_dict().items():
+            rendered = ", ".join(sources) if sources else "(constant)"
+            print(f"  {output} <- {rendered}")
+    return 1 if _fails(report, args.strict) else 0
+
+
+def _lint_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets import build_dataset
+
+    dataset = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    code_counts: Counter = Counter()
+    severity_counts: Counter = Counter()
+    failing = 0
+    total = 0
+    for example in dataset.examples:
+        if example.is_vis:
+            continue
+        total += 1
+        schema = dataset.database(example.db_id).schema
+        report = lint_sql(example.sql, schema)
+        code_counts.update(report.counts())
+        for diag in report.diagnostics:
+            severity_counts[diag.severity.value] += 1
+        if _fails(report, args.strict):
+            failing += 1
+            source = f"{example.db_id}:{example.sql}"
+            print(report.render(source=source))
+    print(
+        f"linted {total} gold quer{'y' if total == 1 else 'ies'} of "
+        f"{dataset.name!r}: "
+        f"{severity_counts.get('error', 0)} error(s), "
+        f"{severity_counts.get('warning', 0)} warning(s), "
+        f"{severity_counts.get('info', 0)} info(s)"
+    )
+    if code_counts:
+        print("by code:")
+        for code, count in sorted(code_counts.items()):
+            print(f"  {code}  {count}")
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Diagnostic records and reports for the SQL static-analysis engine.
+
+Where :func:`repro.sql.analyzer.analyze` raises on the *first* problem, the
+lint engine collects *every* problem as a structured :class:`Diagnostic`
+with a stable code, a severity, and the offending AST node, so candidate
+rankers can score queries and CLI output can show all issues in one run.
+
+Code ranges:
+
+- ``E0xx`` — parse-stage failures (lexing, parsing), carry a character
+  ``position`` into the source text;
+- ``E1xx`` — scope/structure errors, the exact conditions the legacy
+  analyzer raised :class:`~repro.errors.AnalysisError` for (``fatal=True``);
+- ``E2xx``/``W2xx`` — type-inference findings;
+- ``E3xx``/``W3xx``/``I3xx`` — semantic lint rules from the registry.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sql.lint.engine import Analysis
+    from repro.sql.lint.lineage import LineageGraph
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.  Orderable: ERROR > WARNING > INFO."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One problem found in a query.
+
+    ``clause`` names where the problem sits (``select``, ``from``,
+    ``where``, ``join``, ...); ``node`` is the offending AST node when one
+    exists; ``position`` is a character offset into the source text for
+    parse-stage diagnostics; ``fatal`` marks the scope/structure errors the
+    legacy fail-fast analyzer raises :class:`AnalysisError` for.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    clause: str | None = None
+    node: object | None = None
+    position: int | None = None
+    fatal: bool = False
+
+    def render(self, source: str = "query") -> str:
+        """One human-readable line, e.g. ``query:7 error E102 unknown ...``."""
+        where = source if self.position is None else f"{source}:{self.position}"
+        suffix = f" [{self.clause}]" if self.clause else ""
+        return f"{where}: {self.severity.value} {self.code} {self.message}{suffix}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found: diagnostics plus side artifacts.
+
+    ``diagnostics`` are in engine traversal order (scope pass first, then
+    type pass, then rule pass), so the first ``fatal`` diagnostic is the
+    one the legacy analyzer would have raised.  ``analysis`` is the
+    schema-linking ground truth (always present when the query parsed);
+    ``lineage`` is the column-level lineage graph (present when the query
+    has no fatal scope errors).
+    """
+
+    sql: str | None = None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    analysis: "Analysis | None" = None
+    lineage: "LineageGraph | None" = None
+
+    def add(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        clause: str | None = None,
+        node: object | None = None,
+        position: int | None = None,
+        fatal: bool = False,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                message=message,
+                clause=clause,
+                node=node,
+                position=position,
+                fatal=fatal,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when the report carries no error-severity diagnostics."""
+        return not self.errors
+
+    @property
+    def first_fatal(self) -> Diagnostic | None:
+        """The diagnostic the legacy fail-fast analyzer would raise for."""
+        for diag in self.diagnostics:
+            if diag.fatal:
+                return diag
+        return None
+
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def counts(self) -> Counter:
+        """Histogram of diagnostic codes."""
+        return Counter(d.code for d in self.diagnostics)
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def render(self, source: str = "query") -> str:
+        """The full report as printable text, one diagnostic per line."""
+        if not self.diagnostics:
+            return f"{source}: clean (no diagnostics)"
+        return "\n".join(d.render(source) for d in self.diagnostics)

@@ -1,0 +1,428 @@
+"""The diagnostic engine: scope resolution that collects every problem.
+
+The engine mirrors the legacy analyzer's traversal exactly — bindings
+first, then join conditions, projections, WHERE, GROUP BY, HAVING,
+ORDER BY, LIMIT, recursing into subqueries in place — but records each
+problem as a :class:`~repro.sql.lint.diagnostics.Diagnostic` and keeps
+going.  The scope/structure conditions the legacy analyzer raised
+:class:`~repro.errors.AnalysisError` for are marked ``fatal``, in the same
+traversal order, so :func:`repro.sql.analyzer.analyze` can stay a thin
+wrapper with identical fail-fast behaviour.
+
+After the scope pass the engine runs the type-inference pass
+(:mod:`repro.sql.lint.types`) and the semantic rule registry
+(:mod:`repro.sql.lint.rules`) over every SELECT block, then extracts
+column-level lineage (:mod:`repro.sql.lint.lineage`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.schema import Column, Schema, TableSchema
+from repro.errors import AnalysisError, LexError, ParseError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    Expr,
+    FromClause,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    Query,
+    ScalarSubquery,
+    Select,
+    SetOperation,
+    Star,
+    UnaryOp,
+    from_tables,
+)
+from repro.sql.lint.diagnostics import LintReport, Severity
+
+
+@dataclass
+class Analysis:
+    """Which schema elements a query touches.
+
+    ``tables`` holds lowercase table names; ``columns`` holds lowercase
+    ``table.column`` pairs; ``values`` holds the literal constants that
+    appear in predicates (useful for value linking).
+    """
+
+    tables: set[str] = field(default_factory=set)
+    columns: set[tuple[str, str]] = field(default_factory=set)
+    values: set[object] = field(default_factory=set)
+
+    def merge(self, other: "Analysis") -> None:
+        self.tables |= other.tables
+        self.columns |= other.columns
+        self.values |= other.values
+
+
+#: A binding environment frame: binding name -> table schema.
+Bindings = dict[str, TableSchema]
+
+
+class Resolver:
+    """Quiet name resolution over a stack of binding frames.
+
+    Unlike the scope pass this never records diagnostics — the type pass
+    and lint rules use it to look names up, treating unresolvable
+    references as unknown rather than re-reporting them.
+    """
+
+    def __init__(self, env: list[Bindings], schema: Schema) -> None:
+        self.env = env
+        self.schema = schema
+
+    @property
+    def frame(self) -> Bindings:
+        """The innermost (own) binding frame."""
+        return self.env[-1] if self.env else {}
+
+    def resolve_binding(self, name: str) -> TableSchema | None:
+        lowered = name.lower()
+        for frame in reversed(self.env):
+            if lowered in frame:
+                return frame[lowered]
+        return None
+
+    def resolve(self, ref: ColumnRef) -> tuple[str, TableSchema, Column] | None:
+        """Resolve to ``(binding, table, column)``, or None when unknown.
+
+        Mirrors the scope pass: qualified references look the binding up
+        through the frame stack; unqualified references search frames
+        innermost-first and refuse ambiguous hits.
+        """
+        if ref.table is not None:
+            table = self.resolve_binding(ref.table)
+            if table is None or not table.has_column(ref.column):
+                return None
+            return (ref.table.lower(), table, table.column(ref.column))
+        for frame in reversed(self.env):
+            hits = [
+                (binding, table)
+                for binding, table in frame.items()
+                if table.has_column(ref.column)
+            ]
+            if len(hits) > 1:
+                return None  # ambiguous
+            if len(hits) == 1:
+                binding, table = hits[0]
+                return (binding, table, table.column(ref.column))
+        return None
+
+    def column_of(self, ref: ColumnRef) -> Column | None:
+        resolved = self.resolve(ref)
+        return resolved[2] if resolved is not None else None
+
+
+@dataclass
+class _ScopeState:
+    """Mutable state threaded through the scope pass."""
+
+    schema: Schema
+    report: LintReport
+    analysis: Analysis = field(default_factory=Analysis)
+    #: every SELECT with its full binding environment, traversal order
+    scopes: list[tuple[Select, list[Bindings]]] = field(default_factory=list)
+
+
+def lint_query(
+    query: Query, schema: Schema, scope_only: bool = False
+) -> LintReport:
+    """Run every analysis pass over *query* and return the full report.
+
+    ``scope_only=True`` stops after the scope pass — all it takes to
+    reproduce the legacy analyzer's behaviour, and what
+    :func:`repro.sql.analyzer.analyze` uses on its hot validation path.
+    """
+    from repro.sql.lint.lineage import build_lineage
+    from repro.sql.lint.rules import run_rules
+    from repro.sql.lint.types import check_types
+
+    report = LintReport()
+    state = _ScopeState(schema=schema, report=report)
+    _scope_query(query, [], state)
+    report.analysis = state.analysis
+    if scope_only:
+        return report
+
+    for select, env in state.scopes:
+        resolver = Resolver(env, schema)
+        check_types(select, resolver, report)
+    for select, env in state.scopes:
+        resolver = Resolver(env, schema)
+        run_rules(select, resolver, report)
+
+    if report.first_fatal is None:
+        report.lineage = build_lineage(query, schema)
+    return report
+
+
+def lint_sql(sql: str, schema: Schema) -> LintReport:
+    """Lint a SQL *string*: parse-stage failures become ``E0xx`` diagnostics."""
+    from repro.sql.parser import parse_sql
+
+    try:
+        query = parse_sql(sql)
+    except LexError as exc:
+        report = LintReport(sql=sql)
+        report.add(
+            "E001", Severity.ERROR, str(exc), clause="lex",
+            position=exc.position,
+        )
+        return report
+    except ParseError as exc:
+        report = LintReport(sql=sql)
+        position = exc.position if exc.position >= 0 else None
+        report.add(
+            "E002", Severity.ERROR, str(exc), clause="parse",
+            position=position,
+        )
+        return report
+    report = lint_query(query, schema)
+    report.sql = sql
+    return report
+
+
+# ----------------------------------------------------------------------
+# scope pass (legacy-analyzer traversal, collecting instead of raising)
+# ----------------------------------------------------------------------
+def _fatal(
+    state: _ScopeState,
+    code: str,
+    message: str,
+    clause: str | None = None,
+    node: object | None = None,
+) -> None:
+    state.report.add(
+        code, Severity.ERROR, message, clause=clause, node=node, fatal=True
+    )
+
+
+def _scope_query(
+    query: Query, parent_bindings: list[Bindings], state: _ScopeState
+) -> None:
+    if isinstance(query, SetOperation):
+        _scope_query(query.left, parent_bindings, state)
+        _scope_query(query.right, parent_bindings, state)
+        left_arity = _query_arity(query.left)
+        right_arity = _query_arity(query.right)
+        if (
+            left_arity is not None
+            and right_arity is not None
+            and left_arity != right_arity
+        ):
+            _fatal(
+                state,
+                "E107",
+                f"set operation arity mismatch: {left_arity} vs {right_arity}",
+                clause="set_op",
+                node=query,
+            )
+        return
+    _scope_select(query, parent_bindings, state)
+
+
+def _query_arity(query: Query) -> int | None:
+    select = query
+    while isinstance(select, SetOperation):
+        select = select.left
+    if any(isinstance(item.expr, Star) for item in select.items):
+        return None  # depends on schema; checked at execution time
+    return len(select.items)
+
+
+def _scope_select(
+    select: Select, parent_bindings: list[Bindings], state: _ScopeState
+) -> None:
+    bindings = _collect_bindings(select.from_, state)
+    env = parent_bindings + [bindings]
+    state.scopes.append((select, env))
+
+    alias_names = {
+        item.alias.lower() for item in select.items if item.alias is not None
+    }
+
+    _scope_from_conditions(select.from_, env, state)
+    for item in select.items:
+        _scope_expr(item.expr, env, state, allow_star=True)
+    if select.where is not None:
+        _scope_expr(select.where, env, state)
+    for expr in select.group_by:
+        _scope_expr(expr, env, state)
+    if select.having is not None:
+        _scope_expr(select.having, env, state)
+    for order in select.order_by:
+        _scope_expr(order.expr, env, state, select_aliases=alias_names)
+    if select.limit is not None and select.limit < 0:
+        _fatal(
+            state, "E108", "LIMIT must be non-negative",
+            clause="limit", node=select,
+        )
+
+
+def _collect_bindings(clause: FromClause | None, state: _ScopeState) -> Bindings:
+    bindings: Bindings = {}
+    for ref in from_tables(clause):
+        try:
+            table = state.schema.table(ref.name)
+        except AnalysisError as exc:
+            _fatal(state, "E101", str(exc), clause="from", node=ref)
+            continue
+        state.analysis.tables.add(table.name.lower())
+        if ref.binding in bindings:
+            _fatal(
+                state,
+                "E105",
+                f"duplicate table binding {ref.binding!r}",
+                clause="from",
+                node=ref,
+            )
+            continue
+        bindings[ref.binding] = table
+    return bindings
+
+
+def _scope_from_conditions(
+    clause: FromClause | None, env: list[Bindings], state: _ScopeState
+) -> None:
+    if isinstance(clause, Join):
+        _scope_from_conditions(clause.left, env, state)
+        if clause.condition is not None:
+            _scope_expr(clause.condition, env, state)
+
+
+def _scope_expr(
+    expr: Expr,
+    env: list[Bindings],
+    state: _ScopeState,
+    allow_star: bool = False,
+    select_aliases: set[str] | None = None,
+) -> None:
+    if isinstance(expr, Literal):
+        if expr.value is not None:
+            state.analysis.values.add(expr.value)
+        return
+    if isinstance(expr, Star):
+        if not allow_star:
+            _fatal(
+                state,
+                "E106",
+                "'*' is only valid in projections and COUNT(*)",
+                clause="select",
+                node=expr,
+            )
+            return
+        if expr.table is not None and _find_binding(expr.table, env) is None:
+            _fatal(
+                state,
+                "E104",
+                f"unknown table binding {expr.table!r}",
+                node=expr,
+            )
+        return
+    if isinstance(expr, ColumnRef):
+        _scope_column(expr, env, state, select_aliases)
+        return
+    if isinstance(expr, FuncCall):
+        star_ok = expr.name.lower() == "count"
+        for arg in expr.args:
+            _scope_expr(arg, env, state, allow_star=star_ok)
+        return
+    if isinstance(expr, BinaryOp):
+        _scope_expr(expr.left, env, state, select_aliases=select_aliases)
+        _scope_expr(expr.right, env, state, select_aliases=select_aliases)
+        return
+    if isinstance(expr, UnaryOp):
+        _scope_expr(expr.operand, env, state, select_aliases=select_aliases)
+        return
+    if isinstance(expr, Between):
+        for sub in (expr.expr, expr.low, expr.high):
+            _scope_expr(sub, env, state)
+        return
+    if isinstance(expr, InList):
+        _scope_expr(expr.expr, env, state)
+        for item in expr.items:
+            _scope_expr(item, env, state)
+        return
+    if isinstance(expr, InSubquery):
+        _scope_expr(expr.expr, env, state)
+        _scope_query(expr.query, env, state)
+        return
+    if isinstance(expr, Like):
+        _scope_expr(expr.expr, env, state)
+        _scope_expr(expr.pattern, env, state)
+        return
+    if isinstance(expr, IsNull):
+        _scope_expr(expr.expr, env, state)
+        return
+    if isinstance(expr, Exists):
+        _scope_query(expr.query, env, state)
+        return
+    if isinstance(expr, ScalarSubquery):
+        _scope_query(expr.query, env, state)
+        return
+    _fatal(state, "E109", f"cannot analyze expression {expr!r}", node=expr)
+
+
+def _find_binding(name: str, env: list[Bindings]) -> TableSchema | None:
+    lowered = name.lower()
+    for frame in reversed(env):
+        if lowered in frame:
+            return frame[lowered]
+    return None
+
+
+def _scope_column(
+    ref: ColumnRef,
+    env: list[Bindings],
+    state: _ScopeState,
+    select_aliases: set[str] | None,
+) -> None:
+    if ref.table is not None:
+        table = _find_binding(ref.table, env)
+        if table is None:
+            _fatal(
+                state, "E104", f"unknown table binding {ref.table!r}", node=ref
+            )
+            return
+        if not table.has_column(ref.column):
+            _fatal(
+                state,
+                "E102",
+                f"table {table.name!r} has no column {ref.column!r}",
+                node=ref,
+            )
+            return
+        state.analysis.columns.add((table.name.lower(), ref.column.lower()))
+        return
+
+    lowered = ref.column.lower()
+    for frame in reversed(env):
+        hits = [
+            table for table in frame.values() if table.has_column(ref.column)
+        ]
+        if len(hits) > 1:
+            _fatal(
+                state,
+                "E103",
+                f"ambiguous column reference {ref.column!r}",
+                node=ref,
+            )
+            return
+        if len(hits) == 1:
+            state.analysis.columns.add((hits[0].name.lower(), lowered))
+            return
+    if select_aliases is not None and lowered in select_aliases:
+        return  # ORDER BY referencing a projection alias
+    _fatal(
+        state, "E102", f"unknown column reference {ref.column!r}", node=ref
+    )

@@ -1,0 +1,247 @@
+"""Column-level lineage: which base columns feed each output column.
+
+``build_lineage`` walks a query and produces a :class:`LineageGraph`
+mapping every output column to the set of ``table.column`` sources that
+flow into it — through expressions, scalar subqueries, ``IN``/``EXISTS``
+subqueries used inside projections, and positionally through set
+operations.  The graph is the lineage-tracker shape the schema-linking
+evaluation consumes as extra gold annotation: it is strictly finer than
+:class:`~repro.sql.lint.engine.Analysis`, which only says which columns a
+query *touches*, not where they *end up*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.schema import Schema
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    Query,
+    ScalarSubquery,
+    Select,
+    SetOperation,
+    Star,
+    UnaryOp,
+    from_tables,
+)
+from repro.sql.lint.engine import Bindings
+
+
+@dataclass(frozen=True)
+class LineageColumn:
+    """One output column and the base columns flowing into it."""
+
+    name: str
+    sources: frozenset[str]  # lowercase "table.column"
+
+
+@dataclass(frozen=True)
+class LineageGraph:
+    """Output columns of a query with their source sets, in order."""
+
+    outputs: tuple[LineageColumn, ...]
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Flat ``(output, source)`` edge list, deterministic order."""
+        return [
+            (out.name, src)
+            for out in self.outputs
+            for src in sorted(out.sources)
+        ]
+
+    def source_columns(self) -> frozenset[str]:
+        """Every base column feeding any output."""
+        return frozenset(s for out in self.outputs for s in out.sources)
+
+    def to_dict(self) -> dict[str, list[str]]:
+        """JSON-friendly ``{output: [sources...]}`` view."""
+        out: dict[str, list[str]] = {}
+        for column in self.outputs:
+            key = column.name
+            # disambiguate repeated output names positionally
+            if key in out:
+                index = 2
+                while f"{key}#{index}" in out:
+                    index += 1
+                key = f"{key}#{index}"
+            out[key] = sorted(column.sources)
+        return out
+
+
+def build_lineage(query: Query, schema: Schema) -> LineageGraph:
+    """Extract column-level lineage for *query* against *schema*.
+
+    Resolution is best-effort and quiet: unknown tables or columns simply
+    contribute no sources (the lint engine reports them separately).
+    """
+    return LineageGraph(outputs=tuple(_query_lineage(query, schema, [])))
+
+
+def _query_lineage(
+    query: Query, schema: Schema, env: list[Bindings]
+) -> list[LineageColumn]:
+    if isinstance(query, SetOperation):
+        left = _query_lineage(query.left, schema, env)
+        right = _query_lineage(query.right, schema, env)
+        merged = []
+        for index in range(max(len(left), len(right))):
+            name = (
+                left[index].name if index < len(left) else right[index].name
+            )
+            sources: frozenset[str] = frozenset()
+            if index < len(left):
+                sources |= left[index].sources
+            if index < len(right):
+                sources |= right[index].sources
+            merged.append(LineageColumn(name=name, sources=sources))
+        return merged
+    return _select_lineage(query, schema, env)
+
+
+def _select_lineage(
+    select: Select, schema: Schema, env: list[Bindings]
+) -> list[LineageColumn]:
+    bindings: Bindings = {}
+    for ref in from_tables(select.from_):
+        if schema.has_table(ref.name):
+            bindings[ref.binding] = schema.table(ref.name)
+    inner = env + [bindings]
+
+    outputs: list[LineageColumn] = []
+    for item in select.items:
+        if isinstance(item.expr, Star):
+            # '*' expands to one output per visible column
+            for binding, table in _star_tables(item.expr, bindings):
+                for column in table.columns:
+                    qualified = f"{table.name.lower()}.{column.name.lower()}"
+                    outputs.append(
+                        LineageColumn(
+                            name=column.name.lower(),
+                            sources=frozenset({qualified}),
+                        )
+                    )
+            continue
+        outputs.append(
+            LineageColumn(
+                name=_output_name(item.expr, item.alias),
+                sources=frozenset(_expr_sources(item.expr, schema, inner)),
+            )
+        )
+    return outputs
+
+
+def _star_tables(star: Star, bindings: Bindings):
+    if star.table is not None:
+        table = bindings.get(star.table.lower())
+        return [(star.table.lower(), table)] if table is not None else []
+    return list(bindings.items())
+
+
+def _output_name(expr: Expr, alias: str | None) -> str:
+    if alias is not None:
+        return alias.lower()
+    if isinstance(expr, ColumnRef):
+        return expr.column.lower()
+    if isinstance(expr, FuncCall):
+        if len(expr.args) == 1 and isinstance(expr.args[0], ColumnRef):
+            return f"{expr.name.lower()}({expr.args[0].column.lower()})"
+        if len(expr.args) == 1 and isinstance(expr.args[0], Star):
+            return f"{expr.name.lower()}(*)"
+        return f"{expr.name.lower()}(...)"
+    if isinstance(expr, Literal):
+        return repr(expr.value).lower()
+    return "expr"
+
+
+def _expr_sources(
+    expr: Expr, schema: Schema, env: list[Bindings]
+) -> set[str]:
+    """Base columns feeding *expr*, resolved through the binding stack."""
+    sources: set[str] = set()
+    if isinstance(expr, Literal):
+        return sources
+    if isinstance(expr, ColumnRef):
+        resolved = _resolve(expr, env)
+        if resolved is not None:
+            sources.add(resolved)
+        return sources
+    if isinstance(expr, Star):
+        frame = env[-1] if env else {}
+        for _, table in _star_tables(expr, frame):
+            for column in table.columns:
+                sources.add(f"{table.name.lower()}.{column.name.lower()}")
+        return sources
+    if isinstance(expr, FuncCall):
+        for arg in expr.args:
+            sources |= _expr_sources(arg, schema, env)
+        return sources
+    if isinstance(expr, BinaryOp):
+        return _expr_sources(expr.left, schema, env) | _expr_sources(
+            expr.right, schema, env
+        )
+    if isinstance(expr, UnaryOp):
+        return _expr_sources(expr.operand, schema, env)
+    if isinstance(expr, Between):
+        for sub in (expr.expr, expr.low, expr.high):
+            sources |= _expr_sources(sub, schema, env)
+        return sources
+    if isinstance(expr, InList):
+        sources |= _expr_sources(expr.expr, schema, env)
+        for item in expr.items:
+            sources |= _expr_sources(item, schema, env)
+        return sources
+    if isinstance(expr, InSubquery):
+        sources |= _expr_sources(expr.expr, schema, env)
+        sources |= _subquery_sources(expr.query, schema, env)
+        return sources
+    if isinstance(expr, Like):
+        return _expr_sources(expr.expr, schema, env) | _expr_sources(
+            expr.pattern, schema, env
+        )
+    if isinstance(expr, IsNull):
+        return _expr_sources(expr.expr, schema, env)
+    if isinstance(expr, Exists):
+        return _subquery_sources(expr.query, schema, env)
+    if isinstance(expr, ScalarSubquery):
+        return _subquery_sources(expr.query, schema, env)
+    return sources
+
+
+def _subquery_sources(
+    query: Query, schema: Schema, env: list[Bindings]
+) -> set[str]:
+    """Everything a nested query's outputs draw from, flattened."""
+    sources: set[str] = set()
+    for output in _query_lineage(query, schema, env):
+        sources |= output.sources
+    return sources
+
+
+def _resolve(ref: ColumnRef, env: list[Bindings]) -> str | None:
+    if ref.table is not None:
+        lowered = ref.table.lower()
+        for frame in reversed(env):
+            if lowered in frame:
+                table = frame[lowered]
+                if table.has_column(ref.column):
+                    return f"{table.name.lower()}.{ref.column.lower()}"
+                return None
+        return None
+    for frame in reversed(env):
+        hits = [t for t in frame.values() if t.has_column(ref.column)]
+        if len(hits) == 1:
+            return f"{hits[0].name.lower()}.{ref.column.lower()}"
+        if hits:
+            return None  # ambiguous
+    return None

@@ -1,0 +1,488 @@
+"""Semantic lint rules: the registry and the built-in rule catalog.
+
+Each rule targets one SELECT block and yields ``(message, node, clause)``
+findings; the engine stamps them with the rule's code and severity.  The
+catalog covers the recurring mistakes the Text-to-SQL error literature
+reports from generated candidates:
+
+- ``E301`` ungrouped non-aggregate column in an aggregated query
+- ``W302`` HAVING without GROUP BY
+- ``W303`` cartesian join — FROM tables never joined or filtered together
+- ``W304`` always-false predicate (contradictory equalities, constant
+  comparisons, inverted BETWEEN bounds)
+- ``W305`` always-true predicate (constant comparisons, self-comparison)
+- ``I306`` non-deterministic ORDER BY + LIMIT (ties possible)
+- ``W307`` redundant DISTINCT under aggregation
+- ``W308`` joined table never referenced
+- ``E309`` aggregate nested inside an aggregate
+- ``E310`` aggregate function in WHERE or JOIN condition
+
+New rules register with the :func:`rule` decorator; ``run_rules`` applies
+every registered rule, and callers can restrict to a code subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Join,
+    Like,
+    Literal,
+    Select,
+    Star,
+    from_tables,
+    has_aggregate,
+    walk,
+)
+from repro.sql.lint.diagnostics import LintReport, Severity
+from repro.sql.lint.engine import Resolver
+
+#: a rule finding: message, offending node (or None), clause name (or None)
+Finding = tuple[str, object, str | None]
+
+
+@dataclass
+class RuleContext:
+    """What a rule sees: one SELECT block plus its resolution scope."""
+
+    select: Select
+    resolver: Resolver
+
+    def conjuncts(self, expr: Expr | None) -> list[Expr]:
+        """Flatten a predicate into its top-level AND conjuncts."""
+        if expr is None:
+            return []
+        if isinstance(expr, BinaryOp) and expr.op == "and":
+            return self.conjuncts(expr.left) + self.conjuncts(expr.right)
+        return [expr]
+
+    def join_conditions(self) -> list[Expr]:
+        conditions = []
+        clause = self.select.from_
+        while isinstance(clause, Join):
+            if clause.condition is not None:
+                conditions.append(clause.condition)
+            clause = clause.left
+        return conditions
+
+    def resolved(self, expr: Expr) -> tuple[str, str] | None:
+        """Resolve a ColumnRef to lowercase ``(table, column)``, else None."""
+        if not isinstance(expr, ColumnRef):
+            return None
+        hit = self.resolver.resolve(expr)
+        if hit is None:
+            return None
+        _, table, column = hit
+        return (table.name.lower(), column.name.lower())
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    doc: str
+    check: Callable[[RuleContext], Iterator[Finding]]
+
+
+#: code -> Rule, in registration order (dicts preserve insertion order)
+RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, severity: Severity) -> Callable:
+    """Register a rule function under *code* in the global catalog."""
+
+    def decorator(fn: Callable[[RuleContext], Iterator[Finding]]) -> Callable:
+        if code in RULES:
+            raise ValueError(f"duplicate lint rule code {code!r}")
+        RULES[code] = Rule(
+            code=code,
+            name=name,
+            severity=severity,
+            doc=(fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else "",
+            check=fn,
+        )
+        return fn
+
+    return decorator
+
+
+def run_rules(
+    select: Select,
+    resolver: Resolver,
+    report: LintReport,
+    codes: Iterable[str] | None = None,
+) -> None:
+    """Apply registered rules to *select*, appending findings to *report*."""
+    ctx = RuleContext(select=select, resolver=resolver)
+    wanted = set(codes) if codes is not None else None
+    for registered in RULES.values():
+        if wanted is not None and registered.code not in wanted:
+            continue
+        for message, node, clause in registered.check(ctx):
+            report.add(
+                registered.code,
+                registered.severity,
+                message,
+                clause=clause,
+                node=node,
+            )
+
+
+# ----------------------------------------------------------------------
+# the built-in catalog
+# ----------------------------------------------------------------------
+@rule("E301", "ungrouped-column", Severity.ERROR)
+def _ungrouped_column(ctx: RuleContext) -> Iterator[Finding]:
+    """A non-aggregate projection column missing from GROUP BY."""
+    select = ctx.select
+    aggregated = bool(select.group_by) or any(
+        has_aggregate(item.expr) for item in select.items
+    )
+    if not aggregated:
+        return
+    group_exprs = set(select.group_by)
+    group_columns = {
+        ctx.resolved(expr)
+        for expr in select.group_by
+        if ctx.resolved(expr) is not None
+    }
+    for item in select.items:
+        expr = item.expr
+        if has_aggregate(expr) or isinstance(expr, Literal):
+            continue
+        if expr in group_exprs:
+            continue
+        if isinstance(expr, Star):
+            yield (
+                "'*' projected alongside aggregation without full GROUP BY",
+                expr,
+                "select",
+            )
+            continue
+        refs = [n for n in walk(expr) if isinstance(n, ColumnRef)]
+        if not refs:
+            continue
+        ungrouped = [
+            ref
+            for ref in refs
+            if ctx.resolved(ref) is not None
+            and ctx.resolved(ref) not in group_columns
+        ]
+        if ungrouped:
+            ref = ungrouped[0]
+            yield (
+                f"column {ref.column!r} is neither aggregated nor in "
+                "GROUP BY",
+                ref,
+                "select",
+            )
+
+
+@rule("W302", "having-without-group-by", Severity.WARNING)
+def _having_without_group_by(ctx: RuleContext) -> Iterator[Finding]:
+    """HAVING on an ungrouped query filters a single implicit group."""
+    if ctx.select.having is not None and not ctx.select.group_by:
+        yield (
+            "HAVING without GROUP BY filters one implicit group",
+            ctx.select.having,
+            "having",
+        )
+
+
+@rule("W303", "cartesian-join", Severity.WARNING)
+def _cartesian_join(ctx: RuleContext) -> Iterator[Finding]:
+    """FROM tables never connected by a join or filter predicate."""
+    bindings = [ref.binding for ref in from_tables(ctx.select.from_)]
+    if len(set(bindings)) < 2:
+        return
+    adjacency: dict[str, set[str]] = {b: set() for b in set(bindings)}
+    predicates = ctx.join_conditions() + ctx.conjuncts(ctx.select.where)
+    for predicate in predicates:
+        for conjunct in ctx.conjuncts(predicate):
+            if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+                continue
+            left = _binding_of(conjunct.left, ctx)
+            right = _binding_of(conjunct.right, ctx)
+            if left and right and left != right:
+                if left in adjacency and right in adjacency:
+                    adjacency[left].add(right)
+                    adjacency[right].add(left)
+    # connectivity sweep from the first binding
+    seen = set()
+    stack = [bindings[0]]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(adjacency.get(current, ()))
+    isolated = sorted(set(bindings) - seen)
+    if isolated:
+        yield (
+            "cartesian product: table(s) "
+            + ", ".join(repr(b) for b in isolated)
+            + " never joined or filtered against the rest",
+            ctx.select.from_,
+            "from",
+        )
+
+
+def _binding_of(expr: Expr, ctx: RuleContext) -> str | None:
+    """The binding name a column reference belongs to, or None."""
+    if not isinstance(expr, ColumnRef):
+        return None
+    hit = ctx.resolver.resolve(expr)
+    return hit[0] if hit is not None else None
+
+
+@rule("W304", "always-false", Severity.WARNING)
+def _always_false(ctx: RuleContext) -> Iterator[Finding]:
+    """A predicate that can never hold, so the query returns nothing."""
+    for source, clause in (
+        (ctx.select.where, "where"), (ctx.select.having, "having"),
+    ):
+        conjuncts = ctx.conjuncts(source)
+        # contradictory equalities on the same column
+        required: dict[tuple[str, str], object] = {}
+        reported: set[tuple[str, str]] = set()
+        for conjunct in conjuncts:
+            if (
+                isinstance(conjunct, BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.right, Literal)
+            ):
+                key = ctx.resolved(conjunct.left)
+                if key is None:
+                    continue
+                previous = required.get(key)
+                if (
+                    previous is not None
+                    and previous != conjunct.right.value
+                    and key not in reported
+                ):
+                    reported.add(key)
+                    yield (
+                        f"always false: {key[1]!r} required to equal both "
+                        f"{previous!r} and {conjunct.right.value!r}",
+                        conjunct,
+                        clause,
+                    )
+                elif previous is None and conjunct.right.value is not None:
+                    required[key] = conjunct.right.value
+            folded = _fold_constant(conjunct)
+            if folded is False:
+                yield ("always false: constant predicate", conjunct, clause)
+            if (
+                isinstance(conjunct, Between)
+                and not conjunct.negated
+                and isinstance(conjunct.low, Literal)
+                and isinstance(conjunct.high, Literal)
+                and _comparable(conjunct.low.value, conjunct.high.value)
+                and conjunct.low.value > conjunct.high.value
+            ):
+                yield (
+                    f"always false: BETWEEN {conjunct.low.value!r} AND "
+                    f"{conjunct.high.value!r} has inverted bounds",
+                    conjunct,
+                    clause,
+                )
+
+
+@rule("W305", "always-true", Severity.WARNING)
+def _always_true(ctx: RuleContext) -> Iterator[Finding]:
+    """A predicate that always holds (modulo NULLs) — dead filter."""
+    for source, clause in (
+        (ctx.select.where, "where"), (ctx.select.having, "having"),
+    ):
+        for conjunct in ctx.conjuncts(source):
+            if _fold_constant(conjunct) is True:
+                yield ("always true: constant predicate", conjunct, clause)
+            elif (
+                isinstance(conjunct, BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ColumnRef)
+                and conjunct.left == conjunct.right
+            ):
+                yield (
+                    f"always true (ignoring NULLs): "
+                    f"{conjunct.left.column!r} compared with itself",
+                    conjunct,
+                    clause,
+                )
+
+
+def _comparable(left: object, right: object) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        return False
+    number = (int, float)
+    if isinstance(left, number) and isinstance(right, number):
+        return True
+    return isinstance(left, str) and isinstance(right, str)
+
+
+def _fold_constant(expr: Expr) -> bool | None:
+    """Evaluate a literal-only comparison; None when not constant."""
+    if not (
+        isinstance(expr, BinaryOp)
+        and expr.op in ("=", "<>", "<", "<=", ">", ">=")
+        and isinstance(expr.left, Literal)
+        and isinstance(expr.right, Literal)
+    ):
+        return None
+    left, right = expr.left.value, expr.right.value
+    if left is None or right is None or not _comparable(left, right):
+        return None
+    ops = {
+        "=": left == right,
+        "<>": left != right,
+        "<": left < right,
+        "<=": left <= right,
+        ">": left > right,
+        ">=": left >= right,
+    }
+    return ops[expr.op]
+
+
+@rule("I306", "unstable-order-limit", Severity.INFO)
+def _unstable_order_limit(ctx: RuleContext) -> Iterator[Finding]:
+    """ORDER BY + LIMIT where ties make the cutoff non-deterministic."""
+    select = ctx.select
+    if select.limit is None or select.limit <= 0 or not select.order_by:
+        return
+    for order in select.order_by:
+        resolved = (
+            ctx.resolver.resolve(order.expr)
+            if isinstance(order.expr, ColumnRef)
+            else None
+        )
+        if resolved is not None:
+            _, table, column = resolved
+            if (
+                table.primary_key is not None
+                and column.name.lower() == table.primary_key.lower()
+            ):
+                return  # a unique key in the sort makes the cutoff total
+    yield (
+        f"ORDER BY + LIMIT {select.limit} may truncate ties "
+        "non-deterministically (no unique sort key)",
+        select.order_by[0],
+        "order_by",
+    )
+
+
+@rule("W307", "redundant-distinct", Severity.WARNING)
+def _redundant_distinct(ctx: RuleContext) -> Iterator[Finding]:
+    """DISTINCT on an aggregation that already yields unique rows."""
+    select = ctx.select
+    if (
+        select.distinct
+        and not select.group_by
+        and select.items
+        and all(
+            isinstance(item.expr, FuncCall) and item.expr.is_aggregate
+            for item in select.items
+        )
+    ):
+        yield (
+            "DISTINCT is redundant: an ungrouped aggregation returns one row",
+            select,
+            "select",
+        )
+    for node in walk(select):
+        if (
+            isinstance(node, FuncCall)
+            and node.distinct
+            and node.name.lower() in ("min", "max")
+        ):
+            yield (
+                f"DISTINCT inside {node.name.upper()} has no effect",
+                node,
+                "select",
+            )
+
+
+@rule("W308", "unused-table", Severity.WARNING)
+def _unused_table(ctx: RuleContext) -> Iterator[Finding]:
+    """A joined table no column reference could possibly use."""
+    refs = from_tables(ctx.select.from_)
+    if len(refs) < 2:
+        return
+    if any(
+        isinstance(n, Star) and n.table is None for n in walk(ctx.select)
+    ):
+        return  # SELECT * may project every table
+    used: set[str] = set()
+    for node in walk(ctx.select):
+        if isinstance(node, ColumnRef):
+            if node.table is not None:
+                used.add(node.table.lower())
+            else:
+                # conservatively charge the use to every table that could
+                # supply the column, so only provably-unused tables fire
+                for ref in refs:
+                    table = ctx.resolver.frame.get(ref.binding)
+                    if table is not None and table.has_column(node.column):
+                        used.add(ref.binding)
+        elif isinstance(node, Star) and node.table is not None:
+            used.add(node.table.lower())
+    for ref in refs:
+        if ref.binding not in used:
+            yield (
+                f"table {ref.binding!r} is joined but never referenced",
+                ref,
+                "from",
+            )
+
+
+@rule("E309", "nested-aggregate", Severity.ERROR)
+def _nested_aggregate(ctx: RuleContext) -> Iterator[Finding]:
+    """An aggregate call directly inside another aggregate call."""
+    for node in _own_nodes(ctx.select):
+        if (
+            isinstance(node, FuncCall)
+            and node.is_aggregate
+            and any(has_aggregate(arg) for arg in node.args)
+        ):
+            yield (
+                f"aggregate nested inside {node.name.upper()}(...)",
+                node,
+                "select",
+            )
+
+
+@rule("E310", "aggregate-in-where", Severity.ERROR)
+def _aggregate_in_where(ctx: RuleContext) -> Iterator[Finding]:
+    """An aggregate in WHERE/ON runs before groups exist — use HAVING."""
+    if ctx.select.where is not None and has_aggregate(ctx.select.where):
+        yield (
+            "aggregate function in WHERE clause (use HAVING)",
+            ctx.select.where,
+            "where",
+        )
+    for condition in ctx.join_conditions():
+        if has_aggregate(condition):
+            yield (
+                "aggregate function in JOIN condition",
+                condition,
+                "join",
+            )
+
+
+def _own_nodes(select: Select) -> list:
+    """AST nodes of *select* excluding nested SELECT blocks."""
+    nested: set[int] = set()
+    for node in walk(select):
+        if isinstance(node, Select) and node is not select:
+            for sub in walk(node):
+                nested.add(id(sub))
+    return [n for n in walk(select) if id(n) not in nested]

@@ -1,0 +1,343 @@
+"""Expression type inference over :class:`~repro.data.schema.ColumnType`.
+
+A deliberately conservative lattice: every expression infers to one of
+:class:`ExprType`'s members, and anything unresolvable (projection
+aliases, subqueries with ``*``, unknown columns — already reported by the
+scope pass) infers to ``UNKNOWN``, which silences all checks on it.  The
+executor collapses column types into ``number``/``text`` families for
+comparison, so the checks here flag *family* mismatches (a `TEXT < 3`
+comparison can never be what the user meant) plus the boolean/scalar
+confusions the Text-to-SQL error literature catalogs.
+
+Diagnostics emitted (all non-fatal — the legacy analyzer accepted them):
+
+- ``E201`` comparison between number-family and text-family operands
+- ``E202`` ``SUM``/``AVG`` over a non-numeric argument
+- ``E203`` ``BETWEEN`` whose operand and bounds mix type families
+- ``E204`` boolean/scalar confusion (``AND`` over scalars, arithmetic
+  over booleans, ``NOT`` of a scalar)
+- ``W205`` a condition clause (WHERE/HAVING/ON) that is not boolean-typed
+- ``W206`` ``LIKE`` over number-family operands
+- ``E207`` arithmetic over text-family operands
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.data.schema import ColumnType
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    ScalarSubquery,
+    Select,
+    SetOperation,
+    Star,
+    UnaryOp,
+)
+from repro.sql.ast import ARITHMETIC_OPS, BOOLEAN_OPS, COMPARISON_OPS
+from repro.sql.lint.diagnostics import LintReport, Severity
+from repro.sql.lint.engine import Resolver
+
+
+class ExprType(enum.Enum):
+    """Inferred logical type of an expression."""
+
+    NUMBER = "number"
+    TEXT = "text"
+    DATE = "date"
+    BOOLEAN = "boolean"
+    NULL = "null"
+    UNKNOWN = "unknown"
+
+    @property
+    def family(self) -> str | None:
+        """The executor's comparison family, or None when indeterminate."""
+        if self in (ExprType.NUMBER, ExprType.BOOLEAN):
+            return "number"
+        if self in (ExprType.TEXT, ExprType.DATE):
+            return "text"
+        return None
+
+
+_COLUMN_TYPE_MAP = {
+    ColumnType.NUMBER: ExprType.NUMBER,
+    ColumnType.TEXT: ExprType.TEXT,
+    ColumnType.DATE: ExprType.DATE,
+    ColumnType.BOOLEAN: ExprType.BOOLEAN,
+}
+
+
+def infer_type(expr: Expr, resolver: Resolver) -> ExprType:
+    """Infer the :class:`ExprType` of *expr* in *resolver*'s scope."""
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return ExprType.NULL
+        if isinstance(expr.value, bool):
+            return ExprType.BOOLEAN
+        if isinstance(expr.value, (int, float)):
+            return ExprType.NUMBER
+        return ExprType.TEXT
+    if isinstance(expr, ColumnRef):
+        column = resolver.column_of(expr)
+        if column is None:
+            return ExprType.UNKNOWN
+        return _COLUMN_TYPE_MAP[column.type]
+    if isinstance(expr, Star):
+        return ExprType.UNKNOWN
+    if isinstance(expr, FuncCall):
+        name = expr.name.lower()
+        if name in ("count", "sum", "avg"):
+            return ExprType.NUMBER
+        if name in ("min", "max") and expr.args:
+            return infer_type(expr.args[0], resolver)
+        return ExprType.UNKNOWN
+    if isinstance(expr, BinaryOp):
+        if expr.op in COMPARISON_OPS or expr.op in BOOLEAN_OPS:
+            return ExprType.BOOLEAN
+        if expr.op in ARITHMETIC_OPS:
+            return ExprType.NUMBER
+        return ExprType.UNKNOWN
+    if isinstance(expr, UnaryOp):
+        return ExprType.BOOLEAN if expr.op == "not" else ExprType.NUMBER
+    if isinstance(expr, (Between, InList, InSubquery, Like, IsNull, Exists)):
+        return ExprType.BOOLEAN
+    if isinstance(expr, ScalarSubquery):
+        return _subquery_type(expr.query)
+    return ExprType.UNKNOWN
+
+
+def _subquery_type(query) -> ExprType:
+    """Best-effort type of a scalar subquery's single output column.
+
+    Without the subquery's own scope only aggregate projections are
+    decidable; everything else is UNKNOWN.
+    """
+    select = query
+    while isinstance(select, SetOperation):
+        select = select.left
+    if isinstance(select, Select) and len(select.items) == 1:
+        item = select.items[0].expr
+        if isinstance(item, FuncCall) and item.name.lower() in (
+            "count", "sum", "avg",
+        ):
+            return ExprType.NUMBER
+    return ExprType.UNKNOWN
+
+
+def check_types(
+    select: Select, resolver: Resolver, report: LintReport
+) -> None:
+    """Type-check every expression owned by *select* (not its subqueries)."""
+    for item in select.items:
+        _check_expr(item.expr, resolver, report, "select")
+    for condition, clause in _conditions(select):
+        _check_expr(condition, resolver, report, clause)
+        inferred = infer_type(condition, resolver)
+        if inferred not in (
+            ExprType.BOOLEAN, ExprType.NULL, ExprType.UNKNOWN,
+        ):
+            report.add(
+                "W205",
+                Severity.WARNING,
+                f"{clause.upper()} condition is {inferred.value}-typed, "
+                "not boolean",
+                clause=clause,
+                node=condition,
+            )
+    for expr in select.group_by:
+        _check_expr(expr, resolver, report, "group_by")
+    for order in select.order_by:
+        _check_expr(order.expr, resolver, report, "order_by")
+
+
+def _conditions(select: Select):
+    """Yield every condition expression of *select* with its clause name."""
+    clause = select.from_
+    while isinstance(clause, Join):
+        if clause.condition is not None:
+            yield clause.condition, "join"
+        clause = clause.left
+    if select.where is not None:
+        yield select.where, "where"
+    if select.having is not None:
+        yield select.having, "having"
+
+
+def _check_expr(
+    expr: Expr, resolver: Resolver, report: LintReport, clause: str
+) -> None:
+    """Recursive type checks; does not descend into nested subqueries."""
+    if isinstance(expr, BinaryOp):
+        _check_expr(expr.left, resolver, report, clause)
+        _check_expr(expr.right, resolver, report, clause)
+        left = infer_type(expr.left, resolver)
+        right = infer_type(expr.right, resolver)
+        if expr.op in COMPARISON_OPS:
+            if (
+                left.family is not None
+                and right.family is not None
+                and left.family != right.family
+            ):
+                report.add(
+                    "E201",
+                    Severity.ERROR,
+                    f"cannot compare {left.value} with {right.value} "
+                    f"({_describe(expr.left)} {expr.op} "
+                    f"{_describe(expr.right)})",
+                    clause=clause,
+                    node=expr,
+                )
+        elif expr.op in ARITHMETIC_OPS:
+            for side, side_type in ((expr.left, left), (expr.right, right)):
+                if side_type.family == "text":
+                    report.add(
+                        "E207",
+                        Severity.ERROR,
+                        f"arithmetic {expr.op!r} over {side_type.value} "
+                        f"operand {_describe(side)}",
+                        clause=clause,
+                        node=expr,
+                    )
+                elif side_type is ExprType.BOOLEAN:
+                    report.add(
+                        "E204",
+                        Severity.ERROR,
+                        f"arithmetic {expr.op!r} over boolean operand "
+                        f"{_describe(side)}",
+                        clause=clause,
+                        node=expr,
+                    )
+        elif expr.op in BOOLEAN_OPS:
+            for side, side_type in ((expr.left, left), (expr.right, right)):
+                if side_type not in (
+                    ExprType.BOOLEAN, ExprType.NULL, ExprType.UNKNOWN,
+                ):
+                    report.add(
+                        "E204",
+                        Severity.ERROR,
+                        f"{expr.op.upper()} over non-boolean operand "
+                        f"{_describe(side)} ({side_type.value})",
+                        clause=clause,
+                        node=expr,
+                    )
+        return
+    if isinstance(expr, UnaryOp):
+        _check_expr(expr.operand, resolver, report, clause)
+        operand = infer_type(expr.operand, resolver)
+        if expr.op == "not" and operand not in (
+            ExprType.BOOLEAN, ExprType.NULL, ExprType.UNKNOWN,
+        ):
+            report.add(
+                "E204",
+                Severity.ERROR,
+                f"NOT over non-boolean operand {_describe(expr.operand)} "
+                f"({operand.value})",
+                clause=clause,
+                node=expr,
+            )
+        if expr.op == "-" and operand.family == "text":
+            report.add(
+                "E207",
+                Severity.ERROR,
+                f"unary '-' over {operand.value} operand "
+                f"{_describe(expr.operand)}",
+                clause=clause,
+                node=expr,
+            )
+        return
+    if isinstance(expr, FuncCall):
+        for arg in expr.args:
+            _check_expr(arg, resolver, report, clause)
+        if expr.name.lower() in ("sum", "avg") and expr.args:
+            arg_type = infer_type(expr.args[0], resolver)
+            if arg_type.family == "text" or arg_type is ExprType.BOOLEAN:
+                report.add(
+                    "E202",
+                    Severity.ERROR,
+                    f"{expr.name.upper()} over {arg_type.value} argument "
+                    f"{_describe(expr.args[0])}",
+                    clause=clause,
+                    node=expr,
+                )
+        return
+    if isinstance(expr, Between):
+        for sub in (expr.expr, expr.low, expr.high):
+            _check_expr(sub, resolver, report, clause)
+        families = {
+            t.family
+            for t in (
+                infer_type(expr.expr, resolver),
+                infer_type(expr.low, resolver),
+                infer_type(expr.high, resolver),
+            )
+            if t.family is not None
+        }
+        if len(families) > 1:
+            report.add(
+                "E203",
+                Severity.ERROR,
+                f"BETWEEN mixes type families for {_describe(expr.expr)}",
+                clause=clause,
+                node=expr,
+            )
+        return
+    if isinstance(expr, InList):
+        _check_expr(expr.expr, resolver, report, clause)
+        subject = infer_type(expr.expr, resolver)
+        for item in expr.items:
+            _check_expr(item, resolver, report, clause)
+            item_type = infer_type(item, resolver)
+            if (
+                subject.family is not None
+                and item_type.family is not None
+                and subject.family != item_type.family
+            ):
+                report.add(
+                    "E201",
+                    Severity.ERROR,
+                    f"cannot compare {subject.value} with {item_type.value} "
+                    f"in IN list for {_describe(expr.expr)}",
+                    clause=clause,
+                    node=expr,
+                )
+        return
+    if isinstance(expr, Like):
+        _check_expr(expr.expr, resolver, report, clause)
+        _check_expr(expr.pattern, resolver, report, clause)
+        for side in (expr.expr, expr.pattern):
+            side_type = infer_type(side, resolver)
+            if side_type.family == "number":
+                report.add(
+                    "W206",
+                    Severity.WARNING,
+                    f"LIKE over {side_type.value} operand {_describe(side)}",
+                    clause=clause,
+                    node=expr,
+                )
+        return
+    if isinstance(expr, IsNull):
+        _check_expr(expr.expr, resolver, report, clause)
+        return
+    # Literal / ColumnRef / Star / subquery-bearing leaves: nothing to check
+
+
+def _describe(expr: Expr) -> str:
+    """A short human-readable rendering of an expression for messages."""
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.column}" if expr.table else expr.column
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, FuncCall):
+        return f"{expr.name}(...)"
+    return type(expr).__name__.lower()

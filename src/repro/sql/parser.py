@@ -89,7 +89,7 @@ class _Parser:
         if not self.accept_keyword(word):
             raise ParseError(
                 f"expected keyword {word.upper()!r}, found {self.current.value!r}",
-                self._pos,
+                self.current.position,
             )
 
     def accept_punct(self, char: str) -> bool:
@@ -101,7 +101,8 @@ class _Parser:
     def expect_punct(self, char: str) -> None:
         if not self.accept_punct(char):
             raise ParseError(
-                f"expected {char!r}, found {self.current.value!r}", self._pos
+                f"expected {char!r}, found {self.current.value!r}",
+                self.current.position,
             )
 
     def accept_operator(self, *ops: str) -> str | None:
@@ -112,7 +113,8 @@ class _Parser:
     def expect_eof(self) -> None:
         if self.current.type is not TokenType.EOF:
             raise ParseError(
-                f"unexpected trailing input {self.current.value!r}", self._pos
+                f"unexpected trailing input {self.current.value!r}",
+                self.current.position,
             )
 
     def _peek_is_select(self) -> bool:
@@ -139,7 +141,10 @@ class _Parser:
             self.expect_punct(")")
             if isinstance(inner, Select):
                 return inner
-            raise ParseError("set operations may not be parenthesized operands")
+            raise ParseError(
+                "set operations may not be parenthesized operands",
+                self.current.position,
+            )
         self.expect_keyword("select")
         distinct = bool(self.accept_keyword("distinct"))
         if self.accept_keyword("all"):
@@ -177,12 +182,16 @@ class _Parser:
         if self.accept_keyword("limit"):
             token = self.current
             if token.type is not TokenType.NUMBER:
-                raise ParseError("LIMIT requires an integer literal", self._pos)
+                raise ParseError(
+                    "LIMIT requires an integer literal", token.position
+                )
             self.advance()
             try:
                 limit = int(token.value)
             except ValueError:
-                raise ParseError("LIMIT requires an integer literal", self._pos)
+                raise ParseError(
+                    "LIMIT requires an integer literal", token.position
+                )
 
         return Select(
             items=tuple(items),
@@ -248,7 +257,9 @@ class _Parser:
         token = self.current
         if token.type is TokenType.IDENTIFIER:
             return self.advance().value
-        raise ParseError(f"expected a name, found {token.value!r}", self._pos)
+        raise ParseError(
+            f"expected a name, found {token.value!r}", token.position
+        )
 
     # ------------------------------------------------------------------
     # expression level (precedence climbing)
@@ -308,7 +319,9 @@ class _Parser:
             self.expect_keyword("null")
             return IsNull(expr=left, negated=is_negated)
         if negated:
-            raise ParseError("dangling NOT in predicate", self._pos)
+            raise ParseError(
+                "dangling NOT in predicate", self.current.position
+            )
         return left
 
     def _parse_in(self, left: Expr, negated: bool) -> Expr:
@@ -385,7 +398,9 @@ class _Parser:
             return expr
         if token.type is TokenType.IDENTIFIER:
             return self._parse_identifier()
-        raise ParseError(f"unexpected token {token.value!r}", self._pos)
+        raise ParseError(
+            f"unexpected token {token.value!r}", token.position
+        )
 
     def _parse_function(self, name: str) -> Expr:
         self.expect_punct("(")

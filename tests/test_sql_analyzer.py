@@ -92,6 +92,54 @@ class TestValidation:
         assert is_valid(parse_sql(sql), shop_schema)
 
 
+class TestEdgeCases:
+    """Edge cases pinning the wrapper's parity with the lint engine."""
+
+    def test_ambiguous_column_inside_subquery_scope(self, shop_schema):
+        # the subquery joins both tables, so its unqualified 'id' is
+        # ambiguous even though the outer scope has only 'products'
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            check(
+                shop_schema,
+                "SELECT name FROM products WHERE id IN "
+                "(SELECT id FROM sales JOIN products ON "
+                "sales.product_id = products.id)",
+            )
+
+    def test_unqualified_column_unique_across_join(self, shop_schema):
+        # 'quarter' exists only in sales — unambiguous despite the join
+        assert is_valid(
+            parse_sql(
+                "SELECT quarter FROM products JOIN sales ON "
+                "sales.product_id = products.id"
+            ),
+            shop_schema,
+        )
+
+    def test_nested_aggregate_accepted_by_analyzer(self, shop_schema):
+        # the legacy analyzer never rejected nested aggregates; the
+        # wrapper must preserve that (the linter flags it as E309)
+        analysis = check(shop_schema, "SELECT SUM(MAX(price)) FROM products")
+        assert ("products", "price") in analysis.columns
+
+        from repro.sql.lint import lint_sql
+
+        report = lint_sql("SELECT SUM(MAX(price)) FROM products", shop_schema)
+        assert "E309" in report.codes()
+
+    def test_wrapper_reports_first_error_only(self, shop_schema):
+        # multiple problems: analyze() raises on the *first* in traversal
+        # order, exactly as the pre-lint analyzer did
+        with pytest.raises(AnalysisError, match="alpha"):
+            check(shop_schema, "SELECT alpha, beta FROM products")
+
+    def test_analysis_class_is_shared_with_engine(self):
+        from repro.sql.analyzer import Analysis as WrapperAnalysis
+        from repro.sql.lint.engine import Analysis as EngineAnalysis
+
+        assert WrapperAnalysis is EngineAnalysis
+
+
 class TestLinkingGroundTruth:
     def test_tables_and_columns_collected(self, shop_schema):
         analysis = check(

@@ -229,6 +229,6 @@ class TestRegistries:
 
     def test_other_registries(self):
         assert len(dataset_registry()) == 38
-        assert len(metric_registry()) == 8
+        assert len(metric_registry()) == 9
         assert len(system_registry()) == 4
         assert len(functional_representations()) == 3
