@@ -9,24 +9,66 @@ convention.
 The survey's caveat — naive execution match is "prone to false positives"
 when different queries coincidentally return equal results on one database
 — is what :mod:`repro.metrics.test_suite` addresses.
+
+Evaluating N candidates against one gold used to parse and execute the gold
+N times; the gold result (or its failure) is now cached on the database
+object, invalidated by a row-count stamp, and predictions go through
+:func:`repro.sql.plan.compile_sql`, whose parse and plan caches amortize
+repeated candidates.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Union
 
 from repro.data.database import Database
 from repro.errors import SQLError
 from repro.sql.executor import Result, execute
 from repro.sql.parser import parse_sql
+from repro.sql.plan import compile_sql
+
+_GOLD_MISS = object()
+_GOLD_CACHE_MAX = 256
+
+
+def _gold_result_cached(
+    gold: str, db: Database, query=None
+) -> Union[Result, SQLError]:
+    """Execute-or-fetch the gold result on *db*; failures cache as the error.
+
+    The cache lives on the database object itself (so it dies with the
+    database) and carries a row-count stamp: content growth or shrinkage
+    invalidates it wholesale.  *query* optionally supplies an already
+    parsed AST to skip the parse.
+    """
+    stamp = db.row_count()
+    cache = getattr(db, "_gold_result_cache", None)
+    if cache is None or cache[0] != stamp:
+        cache = (stamp, OrderedDict())
+        db._gold_result_cache = cache
+    store: OrderedDict = cache[1]
+    result = store.get(gold, _GOLD_MISS)
+    if result is _GOLD_MISS:
+        try:
+            result = execute(query if query is not None else parse_sql(gold), db)
+        except SQLError as exc:
+            result = exc
+        store[gold] = result
+        if len(store) > _GOLD_CACHE_MAX:
+            store.popitem(last=False)
+    else:
+        store.move_to_end(gold)
+    return result
 
 
 def execution_match(predicted: str, gold: str, db: Database) -> bool:
     """Compare execution results of *predicted* and *gold* on *db*."""
-    try:
-        gold_result = execute(parse_sql(gold), db)
-    except SQLError:
+    gold_result = _gold_result_cached(gold, db)
+    if isinstance(gold_result, SQLError):
         return False
     try:
-        pred_result = execute(parse_sql(predicted), db)
+        pred_result = compile_sql(predicted, db.schema).run(db)
     except SQLError:
         return False
     return results_equal(pred_result, gold_result)

@@ -3,8 +3,10 @@
 This package implements the execution substrate every surveyed Text-to-SQL
 approach depends on: a lexer, a recursive-descent parser producing a typed
 AST, an unparser back to canonical SQL text, a schema-aware analyzer, an
-in-memory executor with SQL NULL semantics, a normalizer, and the
-Spider-style component decomposition used by the exact-set-match metric.
+in-memory execution engine with SQL NULL semantics (a compiling planner in
+:mod:`repro.sql.plan` plus the reference tree-walking interpreter it is
+differentially tested against), a normalizer, and the Spider-style
+component decomposition used by the exact-set-match metric.
 
 The supported dialect is the Spider SQL subset: ``SELECT`` (with ``DISTINCT``
 and arithmetic/aggregate expressions), ``FROM`` with inner/left joins,
@@ -37,7 +39,7 @@ from repro.sql.ast import (
     UnaryOp,
 )
 from repro.sql.components import classify_hardness, decompose
-from repro.sql.executor import execute
+from repro.sql.executor import execute, execute_reference
 from repro.sql.lexer import Token, TokenType, tokenize
 from repro.sql.lint import (
     Diagnostic,
@@ -50,12 +52,21 @@ from repro.sql.lint import (
 )
 from repro.sql.normalize import normalize_sql
 from repro.sql.parser import parse_sql
+from repro.sql.plan import (
+    CompiledPlan,
+    clear_plan_caches,
+    compile_query,
+    compile_sql,
+    plan_cache_stats,
+    plan_for,
+)
 from repro.sql.unparser import to_sql
 
 __all__ = [
     "Between",
     "BinaryOp",
     "ColumnRef",
+    "CompiledPlan",
     "Diagnostic",
     "Exists",
     "FuncCall",
@@ -81,12 +92,18 @@ __all__ = [
     "UnaryOp",
     "build_lineage",
     "classify_hardness",
+    "clear_plan_caches",
+    "compile_query",
+    "compile_sql",
     "decompose",
     "execute",
+    "execute_reference",
     "lint_query",
     "lint_sql",
     "normalize_sql",
     "parse_sql",
+    "plan_cache_stats",
+    "plan_for",
     "to_sql",
     "tokenize",
 ]

@@ -13,14 +13,19 @@ query AST and an in-memory :class:`~repro.data.database.Database`, produce a
 - ``UNION``/``INTERSECT``/``EXCEPT`` are distinct; ``UNION ALL`` keeps bags;
 - ascending sorts place NULLs first; ``LIKE`` is case-insensitive.
 
-Joins are nested-loop, subqueries re-evaluate per outer row when correlated.
-This engine exists so execution-based metrics and execution-guided decoding
-have a deterministic, dependency-free substrate.
+Two engines share these semantics.  :func:`execute` routes through the
+compiled physical-operator plans of :mod:`repro.sql.plan` (hash joins, slot
+resolution, subquery hoisting, plan caching); :func:`execute_reference` is
+the original tree-walking interpreter — nested-loop joins, per-row dict
+scopes, correlated subqueries re-evaluated per outer row — kept as the
+differential-testing oracle the compiled engine is checked against.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.data.database import Database, Table
 from repro.data.values import Value, compare_values, sort_key
@@ -49,7 +54,9 @@ from repro.sql.ast import (
     TableRef,
     UnaryOp,
     has_aggregate,
+    walk,
 )
+from repro.sql.unparser import to_sql
 
 
 @dataclass
@@ -122,8 +129,31 @@ class _Scope:
         return pairs
 
 
+_plan_module = None
+
+
 def execute(query: Query, db: Database) -> Result:
-    """Execute *query* against *db* and return its :class:`Result`."""
+    """Execute *query* against *db* and return its :class:`Result`.
+
+    Routes through the compiled physical-operator engine
+    (:mod:`repro.sql.plan`), which caches one plan per (query AST, schema)
+    pair.  Semantics are identical to :func:`execute_reference`; the
+    differential tests in ``tests/test_sql_plan.py`` enforce this.
+    """
+    global _plan_module
+    if _plan_module is None:  # lazy: plan imports this module
+        from repro.sql import plan as _plan
+
+        _plan_module = _plan
+    return _plan_module.plan_for(query, db.schema).run(db)
+
+
+def execute_reference(query: Query, db: Database) -> Result:
+    """Execute *query* with the reference tree-walking interpreter.
+
+    This is the original engine, kept verbatim as the differential-testing
+    oracle for the compiled plans.
+    """
     return _execute_query(query, db, outer=None)
 
 
@@ -211,13 +241,10 @@ def _eval_from_rows(
             matched = True
             joined.append(combined)
         if clause.kind == "left" and not matched:
-            null_right = {
-                binding: {column: None for column in row}
-                for binding, row in (right_rows[0].items() if right_rows else ())
-            }
-            if not null_right:
-                null_right = _null_binding(clause.right, db)
-            joined.append({**left, **null_right})
+            # null-pad from the schema, not from a sample row: the right
+            # side may be empty, and a row-derived pad would drift if rows
+            # ever carried a column subset
+            joined.append({**left, **_null_binding(clause.right, db)})
     return joined
 
 
@@ -245,11 +272,12 @@ def _execute_plain(
     columns = _output_columns(select, scopes)
     projected: list[tuple[Value, ...]] = []
     keyed: list[tuple[list[Value], tuple[Value, ...]]] = []
+    needs_alias_env = _order_by_may_use_alias(select)
 
     for scope in scopes:
         row = _project_row(select.items, scope, db)
         if select.order_by:
-            alias_env = _alias_env(select.items, row)
+            alias_env = _alias_env(select.items, row) if needs_alias_env else None
             keys = [
                 _eval(item.expr, scope, db, None, alias_env)
                 for item in select.order_by
@@ -281,9 +309,24 @@ def _project_row(
     return tuple(values)
 
 
-def _output_columns(select: Select, scopes: list[_Scope]) -> list[str]:
-    from repro.sql.unparser import to_sql
+def _order_by_may_use_alias(select: Select) -> bool:
+    """Whether any ORDER BY key could resolve through the alias environment.
 
+    Alias resolution only ever fires on a :class:`ColumnRef` (directly or as
+    the fallback after a failed scope lookup), and only when some select item
+    actually carries an alias — so when either condition is statically false
+    the per-row ``alias_env`` rebuild is dead work.
+    """
+    if not any(item.alias for item in select.items):
+        return False
+    return any(
+        isinstance(node, ColumnRef)
+        for item in select.order_by
+        for node in walk(item.expr)
+    )
+
+
+def _output_columns(select: Select, scopes: list[_Scope]) -> list[str]:
     names: list[str] = []
     for item in select.items:
         if isinstance(item.expr, Star):
@@ -352,8 +395,6 @@ def _execute_aggregated(
 
 
 def _aggregate_columns(select: Select) -> list[str]:
-    from repro.sql.unparser import to_sql
-
     names = []
     for item in select.items:
         names.append(item.alias if item.alias else to_sql(item.expr).lower())
@@ -647,10 +688,13 @@ def _distinct_values(values: list[Value]) -> list[Value]:
     return out
 
 
-def _like_match(text: str, pattern: str) -> bool:
-    """SQL LIKE with ``%`` and ``_`` wildcards, case-insensitive."""
-    import re
+@lru_cache(maxsize=1024)
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) once per pattern.
 
+    Shared by both engines: patterns recur across rows (and across metric
+    calls), so translating and compiling per row is pure overhead.
+    """
     regex = []
     for ch in pattern:
         if ch == "%":
@@ -659,4 +703,9 @@ def _like_match(text: str, pattern: str) -> bool:
             regex.append(".")
         else:
             regex.append(re.escape(ch))
-    return re.fullmatch("".join(regex), text, flags=re.IGNORECASE) is not None
+    return re.compile("".join(regex), flags=re.IGNORECASE)
+
+
+def _like_match(text: str, pattern: str) -> bool:
+    """SQL LIKE with ``%`` and ``_`` wildcards, case-insensitive."""
+    return _like_regex(pattern).fullmatch(text) is not None

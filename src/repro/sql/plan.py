@@ -1,0 +1,1380 @@
+"""Compiled query plans: the physical-operator execution engine.
+
+:func:`compile_query` lowers a parsed :class:`~repro.sql.ast.Select` /
+:class:`~repro.sql.ast.SetOperation` AST *once* into a tree of closures over
+flat row tuples — the physical plan — which :meth:`CompiledPlan.run` then
+executes against any database sharing the schema the plan was compiled for:
+
+- **table scan** — base tables are already lists of aligned tuples, so a
+  scan is the row list itself (zero copies), with safe single-table WHERE
+  conjuncts pushed down into the scan;
+- **slot resolution** — every column reference is resolved at compile time
+  to ``(depth, slot)`` candidates into the chain of flat row tuples,
+  replacing the interpreter's per-row ``{binding: {column: value}}`` dict
+  scopes and string lookups;
+- **hash equi-join** — join conditions whose conjuncts are statically
+  error-free and split into ``left = right`` keys build a hash table over
+  the right side (NULL keys never match, mirroring three-valued logic) and
+  probe it in left-row order; everything else falls back to the
+  interpreter-faithful nested loop;
+- **hash aggregation** — GROUP BY keys to first-seen-order dict buckets of
+  member row tuples;
+- **subquery hoisting** — a subquery whose compiled expressions never
+  escape its own scope boundary executes once per query execution;
+  correlated subqueries are memoized per outer row chain.
+
+Parity with :func:`repro.sql.executor.execute_reference` is exact and
+enforced by differential tests: same results, same ``ordered`` flags, same
+error types *and messages*, including deferred runtime errors (an unknown
+column in a subquery only raises when the subquery actually runs).  The
+compiler therefore never raises while building a plan — unresolvable
+references, missing tables, and type errors all compile into closures that
+raise at the moment the interpreter would.
+
+On top, :func:`plan_for` keeps a bounded plan cache keyed by (query AST,
+schema identity) and :func:`compile_sql` adds a parse cache, so the metric
+hot path (N candidates evaluated against one gold over many database
+variants) parses and plans each distinct query exactly once.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from functools import lru_cache
+from itertools import count
+from operator import itemgetter
+from typing import Any, Callable
+
+from repro.data.database import Database
+from repro.data.schema import Schema
+from repro.data.values import Value, compare_values, sort_key
+from repro.errors import AnalysisError, ExecutionError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    Query,
+    ScalarSubquery,
+    Select,
+    SetOperation,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.executor import (
+    Result,
+    _bool3,
+    _distinct,
+    _distinct_values,
+    _eval_in,
+    _like_match,
+    _select_uses_aggregates,
+    _sort_rows,
+    _truthy,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.unparser import to_sql
+
+__all__ = [
+    "CompiledPlan",
+    "compile_query",
+    "compile_sql",
+    "plan_for",
+    "plan_cache_stats",
+    "clear_plan_caches",
+]
+
+#: Compiled expression: ``fn(state, rows, group, proj) -> Value`` where
+#: ``rows`` is the chain of flat row tuples (innermost frame first; an entry
+#: is ``None`` for the empty-group representative), ``group`` is the list of
+#: member row tuples of the current aggregation group (``None`` outside an
+#: aggregated context), and ``proj`` is the already-projected output row
+#: (ORDER BY alias resolution only).
+_ExprFn = Callable[..., Value]
+
+_MISSING = object()
+_NO_FROM_ROWS: list[tuple[Value, ...]] = [()]
+
+_CMP_TESTS = {
+    "=": lambda c: c == 0,
+    "<>": lambda c: c != 0,
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+_COMPARISONS = frozenset(_CMP_TESTS)
+
+
+# ----------------------------------------------------------------------
+# compile-time scaffolding
+# ----------------------------------------------------------------------
+class _Frame:
+    """Compile-time layout of one SELECT scope's flat row tuple.
+
+    ``bindings`` maps a visible binding name to ``{column -> slot}`` into
+    the frame's row tuple; ``order`` preserves first-seen binding order for
+    star expansion (a re-used binding name keeps its original position but
+    points at the newer table's slots, mirroring ``{**left, **right}``).
+    """
+
+    __slots__ = ("order", "bindings", "width")
+
+    def __init__(self) -> None:
+        self.order: list[str] = []
+        self.bindings: dict[str, dict[str, int]] = {}
+        self.width = 0
+
+    def extended(self, binding: str, columns: list[str]) -> "_Frame":
+        frame = _Frame()
+        frame.order = list(self.order)
+        frame.bindings = dict(self.bindings)
+        frame.width = self.width
+        slots = {col: frame.width + i for i, col in enumerate(columns)}
+        if binding not in frame.bindings:
+            frame.order.append(binding)
+        frame.bindings[binding] = slots
+        frame.width += len(columns)
+        return frame
+
+
+class _Ctx:
+    """Per-compilation state: schema, subquery boundaries, plan metadata."""
+
+    __slots__ = ("schema", "boundaries", "meta", "sids")
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.boundaries: list[dict[str, Any]] = []
+        self.sids = count()
+        self.meta: dict[str, int] = {
+            "table_scans": 0,
+            "hash_joins": 0,
+            "nested_loop_joins": 0,
+            "pushed_filters": 0,
+            "hoisted_subqueries": 0,
+            "correlated_subqueries": 0,
+        }
+
+
+class _ExecState:
+    """Per-execution state: the database plus the subquery memo."""
+
+    __slots__ = ("db", "memo")
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.memo: dict[Any, Any] = {}
+
+
+def _resolve(
+    chain: list[_Frame], ctx: _Ctx, table: str | None, column: str
+) -> list[tuple[int, int]]:
+    """Candidate ``(depth, slot)`` pairs for a column reference.
+
+    One candidate per chain depth where the reference would resolve; slot
+    ``-1`` marks depth-level ambiguity.  At runtime candidates are tried in
+    order, skipping depths whose row is ``None`` (the empty-group
+    representative), which reproduces the interpreter's scope walk through
+    its empty ``_Scope``.
+    """
+    column_l = column.lower()
+    table_l = table.lower() if table is not None else None
+    cands: list[tuple[int, int]] = []
+    for depth, frame in enumerate(chain):
+        if table_l is not None:
+            slots = frame.bindings.get(table_l)
+            if slots is not None and column_l in slots:
+                cands.append((depth, slots[column_l]))
+        else:
+            hits = [s[column_l] for s in frame.bindings.values() if column_l in s]
+            if len(hits) == 1:
+                cands.append((depth, hits[0]))
+            elif len(hits) > 1:
+                cands.append((depth, -1))
+    if cands and ctx.boundaries:
+        length = len(chain)
+        for depth, _slot in cands:
+            for boundary in ctx.boundaries:
+                if length - depth <= boundary["size"]:
+                    boundary["escaped"] = True
+    return cands
+
+
+def _analyze_safe(
+    expr: Expr, chain: list[_Frame], ctx: _Ctx, slots: set[int]
+) -> bool:
+    """Whether *expr* is statically error-free over depth-0 columns only.
+
+    Accumulates the depth-0 slots it reads into *slots*.  Used to gate hash
+    joins and filter pushdown: a safe expression can be re-ordered or
+    evaluated on fewer rows without hiding a data-dependent error the
+    interpreter would have raised.
+    """
+    if isinstance(expr, Literal):
+        return True
+    if isinstance(expr, ColumnRef):
+        cands = _resolve(chain, ctx, expr.table, expr.column)
+        if len(cands) == 1 and cands[0][0] == 0 and cands[0][1] >= 0:
+            slots.add(cands[0][1])
+            return True
+        return False
+    if isinstance(expr, BinaryOp):
+        if expr.op in _COMPARISONS or expr.op in ("and", "or"):
+            return _analyze_safe(expr.left, chain, ctx, slots) and _analyze_safe(
+                expr.right, chain, ctx, slots
+            )
+        return False  # arithmetic can raise on non-numeric values
+    if isinstance(expr, UnaryOp):
+        return expr.op == "not" and _analyze_safe(expr.operand, chain, ctx, slots)
+    if isinstance(expr, Between):
+        return (
+            _analyze_safe(expr.expr, chain, ctx, slots)
+            and _analyze_safe(expr.low, chain, ctx, slots)
+            and _analyze_safe(expr.high, chain, ctx, slots)
+        )
+    if isinstance(expr, InList):
+        return _analyze_safe(expr.expr, chain, ctx, slots) and all(
+            _analyze_safe(item, chain, ctx, slots) for item in expr.items
+        )
+    if isinstance(expr, Like):
+        return _analyze_safe(expr.expr, chain, ctx, slots) and _analyze_safe(
+            expr.pattern, chain, ctx, slots
+        )
+    if isinstance(expr, IsNull):
+        return _analyze_safe(expr.expr, chain, ctx, slots)
+    return False
+
+
+def _split_conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _side(slots: set[int], left_width: int) -> str:
+    if not slots:
+        return "none"
+    if all(s < left_width for s in slots):
+        return "left"
+    if all(s >= left_width for s in slots):
+        return "right"
+    return "mixed"
+
+
+def _chain_key(rows: tuple) -> tuple:
+    """Memo key for a row chain; type-tagged so ``1``/``1.0``/``True`` —
+    equal and hash-equal in Python but distinguishable by SQL functions —
+    never share a correlated-subquery memo entry."""
+    return tuple(
+        None if row is None else tuple((v.__class__, v) for v in row)
+        for row in rows
+    )
+
+
+class _SubPlan:
+    """A compiled subquery with hoisting/memoization.
+
+    Uncorrelated subqueries (no compiled reference escapes their scope
+    boundary) are keyed by plan-unique ``sid`` alone: one execution per
+    query execution.  Correlated ones add the outer row chain to the key,
+    collapsing repeated outer values to a single child execution.
+    """
+
+    __slots__ = ("sid", "correlated", "runner", "transform")
+
+    def __init__(self, sid, correlated, runner, transform) -> None:
+        self.sid = sid
+        self.correlated = correlated
+        self.runner = runner
+        self.transform = transform
+
+    def fetch(self, state: _ExecState, rows: tuple):
+        key = (self.sid, _chain_key(rows)) if self.correlated else self.sid
+        memo = state.memo
+        value = memo.get(key, _MISSING)
+        if value is _MISSING:
+            value = self.transform(self.runner(state, rows))
+            memo[key] = value
+        return value
+
+
+def _as_in_set(result: Result) -> tuple[set, bool]:
+    values: set = set()
+    saw_null = False
+    for row in result.rows:
+        v = row[0] if row else None
+        if v is None:
+            saw_null = True
+        else:
+            values.add(v)
+    return values, saw_null
+
+
+def _as_exists(result: Result) -> bool:
+    return bool(result.rows)
+
+
+def _as_scalar(result: Result) -> Value:
+    return result.rows[0][0] if result.rows and result.rows[0] else None
+
+
+# ----------------------------------------------------------------------
+# expression compiler
+# ----------------------------------------------------------------------
+def _compile_expr(
+    expr: Expr,
+    chain: list[_Frame],
+    ctx: _Ctx,
+    aliases: dict[str, int] | None = None,
+) -> _ExprFn:
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda state, rows, group, proj: value
+    if isinstance(expr, ColumnRef):
+        return _compile_colref(expr, chain, ctx, aliases)
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            return _compile_aggregate(expr, chain, ctx)
+        return _compile_scalar_func(expr, chain, ctx)
+    if isinstance(expr, BinaryOp):
+        return _compile_binary(expr, chain, ctx, aliases)
+    if isinstance(expr, UnaryOp):
+        operand_fn = _compile_expr(expr.operand, chain, ctx, aliases)
+        if expr.op == "not":
+
+            def not_fn(state, rows, group, proj):
+                inner = operand_fn(state, rows, group, proj)
+                if inner is None:
+                    return None
+                return not _truthy(inner)
+
+            return not_fn
+
+        def neg_fn(state, rows, group, proj):
+            operand = operand_fn(state, rows, group, proj)
+            if operand is None:
+                return None
+            if not isinstance(operand, (int, float)):
+                raise ExecutionError(f"cannot negate non-numeric value {operand!r}")
+            return -operand
+
+        return neg_fn
+    if isinstance(expr, Between):
+        value_fn = _compile_expr(expr.expr, chain, ctx, aliases)
+        low_fn = _compile_expr(expr.low, chain, ctx, aliases)
+        high_fn = _compile_expr(expr.high, chain, ctx, aliases)
+        negated = expr.negated
+
+        def between_fn(state, rows, group, proj):
+            value = value_fn(state, rows, group, proj)
+            low = low_fn(state, rows, group, proj)
+            high = high_fn(state, rows, group, proj)
+            cmp_low = compare_values(value, low)
+            cmp_high = compare_values(value, high)
+            if cmp_low is None or cmp_high is None:
+                return None
+            result = cmp_low >= 0 and cmp_high <= 0
+            return (not result) if negated else result
+
+        return between_fn
+    if isinstance(expr, InList):
+        value_fn = _compile_expr(expr.expr, chain, ctx, aliases)
+        item_fns = [_compile_expr(item, chain, ctx, aliases) for item in expr.items]
+        negated = expr.negated
+
+        def in_list_fn(state, rows, group, proj):
+            return _eval_in(
+                value_fn(state, rows, group, proj),
+                [fn(state, rows, group, proj) for fn in item_fns],
+                negated,
+            )
+
+        return in_list_fn
+    if isinstance(expr, InSubquery):
+        value_fn = _compile_expr(expr.expr, chain, ctx, aliases)
+        sub = _compile_subplan(expr.query, chain, ctx, _as_in_set)
+        negated = expr.negated
+
+        def in_sub_fn(state, rows, group, proj):
+            value = value_fn(state, rows, group, proj)
+            values, saw_null = sub.fetch(state, rows)
+            if value is None:
+                return None
+            if value in values:
+                return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return in_sub_fn
+    if isinstance(expr, Like):
+        value_fn = _compile_expr(expr.expr, chain, ctx, aliases)
+        pattern_fn = _compile_expr(expr.pattern, chain, ctx, aliases)
+        negated = expr.negated
+
+        def like_fn(state, rows, group, proj):
+            value = value_fn(state, rows, group, proj)
+            pattern = pattern_fn(state, rows, group, proj)
+            if value is None or pattern is None:
+                return None
+            result = _like_match(str(value), str(pattern))
+            return (not result) if negated else result
+
+        return like_fn
+    if isinstance(expr, IsNull):
+        value_fn = _compile_expr(expr.expr, chain, ctx, aliases)
+        negated = expr.negated
+
+        def is_null_fn(state, rows, group, proj):
+            result = value_fn(state, rows, group, proj) is None
+            return (not result) if negated else result
+
+        return is_null_fn
+    if isinstance(expr, Exists):
+        sub = _compile_subplan(expr.query, chain, ctx, _as_exists)
+        negated = expr.negated
+
+        def exists_fn(state, rows, group, proj):
+            result = sub.fetch(state, rows)
+            return (not result) if negated else result
+
+        return exists_fn
+    if isinstance(expr, ScalarSubquery):
+        sub = _compile_subplan(expr.query, chain, ctx, _as_scalar)
+        return lambda state, rows, group, proj: sub.fetch(state, rows)
+    if isinstance(expr, Star):
+
+        def star_fn(state, rows, group, proj):
+            raise ExecutionError("'*' is only valid in projections and COUNT(*)")
+
+        return star_fn
+    message = f"cannot evaluate expression {expr!r}"
+
+    def unknown_fn(state, rows, group, proj):  # pragma: no cover - defensive
+        raise ExecutionError(message)
+
+    return unknown_fn
+
+
+def _compile_colref(
+    expr: ColumnRef, chain: list[_Frame], ctx: _Ctx, aliases: dict[str, int] | None
+) -> _ExprFn:
+    column_l = expr.column.lower()
+    if aliases and expr.table is None and column_l in aliases:
+        index = aliases[column_l]
+        return lambda state, rows, group, proj: proj[index]
+    cands = _resolve(chain, ctx, expr.table, expr.column)
+    qualified = f"{expr.table}.{column_l}" if expr.table else column_l
+    unknown = f"unknown column reference {qualified!r}"
+    ambiguous = f"ambiguous column reference {column_l!r}"
+    fallback = aliases.get(column_l) if aliases else None
+
+    if fallback is None and len(cands) == 1 and cands[0][1] >= 0:
+        depth, slot = cands[0]
+
+        def fast_fn(state, rows, group, proj):
+            row = rows[depth]
+            if row is None:
+                raise ExecutionError(unknown)
+            return row[slot]
+
+        return fast_fn
+
+    def lookup_fn(state, rows, group, proj):
+        for depth, slot in cands:
+            row = rows[depth]
+            if row is None:
+                continue
+            if slot < 0:
+                if fallback is not None:
+                    return proj[fallback]
+                raise ExecutionError(ambiguous)
+            return row[slot]
+        if fallback is not None:
+            return proj[fallback]
+        raise ExecutionError(unknown)
+
+    return lookup_fn
+
+
+def _compile_binary(
+    expr: BinaryOp, chain: list[_Frame], ctx: _Ctx, aliases: dict[str, int] | None
+) -> _ExprFn:
+    op = expr.op
+    left_fn = _compile_expr(expr.left, chain, ctx, aliases)
+    right_fn = _compile_expr(expr.right, chain, ctx, aliases)
+    if op in ("and", "or"):
+        # both sides always evaluate — no short-circuit — so data-dependent
+        # errors surface exactly as in the reference interpreter
+        def bool_fn(state, rows, group, proj):
+            left = left_fn(state, rows, group, proj)
+            right = right_fn(state, rows, group, proj)
+            return _bool3(op, left, right)
+
+        return bool_fn
+    if op in _COMPARISONS:
+        test = _CMP_TESTS[op]
+
+        def cmp_fn(state, rows, group, proj):
+            cmp = compare_values(
+                left_fn(state, rows, group, proj),
+                right_fn(state, rows, group, proj),
+            )
+            if cmp is None:
+                return None
+            return test(cmp)
+
+        return cmp_fn
+
+    def arith_fn(state, rows, group, proj):
+        left = left_fn(state, rows, group, proj)
+        right = right_fn(state, rows, group, proj)
+        if left is None or right is None:
+            return None
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            if op == "+" and isinstance(left, str) and isinstance(right, str):
+                return left + right
+            raise ExecutionError(
+                f"arithmetic {op!r} on non-numeric values {left!r}, {right!r}"
+            )
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None
+            return left / right
+        if op == "%":
+            if right == 0:
+                return None
+            return left % right
+        raise ExecutionError(f"unknown operator {op!r}")  # pragma: no cover
+
+    return arith_fn
+
+
+def _compile_scalar_func(expr: FuncCall, chain: list[_Frame], ctx: _Ctx) -> _ExprFn:
+    # scalar function arguments never see the alias environment, matching
+    # the interpreter's _eval_function; the group does pass through so
+    # e.g. ABS(SUM(x)) works inside aggregated selects
+    arg_fns = [_compile_expr(arg, chain, ctx, None) for arg in expr.args]
+    name = expr.name.lower()
+    nargs = len(arg_fns)
+    if name == "abs" and nargs == 1:
+        arg_fn = arg_fns[0]
+
+        def abs_fn(state, rows, group, proj):
+            value = arg_fn(state, rows, group, proj)
+            return None if value is None else abs(value)
+
+        return abs_fn
+    if name in ("upper", "lower") and nargs == 1:
+        arg_fn = arg_fns[0]
+        upper = name == "upper"
+
+        def case_fn(state, rows, group, proj):
+            value = arg_fn(state, rows, group, proj)
+            if value is None:
+                return None
+            text = str(value)
+            return text.upper() if upper else text.lower()
+
+        return case_fn
+    if name == "length" and nargs == 1:
+        arg_fn = arg_fns[0]
+
+        def length_fn(state, rows, group, proj):
+            value = arg_fn(state, rows, group, proj)
+            return None if value is None else len(str(value))
+
+        return length_fn
+    if name == "round":
+
+        def round_fn(state, rows, group, proj):
+            args = [fn(state, rows, group, proj) for fn in arg_fns]
+            if not args or args[0] is None:
+                return None
+            digits = int(args[1]) if len(args) > 1 and args[1] is not None else 0
+            return round(float(args[0]), digits)
+
+        return round_fn
+    message = f"unknown function {expr.name!r}"
+
+    def unknown_fn(state, rows, group, proj):
+        # arguments still evaluate first, exactly like the interpreter
+        for fn in arg_fns:
+            fn(state, rows, group, proj)
+        raise ExecutionError(message)
+
+    return unknown_fn
+
+
+def _compile_aggregate(expr: FuncCall, chain: list[_Frame], ctx: _Ctx) -> _ExprFn:
+    name = expr.name.lower()
+    outside = f"aggregate {name.upper()} used outside an aggregated context"
+    if name == "count" and (not expr.args or isinstance(expr.args[0], Star)):
+
+        def count_star_fn(state, rows, group, proj):
+            if group is None:
+                raise ExecutionError(outside)
+            return len(group)
+
+        return count_star_fn
+    if not expr.args:
+        required = f"aggregate {name.upper()} requires an argument"
+
+        def no_arg_fn(state, rows, group, proj):
+            if group is None:
+                raise ExecutionError(outside)
+            raise ExecutionError(required)
+
+        return no_arg_fn
+    arg_fn = _compile_expr(expr.args[0], chain, ctx, None)
+    distinct = expr.distinct
+    non_numeric = f"aggregate {name.upper()} over non-numeric values"
+
+    def aggregate_fn(state, rows, group, proj):
+        if group is None:
+            raise ExecutionError(outside)
+        outer = rows[1:]
+        values = []
+        for member in group:
+            value = arg_fn(state, (member,) + outer, None, None)
+            if value is not None:
+                values.append(value)
+        if distinct:
+            values = _distinct_values(values)
+        if name == "count":
+            return len(values)
+        if not values:
+            return None
+        if name == "min":
+            return min(values, key=sort_key)
+        if name == "max":
+            return max(values, key=sort_key)
+        numbers = [float(v) if isinstance(v, bool) else v for v in values]
+        if not all(isinstance(v, (int, float)) for v in numbers):
+            raise ExecutionError(non_numeric)
+        total = sum(numbers)
+        if name == "sum":
+            return total
+        return total / len(numbers)  # avg; parser admits no other aggregate
+
+    return aggregate_fn
+
+
+def _compile_subplan(query: Query, chain: list[_Frame], ctx: _Ctx, transform):
+    boundary = {"size": len(chain), "escaped": False}
+    ctx.boundaries.append(boundary)
+    runner = _compile_query_runner(query, chain, ctx)
+    ctx.boundaries.pop()
+    correlated = boundary["escaped"]
+    if correlated:
+        ctx.meta["correlated_subqueries"] += 1
+    else:
+        ctx.meta["hoisted_subqueries"] += 1
+    return _SubPlan(next(ctx.sids), correlated, runner, transform)
+
+
+# ----------------------------------------------------------------------
+# FROM clause: scans and joins
+# ----------------------------------------------------------------------
+def _linearize(clause) -> tuple[TableRef, list[Join]]:
+    joins: list[Join] = []
+    while isinstance(clause, Join):
+        joins.append(clause)
+        clause = clause.left
+    joins.reverse()
+    return clause, joins
+
+
+def _make_scan(name: str, filters):
+    if not filters:
+        def scan(state):
+            return state.db.table(name).rows
+
+        return scan
+
+    def filtered_scan(state):
+        rows = state.db.table(name).rows
+        for fn in filters:
+            rows = [row for row in rows if _truthy(fn(state, (row,), None, None))]
+        return rows
+
+    return filtered_scan
+
+
+def _make_missing_scan(name: str):
+    def scan(state):
+        state.db.table(name)  # raises the database's own AnalysisError
+        raise AnalysisError(  # pragma: no cover - schema/db mismatch only
+            f"database {state.db.db_id!r} has no table {name!r}"
+        )
+
+    return scan
+
+
+def _make_nested_join(prev, right_scan, kind: str, cond_fn, right_width: int):
+    pad = (None,) * right_width
+    left_join = kind == "left"
+
+    def run(state, outer):
+        left_rows = prev(state, outer)
+        right_rows = right_scan(state)
+        out = []
+        if cond_fn is None:
+            for left in left_rows:
+                if right_rows:
+                    for right in right_rows:
+                        out.append(left + right)
+                elif left_join:
+                    out.append(left + pad)
+            return out
+        for left in left_rows:
+            matched = False
+            for right in right_rows:
+                combined = left + right
+                if _truthy(cond_fn(state, (combined,) + outer, None, None)):
+                    matched = True
+                    out.append(combined)
+            if left_join and not matched:
+                out.append(left + pad)
+        return out
+
+    return run
+
+
+def _make_hash_join(
+    prev, right_scan, kind: str, left_keys, right_keys, residuals, right_width: int
+):
+    pad = (None,) * right_width
+    left_join = kind == "left"
+    single_key = len(left_keys) == 1
+    lkey = left_keys[0] if single_key else None
+    rkey = right_keys[0] if single_key else None
+
+    def run(state, outer):
+        right_rows = right_scan(state)
+        buckets: dict = {}
+        for right in right_rows:
+            chain = (right,) + outer
+            if single_key:
+                key = rkey(state, chain, None, None)
+                if key is None:
+                    continue
+            else:
+                key = tuple(fn(state, chain, None, None) for fn in right_keys)
+                if any(v is None for v in key):
+                    continue
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [right]
+            else:
+                bucket.append(right)
+        out = []
+        for left in prev(state, outer):
+            chain = (left,) + outer
+            matched = False
+            if single_key:
+                key = lkey(state, chain, None, None)
+                bucket = buckets.get(key) if key is not None else None
+            else:
+                key = tuple(fn(state, chain, None, None) for fn in left_keys)
+                bucket = (
+                    buckets.get(key)
+                    if not any(v is None for v in key)
+                    else None
+                )
+            if bucket:
+                if residuals:
+                    for right in bucket:
+                        combined = left + right
+                        cchain = (combined,) + outer
+                        for fn in residuals:
+                            if not _truthy(fn(state, cchain, None, None)):
+                                break
+                        else:
+                            matched = True
+                            out.append(combined)
+                else:
+                    matched = True
+                    for right in bucket:
+                        out.append(left + right)
+            if left_join and not matched:
+                out.append(left + pad)
+        return out
+
+    return run
+
+
+def _compile_from(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
+    """Compile the FROM clause plus any pushed-down WHERE conjuncts.
+
+    Returns ``(frame, source, filter_fn)`` where ``source(state, outer)``
+    yields the list of flat joined row tuples and ``filter_fn`` is the
+    residual WHERE predicate (``None`` when fully pushed down or absent).
+    """
+    schema = ctx.schema
+    if select.from_ is None:
+        frame = _Frame()
+        filter_fn = _compile_where([], select.where, [frame] + outer_chain, ctx)
+        return frame, (lambda state, outer: _NO_FROM_ROWS), filter_fn
+
+    first, joins = _linearize(select.from_)
+    refs = [first] + [join.right for join in joins]
+    specs: list[tuple[TableRef, list[str] | None]] = []
+    for ref in refs:
+        if schema.has_table(ref.name):
+            cols = [c.name.lower() for c in schema.table(ref.name).columns]
+        else:
+            cols = None  # scan raises at run time, like the interpreter
+        specs.append((ref, cols))
+
+    frames: list[_Frame] = []
+    ranges: list[tuple[int, int]] = []  # (start, width) per table
+    frame = _Frame()
+    for ref, cols in specs:
+        start = frame.width
+        frame = frame.extended(ref.binding, cols or [])
+        frames.append(frame)
+        ranges.append((start, len(cols or ())))
+    frame = frames[-1]
+    complete = all(cols is not None for _, cols in specs)
+
+    # ---- WHERE pushdown: only when every conjunct is statically safe ----
+    where_chain = [frame] + outer_chain
+    pushed: list[list] = [[] for _ in specs]
+    residual_where: list[Expr] | None = None
+    if select.where is not None and complete and len(specs) > 1:
+        conjuncts = _split_conjuncts(select.where)
+        analyzed = []
+        all_safe = True
+        for conjunct in conjuncts:
+            slots: set[int] = set()
+            safe = _analyze_safe(conjunct, where_chain, ctx, slots)
+            analyzed.append((conjunct, slots))
+            all_safe = all_safe and safe
+        if all_safe:
+            # the first table and inner-join right sides are pushable; the
+            # right side of a LEFT join is not (pre-filtering it would turn
+            # matched rows into null-padded ones)
+            pushable = [True] + [join.kind != "left" for join in joins]
+            residual_where = []
+            for conjunct, slots in analyzed:
+                owner = None
+                if slots:
+                    for index, (start, width) in enumerate(ranges):
+                        if all(start <= s < start + width for s in slots):
+                            owner = index
+                            break
+                if owner is not None and pushable[owner]:
+                    ref, cols = specs[owner]
+                    local = _Frame().extended(ref.binding, cols or [])
+                    pushed[owner].append(_compile_expr(conjunct, [local], ctx, None))
+                    ctx.meta["pushed_filters"] += 1
+                else:
+                    residual_where.append(conjunct)
+
+    scans = []
+    for index, (ref, cols) in enumerate(specs):
+        if cols is None:
+            scans.append(_make_missing_scan(ref.name))
+        else:
+            scans.append(_make_scan(ref.name, pushed[index]))
+        ctx.meta["table_scans"] += 1
+
+    first_scan = scans[0]
+    source = lambda state, outer, _scan=first_scan: _scan(state)  # noqa: E731
+
+    for join_index, join in enumerate(joins):
+        index = join_index + 1
+        right_ref, right_cols = specs[index]
+        right_width = len(right_cols or ())
+        prefix_frame = frames[index - 1]
+        combined_frame = frames[index]
+        combined_chain = [combined_frame] + outer_chain
+        condition = join.condition
+        hash_built = False
+        if (
+            condition is not None
+            and complete
+            and right_ref.binding not in prefix_frame.bindings
+        ):
+            conjuncts = _split_conjuncts(condition)
+            safe_all = True
+            for conjunct in conjuncts:
+                probe: set[int] = set()
+                if not _analyze_safe(conjunct, combined_chain, ctx, probe):
+                    safe_all = False
+                    break
+            if safe_all:
+                left_width = prefix_frame.width
+                prefix_chain = [prefix_frame] + outer_chain
+                right_local = _Frame().extended(right_ref.binding, right_cols or [])
+                right_chain = [right_local] + outer_chain
+                left_keys, right_keys, residuals = [], [], []
+                for conjunct in conjuncts:
+                    if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+                        lslots: set[int] = set()
+                        rslots: set[int] = set()
+                        _analyze_safe(conjunct.left, combined_chain, ctx, lslots)
+                        _analyze_safe(conjunct.right, combined_chain, ctx, rslots)
+                        sides = (_side(lslots, left_width), _side(rslots, left_width))
+                        if sides == ("left", "right"):
+                            left_keys.append(
+                                _compile_expr(conjunct.left, prefix_chain, ctx, None)
+                            )
+                            right_keys.append(
+                                _compile_expr(conjunct.right, right_chain, ctx, None)
+                            )
+                            continue
+                        if sides == ("right", "left"):
+                            left_keys.append(
+                                _compile_expr(conjunct.right, prefix_chain, ctx, None)
+                            )
+                            right_keys.append(
+                                _compile_expr(conjunct.left, right_chain, ctx, None)
+                            )
+                            continue
+                    residuals.append(
+                        _compile_expr(conjunct, combined_chain, ctx, None)
+                    )
+                if left_keys:
+                    source = _make_hash_join(
+                        source,
+                        scans[index],
+                        join.kind,
+                        left_keys,
+                        right_keys,
+                        residuals,
+                        right_width,
+                    )
+                    ctx.meta["hash_joins"] += 1
+                    hash_built = True
+        if not hash_built:
+            cond_fn = (
+                _compile_expr(condition, combined_chain, ctx, None)
+                if condition is not None
+                else None
+            )
+            source = _make_nested_join(
+                source, scans[index], join.kind, cond_fn, right_width
+            )
+            ctx.meta["nested_loop_joins"] += 1
+
+    filter_fn = _compile_where(
+        residual_where, select.where, where_chain, ctx
+    )
+    return frame, source, filter_fn
+
+
+def _compile_where(residual, where, chain, ctx):
+    """Residual WHERE predicate: ``fn(state, chain) -> bool`` or ``None``.
+
+    ``residual`` is the conjunct list left after pushdown (``None`` when no
+    pushdown was attempted, in which case the whole WHERE compiles as one
+    expression — preserving the interpreter's evaluation order exactly).
+    """
+    if residual is not None:
+        if not residual:
+            return None
+        fns = tuple(_compile_expr(c, chain, ctx, None) for c in residual)
+
+        def conj_filter(state, rows_chain):
+            for fn in fns:
+                if not _truthy(fn(state, rows_chain, None, None)):
+                    return False
+            return True
+
+        return conj_filter
+    if where is None:
+        return None
+    where_fn = _compile_expr(where, chain, ctx, None)
+
+    def where_filter(state, rows_chain):
+        return _truthy(where_fn(state, rows_chain, None, None))
+
+    return where_filter
+
+
+# ----------------------------------------------------------------------
+# SELECT compilation
+# ----------------------------------------------------------------------
+def _star_pairs(frame: _Frame, table: str | None) -> list[tuple[str, str, int]]:
+    table_l = table.lower() if table is not None else None
+    pairs: list[tuple[str, str, int]] = []
+    for binding in frame.order:
+        if table_l is None or binding == table_l:
+            pairs.extend(
+                (binding, column, slot)
+                for column, slot in frame.bindings[binding].items()
+            )
+    return pairs
+
+
+def _alias_map(select: Select, row_len: int) -> dict[str, int] | None:
+    """Static alias -> projected-row offset map for ORDER BY resolution.
+
+    Mirrors the interpreter's ``_alias_env`` exactly, including its quirk
+    that a star counts as one position even though it expands to many
+    columns — the compiled engine reproduces behaviour, not intent.
+    """
+    env: dict[str, int] = {}
+    offset = 0
+    for item in select.items:
+        if isinstance(item.expr, Star):
+            offset += 1
+            continue
+        if item.alias and offset < row_len:
+            env[item.alias.lower()] = offset
+        offset += 1
+    return env or None
+
+
+def _compile_projection(select: Select, frame: _Frame, chain, ctx):
+    """Compile the projection: output columns + per-row projector.
+
+    Returns ``(columns_fn, project, row_len)``.  ``columns_fn(had_rows)``
+    reproduces the interpreter's output-column rules: stars expand to
+    ``binding.column`` names only when rows survived the WHERE filter, an
+    unexpandable star raises only then, and otherwise renders as ``"*"``.
+    """
+    cols_with: list[str] = []
+    cols_empty: list[str] = []
+    star_error: str | None = None
+    parts: list = []  # int-list for star slots, callable for expressions
+    row_len = 0
+    for item in select.items:
+        if isinstance(item.expr, Star):
+            pairs = _star_pairs(frame, item.expr.table)
+            cols_empty.append("*")
+            if pairs:
+                if star_error is None:
+                    cols_with.extend(f"{b}.{c}" for b, c, _s in pairs)
+                parts.append([slot for _b, _c, slot in pairs])
+                row_len += len(pairs)
+            elif star_error is None:
+                star_error = f"cannot expand star for table {item.expr.table!r}"
+        else:
+            name = item.alias if item.alias else to_sql(item.expr).lower()
+            cols_with.append(name)
+            cols_empty.append(name)
+            parts.append(_compile_expr(item.expr, chain, ctx, None))
+            row_len += 1
+
+    def columns_fn(had_rows: bool) -> list[str]:
+        if had_rows:
+            if star_error is not None:
+                raise ExecutionError(star_error)
+            return list(cols_with)
+        return list(cols_empty)
+
+    # fast paths: identity (lone SELECT *) and all-slot projections
+    if (
+        star_error is None
+        and len(parts) == 1
+        and isinstance(parts[0], list)
+        and parts[0] == list(range(frame.width))
+    ):
+        return columns_fn, (lambda state, rows_chain: rows_chain[0]), row_len
+    slot_parts: list[int] | None = []
+    for item in select.items:
+        if isinstance(item.expr, ColumnRef):
+            cands = _resolve(chain, ctx, item.expr.table, item.expr.column)
+            if len(cands) == 1 and cands[0][0] == 0 and cands[0][1] >= 0:
+                slot_parts.append(cands[0][1])
+                continue
+        slot_parts = None
+        break
+    if slot_parts is not None and star_error is None:
+        if len(slot_parts) == 1:
+            slot = slot_parts[0]
+            return columns_fn, (
+                lambda state, rows_chain: (rows_chain[0][slot],)
+            ), row_len
+        getter = itemgetter(*slot_parts)
+        return columns_fn, (lambda state, rows_chain: getter(rows_chain[0])), row_len
+
+    def project(state, rows_chain):
+        row0 = rows_chain[0]
+        values: list[Value] = []
+        for part in parts:
+            if part.__class__ is list:
+                for slot in part:
+                    values.append(row0[slot])
+            else:
+                values.append(part(state, rows_chain, None, None))
+        return tuple(values)
+
+    return columns_fn, project, row_len
+
+
+def _compile_select(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
+    frame, source, filter_fn = _compile_from(select, outer_chain, ctx)
+    chain = [frame] + outer_chain
+    if bool(select.group_by) or _select_uses_aggregates(select):
+        return _compile_aggregated_runner(select, chain, ctx, source, filter_fn)
+    return _compile_plain_runner(select, chain, ctx, source, filter_fn)
+
+
+def _compile_plain_runner(select: Select, chain, ctx, source, filter_fn):
+    columns_fn, project, row_len = _compile_projection(select, chain[0], chain, ctx)
+    aliases = _alias_map(select, row_len) if select.order_by else None
+    order_fns = [
+        _compile_expr(item.expr, chain, ctx, aliases) for item in select.order_by
+    ]
+    order_by = select.order_by
+    distinct = select.distinct
+    limit = select.limit
+    ordered = bool(order_by)
+
+    def run(state, outer):
+        rows0 = source(state, outer)
+        if filter_fn is not None:
+            rows0 = [r for r in rows0 if filter_fn(state, (r,) + outer)]
+        columns = columns_fn(bool(rows0))
+        if order_fns:
+            keyed = []
+            for r in rows0:
+                rows_chain = (r,) + outer
+                row = project(state, rows_chain)
+                keys = [fn(state, rows_chain, None, row) for fn in order_fns]
+                keyed.append((keys, row))
+            projected = _sort_rows(keyed, order_by)
+        else:
+            projected = [project(state, (r,) + outer) for r in rows0]
+        if distinct:
+            projected = _distinct(projected)
+        if limit is not None:
+            projected = projected[:limit]
+        return Result(columns=columns, rows=projected, ordered=ordered)
+
+    return run
+
+
+def _compile_aggregated_runner(select: Select, chain, ctx, source, filter_fn):
+    group_fns = [_compile_expr(e, chain, ctx, None) for e in select.group_by]
+    having_fn = (
+        _compile_expr(select.having, chain, ctx, None)
+        if select.having is not None
+        else None
+    )
+    item_fns = [
+        _compile_expr(item.expr, chain, ctx, None) for item in select.items
+    ]
+    agg_columns = [
+        item.alias if item.alias else to_sql(item.expr).lower()
+        for item in select.items
+    ]
+    aliases = _alias_map(select, len(select.items)) if select.order_by else None
+    order_fns = [
+        _compile_expr(item.expr, chain, ctx, aliases) for item in select.order_by
+    ]
+    order_by = select.order_by
+    distinct = select.distinct
+    limit = select.limit
+    ordered = bool(order_by)
+
+    def run(state, outer):
+        rows0 = source(state, outer)
+        if filter_fn is not None:
+            rows0 = [r for r in rows0 if filter_fn(state, (r,) + outer)]
+        if group_fns:
+            keyed_groups: dict = {}
+            order: list = []
+            for r in rows0:
+                rows_chain = (r,) + outer
+                key = tuple(fn(state, rows_chain, None, None) for fn in group_fns)
+                bucket = keyed_groups.get(key, _MISSING)
+                if bucket is _MISSING:
+                    keyed_groups[key] = [r]
+                    order.append(key)
+                else:
+                    bucket.append(r)
+            groups = [keyed_groups[key] for key in order]
+        else:
+            groups = [rows0]  # one whole-table group, even when empty
+        out_rows = []
+        keyed = []
+        for group in groups:
+            rep = group[0] if group else None
+            rows_chain = (rep,) + outer
+            if having_fn is not None:
+                if not _truthy(having_fn(state, rows_chain, group, None)):
+                    continue
+            row = tuple(fn(state, rows_chain, group, None) for fn in item_fns)
+            if order_fns:
+                keys = [fn(state, rows_chain, group, row) for fn in order_fns]
+                keyed.append((keys, row))
+            else:
+                out_rows.append(row)
+        if order_fns:
+            out_rows = _sort_rows(keyed, order_by)
+        if distinct:
+            out_rows = _distinct(out_rows)
+        if limit is not None:
+            out_rows = out_rows[:limit]
+        return Result(columns=list(agg_columns), rows=out_rows, ordered=ordered)
+
+    return run
+
+
+def _compile_setop(query: SetOperation, outer_chain: list[_Frame], ctx: _Ctx):
+    left_run = _compile_query_runner(query.left, outer_chain, ctx)
+    right_run = _compile_query_runner(query.right, outer_chain, ctx)
+    op = query.op
+
+    def run(state, outer):
+        left = left_run(state, outer)
+        right = right_run(state, outer)
+        if left.columns and right.columns and len(left.columns) != len(right.columns):
+            raise ExecutionError(
+                f"set operation arity mismatch: {len(left.columns)} vs "
+                f"{len(right.columns)}"
+            )
+        if op == "union all":
+            rows = left.rows + right.rows
+        elif op == "union":
+            rows = _distinct(left.rows + right.rows)
+        elif op == "intersect":
+            right_set = set(right.rows)
+            rows = _distinct([row for row in left.rows if row in right_set])
+        elif op == "except":
+            right_set = set(right.rows)
+            rows = _distinct([row for row in left.rows if row not in right_set])
+        else:  # pragma: no cover - parser only produces the four ops
+            raise ExecutionError(f"unknown set operation {op!r}")
+        return Result(columns=left.columns, rows=rows, ordered=False)
+
+    return run
+
+
+def _compile_query_runner(query: Query, outer_chain: list[_Frame], ctx: _Ctx):
+    if isinstance(query, SetOperation):
+        return _compile_setop(query, outer_chain, ctx)
+    return _compile_select(query, outer_chain, ctx)
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+class CompiledPlan:
+    """A query lowered to physical operators, reusable across executions.
+
+    Valid for any :class:`Database` whose schema matches the one the plan
+    was compiled against (the test-suite metric runs one plan over all
+    fuzzed database variants).
+    """
+
+    __slots__ = ("query", "schema", "meta", "_runner")
+
+    def __init__(self, query: Query, schema: Schema, meta, runner) -> None:
+        self.query = query
+        self.schema = schema
+        self.meta = meta
+        self._runner = runner
+
+    def run(self, db: Database) -> Result:
+        """Execute against *db* and return the :class:`Result`."""
+        return self._runner(_ExecState(db), ())
+
+    def describe(self) -> dict[str, int]:
+        """Operator counts chosen at compile time (scans, join kinds, ...)."""
+        return dict(self.meta)
+
+
+def compile_query(query: Query, schema: Schema) -> CompiledPlan:
+    """Lower *query* into a :class:`CompiledPlan` for *schema* (uncached)."""
+    ctx = _Ctx(schema)
+    runner = _compile_query_runner(query, [], ctx)
+    return CompiledPlan(query, schema, ctx.meta, runner)
+
+
+_PLAN_CACHE: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
+_PLAN_CACHE_MAX = 512
+_plan_hits = 0
+_plan_misses = 0
+
+_schema_tokens: dict[int, int] = {}
+_token_counter = count(1)
+
+
+def _schema_token(schema: Schema):
+    """A stable cache token for a schema *object* (id-keyed, not by value).
+
+    ``weakref.finalize`` retires the token with the schema so a recycled
+    ``id()`` can never alias a different schema to a stale plan.
+    """
+    key = id(schema)
+    token = _schema_tokens.get(key)
+    if token is None:
+        try:
+            weakref.finalize(schema, _schema_tokens.pop, key, None)
+        except TypeError:  # pragma: no cover - Schema is weakref-able
+            return schema  # fall back to by-value keying
+        token = next(_token_counter)
+        _schema_tokens[key] = token
+    return token
+
+
+def plan_for(query: Query, schema: Schema) -> CompiledPlan:
+    """Compile-or-fetch the plan for (*query*, *schema*).
+
+    The cache is a bounded LRU; AST nodes are frozen dataclasses, so the
+    query itself is the key.
+    """
+    global _plan_hits, _plan_misses
+    key = (query, _schema_token(schema))
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        _PLAN_CACHE.move_to_end(key)
+        _plan_hits += 1
+        return plan
+    _plan_misses += 1
+    plan = compile_query(query, schema)
+    _PLAN_CACHE[key] = plan
+    if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+@lru_cache(maxsize=2048)
+def _parse_cached(sql: str) -> Query:
+    return parse_sql(sql)
+
+
+def compile_sql(sql: str, schema: Schema) -> CompiledPlan:
+    """Parse (cached) and plan (cached) *sql* for *schema*."""
+    return plan_for(_parse_cached(sql), schema)
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Plan-cache effectiveness counters (size / hits / misses)."""
+    return {
+        "size": len(_PLAN_CACHE),
+        "hits": _plan_hits,
+        "misses": _plan_misses,
+    }
+
+
+def clear_plan_caches() -> None:
+    """Drop all cached plans and parses (for tests and benchmarks)."""
+    global _plan_hits, _plan_misses
+    _PLAN_CACHE.clear()
+    _parse_cached.cache_clear()
+    _plan_hits = 0
+    _plan_misses = 0

@@ -1,14 +1,33 @@
-"""Executor semantics tests: SQL behaviour on the shop database."""
+"""Executor semantics tests: SQL behaviour on the shop database.
+
+Every query here runs on BOTH engines — the compiled plan engine behind
+``execute`` and the reference interpreter ``execute_reference`` — and the
+helper asserts they agree (same result, or same error type and message)
+before handing the compiled result to the test.  Each assertion below is
+therefore also a differential test.
+"""
 
 import pytest
 
-from repro.errors import ExecutionError
-from repro.sql.executor import execute
+from repro.errors import ExecutionError, SQLError
+from repro.sql.executor import execute, execute_reference
 from repro.sql.parser import parse_sql
 
 
 def run(db, sql):
-    return execute(parse_sql(sql), db)
+    query = parse_sql(sql)
+    try:
+        compiled = execute(query, db)
+    except SQLError as exc:
+        with pytest.raises(type(exc)) as ref_info:
+            execute_reference(query, db)
+        assert str(ref_info.value) == str(exc)
+        raise
+    reference = execute_reference(query, db)
+    assert compiled.columns == reference.columns
+    assert compiled.rows == reference.rows
+    assert compiled.ordered == reference.ordered
+    return compiled
 
 
 class TestProjectionAndFilter:
@@ -177,6 +196,31 @@ class TestJoins:
             "AS s ON s.product_id = p.id",
         )
         assert result.rows == [("lonely", None)]
+
+    def test_left_join_empty_right_table_null_pads_full_schema(
+        self, shop_schema
+    ):
+        # Regression: the null pad must come from the right table's schema,
+        # not from a sample row — an empty right table has no sample row.
+        from repro.data.database import Database
+
+        db = Database(schema=shop_schema)
+        db.insert("products", (1, "lonely", "misc", 5.0))
+        db.insert("products", (2, "solo", "misc", 7.0))
+        result = run(
+            db,
+            "SELECT * FROM products AS p LEFT JOIN sales AS s "
+            "ON s.product_id = p.id",
+        )
+        sales_width = len(shop_schema.table("sales").columns)
+        products_width = len(shop_schema.table("products").columns)
+        assert result.columns[products_width:] == [
+            f"s.{c.name}" for c in shop_schema.table("sales").columns
+        ]
+        assert result.rows == [
+            (1, "lonely", "misc", 5.0) + (None,) * sales_width,
+            (2, "solo", "misc", 7.0) + (None,) * sales_width,
+        ]
 
     def test_join_aggregate(self, shop_db):
         result = run(
