@@ -1,0 +1,313 @@
+"""Cost-based optimizer throughput: optimized plans vs the PR 2 engine.
+
+Times the same compiled-plan engine with the cost-based optimizer on and
+off (off is exactly the prior written-order, full-scan engine) on:
+
+1. ``selective_filter`` — a point lookup on a large table (hash-index
+   scan vs full scan);
+2. ``three_table_join`` — a 3-table equi-join written in the worst order
+   with a selective predicate on the last table (join reordering +
+   cached hash-join build sides);
+3. ``order_by_limit`` — top-k over a large table (sorted-index
+   short-circuit vs full sort);
+4. ``test_suite_evaluation`` — end-to-end test-suite metric runs over
+   fuzzed database variants.
+
+Every workload first asserts the optimized result is identical to
+``execute_reference`` — the differential oracle the optimizer can never
+be allowed to diverge from — and a seeded random-query sweep re-checks
+agreement across the query space.  Results print as a table and are
+written to ``BENCH_optimizer.json`` at the repository root.  ``--smoke``
+(alias ``--quick``) shrinks sizes for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _harness import dataset, print_table
+
+from repro.data.database import Database
+from repro.data.schema import Column, ColumnType, Schema, TableSchema
+from repro.errors import SQLError
+from repro.metrics.test_suite import test_suite_match
+from repro.sql.executor import execute_reference
+from repro.sql.parser import parse_sql
+from repro.sql.plan import (
+    clear_plan_caches,
+    compile_query,
+    set_optimizer_enabled,
+)
+
+NUM = ColumnType.NUMBER
+TXT = ColumnType.TEXT
+
+REGIONS = ("north", "south", "east", "west")
+SEGMENTS = ("retail", "corporate", "public")
+
+
+def _bench_db(num_customers: int, num_orders: int, num_products: int) -> Database:
+    schema = Schema(
+        db_id="optbench",
+        tables=(
+            TableSchema(
+                "customers",
+                (
+                    Column("id", NUM),
+                    Column("name", TXT),
+                    Column("region", TXT),
+                    Column("score", NUM),
+                ),
+                primary_key="id",
+            ),
+            TableSchema(
+                "products",
+                (
+                    Column("id", NUM),
+                    Column("name", TXT),
+                    Column("segment", TXT),
+                    Column("price", NUM),
+                ),
+                primary_key="id",
+            ),
+            TableSchema(
+                "orders",
+                (
+                    Column("id", NUM),
+                    Column("customer_id", NUM),
+                    Column("product_id", NUM),
+                    Column("amount", NUM),
+                ),
+                primary_key="id",
+            ),
+        ),
+    )
+    rng = random.Random(42)
+    db = Database(schema=schema)
+    for i in range(num_customers):
+        db.insert(
+            "customers",
+            (i, f"customer_{i}", rng.choice(REGIONS), rng.randrange(1000)),
+        )
+    for i in range(num_products):
+        db.insert(
+            "products",
+            (i, f"product_{i}", rng.choice(SEGMENTS), rng.randrange(5, 2000)),
+        )
+    for i in range(num_orders):
+        db.insert(
+            "orders",
+            (
+                i,
+                rng.randrange(num_customers),
+                rng.randrange(num_products),
+                round(rng.random() * 500, 2),
+            ),
+        )
+    return db
+
+
+def _workloads(db: Database) -> list[tuple[str, str]]:
+    target = len(db.table("customers").rows) // 2
+    return [
+        (
+            "selective_filter",
+            f"SELECT name, score FROM customers WHERE id = {target}",
+        ),
+        (
+            "three_table_join",
+            "SELECT c.name, p.name FROM orders AS o "
+            "JOIN customers AS c ON c.id = o.customer_id "
+            "JOIN products AS p ON p.id = o.product_id "
+            "WHERE p.price > 1900",
+        ),
+        (
+            "order_by_limit",
+            "SELECT name, score FROM customers ORDER BY score DESC LIMIT 10",
+        ),
+    ]
+
+
+def _time(fn, iters: int, repeat: int = 3) -> float:
+    """Best queries-per-second over *repeat* rounds of *iters* calls."""
+    best = 0.0
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = max(best, iters / elapsed)
+    return best
+
+
+def _micro_workloads(db: Database, iters: int) -> dict[str, dict[str, float]]:
+    results = {}
+    for name, sql in _workloads(db):
+        query = parse_sql(sql)
+        baseline = compile_query(query, db.schema, optimize=False)
+        optimized = compile_query(query, db.schema, db, optimize=True)
+        ref = execute_reference(query, db)
+        for plan in (baseline, optimized):
+            got = plan.run(db)
+            assert got.columns == ref.columns, name
+            assert got.rows == ref.rows, name
+            assert got.ordered == ref.ordered, name
+        optimized.run(db)  # warm the stats/index caches out of the timing
+        slow = _time(lambda: baseline.run(db), iters)
+        fast = _time(lambda: optimized.run(db), iters)
+        results[name] = {
+            "baseline_qps": round(slow, 2),
+            "optimized_qps": round(fast, 2),
+            "speedup": round(fast / slow, 2),
+        }
+    return results
+
+
+def _differential_sweep(db: Database, count: int, seed: int = 2024) -> int:
+    """Seeded random queries: optimized results must match the reference."""
+    sys.path.insert(0, os.path.join(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))), "tests"))
+    from test_sql_plan import _random_query  # reuses the fuzzing grammar
+
+    rng = random.Random(seed)
+    checked = 0
+    for _ in range(count):
+        sql = _random_query(rng).replace("products", "customers").replace(
+            "sales", "orders"
+        )
+        sql = (
+            sql.replace("price", "score")
+            .replace("category", "region")
+            .replace("quarter", "region")
+            .replace("quantity", "amount")
+        )
+        try:
+            query = parse_sql(sql)
+            expected = execute_reference(query, db)
+        except SQLError:
+            continue
+        got = compile_query(query, db.schema, db, optimize=True).run(db)
+        assert got.rows == expected.rows, sql
+        assert got.ordered == expected.ordered, sql
+        checked += 1
+    return checked
+
+
+def _drop_metric_caches(dbs) -> None:
+    clear_plan_caches()
+    for db in dbs:
+        for attr in ("_variant_cache", "_gold_result_cache"):
+            if hasattr(db, attr):
+                delattr(db, attr)
+
+
+def _test_suite_workload(
+    num_examples: int, candidates_per_gold: int, num_variants: int
+) -> dict[str, float]:
+    spider = dataset("spider_like")
+    pairs = []
+    for example in spider.examples:
+        if example.is_vis:
+            continue
+        pairs.append((example.sql, spider.database(example.db_id)))
+        if len(pairs) >= num_examples:
+            break
+    evaluations = len(pairs) * candidates_per_gold
+
+    def run() -> float:
+        best = 0.0
+        for _ in range(2):
+            _drop_metric_caches(db for _, db in pairs)
+            start = time.perf_counter()
+            for gold, db in pairs:
+                for _ in range(candidates_per_gold):
+                    assert test_suite_match(gold, gold, db, num_variants)
+            best = max(best, evaluations / (time.perf_counter() - start))
+        return best
+
+    previous = set_optimizer_enabled(False)
+    try:
+        slow = run()
+        set_optimizer_enabled(True)
+        fast = run()
+    finally:
+        set_optimizer_enabled(previous)
+    return {
+        "baseline_qps": round(slow, 2),
+        "optimized_qps": round(fast, 2),
+        "speedup": round(fast / slow, 2),
+        "evaluations": evaluations,
+        "num_variants": num_variants,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", "--quick", action="store_true", dest="smoke",
+        help="small sizes for a CI smoke run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        db = _bench_db(num_customers=300, num_orders=600, num_products=80)
+        iters, sweep, examples, candidates, variants = 20, 40, 4, 3, 4
+    else:
+        db = _bench_db(num_customers=4000, num_orders=12000, num_products=500)
+        iters, sweep, examples, candidates, variants = 30, 150, 20, 8, 8
+
+    # the sweep is a correctness gate, not a timing: the reference
+    # interpreter it compares against needs a small database to be feasible
+    sweep_db = (
+        db if args.smoke
+        else _bench_db(num_customers=300, num_orders=600, num_products=80)
+    )
+    checked = _differential_sweep(sweep_db, sweep)
+    print(f"differential sweep: {checked} random queries agree with the "
+          "reference interpreter")
+
+    results = _micro_workloads(db, iters)
+    results["test_suite_evaluation"] = _test_suite_workload(
+        examples, candidates, variants
+    )
+
+    print_table(
+        "Optimizer throughput: cost-based plans vs written-order plans"
+        + (" [smoke]" if args.smoke else ""),
+        ["workload", "baseline q/s", "optimized q/s", "speedup"],
+        [
+            (
+                name,
+                f"{stats['baseline_qps']:,.1f}",
+                f"{stats['optimized_qps']:,.1f}",
+                f"{stats['speedup']:,.1f}x",
+            )
+            for name, stats in results.items()
+        ],
+    )
+
+    out_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..",
+        "BENCH_optimizer.json",
+    )
+    payload = {
+        "smoke": args.smoke,
+        "differential_queries_checked": checked,
+        "workloads": results,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {os.path.normpath(out_path)}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

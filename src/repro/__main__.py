@@ -9,6 +9,7 @@ the survey's Fig. 1.  Options::
     python -m repro --model chatgpt-like  # the simulated-LLM stack
     python -m repro --demo                # non-interactive scripted demo
     python -m repro lint --sql "..."      # SQL static analysis (repro-lint)
+    python -m repro explain "SELECT ..."  # physical plan + cost estimates
 
 Inside the REPL: ``\\schema`` prints the schema, ``\\reset`` clears the
 conversation, ``\\quit`` exits.
@@ -66,6 +67,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sql.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "explain":
+        from repro.sql.explain_cli import main as explain_main
+
+        return explain_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )

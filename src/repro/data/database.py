@@ -35,6 +35,27 @@ class Table:
     def name(self) -> str:
         return self.schema.name
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped by :meth:`append`."""
+        return getattr(self, "_version", 0)
+
+    def cache_token(self) -> tuple[int, int, int]:
+        """Stamp identifying this table's current contents.
+
+        Derived caches (statistics, indexes, :mod:`repro.sql.index`) key
+        their entries by this token so any mutation — ``append``, a bulk
+        :meth:`replace_rows`, or even a raw swap of the ``rows`` list —
+        retires them.  In-place mutation of an existing row tuple's slot is
+        the one thing it cannot see; row tuples are immutable by contract.
+        """
+        rows = self.rows
+        return (self.version, len(rows), id(rows))
+
+    def invalidate_caches(self) -> None:
+        """Force derived caches (stats, indexes) to rebuild on next use."""
+        self._version = self.version + 1
+
     def column_index(self, name: str) -> int:
         lowered = name.lower()
         for i, col in enumerate(self.schema.columns):
@@ -54,6 +75,12 @@ class Table:
                 f"with {len(self.schema.columns)} columns"
             )
         self.rows.append(row)
+        self._version = self.version + 1
+
+    def replace_rows(self, rows: list[tuple[Value, ...]]) -> None:
+        """Swap in a whole new row list, invalidating derived caches."""
+        self.rows = rows
+        self._version = self.version + 1
 
     def copy(self) -> "Table":
         return Table(schema=self.schema, rows=list(self.rows))

@@ -68,7 +68,7 @@ def execution_match(predicted: str, gold: str, db: Database) -> bool:
     if isinstance(gold_result, SQLError):
         return False
     try:
-        pred_result = compile_sql(predicted, db.schema).run(db)
+        pred_result = compile_sql(predicted, db.schema, db).run(db)
     except SQLError:
         return False
     return results_equal(pred_result, gold_result)

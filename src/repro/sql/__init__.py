@@ -54,11 +54,17 @@ from repro.sql.normalize import normalize_sql
 from repro.sql.parser import parse_sql
 from repro.sql.plan import (
     CompiledPlan,
+    PlanNode,
     clear_plan_caches,
     compile_query,
     compile_sql,
+    configure_caches,
+    explain,
+    optimizer_enabled,
+    parse_cache_stats,
     plan_cache_stats,
     plan_for,
+    set_optimizer_enabled,
 )
 from repro.sql.unparser import to_sql
 
@@ -79,6 +85,7 @@ __all__ = [
     "LintReport",
     "Literal",
     "OrderItem",
+    "PlanNode",
     "Query",
     "ScalarSubquery",
     "Select",
@@ -95,15 +102,20 @@ __all__ = [
     "clear_plan_caches",
     "compile_query",
     "compile_sql",
+    "configure_caches",
     "decompose",
     "execute",
     "execute_reference",
+    "explain",
     "lint_query",
     "lint_sql",
     "normalize_sql",
+    "optimizer_enabled",
+    "parse_cache_stats",
     "parse_sql",
     "plan_cache_stats",
     "plan_for",
+    "set_optimizer_enabled",
     "to_sql",
     "tokenize",
 ]

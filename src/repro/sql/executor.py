@@ -145,7 +145,7 @@ def execute(query: Query, db: Database) -> Result:
         from repro.sql import plan as _plan
 
         _plan_module = _plan
-    return _plan_module.plan_for(query, db.schema).run(db)
+    return _plan_module.plan_for(query, db.schema, db).run(db)
 
 
 def execute_reference(query: Query, db: Database) -> Result:

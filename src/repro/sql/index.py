@@ -1,0 +1,286 @@
+"""On-demand table indexes for the cost-based optimizer.
+
+Two physical index kinds, both built lazily the first time a plan asks for
+them and cached on the :class:`~repro.data.database.Table` object, stamped
+with :meth:`Table.cache_token` so any mutation (``append``, ``insert``,
+``replace_rows``) retires them:
+
+- :class:`HashIndex` — buckets over one or more columns' values, used for
+  equality and ``IN`` scan predicates and as the persistent build side of
+  hash joins (an index-nested-loop join: probe the cached buckets instead
+  of rebuilding them every execution);
+- :class:`SortedIndex` — row positions ordered by the executor's
+  :func:`~repro.data.values.sort_key`, used for range predicates (bisect)
+  and ``ORDER BY ... LIMIT`` top-k short-circuits.
+
+Key semantics exactly mirror the executor's three-valued logic: rows whose
+key is NULL never enter a hash bucket (``NULL = x`` is unknown), and range
+lookups exclude NULLs by construction because NULL sort keys precede every
+non-null bound.  Bucket and position lists preserve base-table row order,
+so an index scan emits rows in the same order a filtered full scan would —
+a hard requirement for matching the reference interpreter row-for-row.
+
+``MIN_INDEX_ROWS`` gates building: below it a full scan is cheaper than
+the bucket/bisect bookkeeping, so plans fall back to plain filtering.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.data.database import Table
+from repro.data.values import Value, sort_key
+
+__all__ = [
+    "HashIndex",
+    "SortedIndex",
+    "hash_index",
+    "sorted_index",
+    "build_hash_buckets",
+    "index_cache_stats",
+    "reset_index_counters",
+    "MIN_INDEX_ROWS",
+    "set_min_index_rows",
+]
+
+#: Tables smaller than this are scanned directly; index build overhead
+#: only amortizes above it.  Tests lower it to force the index paths.
+MIN_INDEX_ROWS = 32
+
+_COUNTERS = {
+    "hash_builds": 0,
+    "sorted_builds": 0,
+    "hits": 0,
+    "invalidations": 0,
+}
+
+
+def set_min_index_rows(n: int) -> int:
+    """Set the index-build row threshold; returns the previous value."""
+    global MIN_INDEX_ROWS
+    previous = MIN_INDEX_ROWS
+    MIN_INDEX_ROWS = n
+    return previous
+
+
+def build_hash_buckets(
+    rows: list[tuple[Value, ...]], slots: tuple[int, ...]
+) -> dict:
+    """Bucket *rows* by the values in *slots*, skipping NULL keys.
+
+    Single-slot keys are the raw value (so ``1``, ``1.0`` and ``True``
+    share a bucket exactly as SQL equality unifies them); multi-slot keys
+    are value tuples.  Shared by :class:`HashIndex` and the per-execution
+    hash-join build so both agree on key identity.
+    """
+    buckets: dict = {}
+    if len(slots) == 1:
+        slot = slots[0]
+        for row in rows:
+            key = row[slot]
+            if key is None:
+                continue
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [row]
+            else:
+                bucket.append(row)
+        return buckets
+    for row in rows:
+        key = tuple(row[s] for s in slots)
+        if any(v is None for v in key):
+            continue
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [row]
+        else:
+            bucket.append(row)
+    return buckets
+
+
+class HashIndex:
+    """Equality buckets over one or more columns.
+
+    ``buckets`` maps key -> rows (in base row order); ``positions`` maps
+    key -> base row positions, used to restore row order when a scan has
+    to merge several buckets (``IN`` predicates).
+    """
+
+    __slots__ = ("slots", "buckets", "positions", "_pairs")
+
+    def __init__(self, rows: list[tuple[Value, ...]], slots: tuple[int, ...]):
+        self.slots = slots
+        self._pairs: dict | None = None
+        self.buckets = build_hash_buckets(rows, slots)
+        positions: dict = {}
+        if len(slots) == 1:
+            slot = slots[0]
+            for pos, row in enumerate(rows):
+                key = row[slot]
+                if key is None:
+                    continue
+                bucket = positions.get(key)
+                if bucket is None:
+                    positions[key] = [pos]
+                else:
+                    bucket.append(pos)
+        else:
+            for pos, row in enumerate(rows):
+                key = tuple(row[s] for s in slots)
+                if any(v is None for v in key):
+                    continue
+                bucket = positions.get(key)
+                if bucket is None:
+                    positions[key] = [pos]
+                else:
+                    bucket.append(pos)
+        self.positions = positions
+
+    @property
+    def pairs(self) -> dict:
+        """``key -> [(base position, row), ...]`` — the hash-join build
+        shape, materialized once per index and cached with it."""
+        if self._pairs is None:
+            positions = self.positions
+            self._pairs = {
+                key: list(zip(positions[key], rows))
+                for key, rows in self.buckets.items()
+            }
+        return self._pairs
+
+    def lookup(self, value: Value) -> list[tuple[Value, ...]]:
+        """Rows with key == *value* in base row order (NULL matches none)."""
+        if value is None:
+            return []
+        return self.buckets.get(value, [])
+
+    def lookup_many(
+        self, rows: list[tuple[Value, ...]], values
+    ) -> list[tuple[Value, ...]]:
+        """Rows matching any of *values*, restored to base row order."""
+        merged: list[int] = []
+        seen: set = set()
+        for value in values:
+            if value is None or value in seen:
+                continue
+            seen.add(value)
+            merged.extend(self.positions.get(value, ()))
+        if not merged:
+            return []
+        merged.sort()
+        return [rows[p] for p in merged]
+
+
+class SortedIndex:
+    """Row positions ordered by sort key; NULLs first, ties in row order."""
+
+    __slots__ = ("keys", "asc", "_desc", "null_count")
+
+    def __init__(self, rows: list[tuple[Value, ...]], slot: int):
+        decorated = sorted(
+            (sort_key(row[slot]), pos) for pos, row in enumerate(rows)
+        )
+        self.keys = [key for key, _pos in decorated]
+        self.asc = [pos for _key, pos in decorated]
+        self._desc: list[int] | None = None
+        self.null_count = bisect_right(self.keys, (0, 0.0))
+
+    @property
+    def desc(self) -> list[int]:
+        """Positions in descending key order, ties in base row order.
+
+        Not ``reversed(asc)``: a stable descending sort keeps equal keys
+        in original row order, which is what the executor's stable
+        ``reverse=True`` sort produces.
+        """
+        if self._desc is None:
+            keys, asc = self.keys, self.asc
+            order = sorted(
+                range(len(asc)), key=lambda i: keys[i], reverse=True
+            )
+            self._desc = [asc[i] for i in order]
+        return self._desc
+
+    def range_positions(
+        self,
+        low: Value = None,
+        high: Value = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> list[int]:
+        """Base-row-order positions with key in the given (non-null) range.
+
+        ``None`` bounds are open ends — but NULLs themselves never match,
+        mirroring three-valued comparisons.
+        """
+        keys = self.keys
+        start = self.null_count
+        end = len(keys)
+        if low is not None:
+            key = sort_key(low)
+            start = max(
+                start,
+                bisect_left(keys, key) if low_inclusive
+                else bisect_right(keys, key),
+            )
+        if high is not None:
+            key = sort_key(high)
+            end = min(
+                end,
+                bisect_right(keys, key) if high_inclusive
+                else bisect_left(keys, key),
+            )
+        if end <= start:
+            return []
+        positions = self.asc[start:end]
+        positions.sort()
+        return positions
+
+
+def _index_cache(table: Table, token) -> dict:
+    cached = getattr(table, "_index_cache", None)
+    if cached is None or cached[0] != token:
+        if cached is not None:
+            _COUNTERS["invalidations"] += 1
+        cached = (token, {})
+        table._index_cache = cached
+    return cached[1]
+
+
+def hash_index(table: Table, columns: tuple[str, ...]) -> HashIndex:
+    """Hash index over *columns* (lowercased names), cached and stamped."""
+    cache = _index_cache(table, table.cache_token())
+    key = ("hash", columns)
+    index = cache.get(key)
+    if index is None:
+        slots = tuple(table.column_index(c) for c in columns)
+        index = HashIndex(table.rows, slots)
+        cache[key] = index
+        _COUNTERS["hash_builds"] += 1
+    else:
+        _COUNTERS["hits"] += 1
+    return index
+
+
+def sorted_index(table: Table, column: str) -> SortedIndex:
+    """Sorted index over *column*, cached and stamped."""
+    cache = _index_cache(table, table.cache_token())
+    key = ("sorted", column)
+    index = cache.get(key)
+    if index is None:
+        index = SortedIndex(table.rows, table.column_index(column))
+        cache[key] = index
+        _COUNTERS["sorted_builds"] += 1
+    else:
+        _COUNTERS["hits"] += 1
+    return index
+
+
+def index_cache_stats() -> dict[str, int]:
+    """Index-cache effectiveness counters (builds/hits/invalidations)."""
+    return dict(_COUNTERS)
+
+
+def reset_index_counters() -> None:
+    for key in _COUNTERS:
+        _COUNTERS[key] = 0

@@ -35,13 +35,42 @@ On top, :func:`plan_for` keeps a bounded plan cache keyed by (query AST,
 schema identity) and :func:`compile_sql` adds a parse cache, so the metric
 hot path (N candidates evaluated against one gold over many database
 variants) parses and plans each distinct query exactly once.
+
+**The cost-based optimizer** (PR 3) layers on top of the compiled engine,
+using :mod:`repro.sql.stats` (row counts, NDV, histograms) and
+:mod:`repro.sql.index` (hash + sorted indexes cached per table):
+
+- pushed-down scan conjuncts are ordered most-selective-first and, when a
+  conjunct is an equality/IN/range over a plain column against literals,
+  the scan *drives* off the matching index instead of filtering every row;
+- uncorrelated ``col IN (SELECT ...)`` over a single table lowers to a
+  semi-join: safe conjuncts still push down and the subquery's value set
+  is fetched once instead of per surviving row;
+- inner-join chains of three or more tables are re-ordered greedily
+  (smallest estimated intermediate first over the equi-join graph); output
+  order is restored exactly by tracking per-table row positions and
+  sorting by the written-order position tuple;
+- the build side of a hash join probes a cached table index when the join
+  keys are plain columns over an unfiltered scan;
+- ``ORDER BY ... LIMIT k`` uses a heap top-k instead of a full sort, and a
+  bare single-column variant reads the first *k* positions straight off
+  the sorted index.
+
+Every optimization preserves the reference engine's results bit-for-bit —
+rows, order, ``ordered`` flags, and error behaviour — because each is
+gated on the same static safety analysis the PR 2 engine already used for
+pushdown.  ``REPRO_SQL_OPTIMIZER=0`` (or :func:`set_optimizer_enabled`)
+disables all of it, reverting to the PR 2 plans.  :class:`PlanNode` trees
+carry per-operator row estimates; :meth:`CompiledPlan.explain` renders
+them next to actual row counts.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 import weakref
 from collections import OrderedDict
-from functools import lru_cache
 from itertools import count
 from operator import itemgetter
 from typing import Any, Callable
@@ -82,17 +111,47 @@ from repro.sql.executor import (
     _sort_rows,
     _truthy,
 )
+from repro.sql import index as _index
+from repro.sql import stats as _stats
 from repro.sql.parser import parse_sql
 from repro.sql.unparser import to_sql
 
 __all__ = [
     "CompiledPlan",
+    "PlanNode",
     "compile_query",
     "compile_sql",
+    "explain",
     "plan_for",
     "plan_cache_stats",
+    "parse_cache_stats",
+    "configure_caches",
     "clear_plan_caches",
+    "optimizer_enabled",
+    "set_optimizer_enabled",
 ]
+
+#: Master switch for the cost-based optimizer; plans compiled while it is
+#: off are exactly the PR 2 plans (same operators, same counters).
+_OPTIMIZER_ENABLED = os.environ.get("REPRO_SQL_OPTIMIZER", "1") != "0"
+
+
+def optimizer_enabled() -> bool:
+    """Whether newly compiled plans use the cost-based optimizer."""
+    return _OPTIMIZER_ENABLED
+
+
+def set_optimizer_enabled(enabled: bool) -> bool:
+    """Toggle the optimizer for future compilations; returns the old value.
+
+    Cached plans compiled under the other setting are not invalidated —
+    the plan-cache key includes the optimizer flag, so both variants can
+    coexist (the differential tests exercise exactly that).
+    """
+    global _OPTIMIZER_ENABLED
+    previous = _OPTIMIZER_ENABLED
+    _OPTIMIZER_ENABLED = bool(enabled)
+    return previous
 
 #: Compiled expression: ``fn(state, rows, group, proj) -> Value`` where
 #: ``rows`` is the chain of flat row tuples (innermost frame first; an entry
@@ -148,15 +207,63 @@ class _Frame:
         return frame
 
 
+class PlanNode:
+    """One physical operator in the plan tree, with row/cost estimates.
+
+    ``est_rows``/``est_cost`` are compile-time guesses from table
+    statistics (``None`` when the plan was compiled without a database);
+    actual per-execution row counts land in ``_ExecState.actuals`` keyed
+    by ``nid`` and are rendered next to the estimates by ``explain``.
+    """
+
+    __slots__ = ("nid", "op", "detail", "est_rows", "est_cost", "children")
+
+    def __init__(self, nid, op, detail="", est_rows=None, est_cost=None,
+                 children=()):
+        self.nid = nid
+        self.op = op
+        self.detail = detail
+        self.est_rows = est_rows
+        self.est_cost = est_cost
+        self.children = list(children)
+
+    def render(self, actuals=None, indent="", into=None) -> str:
+        lines = [] if into is None else into
+        parts = [self.op]
+        if self.detail:
+            parts.append(self.detail)
+        annot = []
+        if self.est_rows is not None:
+            annot.append(f"est_rows={self.est_rows:.1f}")
+        if self.est_cost is not None:
+            annot.append(f"est_cost={self.est_cost:.1f}")
+        if actuals is not None and self.nid in actuals:
+            annot.append(f"actual_rows={actuals[self.nid]}")
+        if annot:
+            parts.append("[" + " ".join(annot) + "]")
+        lines.append(indent + " ".join(parts))
+        for child in self.children:
+            child.render(actuals, indent + "  ", lines)
+        if into is None:
+            return "\n".join(lines)
+        return ""
+
+
 class _Ctx:
     """Per-compilation state: schema, subquery boundaries, plan metadata."""
 
-    __slots__ = ("schema", "boundaries", "meta", "sids")
+    __slots__ = ("schema", "boundaries", "meta", "sids", "db", "optimize",
+                 "nids", "subplans")
 
-    def __init__(self, schema: Schema) -> None:
+    def __init__(self, schema: Schema, db: Database | None = None,
+                 optimize: bool = False) -> None:
         self.schema = schema
+        self.db = db
+        self.optimize = optimize
         self.boundaries: list[dict[str, Any]] = []
         self.sids = count()
+        self.nids = count(1)
+        self.subplans: list[tuple[int, PlanNode]] = []
         self.meta: dict[str, int] = {
             "table_scans": 0,
             "hash_joins": 0,
@@ -164,17 +271,37 @@ class _Ctx:
             "pushed_filters": 0,
             "hoisted_subqueries": 0,
             "correlated_subqueries": 0,
+            "index_scans": 0,
+            "indexed_joins": 0,
+            "join_reorders": 0,
+            "semi_joins": 0,
+            "topk_sorts": 0,
         }
+
+    def node(self, op, detail="", est_rows=None, est_cost=None,
+             children=()) -> PlanNode:
+        return PlanNode(next(self.nids), op, detail, est_rows, est_cost,
+                        children)
+
+    def table_stats(self, name: str):
+        """Compile-time statistics for *name*, or ``None`` when unknown."""
+        if self.db is None:
+            return None
+        table = self.db.tables.get(name.lower())
+        if table is None:
+            return None
+        return _stats.table_stats(table)
 
 
 class _ExecState:
-    """Per-execution state: the database plus the subquery memo."""
+    """Per-execution state: database, subquery memo, actual row counts."""
 
-    __slots__ = ("db", "memo")
+    __slots__ = ("db", "memo", "actuals")
 
     def __init__(self, db: Database) -> None:
         self.db = db
         self.memo: dict[Any, Any] = {}
+        self.actuals: dict[int, int] = {}
 
 
 def _resolve(
@@ -254,6 +381,22 @@ def _analyze_safe(
     if isinstance(expr, IsNull):
         return _analyze_safe(expr.expr, chain, ctx, slots)
     return False
+
+
+def _compile_local(expr: Expr, local: _Frame, ctx: _Ctx):
+    """Compile *expr* against a single-table frame with no outer chain.
+
+    Only valid for expressions `_analyze_safe` approved against the full
+    chain (depth-0 slots only), so the subquery-escape detector — which
+    assumes chains extend the whole outer chain — is suspended: a pushed
+    filter inside a subquery is not a correlation.
+    """
+    saved = ctx.boundaries
+    ctx.boundaries = []
+    try:
+        return _compile_expr(expr, [local], ctx, None)
+    finally:
+        ctx.boundaries = saved
 
 
 def _split_conjuncts(expr: Expr) -> list[Expr]:
@@ -680,14 +823,22 @@ def _compile_aggregate(expr: FuncCall, chain: list[_Frame], ctx: _Ctx) -> _ExprF
 def _compile_subplan(query: Query, chain: list[_Frame], ctx: _Ctx, transform):
     boundary = {"size": len(chain), "escaped": False}
     ctx.boundaries.append(boundary)
-    runner = _compile_query_runner(query, chain, ctx)
+    runner, node = _compile_query_runner(query, chain, ctx)
     ctx.boundaries.pop()
     correlated = boundary["escaped"]
     if correlated:
         ctx.meta["correlated_subqueries"] += 1
     else:
         ctx.meta["hoisted_subqueries"] += 1
-    return _SubPlan(next(ctx.sids), correlated, runner, transform)
+    sid = next(ctx.sids)
+    ctx.subplans.append(
+        ctx.node(
+            "subquery",
+            f"s{sid} " + ("correlated" if correlated else "hoisted"),
+            children=[node],
+        )
+    )
+    return _SubPlan(sid, correlated, runner, transform)
 
 
 # ----------------------------------------------------------------------
@@ -702,10 +853,12 @@ def _linearize(clause) -> tuple[TableRef, list[Join]]:
     return clause, joins
 
 
-def _make_scan(name: str, filters):
+def _make_scan(name: str, filters, nid: int = -1):
     if not filters:
         def scan(state):
-            return state.db.table(name).rows
+            rows = state.db.table(name).rows
+            state.actuals[nid] = len(rows)
+            return rows
 
         return scan
 
@@ -713,6 +866,7 @@ def _make_scan(name: str, filters):
         rows = state.db.table(name).rows
         for fn in filters:
             rows = [row for row in rows if _truthy(fn(state, (row,), None, None))]
+        state.actuals[nid] = len(rows)
         return rows
 
     return filtered_scan
@@ -728,7 +882,195 @@ def _make_missing_scan(name: str):
     return scan
 
 
-def _make_nested_join(prev, right_scan, kind: str, cond_fn, right_width: int):
+# ----------------------------------------------------------------------
+# optimizer: scan predicate analysis and index-driven scans
+# ----------------------------------------------------------------------
+_RANGE_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _plain_column(expr, frame: _Frame) -> str | None:
+    """Lowercased column name when *expr* is a plain column of *frame*."""
+    if not isinstance(expr, ColumnRef):
+        return None
+    column_l = expr.column.lower()
+    if expr.table is not None:
+        slots = frame.bindings.get(expr.table.lower())
+        if slots is not None and column_l in slots:
+            return column_l
+        return None
+    hits = [b for b, s in frame.bindings.items() if column_l in s]
+    return column_l if len(hits) == 1 else None
+
+
+def _analyze_pred(conjunct: Expr, frame: _Frame, stats):
+    """(index driver, estimated selectivity) for a safe scan conjunct.
+
+    The driver describes how the scan can *produce* exactly the rows this
+    conjunct admits straight from an index — equality and ``IN`` against
+    literals use the hash index, comparisons and ``BETWEEN`` the sorted
+    index; everything else only contributes a selectivity estimate used to
+    order the residual filters most-selective-first.  Index lookups and
+    the compiled predicate agree exactly: Python dict equality matches
+    ``compare_values(...) == 0`` for every value type, bisect over sort
+    keys matches the comparison total order, and NULL keys match nothing.
+    """
+
+    def col_stats(name):
+        if stats is None or name is None:
+            return None
+        return stats.column(name)
+
+    if isinstance(conjunct, BinaryOp):
+        op = conjunct.op
+        if op in _COMPARISONS:
+            left_col = _plain_column(conjunct.left, frame)
+            right_col = _plain_column(conjunct.right, frame)
+            col = lit = None
+            if left_col is not None and isinstance(conjunct.right, Literal):
+                col, lit = left_col, conjunct.right.value
+            elif right_col is not None and isinstance(conjunct.left, Literal):
+                col, lit = right_col, conjunct.left.value
+                op = _RANGE_FLIP.get(op, op)
+            if col is not None:
+                cs = col_stats(col)
+                if op == "=":
+                    sel = (cs.eq_selectivity(lit) if cs is not None
+                           else _stats.DEFAULT_EQ_SELECTIVITY)
+                    return ("eq", col, lit), sel
+                if op == "<>":
+                    eq = (cs.eq_selectivity(lit) if cs is not None
+                          else _stats.DEFAULT_EQ_SELECTIVITY)
+                    return None, max(0.0, 1.0 - eq)
+                if lit is None:  # NULL bound: three-valued, matches nothing
+                    return None, 0.0
+                sel = (cs.range_selectivity(op, lit) if cs is not None
+                       else _stats.DEFAULT_RANGE_SELECTIVITY)
+                if op in ("<", "<="):
+                    return ("range", col, None, True, lit, op == "<="), sel
+                return ("range", col, lit, op == ">=", None, True), sel
+            if op == "=":
+                return None, _stats.DEFAULT_EQ_SELECTIVITY
+            return None, _stats.DEFAULT_RANGE_SELECTIVITY
+        if op == "and":
+            _d1, s1 = _analyze_pred(conjunct.left, frame, stats)
+            _d2, s2 = _analyze_pred(conjunct.right, frame, stats)
+            return None, s1 * s2
+        if op == "or":
+            _d1, s1 = _analyze_pred(conjunct.left, frame, stats)
+            _d2, s2 = _analyze_pred(conjunct.right, frame, stats)
+            return None, min(1.0, s1 + s2)
+        return None, 0.25
+    if isinstance(conjunct, Between) and not conjunct.negated:
+        col = _plain_column(conjunct.expr, frame)
+        if (
+            col is not None
+            and isinstance(conjunct.low, Literal)
+            and isinstance(conjunct.high, Literal)
+        ):
+            low, high = conjunct.low.value, conjunct.high.value
+            if low is None or high is None:
+                return None, 0.0
+            cs = col_stats(col)
+            sel = (cs.between_selectivity(low, high) if cs is not None
+                   else _stats.DEFAULT_RANGE_SELECTIVITY)
+            return ("range", col, low, True, high, True), sel
+        return None, _stats.DEFAULT_RANGE_SELECTIVITY
+    if isinstance(conjunct, InList) and not conjunct.negated:
+        col = _plain_column(conjunct.expr, frame)
+        if col is not None and all(
+            isinstance(item, Literal) for item in conjunct.items
+        ):
+            values = tuple(item.value for item in conjunct.items)
+            cs = col_stats(col)
+            sel = (cs.in_selectivity(values) if cs is not None
+                   else min(1.0, _stats.DEFAULT_EQ_SELECTIVITY * len(values)))
+            return ("in", col, values), sel
+        return None, min(1.0, 0.1 * max(len(conjunct.items), 1))
+    if isinstance(conjunct, IsNull):
+        col = _plain_column(conjunct.expr, frame)
+        cs = col_stats(col)
+        if cs is not None:
+            return None, cs.null_selectivity(conjunct.negated)
+        return None, 0.9 if conjunct.negated else 0.1
+    if isinstance(conjunct, UnaryOp) and conjunct.op == "not":
+        _d, sel = _analyze_pred(conjunct.operand, frame, stats)
+        return None, max(0.0, 1.0 - sel)
+    if isinstance(conjunct, Like):
+        return None, 0.25
+    return None, 0.25
+
+
+def _driver_detail(driver) -> str:
+    kind = driver[0]
+    if kind == "eq":
+        return f"{driver[1]} = {driver[2]!r}"
+    if kind == "in":
+        return f"{driver[1]} IN {driver[2]!r}"
+    low = "" if driver[2] is None else f"{driver[2]!r} <{'=' if driver[3] else ''} "
+    high = "" if driver[4] is None else f" <{'=' if driver[5] else ''} {driver[4]!r}"
+    return f"{low}{driver[1]}{high}"
+
+
+def _make_opt_scan(name: str, fns_all, rest_fns, driver, nid: int, semi=None):
+    """Index-aware scan: drive off an index when the table is big enough,
+    apply remaining filters most-selective-first with per-row short-circuit
+    (valid because every pushed conjunct is statically safe), then apply
+    the optional semi-join stage.
+
+    The semi-join gate runs whenever the *raw* table is non-empty — the
+    reference engine evaluates the whole WHERE (including the subquery,
+    AND does not short-circuit) for every source row, so a subquery error
+    must surface iff the table has at least one row, even when the pushed
+    filters leave none.
+    """
+
+    def scan(state):
+        table = state.db.table(name)
+        raw = table.rows
+        rows = raw
+        if driver is not None and len(raw) >= _index.MIN_INDEX_ROWS:
+            kind = driver[0]
+            if kind == "eq":
+                rows = _index.hash_index(table, (driver[1],)).lookup(driver[2])
+            elif kind == "in":
+                rows = _index.hash_index(table, (driver[1],)).lookup_many(
+                    raw, driver[2]
+                )
+            else:
+                idx = _index.sorted_index(table, driver[1])
+                positions = idx.range_positions(
+                    driver[2], driver[4], driver[3], driver[5]
+                )
+                rows = [raw[p] for p in positions]
+            fns = rest_fns
+        else:
+            fns = fns_all
+        if fns:
+            out = []
+            for row in rows:
+                chain = (row,)
+                for fn in fns:
+                    if not _truthy(fn(state, chain, None, None)):
+                        break
+                else:
+                    out.append(row)
+            rows = out
+        if semi is not None and raw:
+            value_fn, sub = semi
+            values, _saw_null = sub.fetch(state, ())
+            rows = [
+                row for row in rows
+                if value_fn(state, (row,), None, None) in values
+            ]
+        state.actuals[nid] = len(rows)
+        return rows
+
+    return scan
+
+
+def _make_nested_join(
+    prev, right_scan, kind: str, cond_fn, right_width: int, nid: int = -1
+):
     pad = (None,) * right_width
     left_join = kind == "left"
 
@@ -743,6 +1085,7 @@ def _make_nested_join(prev, right_scan, kind: str, cond_fn, right_width: int):
                         out.append(left + right)
                 elif left_join:
                     out.append(left + pad)
+            state.actuals[nid] = len(out)
             return out
         for left in left_rows:
             matched = False
@@ -753,13 +1096,22 @@ def _make_nested_join(prev, right_scan, kind: str, cond_fn, right_width: int):
                     out.append(combined)
             if left_join and not matched:
                 out.append(left + pad)
+        state.actuals[nid] = len(out)
         return out
 
     return run
 
 
 def _make_hash_join(
-    prev, right_scan, kind: str, left_keys, right_keys, residuals, right_width: int
+    prev,
+    right_scan,
+    kind: str,
+    left_keys,
+    right_keys,
+    residuals,
+    right_width: int,
+    nid: int = -1,
+    index_info=None,
 ):
     pad = (None,) * right_width
     left_join = kind == "left"
@@ -769,22 +1121,30 @@ def _make_hash_join(
 
     def run(state, outer):
         right_rows = right_scan(state)
-        buckets: dict = {}
-        for right in right_rows:
-            chain = (right,) + outer
-            if single_key:
-                key = rkey(state, chain, None, None)
-                if key is None:
-                    continue
-            else:
-                key = tuple(fn(state, chain, None, None) for fn in right_keys)
-                if any(v is None for v in key):
-                    continue
-            bucket = buckets.get(key)
-            if bucket is None:
-                buckets[key] = [right]
-            else:
-                bucket.append(right)
+        if index_info is not None and len(right_rows) >= _index.MIN_INDEX_ROWS:
+            # the scan is the unfiltered base table and every key is a
+            # plain column, so the cached table index holds exactly the
+            # buckets the inline build below would produce
+            buckets = _index.hash_index(
+                state.db.table(index_info[0]), index_info[1]
+            ).buckets
+        else:
+            buckets = {}
+            for right in right_rows:
+                chain = (right,) + outer
+                if single_key:
+                    key = rkey(state, chain, None, None)
+                    if key is None:
+                        continue
+                else:
+                    key = tuple(fn(state, chain, None, None) for fn in right_keys)
+                    if any(v is None for v in key):
+                        continue
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [right]
+                else:
+                    bucket.append(right)
         out = []
         for left in prev(state, outer):
             chain = (left,) + outer
@@ -816,23 +1176,368 @@ def _make_hash_join(
                         out.append(left + right)
             if left_join and not matched:
                 out.append(left + pad)
+        state.actuals[nid] = len(out)
         return out
 
     return run
 
 
+def _make_reordered_join(
+    scans, ranges, total_width, order, steps, init_res, inv_positions, nid
+):
+    """Execute inner equi-joins in *order* and restore written-order output.
+
+    Every intermediate row is a full-width tuple padded with ``None`` for
+    not-yet-joined tables (safe conjuncts only read their own slots, so
+    the padding is invisible), paired with the tuple of per-table filtered
+    scan positions in execution order.  Written-order hash joins enumerate
+    output lexicographically by written-order positions, so one final sort
+    by the permuted position tuple restores the exact reference order.
+    """
+    n = len(order)
+    position_key = itemgetter(*inv_positions)
+
+    def run(state, outer):
+        per_table = [scan(state) for scan in scans]
+        first = order[0]
+        start0, width0 = ranges[first]
+        pre0 = (None,) * start0
+        post0 = (None,) * (total_width - start0 - width0)
+        inter = [
+            (pre0 + row + post0, (pos,))
+            for pos, row in enumerate(per_table[first])
+        ]
+        if init_res:
+            inter = [
+                item for item in inter
+                if all(
+                    _truthy(fn(state, (item[0],) + outer, None, None))
+                    for fn in init_res
+                )
+            ]
+        for t, build_fns, probe_fns, res_fns, index_info in steps:
+            if not inter:
+                break  # all conjuncts safe: nothing left can match or raise
+            start, width = ranges[t]
+            end = start + width
+            single = len(build_fns) == 1
+            pfn = probe_fns[0] if single else None
+            if (
+                index_info is not None
+                and len(per_table[t]) >= _index.MIN_INDEX_ROWS
+            ):
+                buckets = _index.hash_index(
+                    state.db.table(index_info[0]), index_info[1]
+                ).pairs
+            else:
+                bfn = build_fns[0] if single else None
+                buckets = {}
+                for pos, row in enumerate(per_table[t]):
+                    chain = (row,) + outer
+                    if single:
+                        key = bfn(state, chain, None, None)
+                        if key is None:
+                            continue
+                    else:
+                        key = tuple(
+                            fn(state, chain, None, None) for fn in build_fns
+                        )
+                        if any(v is None for v in key):
+                            continue
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = [(pos, row)]
+                    else:
+                        bucket.append((pos, row))
+            out = []
+            for padded, positions in inter:
+                chain = (padded,) + outer
+                if single:
+                    key = pfn(state, chain, None, None)
+                    if key is None:
+                        continue
+                else:
+                    key = tuple(fn(state, chain, None, None) for fn in probe_fns)
+                    if any(v is None for v in key):
+                        continue
+                bucket = buckets.get(key)
+                if bucket is None:
+                    continue
+                head = padded[:start]
+                tail = padded[end:]
+                for pos, row in bucket:
+                    combined = head + row + tail
+                    if res_fns:
+                        cchain = (combined,) + outer
+                        ok = True
+                        for fn in res_fns:
+                            if not _truthy(fn(state, cchain, None, None)):
+                                ok = False
+                                break
+                        if not ok:
+                            continue
+                    out.append((combined, positions + (pos,)))
+            inter = out
+        if len(inter) > 1:
+            inter.sort(key=lambda item: position_key(item[1]))
+        rows = [padded for padded, _positions in inter]
+        state.actuals[nid] = len(rows)
+        return rows
+
+    return run
+
+
+class _FromInfo:
+    """Compile-time facts about a FROM clause the runners can exploit."""
+
+    __slots__ = ("node", "table", "unfiltered")
+
+    def __init__(self, node, table=None, unfiltered=False):
+        self.node = node
+        self.table = table
+        self.unfiltered = unfiltered
+
+
+def _build_opt_scan(ctx: _Ctx, name: str, local: _Frame, preds, semi):
+    """Optimizer scan: pick an index driver, order filters by selectivity."""
+    stats = ctx.table_stats(name)
+    base = float(stats.row_count) if stats is not None else None
+    analyzed = []
+    for conjunct, fn in preds:
+        driver, sel = _analyze_pred(conjunct, local, stats)
+        analyzed.append((sel, driver, conjunct, fn))
+    analyzed.sort(key=lambda item: item[0])
+    driver = None
+    driver_at = -1
+    for i, (sel, candidate, _conjunct, _fn) in enumerate(analyzed):
+        if candidate is not None and sel <= 0.5:
+            driver, driver_at = candidate, i
+            break
+    fns_all = tuple(item[3] for item in analyzed)
+    rest_fns = tuple(
+        item[3] for i, item in enumerate(analyzed) if i != driver_at
+    )
+    est = base
+    if est is not None:
+        for sel, _driver, _conjunct, _fn in analyzed:
+            est *= sel
+        if semi is not None:
+            est *= 0.5
+    op = "scan"
+    detail = name
+    if driver is not None:
+        op = "index-scan"
+        detail = f"{name} [{_driver_detail(driver)}]"
+        ctx.meta["index_scans"] += 1
+    if semi is not None:
+        detail += " semi-join"
+    node = ctx.node(op, detail, est_rows=est, est_cost=base)
+    scan = _make_opt_scan(name, fns_all, rest_fns, driver, node.nid, semi)
+    return scan, node, est
+
+
+def _edge_selectivity(ctx: _Ctx, specs, locals_, conjunct, a: int, b: int):
+    """Equi-join selectivity: ``1 / max(ndv)`` over plain key columns."""
+    ndvs = []
+    for expr, t in ((conjunct.left, a), (conjunct.right, b)):
+        col = _plain_column(expr, locals_[t])
+        if col is None:
+            continue
+        stats = ctx.table_stats(specs[t][0].name)
+        if stats is None:
+            continue
+        ndvs.append(stats.column(col).ndv)
+    if ndvs:
+        return 1.0 / max(max(ndvs), 1)
+    return _stats.DEFAULT_EQ_SELECTIVITY
+
+
+def _try_join_reorder(
+    ctx: _Ctx,
+    joins,
+    specs,
+    frames,
+    ranges,
+    locals_,
+    scans,
+    scan_nodes,
+    scan_ests,
+    total_width: int,
+    outer_chain,
+    pushed,
+):
+    """Greedy smallest-intermediate-first join order, or ``None``.
+
+    Eligibility: three or more distinct-binding tables, all INNER joins,
+    every join conjunct statically safe against its written-order prefix
+    frame (so a reference to a later table still errors exactly like the
+    interpreter — such plans are ineligible), and the equi-join graph
+    connects every table.  Non-equi safe conjuncts ride along as residual
+    filters applied at the first step where all their tables are joined.
+    """
+    n = len(specs)
+    if any(est is None for est in scan_ests):
+        return None
+
+    starts = [start for start, _width in ranges]
+
+    def owner_of(slot: int) -> int:
+        for i in range(n - 1, -1, -1):
+            if slot >= starts[i]:
+                return i
+        return 0
+
+    edges: dict = {}
+    residuals: list[tuple[frozenset, Any]] = []
+    for join_index, join in enumerate(joins):
+        if join.condition is None:
+            continue
+        prefix_chain = [frames[join_index + 1]] + outer_chain
+        for conjunct in _split_conjuncts(join.condition):
+            slots: set[int] = set()
+            if not _analyze_safe(conjunct, prefix_chain, ctx, slots):
+                return None
+            if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+                lslots: set[int] = set()
+                rslots: set[int] = set()
+                _analyze_safe(conjunct.left, prefix_chain, ctx, lslots)
+                _analyze_safe(conjunct.right, prefix_chain, ctx, rslots)
+                lown = {owner_of(s) for s in lslots}
+                rown = {owner_of(s) for s in rslots}
+                if len(lown) == 1 and len(rown) == 1 and lown != rown:
+                    a, b = lown.pop(), rown.pop()
+                    sel = _edge_selectivity(ctx, specs, locals_, conjunct, a, b)
+                    entry = (
+                        a,
+                        _compile_expr(conjunct.left, prefix_chain, ctx, None),
+                        _compile_expr(
+                            conjunct.left, [locals_[a]] + outer_chain, ctx, None
+                        ),
+                        b,
+                        _compile_expr(conjunct.right, prefix_chain, ctx, None),
+                        _compile_expr(
+                            conjunct.right, [locals_[b]] + outer_chain, ctx, None
+                        ),
+                        sel,
+                        _plain_column(conjunct.left, locals_[a]),
+                        _plain_column(conjunct.right, locals_[b]),
+                    )
+                    edges.setdefault(frozenset((a, b)), []).append(entry)
+                    continue
+            owners = frozenset(owner_of(s) for s in slots)
+            residuals.append(
+                (owners, _compile_expr(conjunct, prefix_chain, ctx, None))
+            )
+    if not edges:
+        return None
+
+    adj: dict[int, set[int]] = {i: set() for i in range(n)}
+    for pair in edges:
+        a, b = tuple(pair)
+        adj[a].add(b)
+        adj[b].add(a)
+    seen = {0}
+    stack = [0]
+    while stack:
+        for nxt in adj[stack.pop()]:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    if len(seen) != n:
+        return None
+
+    start = min(range(n), key=lambda i: scan_ests[i])
+    order = [start]
+    joined = {start}
+    cur_est = scan_ests[start]
+    while len(joined) < n:
+        best = best_est = None
+        for t in range(n):
+            if t in joined or not (adj[t] & joined):
+                continue
+            sel = 1.0
+            for other in adj[t] & joined:
+                for entry in edges[frozenset((t, other))]:
+                    sel *= entry[6]
+            est = cur_est * scan_ests[t] * sel
+            if best is None or est < best_est:
+                best, best_est = t, est
+        order.append(best)
+        joined.add(best)
+        cur_est = best_est
+    if order == list(range(n)):
+        return None  # written order already optimal: skip the bookkeeping
+
+    steps = []
+    joined = {order[0]}
+    remaining = list(residuals)
+    init_res = tuple(fn for owners, fn in remaining if owners <= joined)
+    remaining = [r for r in remaining if not (r[0] <= joined)]
+    for t in order[1:]:
+        build_fns = []
+        probe_fns = []
+        build_cols: list[str] | None = []
+        for other in adj[t] & joined:
+            for entry in edges[frozenset((t, other))]:
+                if entry[0] == t:
+                    build_fns.append(entry[2])
+                    probe_fns.append(entry[4])
+                    col = entry[7]
+                else:
+                    build_fns.append(entry[5])
+                    probe_fns.append(entry[1])
+                    col = entry[8]
+                if build_cols is not None:
+                    build_cols = build_cols + [col] if col is not None else None
+        joined.add(t)
+        res_fns = tuple(fn for owners, fn in remaining if owners <= joined)
+        remaining = [r for r in remaining if not (r[0] <= joined)]
+        # plain-column build keys over an unfiltered scan can reuse the
+        # cached hash index instead of re-bucketing the table per execution
+        index_info = None
+        if build_cols and not pushed[t]:
+            index_info = (specs[t][0].name, tuple(build_cols))
+            ctx.meta["indexed_joins"] += 1
+        steps.append(
+            (t, tuple(build_fns), tuple(probe_fns), res_fns, index_info)
+        )
+        ctx.meta["hash_joins"] += 1
+    ctx.meta["join_reorders"] += 1
+
+    inv_positions = [order.index(j) for j in range(n)]
+    node = ctx.node(
+        "reorder-join",
+        "exec order: " + " -> ".join(specs[i][0].binding for i in order),
+        est_rows=cur_est,
+        children=[scan_nodes[i] for i in order],
+    )
+    source = _make_reordered_join(
+        scans, ranges, total_width, order, steps, init_res, inv_positions,
+        node.nid,
+    )
+    return source, node
+
+
 def _compile_from(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
     """Compile the FROM clause plus any pushed-down WHERE conjuncts.
 
-    Returns ``(frame, source, filter_fn)`` where ``source(state, outer)``
-    yields the list of flat joined row tuples and ``filter_fn`` is the
-    residual WHERE predicate (``None`` when fully pushed down or absent).
+    Returns ``(frame, source, filter_fn, info)`` where ``source(state,
+    outer)`` yields the list of flat joined row tuples, ``filter_fn`` is
+    the residual WHERE predicate (``None`` when fully pushed down or
+    absent), and ``info`` is a :class:`_FromInfo` with the plan subtree.
     """
     schema = ctx.schema
     if select.from_ is None:
         frame = _Frame()
         filter_fn = _compile_where([], select.where, [frame] + outer_chain, ctx)
-        return frame, (lambda state, outer: _NO_FROM_ROWS), filter_fn
+        node = ctx.node("values", est_rows=1.0)
+        nid = node.nid
+
+        def no_from(state, outer):
+            state.actuals[nid] = 1
+            return _NO_FROM_ROWS
+
+        return frame, no_from, filter_fn, _FromInfo(node)
 
     first, joins = _linearize(select.from_)
     refs = [first] + [join.right for join in joins]
@@ -854,21 +1559,59 @@ def _compile_from(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
         ranges.append((start, len(cols or ())))
     frame = frames[-1]
     complete = all(cols is not None for _, cols in specs)
+    total_width = frame.width
+    optimize = ctx.optimize
+
+    locals_: list[_Frame | None] = [
+        _Frame().extended(ref.binding, cols) if cols is not None else None
+        for ref, cols in specs
+    ]
 
     # ---- WHERE pushdown: only when every conjunct is statically safe ----
+    # (the optimizer extends pushdown to single-table FROMs, and allows one
+    # uncorrelated non-negated `col IN (subquery)` to lower to a semi-join)
     where_chain = [frame] + outer_chain
     pushed: list[list] = [[] for _ in specs]
     residual_where: list[Expr] | None = None
-    if select.where is not None and complete and len(specs) > 1:
+    semi = None
+    if select.where is not None and complete and (len(specs) > 1 or optimize):
         conjuncts = _split_conjuncts(select.where)
         analyzed = []
-        all_safe = True
+        unsafe: list[Expr] = []
         for conjunct in conjuncts:
             slots: set[int] = set()
-            safe = _analyze_safe(conjunct, where_chain, ctx, slots)
-            analyzed.append((conjunct, slots))
-            all_safe = all_safe and safe
-        if all_safe:
+            if _analyze_safe(conjunct, where_chain, ctx, slots):
+                analyzed.append((conjunct, slots))
+            else:
+                unsafe.append(conjunct)
+        eligible = not unsafe
+        if (
+            not eligible
+            and optimize
+            and len(specs) == 1
+            and len(unsafe) == 1
+            and isinstance(unsafe[0], InSubquery)
+            and not unsafe[0].negated
+        ):
+            value_slots: set[int] = set()
+            if _analyze_safe(unsafe[0].expr, where_chain, ctx, value_slots):
+                snapshot = dict(ctx.meta)
+                subplans_len = len(ctx.subplans)
+                sub = _compile_subplan(
+                    unsafe[0].query, where_chain, ctx, _as_in_set
+                )
+                if sub.correlated:
+                    # a correlated subquery must run per source row; fall
+                    # back to the whole-WHERE plan (counters restored)
+                    ctx.meta.clear()
+                    ctx.meta.update(snapshot)
+                    del ctx.subplans[subplans_len:]
+                else:
+                    value_fn = _compile_local(unsafe[0].expr, locals_[0], ctx)
+                    semi = (value_fn, sub)
+                    ctx.meta["semi_joins"] += 1
+                    eligible = True
+        if eligible:
             # the first table and inner-join right sides are pushable; the
             # right side of a LEFT join is not (pre-filtering it would turn
             # matched rows into null-padded ones)
@@ -882,104 +1625,202 @@ def _compile_from(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
                             owner = index
                             break
                 if owner is not None and pushable[owner]:
-                    ref, cols = specs[owner]
-                    local = _Frame().extended(ref.binding, cols or [])
-                    pushed[owner].append(_compile_expr(conjunct, [local], ctx, None))
+                    pushed[owner].append(
+                        (conjunct, _compile_local(conjunct, locals_[owner], ctx))
+                    )
                     ctx.meta["pushed_filters"] += 1
                 else:
                     residual_where.append(conjunct)
 
     scans = []
+    scan_nodes: list[PlanNode] = []
+    scan_ests: list[float | None] = []
     for index, (ref, cols) in enumerate(specs):
+        ctx.meta["table_scans"] += 1
         if cols is None:
             scans.append(_make_missing_scan(ref.name))
+            scan_nodes.append(ctx.node("scan", ref.name))
+            scan_ests.append(None)
+            continue
+        preds = pushed[index]
+        table_semi = semi if index == 0 else None
+        if optimize and (preds or table_semi is not None):
+            scan, node, est = _build_opt_scan(
+                ctx, ref.name, locals_[index], preds, table_semi
+            )
         else:
-            scans.append(_make_scan(ref.name, pushed[index]))
-        ctx.meta["table_scans"] += 1
+            stats = ctx.table_stats(ref.name)
+            est = float(stats.row_count) if stats is not None else None
+            node = ctx.node("scan", ref.name, est_rows=est, est_cost=est)
+            scan = _make_scan(ref.name, [fn for _c, fn in preds], node.nid)
+        scans.append(scan)
+        scan_nodes.append(node)
+        scan_ests.append(est)
 
-    first_scan = scans[0]
-    source = lambda state, outer, _scan=first_scan: _scan(state)  # noqa: E731
+    # ---- join order selection (optimizer, 3+ inner-joined tables) ----
+    reordered = None
+    if (
+        optimize
+        and ctx.db is not None
+        and len(specs) >= 3
+        and complete
+        and all(join.kind == "inner" for join in joins)
+    ):
+        bindings = [ref.binding for ref, _cols in specs]
+        if len(set(bindings)) == len(bindings):
+            reordered = _try_join_reorder(
+                ctx, joins, specs, frames, ranges, locals_, scans,
+                scan_nodes, scan_ests, total_width, outer_chain, pushed,
+            )
 
-    for join_index, join in enumerate(joins):
-        index = join_index + 1
-        right_ref, right_cols = specs[index]
-        right_width = len(right_cols or ())
-        prefix_frame = frames[index - 1]
-        combined_frame = frames[index]
-        combined_chain = [combined_frame] + outer_chain
-        condition = join.condition
-        hash_built = False
-        if (
-            condition is not None
-            and complete
-            and right_ref.binding not in prefix_frame.bindings
-        ):
-            conjuncts = _split_conjuncts(condition)
-            safe_all = True
-            for conjunct in conjuncts:
-                probe: set[int] = set()
-                if not _analyze_safe(conjunct, combined_chain, ctx, probe):
-                    safe_all = False
-                    break
-            if safe_all:
-                left_width = prefix_frame.width
-                prefix_chain = [prefix_frame] + outer_chain
-                right_local = _Frame().extended(right_ref.binding, right_cols or [])
-                right_chain = [right_local] + outer_chain
-                left_keys, right_keys, residuals = [], [], []
+    if reordered is not None:
+        source, source_node = reordered
+    else:
+        first_scan = scans[0]
+        source = lambda state, outer, _scan=first_scan: _scan(state)  # noqa: E731
+        source_node = scan_nodes[0]
+
+        for join_index, join in enumerate(joins):
+            index = join_index + 1
+            right_ref, right_cols = specs[index]
+            right_width = len(right_cols or ())
+            prefix_frame = frames[index - 1]
+            combined_frame = frames[index]
+            combined_chain = [combined_frame] + outer_chain
+            condition = join.condition
+            left_est = source_node.est_rows
+            right_est = scan_ests[index]
+            hash_built = False
+            if (
+                condition is not None
+                and complete
+                and right_ref.binding not in prefix_frame.bindings
+            ):
+                conjuncts = _split_conjuncts(condition)
+                safe_all = True
                 for conjunct in conjuncts:
-                    if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
-                        lslots: set[int] = set()
-                        rslots: set[int] = set()
-                        _analyze_safe(conjunct.left, combined_chain, ctx, lslots)
-                        _analyze_safe(conjunct.right, combined_chain, ctx, rslots)
-                        sides = (_side(lslots, left_width), _side(rslots, left_width))
-                        if sides == ("left", "right"):
-                            left_keys.append(
-                                _compile_expr(conjunct.left, prefix_chain, ctx, None)
+                    probe: set[int] = set()
+                    if not _analyze_safe(conjunct, combined_chain, ctx, probe):
+                        safe_all = False
+                        break
+                if safe_all:
+                    left_width = prefix_frame.width
+                    prefix_chain = [prefix_frame] + outer_chain
+                    right_local = locals_[index]
+                    right_chain = [right_local] + outer_chain
+                    left_keys, right_keys, residuals = [], [], []
+                    right_key_cols: list[str] | None = []
+                    for conjunct in conjuncts:
+                        if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+                            lslots: set[int] = set()
+                            rslots: set[int] = set()
+                            _analyze_safe(conjunct.left, combined_chain, ctx, lslots)
+                            _analyze_safe(conjunct.right, combined_chain, ctx, rslots)
+                            sides = (
+                                _side(lslots, left_width),
+                                _side(rslots, left_width),
                             )
-                            right_keys.append(
-                                _compile_expr(conjunct.right, right_chain, ctx, None)
+                            if sides == ("left", "right"):
+                                left_keys.append(
+                                    _compile_expr(conjunct.left, prefix_chain, ctx, None)
+                                )
+                                right_keys.append(
+                                    _compile_expr(conjunct.right, right_chain, ctx, None)
+                                )
+                                if right_key_cols is not None:
+                                    col = _plain_column(conjunct.right, right_local)
+                                    right_key_cols = (
+                                        right_key_cols + [col]
+                                        if col is not None else None
+                                    )
+                                continue
+                            if sides == ("right", "left"):
+                                left_keys.append(
+                                    _compile_expr(conjunct.right, prefix_chain, ctx, None)
+                                )
+                                right_keys.append(
+                                    _compile_expr(conjunct.left, right_chain, ctx, None)
+                                )
+                                if right_key_cols is not None:
+                                    col = _plain_column(conjunct.left, right_local)
+                                    right_key_cols = (
+                                        right_key_cols + [col]
+                                        if col is not None else None
+                                    )
+                                continue
+                        residuals.append(
+                            _compile_expr(conjunct, combined_chain, ctx, None)
+                        )
+                    if left_keys:
+                        index_info = None
+                        if (
+                            optimize
+                            and right_key_cols
+                            and not pushed[index]
+                        ):
+                            index_info = (right_ref.name, tuple(right_key_cols))
+                            ctx.meta["indexed_joins"] += 1
+                        est = None
+                        if left_est is not None and right_est is not None:
+                            est = (
+                                left_est * right_est
+                                * _stats.DEFAULT_EQ_SELECTIVITY
                             )
-                            continue
-                        if sides == ("right", "left"):
-                            left_keys.append(
-                                _compile_expr(conjunct.right, prefix_chain, ctx, None)
-                            )
-                            right_keys.append(
-                                _compile_expr(conjunct.left, right_chain, ctx, None)
-                            )
-                            continue
-                    residuals.append(
-                        _compile_expr(conjunct, combined_chain, ctx, None)
+                        join_node = ctx.node(
+                            "hash-join",
+                            f"{join.kind} {right_ref.binding}"
+                            + (" [indexed]" if index_info else ""),
+                            est_rows=est,
+                            children=[source_node, scan_nodes[index]],
+                        )
+                        source = _make_hash_join(
+                            source,
+                            scans[index],
+                            join.kind,
+                            left_keys,
+                            right_keys,
+                            residuals,
+                            right_width,
+                            join_node.nid,
+                            index_info,
+                        )
+                        source_node = join_node
+                        ctx.meta["hash_joins"] += 1
+                        hash_built = True
+            if not hash_built:
+                cond_fn = (
+                    _compile_expr(condition, combined_chain, ctx, None)
+                    if condition is not None
+                    else None
+                )
+                est = None
+                if left_est is not None and right_est is not None:
+                    est = left_est * right_est * (
+                        1.0 if condition is None else 0.25
                     )
-                if left_keys:
-                    source = _make_hash_join(
-                        source,
-                        scans[index],
-                        join.kind,
-                        left_keys,
-                        right_keys,
-                        residuals,
-                        right_width,
-                    )
-                    ctx.meta["hash_joins"] += 1
-                    hash_built = True
-        if not hash_built:
-            cond_fn = (
-                _compile_expr(condition, combined_chain, ctx, None)
-                if condition is not None
-                else None
-            )
-            source = _make_nested_join(
-                source, scans[index], join.kind, cond_fn, right_width
-            )
-            ctx.meta["nested_loop_joins"] += 1
+                join_node = ctx.node(
+                    "nested-loop-join",
+                    f"{join.kind} {right_ref.binding}",
+                    est_rows=est,
+                    children=[source_node, scan_nodes[index]],
+                )
+                source = _make_nested_join(
+                    source, scans[index], join.kind, cond_fn, right_width,
+                    join_node.nid,
+                )
+                source_node = join_node
+                ctx.meta["nested_loop_joins"] += 1
 
     filter_fn = _compile_where(
         residual_where, select.where, where_chain, ctx
     )
-    return frame, source, filter_fn
+    single = len(specs) == 1 and specs[0][1] is not None
+    info = _FromInfo(
+        source_node,
+        table=specs[0][0].name if single else None,
+        unfiltered=single and not pushed[0] and semi is None,
+    )
+    return frame, source, filter_fn, info
 
 
 def _compile_where(residual, where, chain, ctx):
@@ -1048,10 +1889,13 @@ def _alias_map(select: Select, row_len: int) -> dict[str, int] | None:
 def _compile_projection(select: Select, frame: _Frame, chain, ctx):
     """Compile the projection: output columns + per-row projector.
 
-    Returns ``(columns_fn, project, row_len)``.  ``columns_fn(had_rows)``
+    Returns ``(columns_fn, project, row_len, safe)``.  ``columns_fn(had_rows)``
     reproduces the interpreter's output-column rules: stars expand to
     ``binding.column`` names only when rows survived the WHERE filter, an
     unexpandable star raises only then, and otherwise renders as ``"*"``.
+    ``safe`` is True when the projector is one of the statically error-free
+    slot-copy fast paths (a prerequisite for the fused index top-k, which
+    projects only the rows it returns).
     """
     cols_with: list[str] = []
     cols_empty: list[str] = []
@@ -1090,7 +1934,7 @@ def _compile_projection(select: Select, frame: _Frame, chain, ctx):
         and isinstance(parts[0], list)
         and parts[0] == list(range(frame.width))
     ):
-        return columns_fn, (lambda state, rows_chain: rows_chain[0]), row_len
+        return columns_fn, (lambda state, rows_chain: rows_chain[0]), row_len, True
     slot_parts: list[int] | None = []
     for item in select.items:
         if isinstance(item.expr, ColumnRef):
@@ -1105,9 +1949,11 @@ def _compile_projection(select: Select, frame: _Frame, chain, ctx):
             slot = slot_parts[0]
             return columns_fn, (
                 lambda state, rows_chain: (rows_chain[0][slot],)
-            ), row_len
+            ), row_len, True
         getter = itemgetter(*slot_parts)
-        return columns_fn, (lambda state, rows_chain: getter(rows_chain[0])), row_len
+        return columns_fn, (
+            lambda state, rows_chain: getter(rows_chain[0])
+        ), row_len, True
 
     def project(state, rows_chain):
         row0 = rows_chain[0]
@@ -1120,19 +1966,72 @@ def _compile_projection(select: Select, frame: _Frame, chain, ctx):
                 values.append(part(state, rows_chain, None, None))
         return tuple(values)
 
-    return columns_fn, project, row_len
+    return columns_fn, project, row_len, False
+
+
+def _topk_rows(keyed, order_by, limit: int):
+    """Exactly ``_sort_rows(keyed, order_by)[:limit]``, via a bounded heap.
+
+    Valid only when every ORDER BY key shares one direction:
+    ``heapq.nsmallest``/``nlargest`` are documented equivalents of
+    ``sorted(...)[:n]`` / ``sorted(..., reverse=True)[:n]``, which match
+    the reference's stable multi-pass sort when directions are uniform.
+    """
+    if len(order_by) == 1:
+        def key(pair):
+            return sort_key(pair[0][0])
+    else:
+        def key(pair):
+            return tuple(sort_key(k) for k in pair[0])
+    if order_by[0].descending:
+        top = heapq.nlargest(limit, keyed, key=key)
+    else:
+        top = heapq.nsmallest(limit, keyed, key=key)
+    return [row for _keys, row in top]
 
 
 def _compile_select(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
-    frame, source, filter_fn = _compile_from(select, outer_chain, ctx)
+    frame, source, filter_fn, info = _compile_from(select, outer_chain, ctx)
     chain = [frame] + outer_chain
     if bool(select.group_by) or _select_uses_aggregates(select):
-        return _compile_aggregated_runner(select, chain, ctx, source, filter_fn)
-    return _compile_plain_runner(select, chain, ctx, source, filter_fn)
+        return _compile_aggregated_runner(
+            select, chain, ctx, source, filter_fn, info
+        )
+    return _compile_plain_runner(select, chain, ctx, source, filter_fn, info)
 
 
-def _compile_plain_runner(select: Select, chain, ctx, source, filter_fn):
-    columns_fn, project, row_len = _compile_projection(select, chain[0], chain, ctx)
+def _order_detail(select: Select) -> str:
+    parts = []
+    if select.distinct:
+        parts.append("distinct")
+    if select.order_by:
+        parts.append(
+            "order by "
+            + ", ".join(
+                to_sql(item.expr) + (" desc" if item.descending else "")
+                for item in select.order_by
+            )
+        )
+    if select.limit is not None:
+        parts.append(f"limit {select.limit}")
+    return " ".join(parts)
+
+
+def _use_topk(select: Select, ctx: _Ctx, order_fns) -> bool:
+    return bool(
+        ctx.optimize
+        and order_fns
+        and select.limit is not None
+        and select.limit >= 0
+        and not select.distinct
+        and len({item.descending for item in select.order_by}) == 1
+    )
+
+
+def _compile_plain_runner(select: Select, chain, ctx, source, filter_fn, info):
+    columns_fn, project, row_len, safe_project = _compile_projection(
+        select, chain[0], chain, ctx
+    )
     aliases = _alias_map(select, row_len) if select.order_by else None
     order_fns = [
         _compile_expr(item.expr, chain, ctx, aliases) for item in select.order_by
@@ -1142,10 +2041,61 @@ def _compile_plain_runner(select: Select, chain, ctx, source, filter_fn):
     limit = select.limit
     ordered = bool(order_by)
 
+    use_topk = _use_topk(select, ctx, order_fns)
+    # fused sorted-index top-k: a bare single-table ORDER BY <column>
+    # LIMIT k with a statically safe projection reads the first k
+    # positions straight off the sorted index — every skipped row would
+    # have been processed by closures that cannot raise, so skipping them
+    # is invisible except in speed
+    fused_col = None
+    if (
+        use_topk
+        and limit > 0
+        and len(order_by) == 1
+        and info.table is not None
+        and info.unfiltered
+        and filter_fn is None
+        and safe_project
+    ):
+        oexpr = order_by[0].expr
+        if isinstance(oexpr, ColumnRef) and (
+            oexpr.table is not None
+            or aliases is None
+            or oexpr.column.lower() not in aliases
+        ):
+            cands = _resolve(chain, ctx, oexpr.table, oexpr.column)
+            if len(cands) == 1 and cands[0][0] == 0 and cands[0][1] >= 0:
+                fused_col = (
+                    ctx.schema.table(info.table)
+                    .columns[cands[0][1]]
+                    .name.lower()
+                )
+    if use_topk:
+        ctx.meta["topk_sorts"] += 1
+
+    top_node = info.node
+    filter_nid = -1
+    if filter_fn is not None:
+        top_node = ctx.node("filter", "where", children=[top_node])
+        filter_nid = top_node.nid
+    child_est = top_node.est_rows
+    est = child_est
+    if limit is not None and limit >= 0 and (est is None or est > limit):
+        est = float(limit)
+    detail = _order_detail(select)
+    if fused_col is not None:
+        detail = f"index top-k on {fused_col} " + detail
+    elif use_topk:
+        detail = "heap top-k " + detail
+    node = ctx.node("project", detail.strip(), est_rows=est,
+                    children=[top_node])
+    nid = node.nid
+
     def run(state, outer):
         rows0 = source(state, outer)
         if filter_fn is not None:
             rows0 = [r for r in rows0 if filter_fn(state, (r,) + outer)]
+            state.actuals[filter_nid] = len(rows0)
         columns = columns_fn(bool(rows0))
         if order_fns:
             keyed = []
@@ -1154,6 +2104,10 @@ def _compile_plain_runner(select: Select, chain, ctx, source, filter_fn):
                 row = project(state, rows_chain)
                 keys = [fn(state, rows_chain, None, row) for fn in order_fns]
                 keyed.append((keys, row))
+            if use_topk:
+                projected = _topk_rows(keyed, order_by, limit)
+                state.actuals[nid] = len(projected)
+                return Result(columns=columns, rows=projected, ordered=True)
             projected = _sort_rows(keyed, order_by)
         else:
             projected = [project(state, (r,) + outer) for r in rows0]
@@ -1161,12 +2115,35 @@ def _compile_plain_runner(select: Select, chain, ctx, source, filter_fn):
             projected = _distinct(projected)
         if limit is not None:
             projected = projected[:limit]
+        state.actuals[nid] = len(projected)
         return Result(columns=columns, rows=projected, ordered=ordered)
 
-    return run
+    if fused_col is not None:
+        generic_run = run
+        table_name = info.table
+        descending = order_by[0].descending
+        column = fused_col
+
+        def run(state, outer):
+            table = state.db.table(table_name)
+            raw = table.rows
+            if len(raw) < _index.MIN_INDEX_ROWS:
+                return generic_run(state, outer)
+            idx = _index.sorted_index(table, column)
+            positions = idx.desc if descending else idx.asc
+            projected = [
+                project(state, (raw[p],) + outer) for p in positions[:limit]
+            ]
+            state.actuals[nid] = len(projected)
+            return Result(
+                columns=columns_fn(bool(raw)), rows=projected, ordered=True
+            )
+
+    return run, node
 
 
-def _compile_aggregated_runner(select: Select, chain, ctx, source, filter_fn):
+def _compile_aggregated_runner(select: Select, chain, ctx, source, filter_fn,
+                               info):
     group_fns = [_compile_expr(e, chain, ctx, None) for e in select.group_by]
     having_fn = (
         _compile_expr(select.having, chain, ctx, None)
@@ -1189,10 +2166,29 @@ def _compile_aggregated_runner(select: Select, chain, ctx, source, filter_fn):
     limit = select.limit
     ordered = bool(order_by)
 
+    use_topk = _use_topk(select, ctx, order_fns)
+    if use_topk:
+        ctx.meta["topk_sorts"] += 1
+    top_node = info.node
+    filter_nid = -1
+    if filter_fn is not None:
+        top_node = ctx.node("filter", "where", children=[top_node])
+        filter_nid = top_node.nid
+    detail = (
+        ("group by " + ", ".join(to_sql(e) for e in select.group_by) + " "
+         if select.group_by else "")
+        + ("having " if select.having is not None else "")
+        + ("heap top-k " if use_topk else "")
+        + _order_detail(select)
+    )
+    node = ctx.node("aggregate", detail.strip(), children=[top_node])
+    nid = node.nid
+
     def run(state, outer):
         rows0 = source(state, outer)
         if filter_fn is not None:
             rows0 = [r for r in rows0 if filter_fn(state, (r,) + outer)]
+            state.actuals[filter_nid] = len(rows0)
         if group_fns:
             keyed_groups: dict = {}
             order: list = []
@@ -1223,20 +2219,29 @@ def _compile_aggregated_runner(select: Select, chain, ctx, source, filter_fn):
             else:
                 out_rows.append(row)
         if order_fns:
+            if use_topk:
+                out_rows = _topk_rows(keyed, order_by, limit)
+                state.actuals[nid] = len(out_rows)
+                return Result(
+                    columns=list(agg_columns), rows=out_rows, ordered=True
+                )
             out_rows = _sort_rows(keyed, order_by)
         if distinct:
             out_rows = _distinct(out_rows)
         if limit is not None:
             out_rows = out_rows[:limit]
+        state.actuals[nid] = len(out_rows)
         return Result(columns=list(agg_columns), rows=out_rows, ordered=ordered)
 
-    return run
+    return run, node
 
 
 def _compile_setop(query: SetOperation, outer_chain: list[_Frame], ctx: _Ctx):
-    left_run = _compile_query_runner(query.left, outer_chain, ctx)
-    right_run = _compile_query_runner(query.right, outer_chain, ctx)
+    left_run, left_node = _compile_query_runner(query.left, outer_chain, ctx)
+    right_run, right_node = _compile_query_runner(query.right, outer_chain, ctx)
     op = query.op
+    node = ctx.node("set-op", op, children=[left_node, right_node])
+    nid = node.nid
 
     def run(state, outer):
         left = left_run(state, outer)
@@ -1258,9 +2263,10 @@ def _compile_setop(query: SetOperation, outer_chain: list[_Frame], ctx: _Ctx):
             rows = _distinct([row for row in left.rows if row not in right_set])
         else:  # pragma: no cover - parser only produces the four ops
             raise ExecutionError(f"unknown set operation {op!r}")
+        state.actuals[nid] = len(rows)
         return Result(columns=left.columns, rows=rows, ordered=False)
 
-    return run
+    return run, node
 
 
 def _compile_query_runner(query: Query, outer_chain: list[_Frame], ctx: _Ctx):
@@ -1277,16 +2283,24 @@ class CompiledPlan:
 
     Valid for any :class:`Database` whose schema matches the one the plan
     was compiled against (the test-suite metric runs one plan over all
-    fuzzed database variants).
+    fuzzed database variants).  A plan compiled with a database borrows
+    that database's statistics for its estimates; running it against a
+    different schema-compatible database still returns identical results —
+    the estimates just stop being representative.
     """
 
-    __slots__ = ("query", "schema", "meta", "_runner")
+    __slots__ = ("query", "schema", "meta", "_runner", "root", "subplans",
+                 "optimized")
 
-    def __init__(self, query: Query, schema: Schema, meta, runner) -> None:
+    def __init__(self, query: Query, schema: Schema, meta, runner,
+                 root=None, subplans=(), optimized: bool = False) -> None:
         self.query = query
         self.schema = schema
         self.meta = meta
         self._runner = runner
+        self.root = root
+        self.subplans = list(subplans)
+        self.optimized = optimized
 
     def run(self, db: Database) -> Result:
         """Execute against *db* and return the :class:`Result`."""
@@ -1296,18 +2310,74 @@ class CompiledPlan:
         """Operator counts chosen at compile time (scans, join kinds, ...)."""
         return dict(self.meta)
 
+    def explain(self, db: Database | None = None) -> str:
+        """Render the physical plan tree with row/cost estimates.
 
-def compile_query(query: Query, schema: Schema) -> CompiledPlan:
-    """Lower *query* into a :class:`CompiledPlan` for *schema* (uncached)."""
-    ctx = _Ctx(schema)
-    runner = _compile_query_runner(query, [], ctx)
-    return CompiledPlan(query, schema, ctx.meta, runner)
+        With *db*, the plan executes once so each operator line also shows
+        the actual row count it produced; execution errors are reported
+        inline rather than raised (EXPLAIN should never fail on a query
+        whose *execution* fails — that is the answer being asked for).
+        """
+        actuals = None
+        error = None
+        if db is not None:
+            state = _ExecState(db)
+            try:
+                self._runner(state, ())
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+            actuals = state.actuals
+        header = "optimized" if self.optimized else "unoptimized"
+        lines = [f"-- plan ({header})", self.root.render(actuals)]
+        for subplan in self.subplans:
+            lines.append(subplan.render(actuals))
+        if error is not None:
+            lines.append(f"-- execution failed: {error}")
+        return "\n".join(lines)
+
+
+def compile_query(
+    query: Query,
+    schema: Schema,
+    db: Database | None = None,
+    optimize: bool | None = None,
+) -> CompiledPlan:
+    """Lower *query* into a :class:`CompiledPlan` for *schema* (uncached).
+
+    With the optimizer on, *db* supplies table statistics for selectivity
+    and join-order estimation; without it the stats-free optimizations
+    (index drivers, predicate ordering, top-k sorts) still apply.
+    """
+    if optimize is None:
+        optimize = _OPTIMIZER_ENABLED
+    ctx = _Ctx(schema, db if optimize else None, optimize)
+    runner, root = _compile_query_runner(query, [], ctx)
+    return CompiledPlan(query, schema, ctx.meta, runner, root, ctx.subplans,
+                        optimize)
+
+
+def explain(sql: str, db: Database) -> str:
+    """EXPLAIN *sql* on *db*: the physical tree, estimates vs. actuals."""
+    plan = compile_query(_parse_cached(sql), db.schema, db)
+    return plan.explain(db)
+
+
+def _env_size(name: str, default: int) -> int:
+    try:
+        return max(1, int(os.environ.get(name, default)))
+    except ValueError:
+        return default
 
 
 _PLAN_CACHE: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
-_PLAN_CACHE_MAX = 512
+_PLAN_CACHE_MAX = _env_size("REPRO_SQL_PLAN_CACHE_SIZE", 512)
 _plan_hits = 0
 _plan_misses = 0
+
+_PARSE_CACHE: "OrderedDict[str, Query]" = OrderedDict()
+_PARSE_CACHE_MAX = _env_size("REPRO_SQL_PARSE_CACHE_SIZE", 2048)
+_parse_hits = 0
+_parse_misses = 0
 
 _schema_tokens: dict[int, int] = {}
 _token_counter = count(1)
@@ -1331,50 +2401,96 @@ def _schema_token(schema: Schema):
     return token
 
 
-def plan_for(query: Query, schema: Schema) -> CompiledPlan:
+def plan_for(
+    query: Query, schema: Schema, db: Database | None = None
+) -> CompiledPlan:
     """Compile-or-fetch the plan for (*query*, *schema*).
 
     The cache is a bounded LRU; AST nodes are frozen dataclasses, so the
-    query itself is the key.
+    query itself is the key (plus the optimizer flag, so toggling the
+    optimizer never resurrects plans built under the other setting).  *db*
+    only feeds statistics into the first compile — the cached plan runs
+    against any schema-compatible database.
     """
     global _plan_hits, _plan_misses
-    key = (query, _schema_token(schema))
+    key = (query, _schema_token(schema), _OPTIMIZER_ENABLED)
     plan = _PLAN_CACHE.get(key)
     if plan is not None:
         _PLAN_CACHE.move_to_end(key)
         _plan_hits += 1
         return plan
     _plan_misses += 1
-    plan = compile_query(query, schema)
+    plan = compile_query(query, schema, db)
     _PLAN_CACHE[key] = plan
-    if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
         _PLAN_CACHE.popitem(last=False)
     return plan
 
 
-@lru_cache(maxsize=2048)
 def _parse_cached(sql: str) -> Query:
-    return parse_sql(sql)
+    """Parse *sql* through a bounded LRU (parse errors are not cached)."""
+    global _parse_hits, _parse_misses
+    query = _PARSE_CACHE.get(sql)
+    if query is not None:
+        _PARSE_CACHE.move_to_end(sql)
+        _parse_hits += 1
+        return query
+    _parse_misses += 1
+    query = parse_sql(sql)
+    _PARSE_CACHE[sql] = query
+    while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
+        _PARSE_CACHE.popitem(last=False)
+    return query
 
 
-def compile_sql(sql: str, schema: Schema) -> CompiledPlan:
+def compile_sql(
+    sql: str, schema: Schema, db: Database | None = None
+) -> CompiledPlan:
     """Parse (cached) and plan (cached) *sql* for *schema*."""
-    return plan_for(_parse_cached(sql), schema)
+    return plan_for(_parse_cached(sql), schema, db)
 
 
 def plan_cache_stats() -> dict[str, int]:
     """Plan-cache effectiveness counters (size / hits / misses)."""
     return {
         "size": len(_PLAN_CACHE),
+        "max_size": _PLAN_CACHE_MAX,
         "hits": _plan_hits,
         "misses": _plan_misses,
     }
 
 
+def parse_cache_stats() -> dict[str, int]:
+    """Parse-cache effectiveness counters (size / hits / misses)."""
+    return {
+        "size": len(_PARSE_CACHE),
+        "max_size": _PARSE_CACHE_MAX,
+        "hits": _parse_hits,
+        "misses": _parse_misses,
+    }
+
+
+def configure_caches(
+    plan_size: int | None = None, parse_size: int | None = None
+) -> None:
+    """Resize the plan/parse LRU caches, evicting oldest entries to fit."""
+    global _PLAN_CACHE_MAX, _PARSE_CACHE_MAX
+    if plan_size is not None:
+        _PLAN_CACHE_MAX = max(1, plan_size)
+        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    if parse_size is not None:
+        _PARSE_CACHE_MAX = max(1, parse_size)
+        while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
+            _PARSE_CACHE.popitem(last=False)
+
+
 def clear_plan_caches() -> None:
     """Drop all cached plans and parses (for tests and benchmarks)."""
-    global _plan_hits, _plan_misses
+    global _plan_hits, _plan_misses, _parse_hits, _parse_misses
     _PLAN_CACHE.clear()
-    _parse_cached.cache_clear()
+    _PARSE_CACHE.clear()
     _plan_hits = 0
     _plan_misses = 0
+    _parse_hits = 0
+    _parse_misses = 0
