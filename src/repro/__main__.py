@@ -10,6 +10,8 @@ the survey's Fig. 1.  Options::
     python -m repro --demo                # non-interactive scripted demo
     python -m repro lint --sql "..."      # SQL static analysis (repro-lint)
     python -m repro explain "SELECT ..."  # physical plan + cost estimates
+    python -m repro trace "SELECT ..."    # span tree for one traced query
+    python -m repro --trace               # REPL with per-stage trace output
 
 Inside the REPL: ``\\schema`` prints the schema, ``\\reset`` clears the
 conversation, ``\\quit`` exits.
@@ -44,8 +46,12 @@ def build_interface(domain: str, seed: int, model: str | None):
     return db, NaturalLanguageInterface(db, model=model)
 
 
-def answer_one(nli: NaturalLanguageInterface, question: str) -> None:
+def answer_one(
+    nli: NaturalLanguageInterface, question: str, show_trace: bool = False
+) -> None:
     answer = nli.ask(question)
+    if show_trace:
+        _print_trace(answer)
     if not answer.ok:
         print(f"  (could not answer: {answer.trace.error})")
         return
@@ -60,6 +66,16 @@ def answer_one(nli: NaturalLanguageInterface, question: str) -> None:
         print(f"  ... {len(answer.rows) - 8} more row(s)")
 
 
+def _print_trace(answer) -> None:
+    """Print the stage-by-stage pipeline trace, plus its span tree."""
+    for line in answer.trace.describe().splitlines():
+        print(f"  | {line}")
+    span = answer.trace.span
+    if span is not None:
+        for line in span.render().rstrip().splitlines():
+            print(f"  | {line}")
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -71,6 +87,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sql.explain_cli import main as explain_main
 
         return explain_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.trace_cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )
@@ -87,7 +107,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--demo", action="store_true", help="run a scripted demo and exit"
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the pipeline stage trace (and span tree) per answer",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace:
+        from repro.obs import trace as obs_trace
+
+        obs_trace.enable()
 
     db, nli = build_interface(args.domain, args.seed, args.model)
     print(
@@ -101,7 +131,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         for question in questions:
             print(f"\n> {question}")
-            answer_one(nli, question)
+            answer_one(nli, question, show_trace=args.trace)
         return 0
 
     print("ask questions in natural language; \\schema \\reset \\quit")
@@ -122,7 +152,7 @@ def main(argv: list[str] | None = None) -> int:
             nli.reset()
             print("  (conversation cleared)")
             continue
-        answer_one(nli, line)
+        answer_one(nli, line, show_trace=args.trace)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from repro.data.database import Database
 from repro.data.schema import Schema
 from repro.errors import ReproError, SQLError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.parsers.base import ParseRequest, Parser
 from repro.parsers.vis.base import VisParser
 from repro.sql.ast import Query
@@ -32,6 +34,15 @@ from repro.sql.lint import LintReport, Severity, lint_query
 from repro.sql.unparser import to_sql
 from repro.systems.base import wants_visualization
 from repro.vis.charts import Chart, render_chart
+
+_registry = _obs_metrics.get_registry()
+_RUNS = _registry.counter("repro.pipeline.runs")
+_ERRORS = _registry.counter("repro.pipeline.errors")
+
+
+def _stage_seconds(name: str) -> "_obs_metrics.Histogram":
+    """Fetch-or-create the latency histogram for one pipeline stage."""
+    return _registry.histogram(f"repro.pipeline.stage.{name}.seconds")
 
 
 @dataclass
@@ -45,7 +56,13 @@ class StageRecord:
 
 @dataclass
 class PipelineTrace:
-    """The observable record of one request's path through Fig. 1."""
+    """The observable record of one request's path through Fig. 1.
+
+    ``stages`` is always recorded; ``span`` is additionally set to the
+    ``repro.pipeline.run`` root span (with one child per stage) when
+    :mod:`repro.obs.trace` tracing is enabled, so the same request shows
+    up in span trees next to the SQL engine's per-operator spans.
+    """
 
     question: str
     stages: list[StageRecord] = field(default_factory=list)
@@ -53,6 +70,7 @@ class PipelineTrace:
     result: Result | None = None
     chart: Chart | None = None
     error: str | None = None
+    span: object | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -165,6 +183,43 @@ class Pipeline:
         knowledge: str | None = None,
         history: list | None = None,
     ) -> PipelineTrace:
+        """Run one natural-language request through the Fig. 1 pipeline.
+
+        Stages: *preprocess* (query/visualization intent), *translate*
+        (the configured SQL or Vis parser), optional *lint* (the
+        :class:`LintGate` candidate filter, when configured), *execute*
+        (SQL engine or chart renderer), and *present*.  Never raises on a
+        failed request: the returned :class:`PipelineTrace` records every
+        stage that ran, its rendered output and wall time, plus ``error``
+        when a stage failed.  *knowledge* is an optional external-
+        knowledge string (BIRD-style); *history* is the list of prior
+        ``(question, Query)`` turns for conversational follow-ups.
+
+        Observability: every run increments ``repro.pipeline.runs`` (and
+        ``repro.pipeline.errors`` on failure) and feeds the per-stage
+        ``repro.pipeline.stage.<name>.seconds`` latency histograms; with
+        tracing enabled the run also emits a ``repro.pipeline.run`` span
+        tree, attached to the trace as ``trace.span``.
+        """
+        _RUNS.inc()
+        if _obs_trace._ENABLED:
+            with _obs_trace.span("repro.pipeline.run", question=question) as span:
+                trace = self._run_stages(question, db, knowledge, history)
+                span.set_attr("error", trace.error)
+                trace.span = span
+        else:
+            trace = self._run_stages(question, db, knowledge, history)
+        if trace.error is not None:
+            _ERRORS.inc()
+        return trace
+
+    def _run_stages(
+        self,
+        question: str,
+        db: Database,
+        knowledge: str | None,
+        history: list | None,
+    ) -> PipelineTrace:
         trace = PipelineTrace(question=question)
 
         is_vis = self._stage(
@@ -263,13 +318,16 @@ class Pipeline:
     # ------------------------------------------------------------------
     def _stage(self, trace: PipelineTrace, name: str, fn, render):
         start = time.perf_counter()
-        value = fn()
+        if _obs_trace._ENABLED:
+            with _obs_trace.span(f"repro.pipeline.stage.{name}") as span:
+                value = fn()
+                span.set_attr("output", render(value))
+        else:
+            value = fn()
+        seconds = time.perf_counter() - start
+        _stage_seconds(name).observe(seconds)
         trace.stages.append(
-            StageRecord(
-                stage=name,
-                output=render(value),
-                seconds=time.perf_counter() - start,
-            )
+            StageRecord(stage=name, output=render(value), seconds=seconds)
         )
         return value
 

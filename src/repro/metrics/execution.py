@@ -24,12 +24,19 @@ from typing import Union
 
 from repro.data.database import Database
 from repro.errors import SQLError
+from repro.obs import metrics as _obs_metrics
 from repro.sql.executor import Result, execute
 from repro.sql.parser import parse_sql
 from repro.sql.plan import compile_sql
 
 _GOLD_MISS = object()
 _GOLD_CACHE_MAX = 256
+
+_registry = _obs_metrics.get_registry()
+_GOLD_HITS = _registry.counter("repro.metrics.execution.gold_cache.hits")
+_GOLD_MISSES = _registry.counter("repro.metrics.execution.gold_cache.misses")
+_EXEC_MATCHES = _registry.counter("repro.metrics.execution.matches")
+_EXEC_MISMATCHES = _registry.counter("repro.metrics.execution.mismatches")
 
 
 def _gold_result_cached(
@@ -50,6 +57,7 @@ def _gold_result_cached(
     store: OrderedDict = cache[1]
     result = store.get(gold, _GOLD_MISS)
     if result is _GOLD_MISS:
+        _GOLD_MISSES.inc()
         try:
             result = execute(query if query is not None else parse_sql(gold), db)
         except SQLError as exc:
@@ -58,12 +66,24 @@ def _gold_result_cached(
         if len(store) > _GOLD_CACHE_MAX:
             store.popitem(last=False)
     else:
+        _GOLD_HITS.inc()
         store.move_to_end(gold)
     return result
 
 
 def execution_match(predicted: str, gold: str, db: Database) -> bool:
-    """Compare execution results of *predicted* and *gold* on *db*."""
+    """Compare execution results of *predicted* and *gold* on *db*.
+
+    Returns ``False`` (never raises) when either query fails to parse or
+    execute; outcome tallies land on the
+    ``repro.metrics.execution.matches`` / ``.mismatches`` counters.
+    """
+    matched = _execution_match(predicted, gold, db)
+    (_EXEC_MATCHES if matched else _EXEC_MISMATCHES).inc()
+    return matched
+
+
+def _execution_match(predicted: str, gold: str, db: Database) -> bool:
     gold_result = _gold_result_cached(gold, db)
     if isinstance(gold_result, SQLError):
         return False

@@ -1,0 +1,75 @@
+"""Unified observability for the repro stack: tracing, metrics, profiling.
+
+The survey's Fig. 1 workflow is a multi-stage pipeline (NL → parse →
+candidate pruning → execution → feedback); operating it at any scale
+requires knowing where time and failures go *per stage and per operator*,
+not per whole query.  ``repro.obs`` is the zero-dependency subsystem the
+rest of the library reports into:
+
+- :mod:`repro.obs.trace` — hierarchical wall-time spans with structured
+  attributes, a thread-local active-span stack, an injectable clock, and
+  a no-op fast path that makes disabled instrumentation near-free
+  (< 5% on the optimizer benchmark, enforced by
+  ``benchmarks/bench_obs_overhead.py``);
+- :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  (plain or callback-backed), and fixed-bucket histograms under the
+  ``repro.<area>.<object>.<measure>`` naming scheme;
+- :mod:`repro.obs.trace_cli` — ``python -m repro trace "SELECT ..."``,
+  which runs one query through parse → lint → plan → execute and prints
+  the resulting span tree with per-operator row counts matching
+  ``explain()``.
+
+Instrumented layers: ``core.pipeline`` (per-stage spans + latency
+histograms), ``sql.plan``/``sql.executor`` (parse/compile/execute spans,
+per-operator timings and actual row counts, cache counters re-registered
+as callback gauges), ``metrics.execution``/``metrics.test_suite``
+(evaluation-loop spans and accept/reject counters), and
+``systems.session`` (per-turn spans).
+
+Quick use::
+
+    from repro.obs import trace
+    with trace.tracing() as roots:
+        nli.ask("How many products are there?")
+    print(roots[0].render())
+
+    from repro.obs import metrics
+    print(metrics.get_registry().snapshot())
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    annotate,
+    current_span,
+    span,
+    take_roots,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "annotate",
+    "current_span",
+    "get_registry",
+    "metrics",
+    "span",
+    "take_roots",
+    "trace",
+    "tracing",
+]

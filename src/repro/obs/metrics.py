@@ -1,0 +1,229 @@
+"""Process-wide metrics registry — the aggregation half of :mod:`repro.obs`.
+
+Where spans (:mod:`repro.obs.trace`) answer "where did *this* request's
+time go", metrics answer "what has the process done so far": monotonically
+increasing :class:`Counter`\\ s, point-in-time :class:`Gauge`\\ s (plain or
+callback-backed, so existing counters like the plan-cache hit totals in
+:mod:`repro.sql.plan` re-register here without any hot-path cost), and
+fixed-boundary :class:`Histogram`\\ s for latency distributions.
+
+Naming scheme (documented in DESIGN.md): dot-separated
+``repro.<area>.<object>.<measure>`` — e.g. ``repro.sql.plan.cache.hits``,
+``repro.pipeline.stage.execute.seconds``, ``repro.session.turns``.  The
+default :class:`MetricsRegistry` is a process singleton
+(:func:`get_registry`); tests get a clean slate from the autouse
+``_obs_reset`` fixture in ``tests/conftest.py``, which calls
+:meth:`MetricsRegistry.reset` after every test.
+
+Instruments are created on first use and returned on every subsequent
+request for the same name; asking for an existing name as a different
+instrument kind raises ``TypeError`` (a name can only ever mean one
+thing).  Creation is lock-protected; the increment/observe hot paths are
+plain attribute updates relying on the GIL, exactly like collectors in
+production metrics clients.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: Seconds-denominated boundaries spanning 100µs–5s, the range the
+#: pipeline and SQL engine actually occupy (see BENCH_*.json).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (requests served, cache probes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1) to the counter."""
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or callback-backed.
+
+    A callback gauge (``fn=...``) reads its source of truth lazily at
+    snapshot time — the pattern used to mirror the plan/parse cache
+    counters of :mod:`repro.sql.plan` into the registry with zero cost on
+    the cache hot path.
+    """
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None) -> None:
+        self.name = name
+        self._value: float = 0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Set the gauge (and detach any callback)."""
+        self._fn = None
+        self._value = value
+
+    def set_function(self, fn: Callable[[], float] | None) -> None:
+        """Back the gauge by *fn*, read at every snapshot."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+    def reset(self) -> None:
+        """Zero an explicit gauge; callback gauges keep their source."""
+        if self._fn is None:
+            self._value = 0
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-boundary histogram with Prometheus ``le`` bucket semantics.
+
+    ``boundaries`` are inclusive upper bounds in ascending order; an
+    observation lands in the first bucket whose boundary is >= the value
+    (so a value exactly on an edge belongs to that edge's bucket), with a
+    final implicit ``+Inf`` overflow bucket.  Tracks count and sum, so
+    mean latency falls out for free.
+    """
+
+    __slots__ = ("name", "boundaries", "bucket_counts", "count", "total")
+
+    def __init__(
+        self, name: str, boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(boundaries)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket boundaries must be strictly increasing")
+        self.name = name
+        self.boundaries = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        buckets = {
+            f"le_{bound:g}": count
+            for bound, count in zip(self.boundaries, self.bucket_counts)
+        }
+        buckets["le_inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "mean": round(self.mean, 9),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument map with fetch-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            if not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = factory()
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Fetch or create the counter *name*."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        """Fetch or create the gauge *name*; *fn* (re)binds its callback."""
+        gauge = self._get_or_create(name, Gauge, lambda: Gauge(name))
+        if fn is not None:
+            gauge.set_function(fn)
+        return gauge
+
+    def histogram(
+        self, name: str, boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        """Fetch or create the histogram *name* (boundaries fixed at birth)."""
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, boundaries)
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments' current values, sorted by name (JSON-safe)."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (callback gauges keep their callbacks)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every instrumented module uses."""
+    return _REGISTRY

@@ -1,0 +1,340 @@
+"""Hierarchical trace spans — the tracing half of :mod:`repro.obs`.
+
+A :class:`Span` is one timed, attributed node in a per-request tree:
+``span("repro.sql.execute", rows=3)`` opens a child of whatever span is
+currently active on this thread, records wall time between ``__enter__``
+and ``__exit__``, and attaches itself to its parent (or to the thread's
+finished-root ring when it is outermost).  The survey's Fig. 1 pipeline,
+the SQL engine, and the evaluation loops all emit spans through this
+module, so one enabled trace shows where a request's time and failures
+went, stage by stage and operator by operator.
+
+Design constraints, in order:
+
+- **Near-free when disabled.**  Tracing is off by default; ``span()``
+  then returns the shared :data:`NULL_SPAN` singleton after a single
+  module-flag test, and instrumented call sites guard with the same flag
+  (``if trace._ENABLED:``) so the disabled path costs one attribute load.
+  ``benchmarks/bench_obs_overhead.py`` enforces the <5% overhead budget
+  on the optimizer benchmark.
+- **Exception safe.**  A span that exits through an exception still
+  closes, records ``error=True`` plus the exception type, and detaches
+  from the stack — an instrumented failure can never corrupt the stack
+  for the next request.
+- **Deterministic-friendly.**  The clock is injectable
+  (:func:`set_clock`), so tests can assert exact durations.
+- **Thread-correct.**  The active-span stack and finished-root ring are
+  thread-local; traces from concurrent sessions never interleave.
+
+Spans export as JSON (:meth:`Span.to_dict`) or as a pretty tree
+(:meth:`Span.render`); ``python -m repro trace`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "annotate",
+    "clear",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "now",
+    "set_clock",
+    "span",
+    "take_roots",
+    "tracing",
+]
+
+#: Module-level master switch.  Instrumented hot paths read this attribute
+#: directly (one global load) before doing any tracing work.
+_ENABLED = False
+
+_clock: Callable[[], float] = time.perf_counter
+
+#: Finished outermost spans are kept per thread in a bounded ring so an
+#: always-on trace session cannot grow memory without bound.
+_MAX_ROOTS = 128
+
+_local = threading.local()
+
+#: Attribute values that serialize to JSON as-is; everything else reprs.
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def enabled() -> bool:
+    """Whether tracing is currently on for the whole process."""
+    return _ENABLED
+
+
+def enable() -> bool:
+    """Turn tracing on; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = True
+    return previous
+
+
+def disable() -> bool:
+    """Turn tracing off; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    return previous
+
+
+def now() -> float:
+    """The tracer's current clock reading (injectable, see :func:`set_clock`)."""
+    return _clock()
+
+
+def set_clock(clock: Callable[[], float] | None) -> Callable[[], float]:
+    """Replace the span clock (``None`` restores ``time.perf_counter``).
+
+    Returns the previous clock so callers can restore it.  Tests inject a
+    counter-backed clock to make span durations exact and deterministic.
+    """
+    global _clock
+    previous = _clock
+    _clock = clock if clock is not None else time.perf_counter
+    return previous
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def _roots() -> deque:
+    roots = getattr(_local, "roots", None)
+    if roots is None:
+        roots = _local.roots = deque(maxlen=_MAX_ROOTS)
+    return roots
+
+
+class Span:
+    """One node of a trace tree: name, wall time, attributes, children.
+
+    Use as a context manager (via :func:`span`); entering pushes it on the
+    thread's active stack, exiting pops it, stamps the end time, and
+    attaches it to the enclosing span (or the finished-root ring).
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "counters",
+        "children",
+        "start_time",
+        "end_time",
+        "error",
+    )
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.counters: dict[str, int] = {}
+        self.children: list[Span] = []
+        self.start_time: float | None = None
+        self.end_time: float | None = None
+        self.error = False
+
+    # -- context-manager protocol -------------------------------------
+    def __enter__(self) -> "Span":
+        self.start_time = _clock()
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_time = _clock()
+        if exc_type is not None:
+            self.error = True
+            self.attrs.setdefault("error_type", exc_type.__name__)
+        stack = _stack()
+        # Unwind to (and including) this span even if a child failed to
+        # close — exception safety must hold for whatever is left above.
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+            top.error = top.error or exc_type is not None
+            if top.end_time is None:
+                top.end_time = self.end_time
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            _roots().append(self)
+        return False
+
+    # -- recording ----------------------------------------------------
+    def set_attr(self, name: str, value: Any) -> "Span":
+        """Attach one structured attribute; returns self for chaining."""
+        self.attrs[name] = value
+        return self
+
+    def incr(self, name: str, amount: int = 1) -> "Span":
+        """Bump a per-span counter (e.g. rows examined, cache probes)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+        return self
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def duration(self) -> float | None:
+        """Wall seconds between enter and exit, ``None`` while open (or
+        for synthetic spans that were never entered)."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict form (non-scalar attrs are ``repr``'d)."""
+        out: dict[str, Any] = {"name": self.name}
+        if self.duration is not None:
+            out["duration_ms"] = round(self.duration * 1000, 4)
+        if self.error:
+            out["error"] = True
+        if self.attrs:
+            out["attrs"] = {
+                key: value if isinstance(value, _JSON_SCALARS) else repr(value)
+                for key, value in self.attrs.items()
+            }
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def render(self, indent: str = "", into: list[str] | None = None) -> str:
+        """Pretty one-span-per-line tree, durations in milliseconds."""
+        lines = [] if into is None else into
+        parts = [indent + self.name]
+        if self.duration is not None:
+            parts.append(f"({self.duration * 1000:.2f} ms)")
+        parts.extend(
+            f"{key}={value!r}" if isinstance(value, str) else f"{key}={value}"
+            for key, value in self.attrs.items()
+        )
+        parts.extend(f"{key}={value}" for key, value in self.counters.items())
+        if self.error:
+            parts.append("!error")
+        lines.append(" ".join(parts))
+        for child in self.children:
+            child.render(indent + "  ", lines)
+        if into is None:
+            return "\n".join(lines)
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Span {self.name} children={len(self.children)}>"
+
+
+class _NullSpan:
+    """The do-nothing span returned while tracing is disabled.
+
+    A single shared instance; every method is a no-op returning self, so
+    ``with span(...) as s: s.set_attr(...)`` costs almost nothing when
+    tracing is off.
+    """
+
+    __slots__ = ()
+    children: tuple = ()
+    counters: dict = {}
+    attrs: dict = {}
+    error = False
+    duration = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, name: str, value: Any) -> "_NullSpan":
+        return self
+
+    def incr(self, name: str, amount: int = 1) -> "_NullSpan":
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<NullSpan>"
+
+
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any):
+    """Open a child span of the current one (the core instrumentation API).
+
+    Returns a context manager.  When tracing is disabled this is the
+    shared :data:`NULL_SPAN` — one flag test, no allocation.
+    """
+    if not _ENABLED:
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, or ``None``."""
+    stack = getattr(_local, "stack", None)
+    if stack:
+        return stack[-1]
+    return None
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the current span, if any (no-op otherwise)."""
+    current = current_span()
+    if current is not None:
+        current.attrs.update(attrs)
+
+
+def take_roots() -> list[Span]:
+    """Drain and return this thread's finished outermost spans."""
+    roots = _roots()
+    out = list(roots)
+    roots.clear()
+    return out
+
+
+def clear() -> None:
+    """Drop this thread's active stack and finished roots (test hygiene)."""
+    _stack().clear()
+    _roots().clear()
+
+
+@contextmanager
+def tracing():
+    """Enable tracing for a block and yield the finished-roots list.
+
+    The yielded list is populated when the block exits (the root ring is
+    drained into it); roots left over from before the block are dropped::
+
+        with trace.tracing() as roots:
+            run_workload()
+        print(roots[0].render())
+    """
+    previous = enable()
+    take_roots()  # start the block with a clean ring
+    collected: list[Span] = []
+    try:
+        yield collected
+    finally:
+        collected.extend(take_roots())
+        if not previous:
+            disable()

@@ -30,6 +30,7 @@ from functools import lru_cache
 from repro.data.database import Database, Table
 from repro.data.values import Value, compare_values, sort_key
 from repro.errors import ExecutionError
+from repro.obs import trace as _obs_trace
 from repro.sql.ast import (
     Between,
     BinaryOp,
@@ -133,19 +134,45 @@ _plan_module = None
 
 
 def execute(query: Query, db: Database) -> Result:
-    """Execute *query* against *db* and return its :class:`Result`.
+    """Execute a parsed *query* against *db* and return its :class:`Result`.
 
-    Routes through the compiled physical-operator engine
-    (:mod:`repro.sql.plan`), which caches one plan per (query AST, schema)
-    pair.  Semantics are identical to :func:`execute_reference`; the
-    differential tests in ``tests/test_sql_plan.py`` enforce this.
+    This is the library's main execution entry point (``E(e, D) -> r`` in
+    the survey's notation).  It routes through the compiled
+    physical-operator engine (:mod:`repro.sql.plan`), which caches one
+    plan per (query AST, schema identity, optimizer flag) triple, so
+    repeated executions of the same query — the candidate-evaluation hot
+    path — compile exactly once.  Semantics are identical to
+    :func:`execute_reference`, the tree-walking oracle; the differential
+    tests in ``tests/test_sql_plan.py`` enforce this.
+
+    Raises :class:`~repro.errors.ExecutionError` (or another
+    :class:`~repro.errors.SQLError` subtype) exactly where the reference
+    interpreter would — including deferred errors inside subqueries.
+
+    When tracing is enabled (:mod:`repro.obs.trace`), each call emits a
+    ``repro.sql.execute`` span whose children mirror the physical
+    operator tree with actual row counts; results are bit-identical
+    either way (``tests/test_obs.py`` runs that differential).
     """
     global _plan_module
     if _plan_module is None:  # lazy: plan imports this module
         from repro.sql import plan as _plan
 
         _plan_module = _plan
+    if _obs_trace._ENABLED:
+        return _execute_traced(query, db)
     return _plan_module.plan_for(query, db.schema, db).run(db)
+
+
+def _execute_traced(query: Query, db: Database) -> Result:
+    """The tracing-enabled twin of :func:`execute` (same results)."""
+    with _obs_trace.span("repro.sql.execute") as span:
+        plan = _plan_module.plan_for(query, db.schema, db)
+        result, state = plan.run_traced(db)
+        span.set_attr("rows", len(result.rows))
+        span.set_attr("optimized", plan.optimized)
+        _plan_module.attach_operator_spans(span, plan, state)
+        return result
 
 
 def execute_reference(query: Query, db: Database) -> Result:

@@ -25,6 +25,14 @@ from repro.sql.lint.rules import RULES
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-lint`` / ``python -m repro lint``.
+
+    Lints either one ``--sql`` string against a curated ``--domain``
+    schema or every gold query of a generated ``--dataset``; prints each
+    diagnostic as ``source:line severity CODE message [clause]``.
+    Returns the process exit code: 0 when no error-severity diagnostics
+    were found (with ``--strict``, no warnings either), 1 otherwise.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="static analysis for the repro SQL subset",

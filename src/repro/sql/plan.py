@@ -111,6 +111,8 @@ from repro.sql.executor import (
     _sort_rows,
     _truthy,
 )
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.sql import index as _index
 from repro.sql import stats as _stats
 from repro.sql.parser import parse_sql
@@ -119,6 +121,7 @@ from repro.sql.unparser import to_sql
 __all__ = [
     "CompiledPlan",
     "PlanNode",
+    "attach_operator_spans",
     "compile_query",
     "compile_sql",
     "explain",
@@ -227,7 +230,7 @@ class PlanNode:
         self.est_cost = est_cost
         self.children = list(children)
 
-    def render(self, actuals=None, indent="", into=None) -> str:
+    def render(self, actuals=None, indent="", into=None, timings=None) -> str:
         lines = [] if into is None else into
         parts = [self.op]
         if self.detail:
@@ -239,11 +242,13 @@ class PlanNode:
             annot.append(f"est_cost={self.est_cost:.1f}")
         if actuals is not None and self.nid in actuals:
             annot.append(f"actual_rows={actuals[self.nid]}")
+        if timings is not None and self.nid in timings:
+            annot.append(f"time_ms={timings[self.nid] * 1000:.2f}")
         if annot:
             parts.append("[" + " ".join(annot) + "]")
         lines.append(indent + " ".join(parts))
         for child in self.children:
-            child.render(actuals, indent + "  ", lines)
+            child.render(actuals, indent + "  ", lines, timings)
         if into is None:
             return "\n".join(lines)
         return ""
@@ -294,14 +299,22 @@ class _Ctx:
 
 
 class _ExecState:
-    """Per-execution state: database, subquery memo, actual row counts."""
+    """Per-execution state: database, subquery memo, actual row counts.
 
-    __slots__ = ("db", "memo", "actuals")
+    ``timings`` is ``None`` on the normal path (operator runners test it
+    with a single attribute load); :meth:`CompiledPlan.run_traced` swaps
+    in a dict keyed by ``PlanNode.nid``, into which the separable
+    execution units (the root runner, each subquery plan) accumulate
+    wall seconds for ``explain()`` and the span tree.
+    """
+
+    __slots__ = ("db", "memo", "actuals", "timings")
 
     def __init__(self, db: Database) -> None:
         self.db = db
         self.memo: dict[Any, Any] = {}
         self.actuals: dict[int, int] = {}
+        self.timings: dict[int, float] | None = None
 
 
 def _resolve(
@@ -434,20 +447,29 @@ class _SubPlan:
     collapsing repeated outer values to a single child execution.
     """
 
-    __slots__ = ("sid", "correlated", "runner", "transform")
+    __slots__ = ("sid", "correlated", "runner", "transform", "nid")
 
-    def __init__(self, sid, correlated, runner, transform) -> None:
+    def __init__(self, sid, correlated, runner, transform, nid=-1) -> None:
         self.sid = sid
         self.correlated = correlated
         self.runner = runner
         self.transform = transform
+        self.nid = nid
 
     def fetch(self, state: _ExecState, rows: tuple):
         key = (self.sid, _chain_key(rows)) if self.correlated else self.sid
         memo = state.memo
         value = memo.get(key, _MISSING)
         if value is _MISSING:
-            value = self.transform(self.runner(state, rows))
+            timings = state.timings
+            if timings is None:
+                value = self.transform(self.runner(state, rows))
+            else:  # traced run: accumulate per-subplan wall time
+                start = _obs_trace.now()
+                value = self.transform(self.runner(state, rows))
+                timings[self.nid] = (
+                    timings.get(self.nid, 0.0) + _obs_trace.now() - start
+                )
             memo[key] = value
         return value
 
@@ -831,14 +853,13 @@ def _compile_subplan(query: Query, chain: list[_Frame], ctx: _Ctx, transform):
     else:
         ctx.meta["hoisted_subqueries"] += 1
     sid = next(ctx.sids)
-    ctx.subplans.append(
-        ctx.node(
-            "subquery",
-            f"s{sid} " + ("correlated" if correlated else "hoisted"),
-            children=[node],
-        )
+    sub_node = ctx.node(
+        "subquery",
+        f"s{sid} " + ("correlated" if correlated else "hoisted"),
+        children=[node],
     )
-    return _SubPlan(sid, correlated, runner, transform)
+    ctx.subplans.append(sub_node)
+    return _SubPlan(sid, correlated, runner, transform, sub_node.nid)
 
 
 # ----------------------------------------------------------------------
@@ -2306,6 +2327,24 @@ class CompiledPlan:
         """Execute against *db* and return the :class:`Result`."""
         return self._runner(_ExecState(db), ())
 
+    def run_traced(self, db: Database) -> tuple[Result, _ExecState]:
+        """Execute with profiling on: returns (result, execution state).
+
+        The state carries ``actuals`` (rows produced per ``PlanNode.nid``)
+        and ``timings`` (wall seconds for the separable execution units:
+        the whole plan under the root nid, plus each subquery plan).
+        Results are identical to :meth:`run` — the differential test in
+        ``tests/test_obs.py`` enforces it.
+        """
+        state = _ExecState(db)
+        state.timings = {}
+        start = _obs_trace.now()
+        try:
+            result = self._runner(state, ())
+        finally:
+            state.timings[self.root.nid] = _obs_trace.now() - start
+        return result, state
+
     def describe(self) -> dict[str, int]:
         """Operator counts chosen at compile time (scans, join kinds, ...)."""
         return dict(self.meta)
@@ -2313,24 +2352,31 @@ class CompiledPlan:
     def explain(self, db: Database | None = None) -> str:
         """Render the physical plan tree with row/cost estimates.
 
-        With *db*, the plan executes once so each operator line also shows
-        the actual row count it produced; execution errors are reported
-        inline rather than raised (EXPLAIN should never fail on a query
-        whose *execution* fails — that is the answer being asked for).
+        With *db*, the plan executes once (traced) so each operator line
+        also shows the actual row count it produced — and wall time for
+        the units that are timed separately (root, subqueries); execution
+        errors are reported inline rather than raised (EXPLAIN should
+        never fail on a query whose *execution* fails — that is the
+        answer being asked for).
         """
         actuals = None
+        timings = None
         error = None
         if db is not None:
             state = _ExecState(db)
+            state.timings = {}
+            start = _obs_trace.now()
             try:
                 self._runner(state, ())
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
+            state.timings[self.root.nid] = _obs_trace.now() - start
             actuals = state.actuals
+            timings = state.timings
         header = "optimized" if self.optimized else "unoptimized"
-        lines = [f"-- plan ({header})", self.root.render(actuals)]
+        lines = [f"-- plan ({header})", self.root.render(actuals, timings=timings)]
         for subplan in self.subplans:
-            lines.append(subplan.render(actuals))
+            lines.append(subplan.render(actuals, timings=timings))
         if error is not None:
             lines.append(f"-- execution failed: {error}")
         return "\n".join(lines)
@@ -2420,7 +2466,11 @@ def plan_for(
         _plan_hits += 1
         return plan
     _plan_misses += 1
-    plan = compile_query(query, schema, db)
+    if _obs_trace._ENABLED:  # compile misses only; cache hits stay span-free
+        with _obs_trace.span("repro.sql.plan.compile", optimized=_OPTIMIZER_ENABLED):
+            plan = compile_query(query, schema, db)
+    else:
+        plan = compile_query(query, schema, db)
     _PLAN_CACHE[key] = plan
     while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
         _PLAN_CACHE.popitem(last=False)
@@ -2436,7 +2486,11 @@ def _parse_cached(sql: str) -> Query:
         _parse_hits += 1
         return query
     _parse_misses += 1
-    query = parse_sql(sql)
+    if _obs_trace._ENABLED:
+        with _obs_trace.span("repro.sql.parse"):
+            query = parse_sql(sql)
+    else:
+        query = parse_sql(sql)
     _PARSE_CACHE[sql] = query
     while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
         _PARSE_CACHE.popitem(last=False)
@@ -2473,7 +2527,16 @@ def parse_cache_stats() -> dict[str, int]:
 def configure_caches(
     plan_size: int | None = None, parse_size: int | None = None
 ) -> None:
-    """Resize the plan/parse LRU caches, evicting oldest entries to fit."""
+    """Resize the plan/parse LRU caches, evicting oldest entries to fit.
+
+    ``None`` leaves a cache's size unchanged; sizes clamp to at least 1.
+    Defaults (512 plans, 2048 parses) come from
+    ``REPRO_SQL_PLAN_CACHE_SIZE`` / ``REPRO_SQL_PARSE_CACHE_SIZE`` at
+    import time; this function overrides them at runtime.  Current
+    occupancy and effectiveness are reported by :func:`plan_cache_stats`
+    / :func:`parse_cache_stats` and mirrored into the metrics registry as
+    the ``repro.sql.{plan,parse}.cache.*`` gauges.
+    """
     global _PLAN_CACHE_MAX, _PARSE_CACHE_MAX
     if plan_size is not None:
         _PLAN_CACHE_MAX = max(1, plan_size)
@@ -2494,3 +2557,51 @@ def clear_plan_caches() -> None:
     _plan_misses = 0
     _parse_hits = 0
     _parse_misses = 0
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+def attach_operator_spans(span, plan: CompiledPlan, state: _ExecState) -> None:
+    """Mirror *plan*'s operator tree as child spans of *span*.
+
+    Each :class:`PlanNode` becomes a synthetic ``sql.op.<op>`` span
+    carrying the node's detail, compile-time row estimate, the actual row
+    count from *state* (the same numbers ``explain()`` renders), and —
+    for the separately timed units — its wall time.  No-op when tracing
+    is disabled (*span* is the null span).
+    """
+    if span is _obs_trace.NULL_SPAN or span is None:
+        return
+    actuals = state.actuals
+    timings = state.timings or {}
+
+    def build(node: PlanNode) -> _obs_trace.Span:
+        child = _obs_trace.Span("sql.op." + node.op)
+        if node.detail:
+            child.attrs["detail"] = node.detail
+        if node.est_rows is not None:
+            child.attrs["est_rows"] = round(node.est_rows, 1)
+        if node.nid in actuals:
+            child.attrs["actual_rows"] = actuals[node.nid]
+        elapsed = timings.get(node.nid)
+        if elapsed is not None:
+            child.start_time, child.end_time = 0.0, elapsed
+        child.children = [build(c) for c in node.children]
+        return child
+
+    span.children.append(build(plan.root))
+    for subplan in plan.subplans:
+        span.children.append(build(subplan))
+
+
+#: The cache counters re-registered as callback gauges: the registry reads
+#: the module globals lazily at snapshot time, so the cache hot paths pay
+#: nothing for being observable.
+_registry = _obs_metrics.get_registry()
+_registry.gauge("repro.sql.plan.cache.hits", fn=lambda: _plan_hits)
+_registry.gauge("repro.sql.plan.cache.misses", fn=lambda: _plan_misses)
+_registry.gauge("repro.sql.plan.cache.size", fn=lambda: len(_PLAN_CACHE))
+_registry.gauge("repro.sql.parse.cache.hits", fn=lambda: _parse_hits)
+_registry.gauge("repro.sql.parse.cache.misses", fn=lambda: _parse_misses)
+_registry.gauge("repro.sql.parse.cache.size", fn=lambda: len(_PARSE_CACHE))

@@ -14,9 +14,13 @@ from dataclasses import dataclass, field
 
 from repro.data.database import Database
 from repro.errors import SQLError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.sql.ast import Query
 from repro.sql.parser import parse_sql
 from repro.systems.base import NLISystem, SystemResponse
+
+_TURNS = _obs_metrics.get_registry().counter("repro.session.turns")
 
 
 @dataclass
@@ -30,7 +34,23 @@ class InteractiveSession:
     transcript: list[SystemResponse] = field(default_factory=list)
 
     def ask(self, question: str) -> SystemResponse:
-        """One conversational turn."""
+        """One conversational turn.
+
+        Increments ``repro.session.turns``; with tracing enabled the turn
+        runs inside a ``repro.session.turn`` span annotated with the turn
+        index and whether the system answered.
+        """
+        _TURNS.inc()
+        if _obs_trace._ENABLED:
+            with _obs_trace.span(
+                "repro.session.turn", turn=len(self.transcript)
+            ) as turn_span:
+                response = self._ask_impl(question)
+                turn_span.set_attr("answered", response.answered)
+            return response
+        return self._ask_impl(question)
+
+    def _ask_impl(self, question: str) -> SystemResponse:
         response = self.system.answer(
             question,
             self.db,

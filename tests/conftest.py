@@ -13,6 +13,23 @@ NUM = ColumnType.NUMBER
 TXT = ColumnType.TEXT
 
 
+@pytest.fixture(autouse=True)
+def _obs_reset():
+    """Leave the observability subsystem clean after every test.
+
+    Metric values accumulate process-wide and tracing is a module-level
+    flag, so a test that enables tracing or asserts on counter deltas must
+    not leak into its neighbours.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    yield
+    obs_trace.disable()
+    obs_trace.clear()
+    obs_metrics.get_registry().reset()
+
+
 @pytest.fixture
 def shop_schema() -> Schema:
     return Schema(

@@ -1,0 +1,29 @@
+"""Every ``repro.*`` module must import cleanly (docs/CI guarantee).
+
+A module that only breaks when imported — a bad top-level reference, a
+circular import, an instrumentation hook wired to a renamed symbol —
+should fail here, not in whichever test happens to touch it first.  CI
+runs the same sweep as a standalone step.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules() -> list[str]:
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_module_imports(name: str):
+    module = importlib.import_module(name)
+    assert module.__name__ == name

@@ -1,0 +1,363 @@
+"""The observability subsystem: spans, metrics, and engine instrumentation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.sql.executor import execute
+from repro.sql.parser import parse_sql
+from repro.sql.plan import compile_sql, plan_for
+
+
+class FakeClock:
+    """A deterministic clock: every reading advances by *step* seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.t
+        self.t += self.step
+        return value
+
+
+@pytest.fixture
+def clock():
+    fake = FakeClock()
+    previous = obs_trace.set_clock(fake)
+    yield fake
+    obs_trace.set_clock(previous)
+
+
+# ----------------------------------------------------------------------
+# span trees
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_disabled_span_is_null_singleton(self):
+        assert not obs_trace.enabled()
+        assert obs_trace.span("anything", key=1) is obs_trace.NULL_SPAN
+        with obs_trace.span("nested") as s:
+            assert s is obs_trace.NULL_SPAN
+            s.set_attr("x", 1).incr("y")  # all no-ops, chainable
+        assert obs_trace.take_roots() == []
+
+    def test_nesting_builds_parent_child_tree(self):
+        obs_trace.enable()
+        with obs_trace.span("root") as root:
+            with obs_trace.span("child-a"):
+                with obs_trace.span("grandchild"):
+                    pass
+            with obs_trace.span("child-b"):
+                pass
+        roots = obs_trace.take_roots()
+        assert roots == [root]
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        assert [s.name for s in root.walk()] == [
+            "root", "child-a", "grandchild", "child-b",
+        ]
+
+    def test_exception_closes_span_with_error(self):
+        obs_trace.enable()
+        with pytest.raises(ValueError):
+            with obs_trace.span("root"):
+                with obs_trace.span("failing"):
+                    raise ValueError("boom")
+        (root,) = obs_trace.take_roots()
+        assert root.error is True
+        failing = root.children[0]
+        assert failing.error is True
+        assert failing.attrs["error_type"] == "ValueError"
+        assert failing.duration is not None  # closed despite the raise
+        # the stack fully unwound: new spans are fresh roots
+        with obs_trace.span("after"):
+            pass
+        assert [s.name for s in obs_trace.take_roots()] == ["after"]
+
+    def test_injectable_clock_gives_exact_durations(self, clock):
+        obs_trace.enable()
+        with obs_trace.span("outer"):
+            with obs_trace.span("inner"):
+                pass
+        (outer,) = obs_trace.take_roots()
+        inner = outer.children[0]
+        # enter/exit order: outer@0, inner@1, inner-exit@2, outer-exit@3
+        assert inner.duration == pytest.approx(1.0)
+        assert outer.duration == pytest.approx(3.0)
+
+    def test_attrs_counters_and_annotate(self):
+        obs_trace.enable()
+        with obs_trace.span("work", stage="x") as s:
+            assert obs_trace.current_span() is s
+            obs_trace.annotate(rows=7)
+            s.incr("probes").incr("probes")
+        assert s.attrs == {"stage": "x", "rows": 7}
+        assert s.counters == {"probes": 2}
+        assert obs_trace.current_span() is None
+
+    def test_to_dict_is_json_safe(self):
+        obs_trace.enable()
+        with obs_trace.span("root", q=parse_sql("SELECT 1"), n=3) as s:
+            pass
+        payload = s.to_dict()
+        text = json.dumps(payload)  # must not raise
+        assert payload["attrs"]["n"] == 3
+        assert isinstance(payload["attrs"]["q"], str)  # repr'd
+        assert "duration_ms" in payload
+        assert "root" in text
+
+    def test_render_tree_shape(self, clock):
+        obs_trace.enable()
+        with obs_trace.span("root") as root:
+            with obs_trace.span("child", rows=2):
+                pass
+        lines = root.render().splitlines()
+        assert lines[0].startswith("root (")
+        assert lines[1].startswith("  child (")
+        assert "rows=2" in lines[1]
+
+    def test_tracing_contextmanager_collects_and_restores(self):
+        assert not obs_trace.enabled()
+        with obs_trace.tracing() as roots:
+            assert obs_trace.enabled()
+            with obs_trace.span("inside"):
+                pass
+            assert roots == []  # populated only at block exit
+        assert not obs_trace.enabled()
+        assert [s.name for s in roots] == ["inside"]
+
+    def test_root_ring_is_bounded(self):
+        obs_trace.enable()
+        for i in range(obs_trace._MAX_ROOTS + 10):
+            with obs_trace.span(f"s{i}"):
+                pass
+        roots = obs_trace.take_roots()
+        assert len(roots) == obs_trace._MAX_ROOTS
+        assert roots[0].name == "s10"  # oldest were evicted
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_fetch_or_create(self):
+        registry = obs_metrics.MetricsRegistry()
+        c = registry.counter("repro.test.hits")
+        c.inc()
+        c.inc(4)
+        assert registry.counter("repro.test.hits") is c
+        assert c.snapshot() == 5
+
+    def test_kind_mismatch_raises(self):
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("repro.test.thing")
+        with pytest.raises(TypeError):
+            registry.gauge("repro.test.thing")
+        with pytest.raises(TypeError):
+            registry.histogram("repro.test.thing")
+
+    def test_gauge_explicit_and_callback(self):
+        registry = obs_metrics.MetricsRegistry()
+        g = registry.gauge("repro.test.depth")
+        g.set(3)
+        assert g.value == 3
+        backing = {"v": 10}
+        fn_gauge = registry.gauge("repro.test.live", fn=lambda: backing["v"])
+        assert fn_gauge.value == 10
+        backing["v"] = 11
+        assert fn_gauge.value == 11
+        registry.reset()
+        assert g.value == 0  # explicit gauge zeroed
+        assert fn_gauge.value == 11  # callback gauge keeps its source
+
+    def test_histogram_bucket_edges(self):
+        h = obs_metrics.Histogram("repro.test.lat", boundaries=(1.0, 2.0, 5.0))
+        h.observe(0.5)   # below first edge  -> bucket le_1
+        h.observe(1.0)   # exactly on edge   -> bucket le_1 (le semantics)
+        h.observe(1.5)   # between           -> bucket le_2
+        h.observe(5.0)   # on the last edge  -> bucket le_5
+        h.observe(99.0)  # above everything  -> overflow
+        snap = h.snapshot()
+        assert snap["buckets"] == {"le_1": 2, "le_2": 1, "le_5": 1, "le_inf": 1}
+        assert snap["count"] == 5
+        assert snap["mean"] == pytest.approx((0.5 + 1.0 + 1.5 + 5.0 + 99.0) / 5)
+
+    def test_histogram_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            obs_metrics.Histogram("h", boundaries=())
+        with pytest.raises(ValueError):
+            obs_metrics.Histogram("h", boundaries=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            obs_metrics.Histogram("h", boundaries=(1.0, 1.0))
+
+    def test_registry_snapshot_and_reset(self):
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("repro.test.a").inc(2)
+        registry.histogram("repro.test.b", boundaries=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["repro.test.a"] == 2
+        assert snap["repro.test.b"]["count"] == 1
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["repro.test.a"] == 0
+        assert snap["repro.test.b"]["count"] == 0
+
+    def test_default_registry_carries_cache_gauges(self, shop_db):
+        compile_sql("SELECT name FROM products", shop_db.schema, shop_db)
+        snap = obs_metrics.get_registry().snapshot()
+        assert "repro.sql.plan.cache.hits" in snap
+        assert "repro.sql.parse.cache.misses" in snap
+
+
+# ----------------------------------------------------------------------
+# engine instrumentation
+# ----------------------------------------------------------------------
+QUERIES = [
+    "SELECT name, price FROM products WHERE price > 5 ORDER BY price DESC",
+    "SELECT category, COUNT(*) FROM products GROUP BY category",
+    "SELECT p.name, SUM(s.quantity) FROM products AS p JOIN sales AS s "
+    "ON p.id = s.product_id GROUP BY p.name",
+    "SELECT name FROM products WHERE id IN "
+    "(SELECT product_id FROM sales WHERE quantity > 2)",
+]
+
+
+class TestEngineInstrumentation:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_tracing_does_not_change_results(self, shop_db, sql):
+        query = parse_sql(sql)
+        plain = execute(query, shop_db)
+        with obs_trace.tracing():
+            traced = execute(query, shop_db)
+        assert traced.columns == plain.columns
+        assert traced.rows == plain.rows
+        assert traced.ordered == plain.ordered
+
+    def test_execute_span_tree_matches_explain_actuals(self, shop_db):
+        sql = QUERIES[2]
+        plan = compile_sql(sql, shop_db.schema, shop_db)
+        with obs_trace.tracing() as roots:
+            result = execute(parse_sql(sql), shop_db)
+        (root,) = [s for s in roots if s.name == "repro.sql.execute"]
+        assert root.attrs["rows"] == len(result.rows)
+        op_rows = [
+            s.attrs["actual_rows"]
+            for s in root.walk()
+            if s.name.startswith("sql.op.") and "actual_rows" in s.attrs
+        ]
+        assert op_rows  # operator subtree exists with recorded actuals
+        explain_text = plan.explain(shop_db)
+        for actual in op_rows:
+            assert f"actual_rows={actual}" in explain_text
+
+    def test_run_traced_matches_run(self, shop_db):
+        plan = compile_sql(QUERIES[0], shop_db.schema, shop_db)
+        expected = plan.run(shop_db)
+        result, state = plan.run_traced(shop_db)
+        assert result.rows == expected.rows
+        assert state.timings[plan.root.nid] >= 0.0
+        assert state.actuals  # per-operator row counts recorded
+
+    def test_pipeline_trace_carries_span(self, sales_db):
+        from repro import NaturalLanguageInterface
+
+        nli = NaturalLanguageInterface(sales_db)
+        answer = nli.ask("How many products are there?")
+        assert answer.trace.span is None  # tracing off: no span
+        with obs_trace.tracing():
+            answer = nli.ask("How many customers are there?")
+        span = answer.trace.span
+        assert span is not None and span.name == "repro.pipeline.run"
+        stage_names = [c.name for c in span.children]
+        assert "repro.pipeline.stage.translate" in stage_names
+        assert "repro.pipeline.stage.execute" in stage_names
+
+    def test_pipeline_metrics_accumulate(self, sales_db):
+        from repro import NaturalLanguageInterface
+
+        registry = obs_metrics.get_registry()
+        runs = registry.counter("repro.pipeline.runs")
+        before = runs.snapshot()
+        NaturalLanguageInterface(sales_db).ask("How many products are there?")
+        assert runs.snapshot() == before + 1
+        hist = registry.histogram("repro.pipeline.stage.execute.seconds")
+        assert hist.count >= 1
+
+    def test_metric_counters_for_evaluation(self, shop_db):
+        from repro.metrics.execution import execution_match
+        from repro.metrics.test_suite import test_suite_match
+
+        registry = obs_metrics.get_registry()
+        gold = "SELECT name FROM products WHERE price > 5"
+        assert execution_match(gold, gold, shop_db)
+        assert registry.counter("repro.metrics.execution.matches").snapshot() >= 1
+        assert test_suite_match(gold, gold, shop_db, num_variants=3)
+        assert (
+            registry.counter("repro.metrics.test_suite.accepted").snapshot() >= 1
+        )
+
+    def test_session_turn_counter(self, sales_db):
+        from repro.systems.architectures import ParsingBasedSystem
+        from repro.systems.session import InteractiveSession
+
+        registry = obs_metrics.get_registry()
+        turns = registry.counter("repro.session.turns")
+        before = turns.snapshot()
+        session = InteractiveSession(system=ParsingBasedSystem(), db=sales_db)
+        session.ask("How many products are there?")
+        assert turns.snapshot() == before + 1
+
+
+# ----------------------------------------------------------------------
+# trace CLI
+# ----------------------------------------------------------------------
+class TestTraceCLI:
+    def test_trace_cli_prints_span_tree(self, capsys):
+        from repro.obs.trace_cli import main
+
+        rc = main(["SELECT name FROM products WHERE price > 500"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro.sql.query" in out
+        assert "repro.sql.execute" in out
+        assert "sql.op." in out
+        assert "actual_rows=" in out
+
+    def test_trace_cli_rows_match_explain(self, capsys):
+        import re
+
+        from repro.obs.trace_cli import main as trace_main
+        from repro.sql.explain_cli import main as explain_main
+
+        sql = "SELECT name FROM products WHERE price > 500"
+        trace_main([sql])
+        trace_out = capsys.readouterr().out
+        explain_main([sql])
+        explain_out = capsys.readouterr().out
+        trace_rows = set(re.findall(r"actual_rows=(\d+)", trace_out))
+        explain_rows = set(re.findall(r"actual_rows=(\d+)", explain_out))
+        assert trace_rows and trace_rows == explain_rows
+
+    def test_trace_cli_json_and_error(self, capsys):
+        from repro.obs.trace_cli import main
+
+        rc = main(["SELECT name FROM products", "--json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("[") :])
+        assert payload[0]["name"] == "repro.sql.query"
+
+        rc = main(["SELECT nope FROM nothing"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "trace:" in captured.err
+
+    def test_trace_cli_leaves_tracing_disabled(self):
+        from repro.obs.trace_cli import main
+
+        main(["SELECT name FROM products"])
+        assert not obs_trace.enabled()
