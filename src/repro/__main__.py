@@ -9,6 +9,7 @@ the survey's Fig. 1.  Options::
     python -m repro --model chatgpt-like  # the simulated-LLM stack
     python -m repro --demo                # non-interactive scripted demo
     python -m repro lint --sql "..."      # SQL static analysis (repro-lint)
+    python -m repro vis-lint --vql "..."  # VQL static analysis
     python -m repro explain "SELECT ..."  # physical plan + cost estimates
     python -m repro trace "SELECT ..."    # span tree for one traced query
     python -m repro --trace               # REPL with per-stage trace output
@@ -83,6 +84,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sql.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "vis-lint":
+        from repro.vis.lint.cli import main as vis_lint_main
+
+        return vis_lint_main(argv[1:])
     if argv and argv[0] == "explain":
         from repro.sql.explain_cli import main as explain_main
 

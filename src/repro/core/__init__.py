@@ -9,7 +9,14 @@ components (Fig. 3) so benchmarks and docs can enumerate them.
 """
 
 from repro.core.interface import NaturalLanguageInterface
-from repro.core.pipeline import GateDecision, LintGate, Pipeline, PipelineTrace
+from repro.core.pipeline import (
+    GateDecision,
+    LintGate,
+    Pipeline,
+    PipelineTrace,
+    VisGateDecision,
+    VisLintGate,
+)
 from repro.core.registry import (
     approach_registry,
     dataset_registry,
@@ -20,6 +27,8 @@ from repro.core.registry import (
 __all__ = [
     "GateDecision",
     "LintGate",
+    "VisGateDecision",
+    "VisLintGate",
     "NaturalLanguageInterface",
     "Pipeline",
     "PipelineTrace",

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.data.database import Database
-from repro.core.pipeline import LintGate, Pipeline, PipelineTrace
+from repro.core.pipeline import LintGate, Pipeline, PipelineTrace, VisLintGate
 from repro.parsers.base import Parser
 from repro.parsers.llm.strategies import MultiStageLLMParser
 from repro.parsers.semantic import GrammarSemanticParser
@@ -105,10 +105,14 @@ class NaturalLanguageInterface:
         else:
             sql_parser = MultiStageLLMParser(model=model)
             vis_parser = Chat2VisParser(model=model)
-        # ``lint=True`` inserts the LintGate stage: candidates carrying
-        # error-severity static diagnostics are pruned before execution
+        # ``lint=True`` inserts both gate stages: SQL candidates carrying
+        # error-severity static diagnostics are pruned before execution,
+        # and VQL candidates additionally pass the vis rule catalog
         gate = LintGate() if lint else None
-        self.pipeline = Pipeline(sql_parser, vis_parser, lint_gate=gate)
+        vis_gate = VisLintGate() if lint else None
+        self.pipeline = Pipeline(
+            sql_parser, vis_parser, lint_gate=gate, vis_lint_gate=vis_gate
+        )
         self.history: list[tuple[str, Query]] = []
 
     def ask(self, question: str) -> Answer:

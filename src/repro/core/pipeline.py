@@ -13,7 +13,10 @@ scores every candidate query with the static-analysis engine
 (:mod:`repro.sql.lint`) and prunes the ones carrying error-severity
 diagnostics — the survey's execution-guided decoding idea applied *before*
 execution, where rejecting a bad candidate costs microseconds instead of
-a database round-trip.
+a database round-trip.  The visualization branch has the analogous
+:class:`~repro.vis.lint.VisLintGate` (re-exported here), which addition-
+ally consults the static output-schema typer and the ``V``-rule catalog,
+so a chart that could never render is rejected before its SQL even runs.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro.sql.lint import LintReport, Severity, lint_query
 from repro.sql.unparser import to_sql
 from repro.systems.base import wants_visualization
 from repro.vis.charts import Chart, render_chart
+from repro.vis.lint.gate import VisGateDecision, VisLintGate
 
 _registry = _obs_metrics.get_registry()
 _RUNS = _registry.counter("repro.pipeline.runs")
@@ -171,10 +175,12 @@ class Pipeline:
         sql_parser: Parser,
         vis_parser: VisParser,
         lint_gate: LintGate | None = None,
+        vis_lint_gate: VisLintGate | None = None,
     ) -> None:
         self.sql_parser = sql_parser
         self.vis_parser = vis_parser
         self.lint_gate = lint_gate
+        self.vis_lint_gate = vis_lint_gate
 
     def run(
         self,
@@ -247,6 +253,15 @@ class Pipeline:
             if vql is None:
                 trace.error = "translation failed"
                 return trace
+            if self.vis_lint_gate is not None:
+                decision = self._stage(
+                    trace,
+                    "lint",
+                    lambda: self.vis_lint_gate.decide([vql], db.schema, db=db),
+                    render=lambda d: d.describe(),
+                )
+                if decision.chosen is not None:
+                    vql = decision.chosen
             trace.functional_expression = vql
             chart = self._stage(
                 trace,

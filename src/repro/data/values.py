@@ -28,6 +28,19 @@ def value_type_of(value: Value) -> str:
     return "text"
 
 
+def looks_temporal(value: Value) -> bool:
+    """Whether *value* is an ISO-8601 date string (``YYYY-MM-DD``).
+
+    The single temporal-detection rule shared by the runtime spec compiler
+    (:func:`repro.vis.spec.field_type`) and the static output-schema typer
+    (:mod:`repro.sql.typer`), so static and runtime temporal classification
+    cannot drift.
+    """
+    if not isinstance(value, str) or len(value) != 10:
+        return False
+    return value[4] == "-" and value[7] == "-" and value[:4].isdigit()
+
+
 def compare_values(left: Value, right: Value) -> int | None:
     """Three-valued SQL comparison.
 

@@ -51,8 +51,8 @@ def vis_component_match(
     from repro.sql.normalize import normalize_query
     from repro.sql.unparser import to_sql
 
-    gold_sql = to_sql(normalize_query(gold_vql.query))
-    pred_sql = to_sql(normalize_query(pred_vql.query))
+    gold_query = normalize_query(gold_vql.query)
+    pred_query = normalize_query(pred_vql.query)
 
     if db is not None:
         try:
@@ -62,23 +62,23 @@ def vis_component_match(
         except ReproError:
             flags["data"] = False
     else:
-        flags["data"] = pred_sql == gold_sql
+        flags["data"] = to_sql(pred_query) == to_sql(gold_query)
 
-    flags["axes"] = _axes_of(pred_sql) == _axes_of(gold_sql)
+    flags["axes"] = _axes_of(pred_query) == _axes_of(gold_query)
     return flags
 
 
-def _axes_of(normalized_sql: str) -> tuple[str, ...]:
-    """The projection list of a normalized query, as the chart's axes."""
-    from repro.errors import SQLError
-    from repro.sql.ast import Select
-    from repro.sql.parser import parse_sql
+def _axes_of(query) -> tuple[str, ...]:
+    """The projection list of a normalized query AST, as the chart's axes.
+
+    Set operations chart their left branch's columns (the executor names
+    the result after the left side), so descend leftwards to the SELECT.
+    """
+    from repro.sql.ast import Select, SetOperation
     from repro.sql.unparser import to_sql
 
-    try:
-        query = parse_sql(normalized_sql)
-    except SQLError:
-        return ()
-    while not isinstance(query, Select):
+    while isinstance(query, SetOperation):
         query = query.left
+    if not isinstance(query, Select):
+        return ()
     return tuple(to_sql(item.expr) for item in query.items)

@@ -4,6 +4,11 @@ Chat2VIS prompts a code LLM zero-shot with the schema and the chart
 request; NL2INTERFACE prepares few-shot examples mapping questions to VQL
 before prompting.  Both run against the simulated LLM with ``task="vis"``
 prompts, whose completions are VQL programs.
+
+Both parsers accept a :class:`~repro.vis.lint.VisLintGate`: with
+``n_candidates > 1`` they sample several completions and let the gate's
+static diagnostics pick the cleanest — the self-consistency idea with a
+static verifier instead of majority voting.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from repro.llm.profiles import ModelProfile
 from repro.llm.prompts import PromptBuilder, extract_vql
 from repro.parsers.base import ParseRequest
 from repro.parsers.vis.base import VisParser
+from repro.vis.lint.gate import VisLintGate
 from repro.vis.vql import normalize_vql
 
 
@@ -31,9 +37,13 @@ class Chat2VisParser(VisParser):
         model: str | ModelProfile = "codex-like",
         seed: int = 0,
         clear_prompting: bool = True,
+        n_candidates: int = 1,
+        lint_gate: VisLintGate | None = None,
     ) -> None:
         self.llm = SimulatedLLM(model, seed=seed)
         self.clear_prompting = clear_prompting
+        self.n_candidates = n_candidates
+        self.lint_gate = lint_gate
 
     def _builder(self) -> PromptBuilder:
         return PromptBuilder(
@@ -45,12 +55,28 @@ class Chat2VisParser(VisParser):
 
     def parse_vis(self, request: ParseRequest) -> str | None:
         prompt = self._build_prompt(request)
-        completions = self.llm.complete(prompt)
-        vql_text = extract_vql(completions[0].text)
-        try:
-            return normalize_vql(vql_text)
-        except ReproError:
+        # multiple candidates only differ at nonzero sampling temperature
+        temperature = 0.7 if self.n_candidates > 1 else 0.0
+        completions = self.llm.complete(
+            prompt, temperature=temperature, n=self.n_candidates
+        )
+        candidates: list[str] = []
+        for completion in completions:
+            try:
+                vql = normalize_vql(extract_vql(completion.text))
+            except ReproError:
+                continue
+            if vql not in candidates:
+                candidates.append(vql)
+        if not candidates:
             return None
+        if self.lint_gate is not None:
+            decision = self.lint_gate.decide(
+                candidates, request.schema, db=request.db
+            )
+            if decision.chosen is not None:
+                return decision.chosen
+        return candidates[0]
 
     def _build_prompt(self, request: ParseRequest) -> str:
         from repro.sql.unparser import to_sql

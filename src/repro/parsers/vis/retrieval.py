@@ -35,6 +35,7 @@ from repro.parsers.neural.grammar import GrammarNeuralParser
 from repro.parsers.neural.models import SoftmaxClassifier
 from repro.parsers.vis.base import VisParser
 from repro.sql.analyzer import is_valid
+from repro.vis.lint.gate import VisLintGate
 from repro.vis.vql import CHART_TYPES, parse_vql
 
 
@@ -45,7 +46,10 @@ class RGVisNetParser(VisParser):
     stage = "neural"
     year = 2022
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self, seed: int = 0, lint_gate: VisLintGate | None = None
+    ) -> None:
+        self.lint_gate = lint_gate
         self.config = FeatureConfig()  # graph features on (relation-aware)
         self.backbone = GrammarNeuralParser(
             config=self.config,
@@ -101,6 +105,8 @@ class RGVisNetParser(VisParser):
             )
         ]
         result = self.backbone.parse(request)
+        if self.lint_gate is not None:
+            return self._gated(chart_type, result, request)
         if result.query is not None and is_valid(
             result.query, request.schema
         ):
@@ -112,6 +118,34 @@ class RGVisNetParser(VisParser):
         if result.query is not None:
             return self.assemble_vql(chart_type, result.query)
         return None
+
+    def _gated(self, chart_type, result, request: ParseRequest) -> str | None:
+        """Gate-ranked variant: generation and recovery candidates compete.
+
+        Candidates keep the ungated priority order (valid generation,
+        revised skeleton, raw generation), so with a silent gate or when
+        every candidate is pruned the answer matches the ungated path.
+        """
+        candidates: list[str] = []
+        if result.query is not None and is_valid(
+            result.query, request.schema
+        ):
+            candidates.append(self.assemble_vql(chart_type, result.query))
+        revised = self._retrieve_and_revise(request)
+        if revised is not None and revised not in candidates:
+            candidates.append(revised)
+        if result.query is not None:
+            raw = self.assemble_vql(chart_type, result.query)
+            if raw not in candidates:
+                candidates.append(raw)
+        if not candidates:
+            return None
+        decision = self.lint_gate.decide(
+            candidates, request.schema, db=request.db
+        )
+        if decision.chosen is not None:
+            return decision.chosen
+        return candidates[0]
 
     def _retrieve_and_revise(self, request: ParseRequest) -> str | None:
         if not self.codebase:

@@ -53,7 +53,9 @@ class DataToneVisParser(VisParser):
     ) -> TableSchema | None:
         for table in request.schema.tables:
             name = table.name.lower().replace("_", " ")
-            if name in question or name.rstrip("s") in question:
+            # removesuffix, not rstrip: rstrip("s") strips *all* trailing
+            # 's' chars ("boss" -> "bo"), matching unrelated words
+            if name in question or name.removesuffix("s") in question:
                 return table
         return None
 

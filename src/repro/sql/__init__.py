@@ -52,6 +52,13 @@ from repro.sql.lint import (
 )
 from repro.sql.normalize import normalize_sql
 from repro.sql.parser import parse_sql
+from repro.sql.typer import (
+    ColType,
+    OutputColumn,
+    ResultSchema,
+    infer_expr_type,
+    infer_output_schema,
+)
 from repro.sql.plan import (
     CompiledPlan,
     PlanNode,
@@ -71,6 +78,7 @@ from repro.sql.unparser import to_sql
 __all__ = [
     "Between",
     "BinaryOp",
+    "ColType",
     "ColumnRef",
     "CompiledPlan",
     "Diagnostic",
@@ -85,8 +93,10 @@ __all__ = [
     "LintReport",
     "Literal",
     "OrderItem",
+    "OutputColumn",
     "PlanNode",
     "Query",
+    "ResultSchema",
     "ScalarSubquery",
     "Select",
     "SelectItem",
@@ -107,6 +117,8 @@ __all__ = [
     "execute",
     "execute_reference",
     "explain",
+    "infer_expr_type",
+    "infer_output_schema",
     "lint_query",
     "lint_sql",
     "normalize_sql",

@@ -12,10 +12,14 @@ implements that whole substrate:
   Vega-Lite-like spec dictionary;
 - :mod:`repro.vis.charts` — chart objects, execution, and ASCII rendering
   for terminal examples;
-- :mod:`repro.vis.recommend` — DeepEye-style chart-quality ranking.
+- :mod:`repro.vis.recommend` — DeepEye-style chart-quality ranking;
+- :mod:`repro.vis.lint` — static VQL analysis (the ``V``-code diagnostic
+  catalog over the :mod:`repro.sql.typer` output schema) and the
+  candidate-pruning :class:`~repro.vis.lint.VisLintGate`.
 """
 
 from repro.vis.charts import Chart, render_chart
+from repro.vis.lint import VisLintGate, VisLintReport, lint_vis, lint_vql_text
 from repro.vis.recommend import recommend_charts
 from repro.vis.spec import build_spec
 from repro.vis.vql import CHART_TYPES, VQLQuery, normalize_vql, parse_vql, to_vql
@@ -24,7 +28,11 @@ __all__ = [
     "CHART_TYPES",
     "Chart",
     "VQLQuery",
+    "VisLintGate",
+    "VisLintReport",
     "build_spec",
+    "lint_vis",
+    "lint_vql_text",
     "normalize_vql",
     "parse_vql",
     "recommend_charts",

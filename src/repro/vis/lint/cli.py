@@ -1,0 +1,151 @@
+"""``python -m repro vis-lint`` — the visualization diagnostics CLI.
+
+Two modes::
+
+    # lint one VQL program against a curated domain schema
+    python -m repro vis-lint --vql "VISUALIZE BAR SELECT name, price FROM products"
+
+    # lint every gold VQL query of a generated benchmark dataset
+    python -m repro vis-lint --dataset nvbench_like --scale 0.05
+
+Exit status is 0 when no error-severity diagnostics were found, 1
+otherwise (``--strict`` also fails on warnings).  ``--stats`` populates
+the database so cardinality rules (pie slice count) can consult
+:mod:`repro.sql.stats`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.sql.lint.diagnostics import LintReport
+from repro.vis.lint.engine import lint_vql_text
+from repro.vis.lint.rules import VIS_RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro vis-lint``.
+
+    Lints either one ``--vql`` string against a curated ``--domain``
+    schema or every gold VQL of a generated ``--dataset``; prints each
+    diagnostic as ``source severity CODE message [clause]``.  Returns 0
+    when no error-severity diagnostics were found (with ``--strict``, no
+    warnings either), 1 otherwise.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-vis-lint",
+        description="static analysis for VQL visualization queries",
+    )
+    parser.add_argument("--vql", help="one VQL program to lint")
+    parser.add_argument(
+        "--domain",
+        default="sales",
+        help="curated domain schema to lint --vql against (default: sales)",
+    )
+    parser.add_argument(
+        "--dataset",
+        help="lint every gold VQL of this generated dataset "
+        "(e.g. nvbench_like)",
+    )
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="populate the database so cardinality rules can run",
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="exit nonzero on warnings too"
+    )
+    parser.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        _print_catalog()
+        return 0
+    if args.vql is not None:
+        return _lint_one(args)
+    if args.dataset is not None:
+        return _lint_dataset(args)
+    parser.print_usage(sys.stderr)
+    print(
+        "repro-vis-lint: provide --vql, --dataset, or --rules",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _print_catalog() -> None:
+    print("vis rule catalog:")
+    for rule in VIS_RULES.values():
+        print(f"  {rule.code}  {rule.severity.value:<7}  {rule.name}")
+        if rule.doc:
+            print(f"        {rule.doc}")
+
+
+def _fails(report: LintReport, strict: bool) -> bool:
+    if report.errors:
+        return True
+    return strict and bool(report.warnings)
+
+
+def _lint_one(args: argparse.Namespace) -> int:
+    from repro.data.domains import domain_by_name
+    from repro.data.generator import DatabaseGenerator
+
+    domain = domain_by_name(args.domain)
+    db = None
+    if args.stats:
+        db = DatabaseGenerator(seed=args.seed).populate(
+            domain, rows_per_table=40
+        )
+    report = lint_vql_text(args.vql, domain.schema, db=db)
+    print(report.render(source="query"))
+    if report.output is not None:
+        print(f"output schema: {report.output.render()}")
+    return 1 if _fails(report, args.strict) else 0
+
+
+def _lint_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets import build_dataset
+
+    dataset = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    code_counts: Counter = Counter()
+    severity_counts: Counter = Counter()
+    failing = 0
+    total = 0
+    for example in dataset.examples:
+        if not example.is_vis:
+            continue
+        total += 1
+        db = dataset.database(example.db_id)
+        report = lint_vql_text(
+            example.vql, db.schema, db=db if args.stats else None
+        )
+        code_counts.update(report.counts())
+        for diag in report.diagnostics:
+            severity_counts[diag.severity.value] += 1
+        if _fails(report, args.strict):
+            failing += 1
+            source = f"{example.db_id}:{example.vql}"
+            print(report.render(source=source))
+    print(
+        f"linted {total} gold VQL quer{'y' if total == 1 else 'ies'} of "
+        f"{dataset.name!r}: "
+        f"{severity_counts.get('error', 0)} error(s), "
+        f"{severity_counts.get('warning', 0)} warning(s), "
+        f"{severity_counts.get('info', 0)} info(s)"
+    )
+    if code_counts:
+        print("by code:")
+        for code, count in sorted(code_counts.items()):
+            print(f"  {code}  {count}")
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    sys.exit(main())

@@ -1,0 +1,457 @@
+"""The vis lint rule catalog: structural, type, semantic, and style checks.
+
+Each rule targets one VQL program with its statically inferred
+:class:`~repro.sql.typer.ResultSchema` and yields
+``(message, node, clause)`` findings; the registry stamps them with the
+rule's code and severity, exactly like :mod:`repro.sql.lint.rules`.
+
+- ``V0xx`` structural — chart arity, BIN-column existence
+- ``V1xx`` type — encoding/type compatibility per chart type, BIN
+  temporality (all statically provable from the typer, so every error
+  here is a chart the runtime :func:`~repro.vis.spec.build_spec` backstop
+  would reject after wasting an execution)
+- ``V2xx`` semantic — pie slice cardinality via :mod:`repro.sql.stats`
+  NDV estimates, duplicate axes, swapped-axes hazards, BIN/x mismatch
+- ``V3xx`` style — chart-choice hints (info severity)
+
+New rules register with the :func:`vis_rule` decorator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.data.database import Database
+from repro.data.schema import Schema
+from repro.sql.ast import (
+    ColumnRef,
+    Select,
+    SelectItem,
+    SetOperation,
+    has_aggregate,
+)
+from repro.sql.lint.diagnostics import LintReport, Severity
+from repro.sql.typer import ColType, OutputColumn, ResultSchema
+from repro.vis.vql import VQLQuery
+
+#: a rule finding: message, offending node (or None), clause name (or None)
+Finding = tuple[str, object, str | None]
+
+#: pie charts with more slices than this are illegible (DeepEye's bound)
+PIE_SLICE_LIMIT = 12
+
+#: column types that can never chart as a quantitative encoding
+_NEVER_NUMERIC = (ColType.TEXT, ColType.BOOL, ColType.TEMPORAL, ColType.NULL)
+
+
+@dataclass
+class VisRuleContext:
+    """What a vis rule sees: the VQL, its static output schema, the world."""
+
+    vql: VQLQuery
+    output: ResultSchema
+    schema: Schema
+    db: Database | None = None
+
+    @property
+    def chart(self) -> str:
+        return self.vql.chart_type
+
+    @property
+    def select(self) -> Select | None:
+        """The leftmost SELECT — the block whose projection names the axes."""
+        query = self.vql.query
+        while isinstance(query, SetOperation):
+            query = query.left
+        return query if isinstance(query, Select) else None
+
+    def axis_column(self, index: int) -> OutputColumn | None:
+        """The inferred output column charted on axis *index* (0=x, 1=y)."""
+        return self.output.column(index)
+
+    def axis_item(self, index: int) -> SelectItem | None:
+        """The projection item behind axis *index*, when star-free."""
+        select = self.select
+        if select is None or index >= len(select.items):
+            return None
+        from repro.sql.ast import Star
+
+        if any(isinstance(item.expr, Star) for item in select.items):
+            return None  # star shifts positions; typer columns still align
+        return select.items[index]
+
+
+@dataclass(frozen=True)
+class VisRule:
+    """One registered vis lint rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    doc: str
+    check: Callable[[VisRuleContext], Iterator[Finding]]
+
+
+#: code -> VisRule, in registration order
+VIS_RULES: dict[str, VisRule] = {}
+
+
+def vis_rule(code: str, name: str, severity: Severity) -> Callable:
+    """Register a vis rule function under *code* in the global catalog."""
+
+    def decorator(fn: Callable[[VisRuleContext], Iterator[Finding]]) -> Callable:
+        if code in VIS_RULES:
+            raise ValueError(f"duplicate vis lint rule code {code!r}")
+        VIS_RULES[code] = VisRule(
+            code=code,
+            name=name,
+            severity=severity,
+            doc=(fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else "",
+            check=fn,
+        )
+        return fn
+
+    return decorator
+
+
+def run_vis_rules(
+    vql: VQLQuery,
+    output: ResultSchema,
+    schema: Schema,
+    report: LintReport,
+    db: Database | None = None,
+    codes: Iterable[str] | None = None,
+) -> None:
+    """Apply registered vis rules to *vql*, appending findings to *report*."""
+    ctx = VisRuleContext(vql=vql, output=output, schema=schema, db=db)
+    wanted = set(codes) if codes is not None else None
+    for registered in VIS_RULES.values():
+        if wanted is not None and registered.code not in wanted:
+            continue
+        for message, node, clause in registered.check(ctx):
+            report.add(
+                registered.code,
+                registered.severity,
+                message,
+                clause=clause,
+                node=node,
+            )
+
+
+# ----------------------------------------------------------------------
+# V0xx — structural
+# ----------------------------------------------------------------------
+@vis_rule("V011", "chart-arity", Severity.ERROR)
+def _chart_arity(ctx: VisRuleContext) -> Iterator[Finding]:
+    """A chart needs at least two result columns (x and y)."""
+    if ctx.output.incomplete:
+        return
+    if ctx.output.arity < 2:
+        yield (
+            f"a {ctx.chart} chart needs two result columns, the query "
+            f"yields {ctx.output.arity}",
+            ctx.vql.query,
+            "select",
+        )
+
+
+@vis_rule("V012", "extra-columns", Severity.WARNING)
+def _extra_columns(ctx: VisRuleContext) -> Iterator[Finding]:
+    """Result columns beyond the first two are silently ignored."""
+    if ctx.output.incomplete:
+        return
+    if ctx.output.arity > 2:
+        ignored = ", ".join(
+            repr(column.name) for column in ctx.output.columns[2:]
+        )
+        yield (
+            f"only the first two result columns are charted; {ignored} "
+            "ignored",
+            ctx.vql.query,
+            "select",
+        )
+
+
+@vis_rule("V013", "bin-column-missing", Severity.ERROR)
+def _bin_column_missing(ctx: VisRuleContext) -> Iterator[Finding]:
+    """The BIN clause names a column absent from the result."""
+    if ctx.vql.bin_column is None or ctx.output.incomplete:
+        return
+    if ctx.output.find(ctx.vql.bin_column) is None:
+        yield (
+            f"BIN column {ctx.vql.bin_column!r} is not among the result "
+            f"columns {list(ctx.output.names())}",
+            None,
+            "bin",
+        )
+
+
+# ----------------------------------------------------------------------
+# V1xx — encoding/type compatibility
+# ----------------------------------------------------------------------
+def _provably_non_numeric(column: OutputColumn | None) -> bool:
+    return column is not None and column.type in _NEVER_NUMERIC
+
+
+@vis_rule("V101", "scatter-x-not-numeric", Severity.ERROR)
+def _scatter_x(ctx: VisRuleContext) -> Iterator[Finding]:
+    """Scatter plots need a numeric x column."""
+    if ctx.chart != "scatter":
+        return
+    column = ctx.axis_column(0)
+    if _provably_non_numeric(column):
+        yield (
+            f"scatter x column {column.name!r} is {column.type.value}, "
+            "never numeric",
+            None,
+            "select",
+        )
+
+
+@vis_rule("V102", "scatter-y-not-numeric", Severity.ERROR)
+def _scatter_y(ctx: VisRuleContext) -> Iterator[Finding]:
+    """Scatter plots need a numeric y column."""
+    if ctx.chart != "scatter":
+        return
+    column = ctx.axis_column(1)
+    if _provably_non_numeric(column):
+        yield (
+            f"scatter y column {column.name!r} is {column.type.value}, "
+            "never numeric",
+            None,
+            "select",
+        )
+
+
+@vis_rule("V103", "measure-not-numeric", Severity.ERROR)
+def _measure_not_numeric(ctx: VisRuleContext) -> Iterator[Finding]:
+    """Bar and pie charts need a numeric y (measure) column."""
+    if ctx.chart not in ("bar", "pie"):
+        return
+    column = ctx.axis_column(1)
+    if _provably_non_numeric(column):
+        yield (
+            f"{ctx.chart} chart y column {column.name!r} is "
+            f"{column.type.value}, never numeric",
+            None,
+            "select",
+        )
+
+
+@vis_rule("V104", "bin-column-not-temporal", Severity.ERROR)
+def _bin_not_temporal(ctx: VisRuleContext) -> Iterator[Finding]:
+    """BIN groups calendar units; a provably non-temporal column can't bin."""
+    if ctx.vql.bin_column is None:
+        return
+    column = ctx.output.find(ctx.vql.bin_column)
+    if column is not None and column.type in (
+        ColType.NUMBER, ColType.TEXT, ColType.BOOL, ColType.NULL,
+    ):
+        yield (
+            f"BIN column {column.name!r} is {column.type.value}, not "
+            f"temporal; BIN BY {ctx.vql.bin_unit} cannot apply",
+            None,
+            "bin",
+        )
+
+
+@vis_rule("V105", "line-x-unordered", Severity.WARNING)
+def _line_x_unordered(ctx: VisRuleContext) -> Iterator[Finding]:
+    """A line chart over a non-temporal, non-numeric x has no natural order."""
+    if ctx.chart != "line":
+        return
+    column = ctx.axis_column(0)
+    if column is not None and column.type in (ColType.TEXT, ColType.BOOL):
+        yield (
+            f"line chart x column {column.name!r} is {column.type.value}; "
+            "the axis has no natural order",
+            None,
+            "select",
+        )
+
+
+# ----------------------------------------------------------------------
+# V2xx — semantic
+# ----------------------------------------------------------------------
+@vis_rule("V201", "pie-slice-cardinality", Severity.WARNING)
+def _pie_slices(ctx: VisRuleContext) -> Iterator[Finding]:
+    """A pie whose estimated slice count exceeds the legibility bound."""
+    if ctx.chart != "pie" or ctx.db is None:
+        return
+    estimate = _estimated_result_rows(ctx)
+    if estimate is not None and estimate > PIE_SLICE_LIMIT:
+        yield (
+            f"pie chart with an estimated {estimate} slices "
+            f"(legibility bound {PIE_SLICE_LIMIT})",
+            None,
+            "select",
+        )
+
+
+def _estimated_result_rows(ctx: VisRuleContext) -> int | None:
+    """Estimated row (slice) count via table stats; None when undecidable."""
+    from repro.sql.stats import table_stats
+
+    select = ctx.select
+    if select is None or not isinstance(ctx.vql.query, Select):
+        return None
+    estimate: int | None = None
+    if len(select.group_by) == 1 and isinstance(
+        select.group_by[0], ColumnRef
+    ):
+        ref = select.group_by[0]
+        resolved = _resolve_base(ref, select, ctx)
+        if resolved is not None:
+            table_name, column_name = resolved
+            try:
+                stats = table_stats(ctx.db.table(table_name))
+            except Exception:
+                return None
+            estimate = stats.column(column_name).ndv
+    elif not select.group_by and not any(
+        has_aggregate(item.expr) for item in select.items
+    ):
+        tables = _single_table(select, ctx)
+        if tables is not None:
+            try:
+                estimate = len(ctx.db.table(tables).rows)
+            except Exception:
+                return None
+    if estimate is not None and select.limit is not None:
+        estimate = min(estimate, select.limit)
+    return estimate
+
+
+def _resolve_base(
+    ref: ColumnRef, select: Select, ctx: VisRuleContext
+) -> tuple[str, str] | None:
+    """Resolve a grouping column to its base ``(table, column)`` names."""
+    from repro.sql.ast import from_tables
+
+    candidates = []
+    for table_ref in from_tables(select.from_):
+        if not ctx.schema.has_table(table_ref.name):
+            continue
+        table = ctx.schema.table(table_ref.name)
+        if ref.table is not None and ref.table.lower() != table_ref.binding:
+            continue
+        if table.has_column(ref.column):
+            candidates.append((table.name.lower(), ref.column.lower()))
+    return candidates[0] if len(candidates) == 1 else None
+
+
+def _single_table(select: Select, ctx: VisRuleContext) -> str | None:
+    from repro.sql.ast import from_tables
+
+    refs = from_tables(select.from_)
+    if len(refs) == 1 and ctx.schema.has_table(refs[0].name):
+        return refs[0].name.lower()
+    return None
+
+
+@vis_rule("V202", "duplicate-axes", Severity.WARNING)
+def _duplicate_axes(ctx: VisRuleContext) -> Iterator[Finding]:
+    """x and y encode the same column — the spec rows collapse to one key."""
+    if ctx.output.incomplete or ctx.output.arity < 2:
+        return
+    x, y = ctx.output.columns[0], ctx.output.columns[1]
+    x_item, y_item = ctx.axis_item(0), ctx.axis_item(1)
+    same_expr = (
+        x_item is not None
+        and y_item is not None
+        and x_item.expr == y_item.expr
+    )
+    if same_expr or x.name.lower() == y.name.lower():
+        yield (
+            f"x and y both chart {x.name!r}; the spec's data rows "
+            "collapse to a single key",
+            None,
+            "select",
+        )
+
+
+@vis_rule("V203", "swapped-axes", Severity.WARNING)
+def _swapped_axes(ctx: VisRuleContext) -> Iterator[Finding]:
+    """An aggregate on x with a plain column on y looks transposed."""
+    if ctx.chart == "scatter":
+        return
+    x_item, y_item = ctx.axis_item(0), ctx.axis_item(1)
+    if x_item is None or y_item is None:
+        return
+    if has_aggregate(x_item.expr) and not has_aggregate(y_item.expr):
+        yield (
+            "x is an aggregate while y is not — the axes look swapped "
+            f"for a {ctx.chart} chart",
+            x_item.expr,
+            "select",
+        )
+
+
+@vis_rule("V204", "bin-column-not-x", Severity.WARNING)
+def _bin_not_x(ctx: VisRuleContext) -> Iterator[Finding]:
+    """Binning applies to the x axis; a BIN naming another column is inert."""
+    if ctx.vql.bin_column is None or ctx.output.incomplete:
+        return
+    first = ctx.output.column(0)
+    if (
+        first is not None
+        and ctx.output.find(ctx.vql.bin_column) is not None
+        and first.name.lower() != ctx.vql.bin_column.lower()
+    ):
+        yield (
+            f"BIN names {ctx.vql.bin_column!r} but binning applies to the "
+            f"x column {first.name!r}",
+            None,
+            "bin",
+        )
+
+
+# ----------------------------------------------------------------------
+# V3xx — style
+# ----------------------------------------------------------------------
+@vis_rule("V301", "bar-over-temporal", Severity.INFO)
+def _bar_over_temporal(ctx: VisRuleContext) -> Iterator[Finding]:
+    """A temporal x axis usually reads better as a line chart."""
+    if ctx.chart != "bar":
+        return
+    column = ctx.axis_column(0)
+    if column is not None and column.type is ColType.TEMPORAL:
+        yield (
+            f"bar chart over temporal x {column.name!r}; a line chart "
+            "usually reads better",
+            None,
+            "select",
+        )
+
+
+@vis_rule("V302", "pie-of-raw-rows", Severity.INFO)
+def _pie_of_raw_rows(ctx: VisRuleContext) -> Iterator[Finding]:
+    """A pie over non-aggregated rows rarely yields meaningful slices."""
+    if ctx.chart != "pie":
+        return
+    select = ctx.select
+    if select is None:
+        return
+    if not select.group_by and not any(
+        has_aggregate(item.expr) for item in select.items
+    ):
+        yield (
+            "pie chart over raw (non-aggregated) rows; one slice per row",
+            None,
+            "select",
+        )
+
+
+@vis_rule("V303", "line-without-order", Severity.INFO)
+def _line_without_order(ctx: VisRuleContext) -> Iterator[Finding]:
+    """A line chart without ORDER BY draws points in arbitrary order."""
+    if ctx.chart != "line" or ctx.vql.bin_column is not None:
+        return
+    select = ctx.select
+    if select is not None and not select.order_by:
+        yield (
+            "line chart without ORDER BY; point order follows row order",
+            None,
+            "order_by",
+        )

@@ -10,7 +10,7 @@ dependency.
 
 from __future__ import annotations
 
-from repro.data.values import Value
+from repro.data.values import Value, looks_temporal
 from repro.errors import ChartError
 from repro.sql.executor import Result
 from repro.vis.vql import VQLQuery
@@ -26,6 +26,12 @@ def build_spec(vql: VQLQuery, result: Result) -> dict:
     second is the y (or theta value) channel.  Raises
     :class:`~repro.errors.ChartError` when the result shape does not
     support the chart type.
+
+    The arity and encoding-type checks here are runtime *backstops*: the
+    static vis linter (:mod:`repro.vis.lint`) performs the same checks
+    from the AST alone before execution, using the output-schema typer
+    (:mod:`repro.sql.typer`) whose :meth:`~repro.sql.typer.ColType.vega`
+    classification is differentially tested against :func:`field_type`.
     """
     if len(result.columns) < 2:
         raise ChartError(
@@ -37,8 +43,8 @@ def build_spec(vql: VQLQuery, result: Result) -> dict:
         {x_field: row[0], y_field: row[1]}
         for row in result.rows
     ]
-    x_type = _field_type([row[0] for row in result.rows])
-    y_type = _field_type([row[1] for row in result.rows])
+    x_type = field_type([row[0] for row in result.rows])
+    y_type = field_type([row[1] for row in result.rows])
 
     # an empty result is a valid (empty) chart; type checks need data
     if result.rows:
@@ -71,20 +77,25 @@ def build_spec(vql: VQLQuery, result: Result) -> dict:
     }
 
 
-def _field_type(values: list[Value]) -> str:
-    """Infer a Vega-Lite field type from result values."""
+def field_type(values: list[Value]) -> str:
+    """Infer a Vega-Lite field type from result values.
+
+    The runtime counterpart of the static typer's
+    :meth:`repro.sql.typer.ColType.vega`; both use
+    :func:`repro.data.values.looks_temporal` so temporal classification
+    cannot drift between the two.
+    """
     non_null = [v for v in values if v is not None]
     if non_null and all(
         isinstance(v, (int, float)) and not isinstance(v, bool)
         for v in non_null
     ):
         return "quantitative"
-    if non_null and all(_looks_temporal(v) for v in non_null):
+    if non_null and all(looks_temporal(v) for v in non_null):
         return "temporal"
     return "nominal"
 
 
-def _looks_temporal(value: Value) -> bool:
-    if not isinstance(value, str) or len(value) != 10:
-        return False
-    return value[4] == "-" and value[7] == "-" and value[:4].isdigit()
+#: backwards-compatible aliases for the pre-typer private names
+_field_type = field_type
+_looks_temporal = looks_temporal

@@ -17,18 +17,26 @@ compare canonicalized DV queries.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
-from repro.errors import VQLParseError
+from repro.errors import LexError, ParseError, VQLParseError
 from repro.sql.ast import Query
 from repro.sql.normalize import normalize_query
 from repro.sql.parser import parse_sql
 from repro.sql.unparser import to_sql
-from repro.errors import ParseError, LexError
 
 CHART_TYPES: tuple[str, ...] = ("bar", "pie", "line", "scatter")
 
 BIN_UNITS: tuple[str, ...] = ("year", "quarter", "month", "weekday")
+
+#: a trailing ``BIN <column> BY <unit>`` clause — anchored at the end and
+#: restricted to bare identifiers, so ``' bin '`` inside a string literal
+#: (e.g. ``WHERE name = 'x bin y'``) can never be mistaken for a clause
+_BIN_CLAUSE = re.compile(
+    r"\s+bin\s+([A-Za-z_][A-Za-z_0-9]*)\s+by\s+([A-Za-z_][A-Za-z_0-9]*)\s*$",
+    re.IGNORECASE,
+)
 
 
 @dataclass(frozen=True)
@@ -63,18 +71,13 @@ def parse_vql(text: str) -> VQLQuery:
     remainder = tokens[2]
 
     bin_column = bin_unit = None
-    lowered = remainder.lower()
-    bin_index = lowered.rfind(" bin ")
-    if bin_index >= 0:
-        bin_clause = remainder[bin_index + 1 :]
-        remainder = remainder[:bin_index]
-        parts = bin_clause.split()
-        if len(parts) != 4 or parts[0].lower() != "bin" or parts[2].lower() != "by":
-            raise VQLParseError(f"malformed BIN clause in {text!r}")
-        bin_column = parts[1].lower()
-        bin_unit = parts[3].lower()
+    match = _BIN_CLAUSE.search(remainder)
+    if match is not None:
+        remainder = remainder[: match.start()]
+        bin_column = match.group(1).lower()
+        bin_unit = match.group(2).lower()
         if bin_unit not in BIN_UNITS:
-            raise VQLParseError(f"unknown BIN unit {parts[3]!r}")
+            raise VQLParseError(f"unknown BIN unit {match.group(2)!r}")
 
     try:
         query = parse_sql(remainder)

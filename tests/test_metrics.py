@@ -211,6 +211,25 @@ class TestVisMetrics:
         flags = vis_component_match("nonsense", self.GOLD, shop_db)
         assert not any(flags.values())
 
+    def test_set_operation_axes_follow_left_branch(self, shop_db):
+        # the axes comparison walks the parsed AST down to the leftmost
+        # SELECT, the branch whose columns name the chart's axes
+        gold = (
+            "VISUALIZE BAR SELECT category, COUNT(*) FROM products "
+            "GROUP BY category UNION SELECT quarter, COUNT(*) FROM sales "
+            "GROUP BY quarter"
+        )
+        flags = vis_component_match(gold, gold, shop_db)
+        assert all(flags.values())
+        swapped = (
+            "VISUALIZE BAR SELECT quarter, COUNT(*) FROM sales "
+            "GROUP BY quarter UNION SELECT category, COUNT(*) FROM products "
+            "GROUP BY category"
+        )
+        flags = vis_component_match(swapped, gold, shop_db)
+        assert flags["chart_type"]
+        assert not flags["axes"]
+
 
 class TestEvaluationLoop:
     def test_report_shape(self, tiny_wikisql):

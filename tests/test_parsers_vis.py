@@ -68,6 +68,27 @@ class TestTemplateVisParser:
         )
         assert vql is None
 
+    def test_depluralization_strips_one_s_only(self):
+        # rstrip("s") would reduce "boss" to "bo" and match this question
+        from repro.data.schema import Column, ColumnType, Schema, TableSchema
+
+        schema = Schema(
+            db_id="office",
+            tables=(
+                TableSchema(
+                    "boss",
+                    (Column("rank", ColumnType.TEXT),),
+                ),
+            ),
+        )
+        vql = DataToneVisParser().parse_vis(
+            ParseRequest(
+                question="Show a bar chart of bo things per rank?",
+                schema=schema,
+            )
+        )
+        assert vql is None
+
 
 class TestNeuralVisParsers:
     @pytest.fixture(scope="class")

@@ -69,6 +69,30 @@ class TestVQL:
         vql = parse_vql("VISUALIZE BAR SELECT a, b FROM t")
         assert vql.with_chart("pie").chart_type == "pie"
 
+    def test_bin_inside_string_literal_is_not_a_clause(self):
+        vql = parse_vql(
+            "VISUALIZE BAR SELECT name, price FROM products "
+            "WHERE name = 'x bin y'"
+        )
+        assert vql.bin_column is None and vql.bin_unit is None
+        assert vql.query == parse_sql(
+            "SELECT name, price FROM products WHERE name = 'x bin y'"
+        )
+
+    def test_bin_like_literal_at_end_is_not_a_clause(self):
+        # ends in a quote, so the trailing-clause grammar cannot match
+        vql = parse_vql(
+            "VISUALIZE BAR SELECT a, b FROM t WHERE c = 'group bin d by e'"
+        )
+        assert vql.bin_column is None
+
+    def test_bin_clause_after_string_literal_still_parses(self):
+        vql = parse_vql(
+            "VISUALIZE LINE SELECT d, COUNT(*) FROM t "
+            "WHERE kind = 'x bin y' GROUP BY d BIN d BY YEAR"
+        )
+        assert vql.bin_column == "d" and vql.bin_unit == "year"
+
 
 class TestSpec:
     def test_bar_spec(self, shop_db):
