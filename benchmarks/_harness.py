@@ -126,9 +126,24 @@ def trained(kind: str):
     return parser
 
 
-def accuracy(parser, dataset_name: str, metric: str) -> float:
-    report = evaluate_parser(parser, dataset(dataset_name))
+def accuracy(
+    parser, dataset_name: str, metric: str, workers: int | None = None
+) -> float:
+    report = evaluate_parser(
+        parser, dataset(dataset_name), max_workers=workers
+    )
     return round(100 * report.accuracy(metric), 1)
+
+
+def add_workers_arg(parser) -> None:
+    """Attach the shared ``--workers`` flag to a benchmark's arg parser."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for execution-based metric scoring "
+        "(default: serial; see repro.eval.parallel)",
+    )
 
 
 def add_trace_arg(parser) -> None:

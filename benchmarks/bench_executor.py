@@ -27,7 +27,7 @@ import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
-from _harness import dataset, print_table
+from _harness import add_workers_arg, dataset, print_table
 
 from repro.data.database import Database
 from repro.data.schema import Column, ColumnType, Schema, TableSchema
@@ -37,6 +37,7 @@ from repro.metrics.test_suite import (
     _literal_values,
     make_database_variants,
     test_suite_match,
+    test_suite_match_many,
 )
 from repro.sql.executor import execute, execute_reference
 from repro.sql.parser import parse_sql
@@ -182,7 +183,10 @@ def _drop_metric_caches(dbs) -> None:
 
 
 def _test_suite_workload(
-    num_examples: int, candidates_per_gold: int, num_variants: int
+    num_examples: int,
+    candidates_per_gold: int,
+    num_variants: int,
+    workers: int | None = None,
 ) -> dict[str, float]:
     spider = dataset("spider_like")
     pairs = []
@@ -203,19 +207,32 @@ def _test_suite_workload(
     run(_reference_test_suite_match)
     interp = evaluations / (time.perf_counter() - start)
 
+    jobs = [
+        (gold, gold, db)
+        for gold, db in pairs
+        for _ in range(candidates_per_gold)
+    ]
     best = 0.0
     for _ in range(2):
         _drop_metric_caches(db for _, db in pairs)
         start = time.perf_counter()
-        run(test_suite_match)
+        if workers is not None and workers > 1:
+            assert all(
+                test_suite_match_many(jobs, num_variants, max_workers=workers)
+            )
+        else:
+            run(test_suite_match)
         best = max(best, evaluations / (time.perf_counter() - start))
-    return {
+    stats = {
         "interpreter_qps": round(interp, 2),
         "compiled_qps": round(best, 2),
         "speedup": round(best / interp, 2),
         "evaluations": evaluations,
         "num_variants": num_variants,
     }
+    if workers is not None:
+        stats["workers"] = workers
+    return stats
 
 
 def main(argv=None):
@@ -224,6 +241,7 @@ def main(argv=None):
         "--quick", action="store_true",
         help="small sizes for a CI smoke run",
     )
+    add_workers_arg(parser)
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -235,7 +253,7 @@ def main(argv=None):
 
     results = _micro_workloads(db, iters)
     results["test_suite_evaluation"] = _test_suite_workload(
-        examples, candidates, variants
+        examples, candidates, variants, workers=args.workers
     )
 
     print_table(

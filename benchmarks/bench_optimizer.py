@@ -32,12 +32,18 @@ import time
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 
-from _harness import add_trace_arg, dataset, print_table, traced_run
+from _harness import (
+    add_trace_arg,
+    add_workers_arg,
+    dataset,
+    print_table,
+    traced_run,
+)
 
 from repro.data.database import Database
 from repro.data.schema import Column, ColumnType, Schema, TableSchema
 from repro.errors import SQLError
-from repro.metrics.test_suite import test_suite_match
+from repro.metrics.test_suite import test_suite_match, test_suite_match_many
 from repro.sql.executor import execute, execute_reference
 from repro.sql.parser import parse_sql
 from repro.sql.plan import (
@@ -209,7 +215,10 @@ def _drop_metric_caches(dbs) -> None:
 
 
 def _test_suite_workload(
-    num_examples: int, candidates_per_gold: int, num_variants: int
+    num_examples: int,
+    candidates_per_gold: int,
+    num_variants: int,
+    workers: int | None = None,
 ) -> dict[str, float]:
     spider = dataset("spider_like")
     pairs = []
@@ -220,15 +229,27 @@ def _test_suite_workload(
         if len(pairs) >= num_examples:
             break
     evaluations = len(pairs) * candidates_per_gold
+    jobs = [
+        (gold, gold, db)
+        for gold, db in pairs
+        for _ in range(candidates_per_gold)
+    ]
 
     def run() -> float:
         best = 0.0
         for _ in range(2):
             _drop_metric_caches(db for _, db in pairs)
             start = time.perf_counter()
-            for gold, db in pairs:
-                for _ in range(candidates_per_gold):
-                    assert test_suite_match(gold, gold, db, num_variants)
+            if workers is not None and workers > 1:
+                assert all(
+                    test_suite_match_many(
+                        jobs, num_variants, max_workers=workers
+                    )
+                )
+            else:
+                for gold, db in pairs:
+                    for _ in range(candidates_per_gold):
+                        assert test_suite_match(gold, gold, db, num_variants)
             best = max(best, evaluations / (time.perf_counter() - start))
         return best
 
@@ -239,13 +260,16 @@ def _test_suite_workload(
         fast = run()
     finally:
         set_optimizer_enabled(previous)
-    return {
+    stats = {
         "baseline_qps": round(slow, 2),
         "optimized_qps": round(fast, 2),
         "speedup": round(fast / slow, 2),
         "evaluations": evaluations,
         "num_variants": num_variants,
     }
+    if workers is not None:
+        stats["workers"] = workers
+    return stats
 
 
 def main(argv=None):
@@ -255,6 +279,7 @@ def main(argv=None):
         help="small sizes for a CI smoke run",
     )
     add_trace_arg(parser)
+    add_workers_arg(parser)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -276,7 +301,7 @@ def main(argv=None):
 
     results = _micro_workloads(db, iters)
     results["test_suite_evaluation"] = _test_suite_workload(
-        examples, candidates, variants
+        examples, candidates, variants, workers=args.workers
     )
 
     print_table(

@@ -12,6 +12,7 @@ the survey's Fig. 1.  Options::
     python -m repro vis-lint --vql "..."  # VQL static analysis
     python -m repro explain "SELECT ..."  # physical plan + cost estimates
     python -m repro trace "SELECT ..."    # span tree for one traced query
+    python -m repro eval --workers 4      # parallel corpus evaluation
     python -m repro --trace               # REPL with per-stage trace output
 
 Inside the REPL: ``\\schema`` prints the schema, ``\\reset`` clears the
@@ -96,6 +97,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.trace_cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "eval":
+        from repro.eval.cli import main as eval_main
+
+        return eval_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )

@@ -40,17 +40,26 @@ class Table:
         """Monotonic mutation counter, bumped by :meth:`append`."""
         return getattr(self, "_version", 0)
 
-    def cache_token(self) -> tuple[int, int, int]:
+    def cache_token(self) -> tuple[int, int]:
         """Stamp identifying this table's current contents.
 
-        Derived caches (statistics, indexes, :mod:`repro.sql.index`) key
-        their entries by this token so any mutation — ``append``, a bulk
+        Derived caches (statistics, indexes, column batches) key their
+        entries by this token so any mutation — ``append``, a bulk
         :meth:`replace_rows`, or even a raw swap of the ``rows`` list —
-        retires them.  In-place mutation of an existing row tuple's slot is
+        retires them.  Raw swaps are detected by holding a strong
+        reference to the last-seen list and bumping the version when
+        ``self.rows`` is no longer that object; the strong reference is
+        what makes the ``is`` check sound (an earlier scheme put
+        ``id(rows)`` in the token itself, but a swapped-in list can be
+        allocated at a garbage-collected predecessor's address and alias
+        its token).  In-place mutation of an existing row tuple's slot is
         the one thing it cannot see; row tuples are immutable by contract.
         """
         rows = self.rows
-        return (self.version, len(rows), id(rows))
+        if getattr(self, "_token_rows", None) is not rows:
+            self._token_rows = rows
+            self._version = self.version + 1
+        return (self.version, len(rows))
 
     def invalidate_caches(self) -> None:
         """Force derived caches (stats, indexes) to rebuild on next use."""

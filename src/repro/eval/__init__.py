@@ -1,0 +1,5 @@
+"""Parallel corpus-evaluation driver (see :mod:`repro.eval.parallel`)."""
+
+from repro.eval.parallel import parallel_map, resolve_workers
+
+__all__ = ["parallel_map", "resolve_workers"]

@@ -10,11 +10,15 @@ aggregation used by every benchmark.
 
 from repro.metrics.bleu import bleu, fuzzy_match
 from repro.metrics.component_match import component_match, partial_match
-from repro.metrics.execution import execution_match
+from repro.metrics.execution import execution_match, execution_match_many
 from repro.metrics.lineage import column_lineage, lineage_f1, lineage_match
 from repro.metrics.report import EvaluationReport, evaluate_parser
 from repro.metrics.string_match import exact_string_match, strict_string_match
-from repro.metrics.test_suite import make_database_variants, test_suite_match
+from repro.metrics.test_suite import (
+    make_database_variants,
+    test_suite_match,
+    test_suite_match_many,
+)
 from repro.metrics.vis_match import vis_component_match, vis_exact_match
 
 __all__ = [
@@ -24,6 +28,7 @@ __all__ = [
     "component_match",
     "evaluate_parser",
     "execution_match",
+    "execution_match_many",
     "exact_string_match",
     "fuzzy_match",
     "lineage_f1",
@@ -32,6 +37,7 @@ __all__ = [
     "partial_match",
     "strict_string_match",
     "test_suite_match",
+    "test_suite_match_many",
     "vis_component_match",
     "vis_exact_match",
 ]

@@ -94,6 +94,37 @@ def _execution_match(predicted: str, gold: str, db: Database) -> bool:
     return results_equal(pred_result, gold_result)
 
 
+def _execution_job(job: tuple[str, str, Database]) -> bool:
+    """Module-level worker for :func:`execution_match_many` (picklable)."""
+    predicted, gold, db = job
+    return execution_match(predicted, gold, db)
+
+
+def execution_match_many(
+    jobs: "list[tuple[str, str, Database]]",
+    *,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[bool]:
+    """Batch :func:`execution_match` over ``(predicted, gold, db)`` triples.
+
+    Fans out across a process pool via :func:`repro.eval.parallel
+    .parallel_map`; verdicts come back in input order, identical to the
+    serial loop.  Each worker process warms its own plan cache and
+    per-database gold-result caches.  Note the match/mismatch obs
+    counters tick inside the workers and are not visible to the parent
+    when ``max_workers > 1``.
+    """
+    from repro.eval.parallel import parallel_map
+
+    return parallel_map(
+        _execution_job,
+        list(jobs),
+        max_workers=max_workers,
+        chunk_size=chunk_size,
+    )
+
+
 def results_equal(predicted: Result, gold: Result) -> bool:
     """Result equality with the gold's ordered-ness deciding order sensitivity."""
     pred_rows = [_normalize_row(r) for r in predicted.rows]

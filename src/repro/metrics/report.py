@@ -96,6 +96,7 @@ def evaluate_parser(
     split: str = "dev",
     with_test_suite: bool = False,
     limit: int | None = None,
+    max_workers: int | None = None,
 ) -> EvaluationReport:
     """Evaluate *parser* on a dataset split with the standard metrics.
 
@@ -105,6 +106,14 @@ def evaluate_parser(
     ``exact_match`` (whole VQL) plus per-component rates.  The *primary*
     metric driving the hardness breakdown is execution match for SQL and
     exact match for Vis, matching the headline numbers of Table 2.
+
+    ``max_workers > 1`` scores the SQL metric battery on a process pool
+    (:mod:`repro.eval.parallel`): parsing stays serial in the parent —
+    parsers are stateful, cheap, and dialogue history is order-dependent
+    — while the execution-heavy scoring fans out per example.  Reports
+    are identical to the serial path (deterministic ordering); only
+    worker-side obs counters are lost.  Vis datasets always run serially
+    (their metrics are string-cheap).
     """
     from repro.parsers.base import ParseRequest
 
@@ -118,6 +127,17 @@ def evaluate_parser(
         split=split,
     )
     start = time.perf_counter()
+
+    if (
+        dataset.task != "vis"
+        and max_workers is not None
+        and max_workers > 1
+    ):
+        _evaluate_sql_parallel(
+            parser, dataset, examples, report, with_test_suite, max_workers
+        )
+        report.seconds = time.perf_counter() - start
+        return report
 
     history_cache: dict[str, list[tuple[str, Query]]] = {}
 
@@ -161,6 +181,112 @@ def evaluate_parser(
         _score_sql(report, example, db, predicted_sql, with_test_suite)
     report.seconds = time.perf_counter() - start
     return report
+
+
+#: example_hits append order must match the serial ``_score_sql`` records
+_SQL_METRIC_ORDER = (
+    "exact_match",
+    "component_match",
+    "execution_match",
+    "test_suite_match",
+)
+
+
+def _sql_hits_job(job: tuple) -> dict:
+    """Module-level worker: the full SQL metric battery for one example."""
+    predicted_sql, gold_sql, db, with_test_suite = job
+    hits = {
+        "exact_match": exact_string_match(predicted_sql, gold_sql),
+        "component_match": component_match(predicted_sql, gold_sql),
+        "execution_match": execution_match(predicted_sql, gold_sql, db),
+    }
+    if with_test_suite:
+        hits["test_suite_match"] = test_suite_match(
+            predicted_sql, gold_sql, db
+        )
+    return hits
+
+
+def _evaluate_sql_parallel(
+    parser,
+    dataset: Dataset,
+    examples,
+    report: EvaluationReport,
+    with_test_suite: bool,
+    max_workers: int,
+) -> None:
+    """Parse serially, score the SQL metrics on a process pool.
+
+    Produces exactly the report the serial loop would: jobs are built in
+    example order, :func:`repro.eval.parallel.parallel_map` preserves that
+    order, and the merge below replays ``_score_sql``'s bookkeeping.
+    """
+    from repro.eval.parallel import parallel_map
+    from repro.parsers.base import ParseRequest
+    from repro.sql.parser import parse_sql
+
+    history_cache: dict[str, list[tuple[str, Query]]] = {}
+    parsed: list[tuple[Example, Database, str]] = []
+    for example in examples:
+        db = dataset.database(example.db_id)
+        history: list[tuple[str, Query]] = []
+        if example.dialogue_id is not None:
+            history = history_cache.get(example.dialogue_id, [])
+        request = ParseRequest(
+            question=example.question,
+            schema=db.schema,
+            db=db,
+            knowledge=example.knowledge,
+            history=list(history),
+            language=example.language,
+        )
+        result = parser.parse(request)
+        predicted_sql = (
+            to_sql(result.query) if result.query is not None else ""
+        )
+        if result.query is None:
+            report.parse_failures += 1
+        if example.dialogue_id is not None:
+            history_cache[example.dialogue_id] = list(history) + [
+                (example.question, parse_sql(example.sql))
+            ]
+        parsed.append((example, db, predicted_sql))
+
+    jobs = [
+        (i, (sql, example.sql, db, with_test_suite))
+        for i, (example, db, sql) in enumerate(parsed)
+        if sql
+    ]
+    verdicts = parallel_map(
+        _sql_hits_job, [job for _, job in jobs], max_workers=max_workers
+    )
+    hits_by_index = {i: hits for (i, _), hits in zip(jobs, verdicts)}
+
+    for i, (example, _db, predicted_sql) in enumerate(parsed):
+        report.total += 1
+        hits_map = hits_by_index.get(i)
+        if hits_map is not None:
+            execution_hit = hits_map["execution_match"]
+            for metric in _SQL_METRIC_ORDER:
+                if metric not in hits_map:
+                    continue
+                hit = hits_map[metric]
+                if hit:
+                    report.metric_hits[metric] = (
+                        report.metric_hits.get(metric, 0) + 1
+                    )
+                report.example_hits.setdefault(metric, []).append(hit)
+        else:
+            execution_hit = False
+            for metric in ("exact_match", "component_match", "execution_match"):
+                report.example_hits.setdefault(metric, []).append(False)
+        report.hardness_totals[example.hardness] = (
+            report.hardness_totals.get(example.hardness, 0) + 1
+        )
+        if execution_hit:
+            report.hardness_hits[example.hardness] = (
+                report.hardness_hits.get(example.hardness, 0) + 1
+            )
 
 
 def _update_history(history_cache, example, history) -> None:

@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import threading
 import weakref
 from collections import OrderedDict
 from itertools import count
@@ -115,6 +116,7 @@ from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
 from repro.sql import index as _index
 from repro.sql import stats as _stats
+from repro.sql import vector as _vector
 from repro.sql.parser import parse_sql
 from repro.sql.unparser import to_sql
 
@@ -219,7 +221,8 @@ class PlanNode:
     by ``nid`` and are rendered next to the estimates by ``explain``.
     """
 
-    __slots__ = ("nid", "op", "detail", "est_rows", "est_cost", "children")
+    __slots__ = ("nid", "op", "detail", "est_rows", "est_cost", "children",
+                 "vectorized")
 
     def __init__(self, nid, op, detail="", est_rows=None, est_cost=None,
                  children=()):
@@ -229,6 +232,10 @@ class PlanNode:
         self.est_rows = est_rows
         self.est_cost = est_cost
         self.children = list(children)
+        #: ``True``/``False`` when the vectorizer considered this operator
+        #: (rendered as ``vectorized=yes/no``); ``None`` when it never did
+        #: (toggle off, or an operator kind with no columnar form).
+        self.vectorized: bool | None = None
 
     def render(self, actuals=None, indent="", into=None, timings=None) -> str:
         lines = [] if into is None else into
@@ -240,6 +247,8 @@ class PlanNode:
             annot.append(f"est_rows={self.est_rows:.1f}")
         if self.est_cost is not None:
             annot.append(f"est_cost={self.est_cost:.1f}")
+        if self.vectorized is not None:
+            annot.append("vectorized=" + ("yes" if self.vectorized else "no"))
         if actuals is not None and self.nid in actuals:
             annot.append(f"actual_rows={actuals[self.nid]}")
         if timings is not None and self.nid in timings:
@@ -258,13 +267,14 @@ class _Ctx:
     """Per-compilation state: schema, subquery boundaries, plan metadata."""
 
     __slots__ = ("schema", "boundaries", "meta", "sids", "db", "optimize",
-                 "nids", "subplans")
+                 "vectorize", "nids", "subplans")
 
     def __init__(self, schema: Schema, db: Database | None = None,
-                 optimize: bool = False) -> None:
+                 optimize: bool = False, vectorize: bool = False) -> None:
         self.schema = schema
         self.db = db
         self.optimize = optimize
+        self.vectorize = vectorize
         self.boundaries: list[dict[str, Any]] = []
         self.sids = count()
         self.nids = count(1)
@@ -281,6 +291,8 @@ class _Ctx:
             "join_reorders": 0,
             "semi_joins": 0,
             "topk_sorts": 0,
+            "vector_ops": 0,
+            "vector_fallbacks": 0,
         }
 
     def node(self, op, detail="", est_rows=None, est_cost=None,
@@ -1089,6 +1101,139 @@ def _make_opt_scan(name: str, fns_all, rest_fns, driver, nid: int, semi=None):
     return scan
 
 
+# ----------------------------------------------------------------------
+# vectorized operators (columnar kernels over repro.sql.vector batches)
+# ----------------------------------------------------------------------
+def _local_slot_of(local: _Frame):
+    """``slot_of`` callback for kernels over a single-table local frame.
+
+    Resolution mirrors ``_compile_local``'s name lookup exactly: a
+    qualified reference must name the frame's binding, an unqualified one
+    must be unambiguous across bindings (a local frame has exactly one).
+    """
+
+    def slot_of(ref: ColumnRef) -> int | None:
+        column_l = ref.column.lower()
+        if ref.table is not None:
+            slots = local.bindings.get(ref.table.lower())
+            if slots is not None and column_l in slots:
+                return slots[column_l]
+            return None
+        hits = [s[column_l] for s in local.bindings.values() if column_l in s]
+        return hits[0] if len(hits) == 1 else None
+
+    return slot_of
+
+
+def _compile_kernels(conjuncts, local: _Frame):
+    """Batch kernels for pushed scan conjuncts, or ``None`` on any miss.
+
+    All-or-nothing: mixing kernels with row closures inside one scan would
+    complicate the runner for no gain (the row path already handles every
+    conjunct), so one unkernelizable conjunct fails the whole scan over to
+    the row engine.
+    """
+    slot_of = _local_slot_of(local)
+    kernels = []
+    for conjunct in conjuncts:
+        kernel = _vector.compile_predicate(conjunct, slot_of)
+        if kernel is None:
+            return None
+        kernels.append(kernel)
+    return kernels
+
+
+def _make_vector_scan(name: str, kernels, semi, nid: int):
+    """Columnar scan: filter the cached column batch, then gather rows.
+
+    Kernels run in the same (selectivity) order as the row path's filter
+    closures over a shrinking selection vector, with an early exit once
+    it empties — legal because every pushed conjunct is statically safe,
+    so skipped evaluations cannot hide errors.  The optional semi-join
+    stage is identical to ``_make_opt_scan``'s (the subquery must run —
+    and surface its errors — whenever the raw table is non-empty).
+    """
+
+    def scan(state):
+        table = state.db.table(name)
+        batch = _vector.column_batch(table)
+        raw = batch.rows
+        rows = raw
+        if raw:
+            _vector.BATCHES.inc()
+            sel = range(len(raw))
+            for kernel in kernels:
+                sel = kernel(batch, sel)
+                if not sel:
+                    break
+            rows = [raw[i] for i in sel]
+        if semi is not None and raw:
+            value_fn, sub = semi
+            values, _saw_null = sub.fetch(state, ())
+            rows = [
+                row for row in rows
+                if value_fn(state, (row,), None, None) in values
+            ]
+        state.actuals[nid] = len(rows)
+        return rows
+
+    return scan
+
+
+def _make_vector_hash_join(
+    prev, right_scan, kind: str, left_slots, right_slots, right_width: int,
+    nid: int, index_info=None,
+):
+    """Hash join with both key sides resolved to plain depth-0 slots.
+
+    Build and probe index columns directly instead of calling compiled
+    key closures per row; the bucket layout (raw single values / tuples,
+    NULL keys skipped) is shared with :func:`repro.sql.index.build_hash_buckets`,
+    so the cached-table-index path and the inline build agree exactly.
+    Residual join conjuncts are never present here (they fail the join
+    over to the row engine), which keeps the probe loop branch-free.
+    """
+    pad = (None,) * right_width
+    left_join = kind == "left"
+    single = len(left_slots) == 1
+    lslot = left_slots[0] if single else None
+    lget = None if single else itemgetter(*left_slots)
+
+    def run(state, outer):
+        right_rows = right_scan(state)
+        if index_info is not None and len(right_rows) >= _index.MIN_INDEX_ROWS:
+            # unfiltered base-table build side: the cached table index
+            # holds exactly the buckets the inline build would produce
+            buckets = _index.hash_index(
+                state.db.table(index_info[0]), index_info[1]
+            ).buckets
+        else:
+            buckets = _index.build_hash_buckets(right_rows, right_slots)
+        _vector.BATCHES.inc()
+        out = []
+        append = out.append
+        for left in prev(state, outer):
+            if single:
+                key = left[lslot]
+                bucket = buckets.get(key) if key is not None else None
+            else:
+                key = lget(left)
+                bucket = (
+                    buckets.get(key)
+                    if not any(v is None for v in key)
+                    else None
+                )
+            if bucket:
+                for right in bucket:
+                    append(left + right)
+            elif left_join:
+                append(left + pad)
+        state.actuals[nid] = len(out)
+        return out
+
+    return run
+
+
 def _make_nested_join(
     prev, right_scan, kind: str, cond_fn, right_width: int, nid: int = -1
 ):
@@ -1353,6 +1498,21 @@ def _build_opt_scan(ctx: _Ctx, name: str, local: _Frame, preds, semi):
     if semi is not None:
         detail += " semi-join"
     node = ctx.node(op, detail, est_rows=est, est_cost=base)
+    # ---- vectorized filter scan: only when the cost model picked no
+    # index driver (an index already skips non-matching rows; a kernel
+    # sweep over the full batch would be strictly more work) ----
+    if ctx.vectorize and driver is None and analyzed:
+        kernels = _compile_kernels([item[2] for item in analyzed], local)
+        if kernels is not None:
+            node.vectorized = True
+            ctx.meta["vector_ops"] += 1
+            scan = _make_vector_scan(name, kernels, semi, node.nid)
+            return scan, node, est
+        node.vectorized = False
+        ctx.meta["vector_fallbacks"] += 1
+        _vector.FALLBACKS.inc()
+    elif ctx.vectorize:
+        node.vectorized = False
     scan = _make_opt_scan(name, fns_all, rest_fns, driver, node.nid, semi)
     return scan, node, est
 
@@ -1673,7 +1833,21 @@ def _compile_from(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
             stats = ctx.table_stats(ref.name)
             est = float(stats.row_count) if stats is not None else None
             node = ctx.node("scan", ref.name, est_rows=est, est_cost=est)
-            scan = _make_scan(ref.name, [fn for _c, fn in preds], node.nid)
+            scan = None
+            if ctx.vectorize and preds:
+                kernels = _compile_kernels(
+                    [c for c, _fn in preds], locals_[index]
+                )
+                if kernels is not None:
+                    node.vectorized = True
+                    ctx.meta["vector_ops"] += 1
+                    scan = _make_vector_scan(ref.name, kernels, None, node.nid)
+                else:
+                    node.vectorized = False
+                    ctx.meta["vector_fallbacks"] += 1
+                    _vector.FALLBACKS.inc()
+            if scan is None:
+                scan = _make_scan(ref.name, [fn for _c, fn in preds], node.nid)
         scans.append(scan)
         scan_nodes.append(node)
         scan_ests.append(est)
@@ -1731,6 +1905,16 @@ def _compile_from(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
                     right_chain = [right_local] + outer_chain
                     left_keys, right_keys, residuals = [], [], []
                     right_key_cols: list[str] | None = []
+                    left_key_slots: list[int] | None = []
+                    right_key_slots: list[int] | None = []
+
+                    def _key_slot(expr, slots):
+                        # a plain column key reads exactly one slot; any
+                        # other key shape disables the columnar probe
+                        if isinstance(expr, ColumnRef) and len(slots) == 1:
+                            return next(iter(slots))
+                        return None
+
                     for conjunct in conjuncts:
                         if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
                             lslots: set[int] = set()
@@ -1754,6 +1938,16 @@ def _compile_from(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
                                         right_key_cols + [col]
                                         if col is not None else None
                                     )
+                                if left_key_slots is not None:
+                                    lslot = _key_slot(conjunct.left, lslots)
+                                    rslot = _key_slot(conjunct.right, rslots)
+                                    if lslot is None or rslot is None:
+                                        left_key_slots = right_key_slots = None
+                                    else:
+                                        left_key_slots.append(lslot)
+                                        right_key_slots.append(
+                                            rslot - left_width
+                                        )
                                 continue
                             if sides == ("right", "left"):
                                 left_keys.append(
@@ -1768,6 +1962,16 @@ def _compile_from(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
                                         right_key_cols + [col]
                                         if col is not None else None
                                     )
+                                if left_key_slots is not None:
+                                    lslot = _key_slot(conjunct.right, rslots)
+                                    rslot = _key_slot(conjunct.left, lslots)
+                                    if lslot is None or rslot is None:
+                                        left_key_slots = right_key_slots = None
+                                    else:
+                                        left_key_slots.append(lslot)
+                                        right_key_slots.append(
+                                            rslot - left_width
+                                        )
                                 continue
                         residuals.append(
                             _compile_expr(conjunct, combined_chain, ctx, None)
@@ -1794,17 +1998,39 @@ def _compile_from(select: Select, outer_chain: list[_Frame], ctx: _Ctx):
                             est_rows=est,
                             children=[source_node, scan_nodes[index]],
                         )
-                        source = _make_hash_join(
-                            source,
-                            scans[index],
-                            join.kind,
-                            left_keys,
-                            right_keys,
-                            residuals,
-                            right_width,
-                            join_node.nid,
-                            index_info,
-                        )
+                        if (
+                            ctx.vectorize
+                            and not residuals
+                            and left_key_slots is not None
+                        ):
+                            join_node.vectorized = True
+                            ctx.meta["vector_ops"] += 1
+                            source = _make_vector_hash_join(
+                                source,
+                                scans[index],
+                                join.kind,
+                                tuple(left_key_slots),
+                                tuple(right_key_slots),
+                                right_width,
+                                join_node.nid,
+                                index_info,
+                            )
+                        else:
+                            if ctx.vectorize:
+                                join_node.vectorized = False
+                                ctx.meta["vector_fallbacks"] += 1
+                                _vector.FALLBACKS.inc()
+                            source = _make_hash_join(
+                                source,
+                                scans[index],
+                                join.kind,
+                                left_keys,
+                                right_keys,
+                                residuals,
+                                right_width,
+                                join_node.nid,
+                                index_info,
+                            )
                         source_node = join_node
                         ctx.meta["hash_joins"] += 1
                         hash_built = True
@@ -2094,6 +2320,31 @@ def _compile_plain_runner(select: Select, chain, ctx, source, filter_fn, info):
     if use_topk:
         ctx.meta["topk_sorts"] += 1
 
+    # ---- vectorized ORDER BY keys: every sort key resolves statically
+    # to either a depth-0 source slot or a projected-row offset (the
+    # alias case), so the per-row key closures are skipped entirely ----
+    order_spec = None
+    if ctx.vectorize and order_fns:
+        order_spec = []
+        for item in order_by:
+            oexpr = item.expr
+            if isinstance(oexpr, ColumnRef):
+                col_l = oexpr.column.lower()
+                if aliases and oexpr.table is None and col_l in aliases:
+                    order_spec.append((True, aliases[col_l]))
+                    continue
+                cands = _resolve(chain, ctx, oexpr.table, oexpr.column)
+                if len(cands) == 1 and cands[0][0] == 0 and cands[0][1] >= 0:
+                    order_spec.append((False, cands[0][1]))
+                    continue
+            order_spec = None
+            break
+        if order_spec is not None:
+            ctx.meta["vector_ops"] += 1
+        else:
+            ctx.meta["vector_fallbacks"] += 1
+            _vector.FALLBACKS.inc()
+
     top_node = info.node
     filter_nid = -1
     if filter_fn is not None:
@@ -2110,6 +2361,8 @@ def _compile_plain_runner(select: Select, chain, ctx, source, filter_fn, info):
         detail = "heap top-k " + detail
     node = ctx.node("project", detail.strip(), est_rows=est,
                     children=[top_node])
+    if ctx.vectorize and order_fns:
+        node.vectorized = order_spec is not None
     nid = node.nid
 
     def run(state, outer):
@@ -2120,11 +2373,23 @@ def _compile_plain_runner(select: Select, chain, ctx, source, filter_fn, info):
         columns = columns_fn(bool(rows0))
         if order_fns:
             keyed = []
-            for r in rows0:
-                rows_chain = (r,) + outer
-                row = project(state, rows_chain)
-                keys = [fn(state, rows_chain, None, row) for fn in order_fns]
-                keyed.append((keys, row))
+            if order_spec is not None:
+                _vector.BATCHES.inc()
+                for r in rows0:
+                    row = project(state, (r,) + outer)
+                    keyed.append((
+                        [row[ix] if is_proj else r[ix]
+                         for is_proj, ix in order_spec],
+                        row,
+                    ))
+            else:
+                for r in rows0:
+                    rows_chain = (r,) + outer
+                    row = project(state, rows_chain)
+                    keys = [
+                        fn(state, rows_chain, None, row) for fn in order_fns
+                    ]
+                    keyed.append((keys, row))
             if use_topk:
                 projected = _topk_rows(keyed, order_by, limit)
                 state.actuals[nid] = len(projected)
@@ -2163,6 +2428,116 @@ def _compile_plain_runner(select: Select, chain, ctx, source, filter_fn, info):
     return run, node
 
 
+def _vector_agg_slot(expr, chain, ctx) -> int | None:
+    """Unique depth-0 slot of a plain column reference, or ``None``."""
+    if not isinstance(expr, ColumnRef):
+        return None
+    cands = _resolve(chain, ctx, expr.table, expr.column)
+    if len(cands) == 1 and cands[0][0] == 0 and cands[0][1] >= 0:
+        return cands[0][1]
+    return None
+
+
+def _unknown_column_message(expr: ColumnRef) -> str:
+    column_l = expr.column.lower()
+    qualified = f"{expr.table}.{column_l}" if expr.table else column_l
+    return f"unknown column reference {qualified!r}"
+
+
+def _analyze_vector_agg(select: Select, chain, ctx, aliases):
+    """Static plan for a vectorized grouped aggregation, or ``None``.
+
+    Eligible when HAVING is absent, every GROUP BY key and aggregate
+    argument is a plain depth-0 column, every output item is a plain
+    column / ``COUNT(*)`` / a single-column aggregate, and every ORDER BY
+    key maps to a projected offset, a representative-row slot, or an
+    aggregate recomputation.  Returns ``(group_slots, item_specs,
+    order_spec)``; each spec reproduces the row engine's behaviour
+    exactly, including the unknown-column error a plain column raises for
+    the empty whole-table group.
+    """
+    if select.having is not None:
+        return None
+
+    def agg_spec(expr):
+        # ("count*",) or ("agg", name, slot, distinct) for a vectorizable
+        # aggregate call; None for every other shape
+        if not (isinstance(expr, FuncCall) and expr.is_aggregate):
+            return None
+        name = expr.name.lower()
+        if name == "count" and (
+            not expr.args or isinstance(expr.args[0], Star)
+        ):
+            return ("count*",)
+        if len(expr.args) == 1:
+            slot = _vector_agg_slot(expr.args[0], chain, ctx)
+            if slot is not None:
+                return ("agg", name, slot, expr.distinct)
+        return None
+
+    group_slots = []
+    for expr in select.group_by:
+        slot = _vector_agg_slot(expr, chain, ctx)
+        if slot is None:
+            return None
+        group_slots.append(slot)
+
+    item_specs = []
+    for item in select.items:
+        spec = agg_spec(item.expr)
+        if spec is None and isinstance(item.expr, ColumnRef):
+            slot = _vector_agg_slot(item.expr, chain, ctx)
+            if slot is not None:
+                spec = ("col", slot, _unknown_column_message(item.expr))
+        if spec is None:
+            return None
+        item_specs.append(spec)
+
+    order_spec = None
+    if select.order_by:
+        order_spec = []
+        for oitem in select.order_by:
+            oexpr = oitem.expr
+            if isinstance(oexpr, ColumnRef):
+                col_l = oexpr.column.lower()
+                if aliases and col_l in aliases:
+                    if oexpr.table is None:
+                        order_spec.append(("proj", aliases[col_l], None))
+                        continue
+                    # qualified ref whose column name is also an alias:
+                    # the row engine falls back to the alias for the
+                    # empty group instead of raising — not worth modeling
+                    return None
+                slot = _vector_agg_slot(oexpr, chain, ctx)
+                if slot is None:
+                    return None
+                order_spec.append(
+                    ("rep", slot, _unknown_column_message(oexpr))
+                )
+                continue
+            # an expression equal to a select item reads the projected
+            # value (both computations are pure over the same group);
+            # with aliases in play only aggregates are exact, because
+            # their arguments always compile alias-blind
+            matched = None
+            if aliases is None or (
+                isinstance(oexpr, FuncCall) and oexpr.is_aggregate
+            ):
+                for j, item in enumerate(select.items):
+                    if item.expr == oexpr:
+                        matched = j
+                        break
+            if matched is not None:
+                order_spec.append(("proj", matched, None))
+                continue
+            spec = agg_spec(oexpr)
+            if spec is None:
+                return None
+            order_spec.append(spec)
+
+    return tuple(group_slots), item_specs, order_spec
+
+
 def _compile_aggregated_runner(select: Select, chain, ctx, source, filter_fn,
                                info):
     group_fns = [_compile_expr(e, chain, ctx, None) for e in select.group_by]
@@ -2190,6 +2565,16 @@ def _compile_aggregated_runner(select: Select, chain, ctx, source, filter_fn,
     use_topk = _use_topk(select, ctx, order_fns)
     if use_topk:
         ctx.meta["topk_sorts"] += 1
+
+    vec = None
+    if ctx.vectorize:
+        vec = _analyze_vector_agg(select, chain, ctx, aliases)
+        if vec is not None:
+            ctx.meta["vector_ops"] += 1
+        else:
+            ctx.meta["vector_fallbacks"] += 1
+            _vector.FALLBACKS.inc()
+
     top_node = info.node
     filter_nid = -1
     if filter_fn is not None:
@@ -2203,6 +2588,8 @@ def _compile_aggregated_runner(select: Select, chain, ctx, source, filter_fn,
         + _order_detail(select)
     )
     node = ctx.node("aggregate", detail.strip(), children=[top_node])
+    if ctx.vectorize:
+        node.vectorized = vec is not None
     nid = node.nid
 
     def run(state, outer):
@@ -2210,6 +2597,65 @@ def _compile_aggregated_runner(select: Select, chain, ctx, source, filter_fn,
         if filter_fn is not None:
             rows0 = [r for r in rows0 if filter_fn(state, (r,) + outer)]
             state.actuals[filter_nid] = len(rows0)
+        out_rows = []
+        keyed = []
+        if vec is not None:
+            group_slots, item_specs, order_spec = vec
+            _vector.BATCHES.inc()
+            if group_slots:
+                groups = _vector.grouped_rows(rows0, group_slots)
+            else:
+                groups = [rows0]  # one whole-table group, even when empty
+            for members in groups:
+                values = []
+                for spec in item_specs:
+                    tag = spec[0]
+                    if tag == "agg":
+                        values.append(_vector.aggregate_column(
+                            spec[1], spec[2], spec[3], members
+                        ))
+                    elif tag == "count*":
+                        values.append(len(members))
+                    elif members:  # plain column off the representative
+                        values.append(members[0][spec[1]])
+                    else:
+                        raise ExecutionError(spec[2])
+                row = tuple(values)
+                if order_spec is not None:
+                    keys = []
+                    for sp in order_spec:
+                        tag = sp[0]
+                        if tag == "proj":
+                            keys.append(row[sp[1]])
+                        elif tag == "rep":
+                            if not members:
+                                raise ExecutionError(sp[2])
+                            keys.append(members[0][sp[1]])
+                        elif tag == "count*":
+                            keys.append(len(members))
+                        else:  # recomputed aggregate key
+                            keys.append(_vector.aggregate_column(
+                                sp[1], sp[2], sp[3], members
+                            ))
+                    keyed.append((keys, row))
+                else:
+                    out_rows.append(row)
+            if order_fns:
+                if use_topk:
+                    out_rows = _topk_rows(keyed, order_by, limit)
+                    state.actuals[nid] = len(out_rows)
+                    return Result(
+                        columns=list(agg_columns), rows=out_rows, ordered=True
+                    )
+                out_rows = _sort_rows(keyed, order_by)
+            if distinct:
+                out_rows = _distinct(out_rows)
+            if limit is not None:
+                out_rows = out_rows[:limit]
+            state.actuals[nid] = len(out_rows)
+            return Result(
+                columns=list(agg_columns), rows=out_rows, ordered=ordered
+            )
         if group_fns:
             keyed_groups: dict = {}
             order: list = []
@@ -2225,8 +2671,6 @@ def _compile_aggregated_runner(select: Select, chain, ctx, source, filter_fn,
             groups = [keyed_groups[key] for key in order]
         else:
             groups = [rows0]  # one whole-table group, even when empty
-        out_rows = []
-        keyed = []
         for group in groups:
             rep = group[0] if group else None
             rows_chain = (rep,) + outer
@@ -2311,10 +2755,11 @@ class CompiledPlan:
     """
 
     __slots__ = ("query", "schema", "meta", "_runner", "root", "subplans",
-                 "optimized")
+                 "optimized", "vectorized")
 
     def __init__(self, query: Query, schema: Schema, meta, runner,
-                 root=None, subplans=(), optimized: bool = False) -> None:
+                 root=None, subplans=(), optimized: bool = False,
+                 vectorized: bool = False) -> None:
         self.query = query
         self.schema = schema
         self.meta = meta
@@ -2322,6 +2767,9 @@ class CompiledPlan:
         self.root = root
         self.subplans = list(subplans)
         self.optimized = optimized
+        #: compiled with the vectorizer enabled (``meta["vector_ops"]``
+        #: tells how many operators actually took a columnar kernel)
+        self.vectorized = vectorized
 
     def run(self, db: Database) -> Result:
         """Execute against *db* and return the :class:`Result`."""
@@ -2387,19 +2835,26 @@ def compile_query(
     schema: Schema,
     db: Database | None = None,
     optimize: bool | None = None,
+    vectorize: bool | None = None,
 ) -> CompiledPlan:
     """Lower *query* into a :class:`CompiledPlan` for *schema* (uncached).
 
     With the optimizer on, *db* supplies table statistics for selectivity
     and join-order estimation; without it the stats-free optimizations
-    (index drivers, predicate ordering, top-k sorts) still apply.
+    (index drivers, predicate ordering, top-k sorts) still apply.  With
+    the vectorizer on (independent of the optimizer), eligible operators
+    swap their row closures for the columnar kernels of
+    :mod:`repro.sql.vector`; ``None`` for either flag means "use the
+    module toggle".
     """
     if optimize is None:
         optimize = _OPTIMIZER_ENABLED
-    ctx = _Ctx(schema, db if optimize else None, optimize)
+    if vectorize is None:
+        vectorize = _vector.vector_enabled()
+    ctx = _Ctx(schema, db if optimize else None, optimize, vectorize)
     runner, root = _compile_query_runner(query, [], ctx)
     return CompiledPlan(query, schema, ctx.meta, runner, root, ctx.subplans,
-                        optimize)
+                        optimize, vectorize)
 
 
 def explain(sql: str, db: Database) -> str:
@@ -2428,6 +2883,13 @@ _parse_misses = 0
 _schema_tokens: dict[int, int] = {}
 _token_counter = count(1)
 
+#: Guards the plan/parse LRUs (and their counters): the parallel
+#: evaluation driver's thread-pool fallback shares this module across
+#: workers, and an unguarded ``move_to_end``/``popitem`` pair racing a
+#: concurrent eviction corrupts the OrderedDict.  Uncontended acquisition
+#: is tens of nanoseconds — noise next to even a cached-plan execution.
+_CACHE_LOCK = threading.RLock()
+
 
 def _schema_token(schema: Schema):
     """A stable cache token for a schema *object* (id-keyed, not by value).
@@ -2453,48 +2915,53 @@ def plan_for(
     """Compile-or-fetch the plan for (*query*, *schema*).
 
     The cache is a bounded LRU; AST nodes are frozen dataclasses, so the
-    query itself is the key (plus the optimizer flag, so toggling the
-    optimizer never resurrects plans built under the other setting).  *db*
+    query itself is the key (plus the optimizer and vectorizer flags, so
+    toggling either never resurrects plans built under the other
+    setting).  *db*
     only feeds statistics into the first compile — the cached plan runs
     against any schema-compatible database.
     """
     global _plan_hits, _plan_misses
-    key = (query, _schema_token(schema), _OPTIMIZER_ENABLED)
-    plan = _PLAN_CACHE.get(key)
-    if plan is not None:
-        _PLAN_CACHE.move_to_end(key)
-        _plan_hits += 1
-        return plan
-    _plan_misses += 1
-    if _obs_trace._ENABLED:  # compile misses only; cache hits stay span-free
-        with _obs_trace.span("repro.sql.plan.compile", optimized=_OPTIMIZER_ENABLED):
+    with _CACHE_LOCK:
+        key = (query, _schema_token(schema), _OPTIMIZER_ENABLED,
+               _vector.vector_enabled())
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _PLAN_CACHE.move_to_end(key)
+            _plan_hits += 1
+            return plan
+        _plan_misses += 1
+        if _obs_trace._ENABLED:  # compile misses only; hits stay span-free
+            with _obs_trace.span("repro.sql.plan.compile",
+                                 optimized=_OPTIMIZER_ENABLED):
+                plan = compile_query(query, schema, db)
+        else:
             plan = compile_query(query, schema, db)
-    else:
-        plan = compile_query(query, schema, db)
-    _PLAN_CACHE[key] = plan
-    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
-        _PLAN_CACHE.popitem(last=False)
-    return plan
+        _PLAN_CACHE[key] = plan
+        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+        return plan
 
 
 def _parse_cached(sql: str) -> Query:
     """Parse *sql* through a bounded LRU (parse errors are not cached)."""
     global _parse_hits, _parse_misses
-    query = _PARSE_CACHE.get(sql)
-    if query is not None:
-        _PARSE_CACHE.move_to_end(sql)
-        _parse_hits += 1
-        return query
-    _parse_misses += 1
-    if _obs_trace._ENABLED:
-        with _obs_trace.span("repro.sql.parse"):
+    with _CACHE_LOCK:
+        query = _PARSE_CACHE.get(sql)
+        if query is not None:
+            _PARSE_CACHE.move_to_end(sql)
+            _parse_hits += 1
+            return query
+        _parse_misses += 1
+        if _obs_trace._ENABLED:
+            with _obs_trace.span("repro.sql.parse"):
+                query = parse_sql(sql)
+        else:
             query = parse_sql(sql)
-    else:
-        query = parse_sql(sql)
-    _PARSE_CACHE[sql] = query
-    while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
-        _PARSE_CACHE.popitem(last=False)
-    return query
+        _PARSE_CACHE[sql] = query
+        while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
+            _PARSE_CACHE.popitem(last=False)
+        return query
 
 
 def compile_sql(
@@ -2538,25 +3005,27 @@ def configure_caches(
     the ``repro.sql.{plan,parse}.cache.*`` gauges.
     """
     global _PLAN_CACHE_MAX, _PARSE_CACHE_MAX
-    if plan_size is not None:
-        _PLAN_CACHE_MAX = max(1, plan_size)
-        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
-            _PLAN_CACHE.popitem(last=False)
-    if parse_size is not None:
-        _PARSE_CACHE_MAX = max(1, parse_size)
-        while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
-            _PARSE_CACHE.popitem(last=False)
+    with _CACHE_LOCK:
+        if plan_size is not None:
+            _PLAN_CACHE_MAX = max(1, plan_size)
+            while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+                _PLAN_CACHE.popitem(last=False)
+        if parse_size is not None:
+            _PARSE_CACHE_MAX = max(1, parse_size)
+            while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
+                _PARSE_CACHE.popitem(last=False)
 
 
 def clear_plan_caches() -> None:
     """Drop all cached plans and parses (for tests and benchmarks)."""
     global _plan_hits, _plan_misses, _parse_hits, _parse_misses
-    _PLAN_CACHE.clear()
-    _PARSE_CACHE.clear()
-    _plan_hits = 0
-    _plan_misses = 0
-    _parse_hits = 0
-    _parse_misses = 0
+    with _CACHE_LOCK:
+        _PLAN_CACHE.clear()
+        _PARSE_CACHE.clear()
+        _plan_hits = 0
+        _plan_misses = 0
+        _parse_hits = 0
+        _parse_misses = 0
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,33 @@ class TestTable:
         assert len(shop_db.table("sales")) == 5
 
 
+class TestCacheToken:
+    def test_append_changes_token(self, shop_db):
+        table = shop_db.table("products")
+        before = table.cache_token()
+        table.append((9, "new", "misc", 1.0))
+        assert table.cache_token() != before
+
+    def test_replace_rows_changes_token(self, shop_db):
+        table = shop_db.table("products")
+        before = table.cache_token()
+        table.replace_rows(list(table.rows))
+        assert table.cache_token() != before
+
+    def test_raw_swap_detected_even_with_equal_length(self, shop_db):
+        # a raw `rows = [...]` swap bypasses replace_rows(); the token must
+        # still change, even when the new list has the same length (the
+        # old (version, len, id) scheme could alias here after id reuse)
+        table = shop_db.table("products")
+        before = table.cache_token()
+        table.rows = [tuple(row) for row in table.rows]
+        assert table.cache_token() != before
+
+    def test_token_stable_without_mutation(self, shop_db):
+        table = shop_db.table("products")
+        assert table.cache_token() == table.cache_token()
+
+
 class TestDatabase:
     def test_missing_tables_created_empty(self, shop_schema):
         db = Database(schema=shop_schema)

@@ -1,0 +1,139 @@
+"""Tests for the parallel evaluation driver (repro.eval.parallel).
+
+The invariant under test everywhere: parallel execution is an
+implementation detail — verdicts, reports, and orderings are identical
+to the serial path for the same seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import parallel_map, resolve_workers
+from repro.eval.parallel import _chunk_bounds
+
+
+def _square(x):  # module-level: picklable for the process pool
+    return x * x
+
+
+def _boom(x):
+    if x == 13:
+        raise ValueError("unlucky")
+    return x
+
+
+class TestParallelMap:
+    def test_serial_when_one_worker(self):
+        assert parallel_map(_square, range(10), max_workers=1) == [
+            x * x for x in range(10)
+        ]
+
+    def test_serial_when_tiny(self):
+        # below MIN_PARALLEL_ITEMS no pool is spun up
+        assert parallel_map(_square, range(3), max_workers=8) == [0, 1, 4]
+
+    def test_process_pool_preserves_order(self):
+        items = list(range(50))
+        assert parallel_map(_square, items, max_workers=4) == [
+            x * x for x in items
+        ]
+
+    def test_explicit_chunk_size(self):
+        assert parallel_map(
+            _square, range(20), max_workers=2, chunk_size=3
+        ) == [x * x for x in range(20)]
+
+    def test_unpicklable_fn_falls_back_to_threads(self):
+        from repro.eval import parallel as par
+
+        before = par._FALLBACKS.value
+        got = parallel_map(lambda x: x + 1, list(range(20)), max_workers=4)
+        assert got == list(range(1, 21))
+        assert par._FALLBACKS.value == before + 1
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(ValueError, match="unlucky"):
+            parallel_map(_boom, range(20), max_workers=2)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(4) == 4
+        assert resolve_workers(0) == 1
+        assert resolve_workers(None) >= 1
+
+    def test_chunk_bounds_cover_range(self):
+        for n, workers, size in ((1, 2, None), (100, 4, None), (7, 3, 2)):
+            bounds = _chunk_bounds(n, workers, size)
+            flat = [i for lo, hi in bounds for i in range(lo, hi)]
+            assert flat == list(range(n))
+
+
+class TestMetricWrappers:
+    def test_execution_match_many_matches_serial(self, tiny_spider):
+        from repro.metrics import execution_match_many
+
+        examples = tiny_spider.split("dev").examples[:30]
+        jobs = [
+            (e.sql, e.sql, tiny_spider.database(e.db_id)) for e in examples
+        ]
+        serial = execution_match_many(jobs, max_workers=1)
+        parallel = execution_match_many(jobs, max_workers=4)
+        assert parallel == serial
+        assert all(serial)  # gold vs gold always matches
+
+    def test_test_suite_match_many_matches_serial(self, tiny_spider):
+        from repro.metrics import test_suite_match_many
+
+        examples = tiny_spider.split("dev").examples[:16]
+        jobs = [
+            (e.sql, e.sql, tiny_spider.database(e.db_id)) for e in examples
+        ]
+        serial = test_suite_match_many(jobs, num_variants=4, max_workers=1)
+        parallel = test_suite_match_many(jobs, num_variants=4, max_workers=4)
+        assert parallel == serial
+
+
+class TestEvaluateParserParallel:
+    @pytest.fixture(scope="class")
+    def trained(self, tiny_spider):
+        from repro.parsers import GrammarSemanticParser
+
+        parser = GrammarSemanticParser()
+        parser.train(
+            tiny_spider.split("train").examples, tiny_spider.databases
+        )
+        return parser
+
+    def test_parallel_report_equals_serial(self, trained, tiny_spider):
+        from repro.metrics import evaluate_parser
+
+        serial = evaluate_parser(
+            trained, tiny_spider, with_test_suite=True, limit=30
+        )
+        parallel = evaluate_parser(
+            trained,
+            tiny_spider,
+            with_test_suite=True,
+            limit=30,
+            max_workers=4,
+        )
+        for attr in (
+            "total",
+            "metric_hits",
+            "hardness_totals",
+            "hardness_hits",
+            "parse_failures",
+            "example_hits",
+        ):
+            assert getattr(parallel, attr) == getattr(serial, attr), attr
+
+    def test_parallel_report_without_test_suite(self, trained, tiny_spider):
+        from repro.metrics import evaluate_parser
+
+        serial = evaluate_parser(trained, tiny_spider, limit=25)
+        parallel = evaluate_parser(
+            trained, tiny_spider, limit=25, max_workers=2
+        )
+        assert parallel.example_hits == serial.example_hits
+        assert parallel.metric_hits == serial.metric_hits
+        assert "test_suite_match" not in parallel.example_hits

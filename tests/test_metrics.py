@@ -174,6 +174,17 @@ class TestTestSuiteMatch:
         sql = "SELECT category, COUNT(*) FROM products GROUP BY category"
         assert suite_match(sql, sql, shop_db)
 
+    def test_fuzzing_never_empties_a_table(self, shop_db):
+        # a variant fuzzed to zero rows makes most query pairs vacuously
+        # agree; the minimum-keep floor guarantees at least a quarter of
+        # the original rows survive in every variant
+        for seed in range(25):
+            for variant in make_database_variants(shop_db, count=8, seed=seed):
+                for name, table in variant.tables.items():
+                    original = len(shop_db.table(name).rows)
+                    floor = max(1, original // 4)
+                    assert len(table.rows) >= floor, (seed, name)
+
 
 class TestVisMetrics:
     GOLD = "VISUALIZE BAR SELECT category, COUNT(*) FROM products GROUP BY category"
