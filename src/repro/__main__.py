@@ -13,6 +13,7 @@ the survey's Fig. 1.  Options::
     python -m repro explain "SELECT ..."  # physical plan + cost estimates
     python -m repro trace "SELECT ..."    # span tree for one traced query
     python -m repro eval --workers 4      # parallel corpus evaluation
+    python -m repro cache stats           # result-cache counters / control
     python -m repro --trace               # REPL with per-stage trace output
 
 Inside the REPL: ``\\schema`` prints the schema, ``\\reset`` clears the
@@ -101,6 +102,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.eval.cli import main as eval_main
 
         return eval_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.sql.cache_cli import main as cache_main
+
+        return cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )

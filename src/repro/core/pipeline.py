@@ -22,6 +22,7 @@ so a chart that could never render is rejected before its SQL even runs.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.data.database import Database
@@ -31,6 +32,7 @@ from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
 from repro.parsers.base import ParseRequest, Parser
 from repro.parsers.vis.base import VisParser
+from repro.sql import rescache as _rescache
 from repro.sql.ast import Query
 from repro.sql.executor import Result, execute
 from repro.sql.lint import LintReport, Severity, lint_query
@@ -42,6 +44,11 @@ from repro.vis.lint.gate import VisGateDecision, VisLintGate
 _registry = _obs_metrics.get_registry()
 _RUNS = _registry.counter("repro.pipeline.runs")
 _ERRORS = _registry.counter("repro.pipeline.errors")
+_TURN_HITS = _registry.counter("repro.pipeline.turn_cache.hits")
+_TURN_MISSES = _registry.counter("repro.pipeline.turn_cache.misses")
+
+#: per-Pipeline bound on memoized end-to-end turns
+_TURN_MEMO_MAX = 128
 
 
 def _stage_seconds(name: str) -> "_obs_metrics.Histogram":
@@ -75,6 +82,10 @@ class PipelineTrace:
     chart: Chart | None = None
     error: str | None = None
     span: object | None = None
+    #: True when this trace was replayed from the pipeline's turn memo
+    #: rather than re-running the stages (same question, same history,
+    #: same database state — see :meth:`Pipeline.run`).
+    cached: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -181,6 +192,11 @@ class Pipeline:
         self.vis_parser = vis_parser
         self.lint_gate = lint_gate
         self.vis_lint_gate = vis_lint_gate
+        # end-to-end turn memo: (question, knowledge, history, db state) ->
+        # finished PipelineTrace; every stage is deterministic given those
+        # four, and the db-state token (per-table version stamps + object
+        # identity) retires entries on any mutation
+        self._turn_memo: "OrderedDict[tuple, PipelineTrace]" = OrderedDict()
 
     def run(
         self,
@@ -206,8 +222,27 @@ class Pipeline:
         ``repro.pipeline.stage.<name>.seconds`` latency histograms; with
         tracing enabled the run also emits a ``repro.pipeline.run`` span
         tree, attached to the trace as ``trace.span``.
+
+        Repeated turns memoize end-to-end: when the result cache is
+        enabled and tracing is off, an identical ``(question, knowledge,
+        history)`` against an unmutated database replays the finished
+        :class:`PipelineTrace` (marked ``cached=True``,
+        ``repro.pipeline.turn_cache.hits``) instead of re-running the
+        stages — every stage is deterministic given those inputs, and the
+        memo key carries the database's per-table version stamps so any
+        mutation misses.
         """
         _RUNS.inc()
+        memo_key = self._turn_memo_key(question, db, knowledge, history)
+        if memo_key is not None:
+            cached = self._turn_memo.get(memo_key)
+            if cached is not None:
+                self._turn_memo.move_to_end(memo_key)
+                _TURN_HITS.inc()
+                if cached.error is not None:
+                    _ERRORS.inc()
+                return self._replay_trace(cached)
+            _TURN_MISSES.inc()
         if _obs_trace._ENABLED:
             with _obs_trace.span("repro.pipeline.run", question=question) as span:
                 trace = self._run_stages(question, db, knowledge, history)
@@ -217,6 +252,12 @@ class Pipeline:
             trace = self._run_stages(question, db, knowledge, history)
         if trace.error is not None:
             _ERRORS.inc()
+        if memo_key is not None:
+            # stash a private copy: the caller owns the returned trace and
+            # may mutate its result rows without poisoning the memo
+            self._turn_memo[memo_key] = self._replay_trace(trace)
+            while len(self._turn_memo) > _TURN_MEMO_MAX:
+                self._turn_memo.popitem(last=False)
         return trace
 
     def _run_stages(
@@ -331,6 +372,50 @@ class Pipeline:
         return trace
 
     # ------------------------------------------------------------------
+    def _turn_memo_key(
+        self,
+        question: str,
+        db: Database,
+        knowledge: str | None,
+        history: list | None,
+    ) -> tuple | None:
+        """The memo key for one turn, or None when memoization must skip.
+
+        Skips when the result cache is globally disabled (one switch
+        governs all result-level reuse), when tracing is on (span trees
+        must reflect real stage work), and when the history contains
+        unhashable entries.
+        """
+        if not _rescache.rescache_enabled() or _obs_trace._ENABLED:
+            return None
+        try:
+            return (
+                question,
+                knowledge,
+                tuple(history or ()),
+                _rescache.database_state_token(db),
+            )
+        except TypeError:
+            return None
+
+    @staticmethod
+    def _replay_trace(cached: PipelineTrace) -> PipelineTrace:
+        """A fresh trace replaying *cached* (callers may mutate theirs)."""
+        return PipelineTrace(
+            question=cached.question,
+            stages=list(cached.stages),
+            functional_expression=cached.functional_expression,
+            result=(
+                _rescache.copy_result(cached.result)
+                if cached.result is not None
+                else None
+            ),
+            chart=cached.chart,
+            error=cached.error,
+            span=None,
+            cached=True,
+        )
+
     def _stage(self, trace: PipelineTrace, name: str, fn, render):
         start = time.perf_counter()
         if _obs_trace._ENABLED:

@@ -19,9 +19,12 @@ constraints, in order:
   a corpus of 1 000 examples over 20 databases ships 20 databases, not
   1 000.
 * **Per-worker caches for free** — each worker process has its own module
-  state, so the plan/parse LRUs in :mod:`repro.sql.plan` and the
-  gold-result/variant caches that ride on database objects warm up
-  independently per worker with zero locking.
+  state, so the plan/parse LRUs in :mod:`repro.sql.plan`, the shared
+  result cache in :mod:`repro.sql.rescache` (each worker's unpickled
+  database copies get fresh identity tokens, so entries warm per worker
+  and never alias across processes), and the gold-result/variant caches
+  that ride on database objects all warm up independently per worker
+  with zero locking.
 * **Graceful degradation** — ``max_workers<=1`` (or a tiny item count)
   runs serially in-process; *infrastructure* failures (unpicklable
   payload, a broken pool, fork failure) fall back to a thread pool, which

@@ -11,10 +11,13 @@ when different queries coincidentally return equal results on one database
 — is what :mod:`repro.metrics.test_suite` addresses.
 
 Evaluating N candidates against one gold used to parse and execute the gold
-N times; the gold result (or its failure) is now cached on the database
-object, invalidated by a row-count stamp, and predictions go through
-:func:`repro.sql.plan.compile_sql`, whose parse and plan caches amortize
-repeated candidates.
+N times; gold and prediction results now both flow through the shared
+version-stamped result cache (:mod:`repro.sql.rescache`), whose canonical
+keys additionally collapse semantically identical spellings, on top of the
+parse/plan caches of :mod:`repro.sql.plan`.  With the result cache
+disabled (``REPRO_SQL_RESCACHE=0``) the original per-database gold cache
+— stamped by row count, dying with the database object — takes over, so
+the metric never regresses to N gold executions either way.
 """
 
 from __future__ import annotations
@@ -25,9 +28,11 @@ from typing import Union
 from repro.data.database import Database
 from repro.errors import SQLError
 from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
+from repro.sql import rescache as _rescache
 from repro.sql.executor import Result, execute
 from repro.sql.parser import parse_sql
-from repro.sql.plan import compile_sql
+from repro.sql.plan import _parse_cached
 
 _GOLD_MISS = object()
 _GOLD_CACHE_MAX = 256
@@ -44,11 +49,25 @@ def _gold_result_cached(
 ) -> Union[Result, SQLError]:
     """Execute-or-fetch the gold result on *db*; failures cache as the error.
 
-    The cache lives on the database object itself (so it dies with the
-    database) and carries a row-count stamp: content growth or shrinkage
-    invalidates it wholesale.  *query* optionally supplies an already
-    parsed AST to skip the parse.
+    Normally delegates to the shared result cache
+    (:mod:`repro.sql.rescache`): keyed by canonical query + per-table
+    version stamps, shared with every other ``execute()`` caller, and
+    correctly invalidated by *any* table mutation (the legacy row-count
+    stamp below cannot see same-cardinality ``replace_rows``).  The
+    legacy per-database cache remains the fallback when the result cache
+    is disabled; the gold hit/miss counters tick identically on both
+    paths.  *query* optionally supplies an already parsed AST to skip
+    the parse.
     """
+    if _rescache.rescache_enabled() and not _obs_trace._ENABLED:
+        try:
+            gold_query = query if query is not None else _parse_cached(gold)
+        except SQLError as exc:
+            _GOLD_MISSES.inc()
+            return exc
+        value, hit = _rescache.execute_or_error(gold_query, db)
+        (_GOLD_HITS if hit else _GOLD_MISSES).inc()
+        return value
     stamp = db.row_count()
     cache = getattr(db, "_gold_result_cache", None)
     if cache is None or cache[0] != stamp:
@@ -88,7 +107,9 @@ def _execution_match(predicted: str, gold: str, db: Database) -> bool:
     if isinstance(gold_result, SQLError):
         return False
     try:
-        pred_result = compile_sql(predicted, db.schema, db).run(db)
+        # execute() (rather than a raw plan run) so predictions share the
+        # result cache too — candidate lists are full of repeats
+        pred_result = execute(_parse_cached(predicted), db)
     except SQLError:
         return False
     return results_equal(pred_result, gold_result)

@@ -50,8 +50,24 @@ from repro.sql.lint import (
     lint_query,
     lint_sql,
 )
-from repro.sql.normalize import normalize_sql
+from repro.sql.normalize import (
+    canonical_cache_key,
+    canonical_query,
+    canonical_sql,
+    name_signature,
+    normalize_sql,
+)
 from repro.sql.parser import parse_sql
+from repro.sql.rescache import (
+    cached_execute,
+    clear_result_cache,
+    configure_result_cache,
+    database_state_token,
+    execute_or_error,
+    rescache_enabled,
+    rescache_stats,
+    set_rescache_enabled,
+)
 from repro.sql.typer import (
     ColType,
     OutputColumn,
@@ -108,26 +124,38 @@ __all__ = [
     "TokenType",
     "UnaryOp",
     "build_lineage",
+    "cached_execute",
+    "canonical_cache_key",
+    "canonical_query",
+    "canonical_sql",
     "classify_hardness",
     "clear_plan_caches",
+    "clear_result_cache",
     "compile_query",
     "compile_sql",
     "configure_caches",
+    "configure_result_cache",
+    "database_state_token",
     "decompose",
     "execute",
+    "execute_or_error",
     "execute_reference",
     "explain",
     "infer_expr_type",
     "infer_output_schema",
     "lint_query",
     "lint_sql",
+    "name_signature",
     "normalize_sql",
     "optimizer_enabled",
     "parse_cache_stats",
     "parse_sql",
     "plan_cache_stats",
     "plan_for",
+    "rescache_enabled",
+    "rescache_stats",
     "set_optimizer_enabled",
+    "set_rescache_enabled",
     "to_sql",
     "tokenize",
 ]

@@ -131,6 +131,7 @@ class _Scope:
 
 
 _plan_module = None
+_rescache_module = None
 
 
 def execute(query: Query, db: Database) -> Result:
@@ -153,14 +154,26 @@ def execute(query: Query, db: Database) -> Result:
     ``repro.sql.execute`` span whose children mirror the physical
     operator tree with actual row counts; results are bit-identical
     either way (``tests/test_obs.py`` runs that differential).
+
+    Unless disabled (``REPRO_SQL_RESCACHE=0``), execution routes through
+    the versioned result cache (:mod:`repro.sql.rescache`): a repeat of a
+    semantically identical query against unchanged tables returns the
+    cached rows without running the plan at all.  Tracing bypasses the
+    cache so span trees always reflect real operator work.
     """
-    global _plan_module
+    global _plan_module, _rescache_module
     if _plan_module is None:  # lazy: plan imports this module
         from repro.sql import plan as _plan
 
         _plan_module = _plan
     if _obs_trace._ENABLED:
         return _execute_traced(query, db)
+    if _rescache_module is None:  # lazy: rescache imports this module
+        from repro.sql import rescache as _rescache
+
+        _rescache_module = _rescache
+    if _rescache_module._ENABLED:
+        return _rescache_module.cached_execute(query, db)
     return _plan_module.plan_for(query, db.schema, db).run(db)
 
 
@@ -736,3 +749,25 @@ def _like_regex(pattern: str) -> "re.Pattern[str]":
 def _like_match(text: str, pattern: str) -> bool:
     """SQL LIKE with ``%`` and ``_`` wildcards, case-insensitive."""
     return _like_regex(pattern).fullmatch(text) is not None
+
+
+# ----------------------------------------------------------------------
+# observability: the LIKE-regex lru_cache mirrored as callback gauges
+# (read lazily at snapshot time — the match hot path pays nothing)
+# ----------------------------------------------------------------------
+from repro.obs import metrics as _obs_metrics  # noqa: E402
+
+_registry = _obs_metrics.get_registry()
+_registry.gauge(
+    "repro.sql.like_cache.size", fn=lambda: _like_regex.cache_info().currsize
+)
+_registry.gauge(
+    "repro.sql.like_cache.max_size",
+    fn=lambda: _like_regex.cache_info().maxsize,
+)
+_registry.gauge(
+    "repro.sql.like_cache.hits", fn=lambda: _like_regex.cache_info().hits
+)
+_registry.gauge(
+    "repro.sql.like_cache.misses", fn=lambda: _like_regex.cache_info().misses
+)

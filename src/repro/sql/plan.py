@@ -2858,9 +2858,37 @@ def compile_query(
 
 
 def explain(sql: str, db: Database) -> str:
-    """EXPLAIN *sql* on *db*: the physical tree, estimates vs. actuals."""
-    plan = compile_query(_parse_cached(sql), db.schema, db)
-    return plan.explain(db)
+    """EXPLAIN *sql* on *db*: the physical tree, estimates vs. actuals.
+
+    The footer additionally surfaces the result-cache canonical key
+    (:func:`repro.sql.normalize.canonical_cache_key`): every query whose
+    canonical form and name signature both match shares one result-cache
+    entry, so EXPLAIN is the way to check whether two spellings dedupe.
+    """
+    from repro.sql.normalize import canonical_cache_key
+
+    query = _parse_cached(sql)
+    plan = compile_query(query, db.schema, db)
+    text, signature = canonical_cache_key(query)
+    return (
+        plan.explain(db)
+        + f"\nresult cache canonical key: {text}"
+        + f"\nresult cache name signature: {_render_signature(signature)}"
+    )
+
+
+def _render_signature(signature: tuple) -> str:
+    """Compact one-line rendering of a canonical-key name signature."""
+    parts = []
+    for entry in signature:
+        kind, value = entry[0], entry[1]
+        if kind == "from":
+            parts.append("from=" + ",".join(value))
+        elif kind == "*":
+            parts.append(f"{value}.*" if value else "*")
+        else:
+            parts.append(value)
+    return "[" + "; ".join(parts) + "]"
 
 
 def _env_size(name: str, default: int) -> int:
@@ -2992,17 +3020,22 @@ def parse_cache_stats() -> dict[str, int]:
 
 
 def configure_caches(
-    plan_size: int | None = None, parse_size: int | None = None
+    plan_size: int | None = None,
+    parse_size: int | None = None,
+    result_bytes: int | None = None,
 ) -> None:
-    """Resize the plan/parse LRU caches, evicting oldest entries to fit.
+    """Resize every SQL-layer cache, evicting oldest entries to fit.
 
-    ``None`` leaves a cache's size unchanged; sizes clamp to at least 1.
-    Defaults (512 plans, 2048 parses) come from
-    ``REPRO_SQL_PLAN_CACHE_SIZE`` / ``REPRO_SQL_PARSE_CACHE_SIZE`` at
-    import time; this function overrides them at runtime.  Current
-    occupancy and effectiveness are reported by :func:`plan_cache_stats`
-    / :func:`parse_cache_stats` and mirrored into the metrics registry as
-    the ``repro.sql.{plan,parse}.cache.*`` gauges.
+    ``None`` leaves a cache unchanged; plan/parse sizes clamp to at least
+    1 entry, the result-cache budget to at least 0 bytes.  Defaults (512
+    plans, 2048 parses, 32 MiB of results) come from
+    ``REPRO_SQL_PLAN_CACHE_SIZE`` / ``REPRO_SQL_PARSE_CACHE_SIZE`` /
+    ``REPRO_SQL_RESCACHE_BYTES`` at import time; this function overrides
+    them at runtime.  Current occupancy and effectiveness are reported by
+    :func:`plan_cache_stats` / :func:`parse_cache_stats` /
+    :func:`repro.sql.rescache.rescache_stats` and mirrored into the
+    metrics registry as the ``repro.sql.{plan,parse}.cache.*`` and
+    ``repro.sql.rescache.*`` gauges.
     """
     global _PLAN_CACHE_MAX, _PARSE_CACHE_MAX
     with _CACHE_LOCK:
@@ -3014,10 +3047,19 @@ def configure_caches(
             _PARSE_CACHE_MAX = max(1, parse_size)
             while len(_PARSE_CACHE) > _PARSE_CACHE_MAX:
                 _PARSE_CACHE.popitem(last=False)
+    if result_bytes is not None:
+        from repro.sql import rescache as _rescache
+
+        _rescache.configure_result_cache(result_bytes)
 
 
 def clear_plan_caches() -> None:
-    """Drop all cached plans and parses (for tests and benchmarks)."""
+    """Drop every SQL-layer cache: plans, parses, and cached results.
+
+    One entry point for tests and benchmarks that need a cold engine;
+    the result cache (:mod:`repro.sql.rescache`) is cleared through its
+    own :func:`~repro.sql.rescache.clear_result_cache`.
+    """
     global _plan_hits, _plan_misses, _parse_hits, _parse_misses
     with _CACHE_LOCK:
         _PLAN_CACHE.clear()
@@ -3026,6 +3068,9 @@ def clear_plan_caches() -> None:
         _plan_misses = 0
         _parse_hits = 0
         _parse_misses = 0
+    from repro.sql import rescache as _rescache
+
+    _rescache.clear_result_cache()
 
 
 # ----------------------------------------------------------------------

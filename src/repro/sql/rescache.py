@@ -1,0 +1,392 @@
+"""Versioned, memory-bounded query-*result* cache.
+
+The plan cache (:mod:`repro.sql.plan`) amortizes parsing and compilation;
+this module amortizes *execution* — the dominant remaining cost once the
+same questions recur over slowly-changing tables, which is exactly the
+interactive-NLI traffic shape the survey describes.  It sits between
+:func:`repro.sql.executor.execute` / ``CompiledPlan.run`` and callers:
+
+- **Keys** are ``(canonical query key, db identity token, per-table
+  cache tokens, engine toggles)``.  The canonical key comes from
+  :func:`repro.sql.normalize.canonical_cache_key`, so semantically
+  identical SQL — commuted predicates, renamed aliases, reordered
+  IN-lists, case/whitespace variation — shares one entry.  Per-table
+  tokens are :meth:`repro.data.database.Table.cache_token` stamps, so any
+  ``append`` / ``replace_rows`` / ``invalidate_caches`` / raw ``rows``
+  swap naturally misses; stale rows are never served.  The optimizer and
+  vectorizer flags key the entry too, keeping the differential toggles
+  honest.
+- **Eviction** is cost-aware LRU: each entry carries an estimated result
+  byte size and the cache holds at most ``REPRO_SQL_RESCACHE_BYTES``
+  (default 32 MiB, resizable via :func:`configure_result_cache` or
+  ``repro.sql.plan.configure_caches(result_bytes=...)``).  A single
+  result larger than the whole budget is returned but never stored.
+- **Errors** cache too (the metric paths evaluate many failing
+  candidates), but under the *exact* query AST rather than the canonical
+  key: two canonically-equal queries are guaranteed to agree on whether
+  they fail, not on the exact message text (e.g. swapped operand reprs in
+  an arithmetic error), so each AST keeps its own verbatim error object.
+- **Hits return defensive copies** (fresh ``Result`` with copied
+  column/row lists) so a caller mutating its result cannot poison the
+  cache.
+
+``REPRO_SQL_RESCACHE=0`` (or :func:`set_rescache_enabled`) disables the
+cache; the disabled path is a single flag check in ``execute()``
+(<5% overhead, asserted by ``benchmarks/bench_result_cache.py``).  When
+tracing (:mod:`repro.obs.trace`) is enabled, ``execute()`` bypasses the
+cache entirely so span trees keep reflecting real per-operator work.
+
+Observability: ``repro.sql.rescache.hits`` / ``.misses`` / ``.evictions``
+/ ``.oversize`` counters and ``repro.sql.rescache.bytes`` / ``.entries``
+gauges, all visible in ``python -m repro trace --metrics`` and the
+``python -m repro cache stats`` CLI (:mod:`repro.sql.cache_cli`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from itertools import count
+from typing import Union
+
+from repro.data.database import Database
+from repro.errors import SQLError
+from repro.obs import metrics as _obs_metrics
+from repro.sql.ast import Query, TableRef, walk
+from repro.sql.executor import Result
+from repro.sql.normalize import canonical_cache_key
+
+__all__ = [
+    "cached_execute",
+    "clear_result_cache",
+    "configure_result_cache",
+    "copy_result",
+    "database_state_token",
+    "execute_or_error",
+    "rescache_enabled",
+    "rescache_stats",
+    "set_rescache_enabled",
+]
+
+
+def _env_bytes(name: str, default: int) -> int:
+    try:
+        return max(0, int(os.environ.get(name, default)))
+    except ValueError:
+        return default
+
+
+_ENABLED = os.environ.get("REPRO_SQL_RESCACHE", "1") != "0"
+_MAX_BYTES = _env_bytes("REPRO_SQL_RESCACHE_BYTES", 32 * 1024 * 1024)
+
+#: Same discipline as the plan/parse LRUs: the parallel driver's
+#: thread-pool fallback shares this module across workers.
+_LOCK = threading.RLock()
+
+#: key -> (Result | SQLError, estimated bytes); insertion order is LRU.
+_CACHE: "OrderedDict[tuple, tuple[Union[Result, SQLError], int]]" = OrderedDict()
+_BYTES = 0
+
+_registry = _obs_metrics.get_registry()
+_HITS = _registry.counter("repro.sql.rescache.hits")
+_MISSES = _registry.counter("repro.sql.rescache.misses")
+_EVICTIONS = _registry.counter("repro.sql.rescache.evictions")
+_OVERSIZE = _registry.counter("repro.sql.rescache.oversize")
+_registry.gauge("repro.sql.rescache.bytes", fn=lambda: _BYTES)
+_registry.gauge("repro.sql.rescache.entries", fn=lambda: len(_CACHE))
+
+_plan_module = None  # lazy: plan imports executor which lazily imports us
+_vector_module = None
+
+
+def _plan():
+    global _plan_module, _vector_module
+    if _plan_module is None:
+        from repro.sql import plan as plan_module
+        from repro.sql import vector as vector_module
+
+        _plan_module = plan_module
+        _vector_module = vector_module
+    return _plan_module
+
+
+# ----------------------------------------------------------------------
+# identity tokens (same weakref.finalize pattern as plan._schema_token:
+# a recycled id() must never alias a dead object's token)
+# ----------------------------------------------------------------------
+_db_tokens: dict[int, int] = {}
+_token_counter = count(1)
+
+
+def _db_token(db: Database):
+    """A stable identity token for a :class:`Database` *object*.
+
+    Two databases with coincidentally equal table versions and row counts
+    (e.g. fuzzed test-suite variants) must never share entries; identity
+    is part of every key.
+    """
+    key = id(db)
+    token = _db_tokens.get(key)
+    if token is None:
+        try:
+            weakref.finalize(db, _db_tokens.pop, key, None)
+        except TypeError:  # pragma: no cover - Database is weakref-able
+            return db
+        token = next(_token_counter)
+        _db_tokens[key] = token
+    return token
+
+
+#: id(query) -> (canonical text, name signature, referenced table names).
+#: The parse cache returns one AST object per SQL string, so the hit path
+#: almost never recomputes the canonical key; entries die with the AST.
+_KEY_MEMO: dict[int, tuple] = {}
+_KEY_MEMO_MAX = 16384  # backstop for un-collected ASTs; recompute is cheap
+
+
+def _query_key_info(query: Query) -> tuple:
+    info = _KEY_MEMO.get(id(query))
+    if info is not None:
+        return info
+    text, signature = canonical_cache_key(query)
+    names = tuple(
+        sorted(
+            {node.name.lower() for node in walk(query) if isinstance(node, TableRef)}
+        )
+    )
+    info = (text, signature, names)
+    try:
+        weakref.finalize(query, _KEY_MEMO.pop, id(query), None)
+    except TypeError:  # pragma: no cover - AST nodes are weakref-able
+        return info
+    if len(_KEY_MEMO) >= _KEY_MEMO_MAX:
+        _KEY_MEMO.clear()
+    _KEY_MEMO[id(query)] = info
+    return info
+
+
+# ----------------------------------------------------------------------
+# result size estimation (deterministic fixed per-value costs; long rows
+# are sampled, never fully walked)
+# ----------------------------------------------------------------------
+_SAMPLE_ROWS = 32
+
+
+def _row_bytes(row: tuple) -> int:
+    total = 64  # tuple header + slots
+    for value in row:
+        if value is None or isinstance(value, bool):
+            total += 16  # shared singletons
+        elif isinstance(value, int):
+            total += 32
+        elif isinstance(value, float):
+            total += 24
+        elif isinstance(value, str):
+            total += 56 + len(value)
+        else:  # pragma: no cover - engine values are the four above
+            total += 64
+    return total
+
+
+def _estimate_bytes(result: Result) -> int:
+    base = 160 + 64 * len(result.columns) + sum(
+        len(c) for c in result.columns
+    )
+    n = len(result.rows)
+    if n == 0:
+        return base
+    if n <= _SAMPLE_ROWS:
+        sample = result.rows
+    else:
+        step = n // _SAMPLE_ROWS
+        sample = result.rows[::step][:_SAMPLE_ROWS]
+    per_row = sum(_row_bytes(row) for row in sample) / len(sample)
+    return int(base + n * per_row)
+
+
+_ERROR_BYTES = 256  # flat charge per cached failure
+
+
+def copy_result(result: Result) -> Result:
+    """A defensive copy sharing only the immutable row tuples."""
+    return Result(
+        columns=list(result.columns),
+        rows=list(result.rows),
+        ordered=result.ordered,
+    )
+
+
+def database_state_token(db: Database) -> tuple:
+    """Identity + full per-table version stamp of *db*, for memo keys.
+
+    Used by the pipeline/session turn memos: any mutation of any table
+    (or swapping in a different database object) changes the token.
+    """
+    return (
+        _db_token(db),
+        tuple(
+            (name,) + table.cache_token() for name, table in db.tables.items()
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# the cache proper
+# ----------------------------------------------------------------------
+def _table_tokens(names: tuple, db: Database) -> tuple | None:
+    """Per-table version stamps for *names* on *db*; None when a table is
+    missing (the query must then execute uncached so the analysis error
+    raises exactly as without a cache)."""
+    tokens = []
+    for name in names:
+        table = db.tables.get(name)
+        if table is None:
+            return None
+        tokens.append((name,) + table.cache_token())
+    return tuple(tokens)
+
+
+def _lookup_or_run(query: Query, db: Database) -> tuple:
+    """Core probe: returns ``(Result | SQLError, hit)``.
+
+    Results are cached under the canonical key, errors under the exact
+    AST (see module docstring).  Execution happens outside the lock; a
+    racing duplicate store is idempotent.
+    """
+    plan_module = _plan()
+    text, signature, names = _query_key_info(query)
+    tokens = _table_tokens(names, db)
+    if tokens is None:
+        return plan_module.plan_for(query, db.schema, db).run(db), False
+    # direct flag reads: this is the hot probe path and the accessor
+    # functions are pure attribute returns
+    toggles = (
+        plan_module._OPTIMIZER_ENABLED,
+        _vector_module._VECTOR_ENABLED,
+    )
+    dbtok = _db_token(db)
+    result_key = ("r", text, signature, dbtok, tokens, toggles)
+    error_key = ("e", query, dbtok, tokens, toggles)
+    with _LOCK:
+        entry = _CACHE.get(result_key)
+        if entry is not None:
+            _CACHE.move_to_end(result_key)
+            _HITS.inc()
+            return copy_result(entry[0]), True
+        entry = _CACHE.get(error_key)
+        if entry is not None:
+            _CACHE.move_to_end(error_key)
+            _HITS.inc()
+            return entry[0], True
+        _MISSES.inc()
+    try:
+        result = plan_module.plan_for(query, db.schema, db).run(db)
+    except SQLError as exc:
+        _store(error_key, exc, _ERROR_BYTES)
+        return exc, False
+    _store(result_key, result, _estimate_bytes(result))
+    return copy_result(result), False
+
+
+def _store(key: tuple, value, nbytes: int) -> None:
+    global _BYTES
+    with _LOCK:
+        if nbytes > _MAX_BYTES:
+            _OVERSIZE.inc()
+            return
+        old = _CACHE.pop(key, None)
+        if old is not None:
+            _BYTES -= old[1]
+        _CACHE[key] = (value, nbytes)
+        _BYTES += nbytes
+        while _BYTES > _MAX_BYTES and _CACHE:
+            _, (_, evicted_bytes) = _CACHE.popitem(last=False)
+            _BYTES -= evicted_bytes
+            _EVICTIONS.inc()
+
+
+def cached_execute(query: Query, db: Database) -> Result:
+    """Execute *query* on *db* through the result cache.
+
+    Semantics are identical to :func:`repro.sql.executor.execute`: the
+    same :class:`Result` (a fresh copy), or the same
+    :class:`~repro.errors.SQLError` raised.  Callers normally reach this
+    via ``execute()``, which routes here whenever the cache is enabled
+    and tracing is off.
+    """
+    value, _ = _lookup_or_run(query, db)
+    if isinstance(value, SQLError):
+        raise value
+    return value
+
+
+def execute_or_error(query: Query, db: Database) -> tuple:
+    """Like :func:`cached_execute` but returns failures as values.
+
+    Returns ``(Result | SQLError, hit)`` — the shape the metric gold
+    paths want (they treat a failing gold as an ordinary outcome and
+    need the hit flag for their own counters).
+    """
+    return _lookup_or_run(query, db)
+
+
+# ----------------------------------------------------------------------
+# control surface
+# ----------------------------------------------------------------------
+def rescache_enabled() -> bool:
+    """Whether ``execute()`` routes through the result cache."""
+    return _ENABLED
+
+
+def set_rescache_enabled(enabled: bool) -> bool:
+    """Toggle the result cache; returns the previous setting.
+
+    Disabling does not drop existing entries (re-enabling resumes with a
+    warm cache); every entry is version-stamped, so nothing can go stale
+    while the cache sits idle.  Use :func:`clear_result_cache` to drop.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def rescache_stats() -> dict:
+    """Occupancy and effectiveness counters, ``plan_cache_stats``-style."""
+    with _LOCK:
+        return {
+            "entries": len(_CACHE),
+            "bytes": _BYTES,
+            "max_bytes": _MAX_BYTES,
+            "hits": _HITS.value,
+            "misses": _MISSES.value,
+            "evictions": _EVICTIONS.value,
+            "oversize": _OVERSIZE.value,
+        }
+
+
+def configure_result_cache(max_bytes: int | None = None) -> None:
+    """Set the byte budget (evicting LRU-first to fit); ``None`` keeps it."""
+    global _MAX_BYTES, _BYTES
+    if max_bytes is None:
+        return
+    with _LOCK:
+        _MAX_BYTES = max(0, int(max_bytes))
+        while _BYTES > _MAX_BYTES and _CACHE:
+            _, (_, evicted_bytes) = _CACHE.popitem(last=False)
+            _BYTES -= evicted_bytes
+            _EVICTIONS.inc()
+
+
+def clear_result_cache() -> None:
+    """Drop every entry and zero the effectiveness counters."""
+    global _BYTES
+    with _LOCK:
+        _CACHE.clear()
+        _BYTES = 0
+        _HITS.reset()
+        _MISSES.reset()
+        _EVICTIONS.reset()
+        _OVERSIZE.reset()

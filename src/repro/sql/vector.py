@@ -43,6 +43,7 @@ but fell back to row-at-a-time at compile time.
 from __future__ import annotations
 
 import os
+import weakref
 from operator import itemgetter
 from typing import Any, Callable, Iterable
 
@@ -123,7 +124,7 @@ class ColumnBatch:
     the same table contents via the :func:`column_batch` cache.
     """
 
-    __slots__ = ("rows", "_columns")
+    __slots__ = ("rows", "_columns", "__weakref__")
 
     def __init__(self, rows: list[tuple[Value, ...]], width: int) -> None:
         self.rows = rows
@@ -139,6 +140,16 @@ class ColumnBatch:
             col = self._columns[slot] = [row[slot] for row in self.rows]
         return col
 
+    def materialized_columns(self) -> int:
+        """How many columns have been transposed so far (for the gauges)."""
+        return sum(1 for col in self._columns if col is not None)
+
+
+#: Every live batch, tracked weakly: a batch stays alive exactly as long
+#: as some table's ``_column_batch`` slot (or a kernel mid-flight) holds
+#: it, so the set's size *is* the batch-cache occupancy.
+_LIVE_BATCHES: "weakref.WeakSet[ColumnBatch]" = weakref.WeakSet()
+
 
 def column_batch(table: Table) -> ColumnBatch:
     """The cached :class:`ColumnBatch` for *table*'s current contents.
@@ -152,8 +163,30 @@ def column_batch(table: Table) -> ColumnBatch:
     if cached is not None and cached[0] == token:
         return cached[1]
     batch = ColumnBatch(table.rows, len(table.schema.columns))
+    _LIVE_BATCHES.add(batch)
     table._column_batch = (token, batch)
     return batch
+
+
+def batch_cache_stats() -> dict[str, int]:
+    """Occupancy of the per-table batch cache (live batches / columns)."""
+    batches = list(_LIVE_BATCHES)
+    return {
+        "entries": len(batches),
+        "materialized_columns": sum(
+            b.materialized_columns() for b in batches
+        ),
+    }
+
+
+_registry.gauge(
+    "repro.sql.vector.batch_cache.entries",
+    fn=lambda: len(_LIVE_BATCHES),
+)
+_registry.gauge(
+    "repro.sql.vector.batch_cache.materialized_columns",
+    fn=lambda: sum(b.materialized_columns() for b in list(_LIVE_BATCHES)),
+)
 
 
 # ----------------------------------------------------------------------

@@ -10,17 +10,24 @@ as the next turn.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.data.database import Database
 from repro.errors import SQLError
 from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
+from repro.sql import rescache as _rescache
 from repro.sql.ast import Query
 from repro.sql.parser import parse_sql
 from repro.systems.base import NLISystem, SystemResponse
 
-_TURNS = _obs_metrics.get_registry().counter("repro.session.turns")
+_registry = _obs_metrics.get_registry()
+_TURNS = _registry.counter("repro.session.turns")
+_TURN_CACHE_HITS = _registry.counter("repro.session.turn_cache.hits")
+
+#: per-session bound on memoized turns
+_TURN_MEMO_MAX = 64
 
 
 @dataclass
@@ -32,6 +39,9 @@ class InteractiveSession:
     knowledge: str | None = None
     history: list[tuple[str, Query]] = field(default_factory=list)
     transcript: list[SystemResponse] = field(default_factory=list)
+    _turn_memo: "OrderedDict[tuple, SystemResponse]" = field(
+        default_factory=OrderedDict, repr=False
+    )
 
     def ask(self, question: str) -> SystemResponse:
         """One conversational turn.
@@ -39,24 +49,59 @@ class InteractiveSession:
         Increments ``repro.session.turns``; with tracing enabled the turn
         runs inside a ``repro.session.turn`` span annotated with the turn
         index and whether the system answered.
+
+        Turns reuse the result-cache substrate at two levels: the
+        underlying system's SQL executions hit :mod:`repro.sql.rescache`
+        directly, and the session additionally memoizes whole turns —
+        re-asking a question under the same conversation state against an
+        unmutated database replays the previous
+        :class:`~repro.systems.base.SystemResponse`
+        (``repro.session.turn_cache.hits``) while still appending to the
+        transcript and history exactly like a fresh turn.
         """
         _TURNS.inc()
         if _obs_trace._ENABLED:
             with _obs_trace.span(
                 "repro.session.turn", turn=len(self.transcript)
             ) as turn_span:
-                response = self._ask_impl(question)
+                response = self._ask_impl(question, memo_key=None)
                 turn_span.set_attr("answered", response.answered)
             return response
-        return self._ask_impl(question)
+        return self._ask_impl(question, memo_key=self._memo_key(question))
 
-    def _ask_impl(self, question: str) -> SystemResponse:
-        response = self.system.answer(
-            question,
-            self.db,
-            knowledge=self.knowledge,
-            history=list(self.history),
-        )
+    def _memo_key(self, question: str) -> tuple | None:
+        """Turn-memo key, or None when memoization must skip (disabled
+        cache, or unhashable history entries)."""
+        if not _rescache.rescache_enabled():
+            return None
+        try:
+            return (
+                question,
+                self.knowledge,
+                tuple(self.history),
+                _rescache.database_state_token(self.db),
+            )
+        except TypeError:
+            return None
+
+    def _ask_impl(self, question: str, memo_key: tuple | None) -> SystemResponse:
+        response = None
+        if memo_key is not None:
+            response = self._turn_memo.get(memo_key)
+            if response is not None:
+                self._turn_memo.move_to_end(memo_key)
+                _TURN_CACHE_HITS.inc()
+        if response is None:
+            response = self.system.answer(
+                question,
+                self.db,
+                knowledge=self.knowledge,
+                history=list(self.history),
+            )
+            if memo_key is not None:
+                self._turn_memo[memo_key] = response
+                while len(self._turn_memo) > _TURN_MEMO_MAX:
+                    self._turn_memo.popitem(last=False)
         self.transcript.append(response)
         if response.answered and response.sql:
             try:

@@ -19,14 +19,18 @@ def _obs_reset():
 
     Metric values accumulate process-wide and tracing is a module-level
     flag, so a test that enables tracing or asserts on counter deltas must
-    not leak into its neighbours.
+    not leak into its neighbours.  The shared SQL result cache is cleared
+    too: session-scoped databases stay alive across tests, so cached
+    results would otherwise survive (and hit) between tests.
     """
     from repro.obs import metrics as obs_metrics
     from repro.obs import trace as obs_trace
+    from repro.sql import rescache
 
     yield
     obs_trace.disable()
     obs_trace.clear()
+    rescache.clear_result_cache()
     obs_metrics.get_registry().reset()
 
 

@@ -1,0 +1,536 @@
+"""Versioned result cache + semantic canonicalizer tests.
+
+Three layers: the canonicalizer contract (idempotent; canonical-equal
+queries are result-identical), the cache proper (hits, version-stamped
+invalidation, cost-aware eviction, error caching, defensive copies), and
+the consumers that ride it (metric gold caches, pipeline turn memo,
+interactive sessions).  The staleness property test interleaves mutations
+with cached reads across all three engines against the uncached reference
+oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.database import Database
+from repro.errors import SQLError
+from repro.sql import rescache
+from repro.sql.executor import execute, execute_reference
+from repro.sql.normalize import canonical_cache_key, canonical_sql
+from repro.sql.parser import parse_sql
+from repro.sql.plan import (
+    clear_plan_caches,
+    configure_caches,
+    explain,
+    plan_for,
+)
+from repro.sql.unparser import to_sql
+from repro.sql.vector import set_vector_enabled
+
+
+def _key(sql: str) -> tuple:
+    return canonical_cache_key(parse_sql(sql))
+
+
+def _snap(result):
+    return (tuple(result.columns), tuple(result.rows), result.ordered)
+
+
+@pytest.fixture
+def small_budget():
+    """Shrink the cache budget for a test; restore afterwards."""
+    before = rescache.rescache_stats()["max_bytes"]
+
+    def set_budget(n: int) -> None:
+        rescache.configure_result_cache(n)
+
+    yield set_budget
+    rescache.configure_result_cache(before)
+    rescache.clear_result_cache()
+
+
+# ----------------------------------------------------------------------
+# canonicalizer
+# ----------------------------------------------------------------------
+EQUIVALENT_PAIRS = [
+    # whitespace / keyword case
+    ("select name from products", "SELECT   name\nFROM products"),
+    # commuted equality and flipped comparison
+    (
+        "SELECT name FROM products WHERE price > 5",
+        "SELECT name FROM products WHERE 5 < price",
+    ),
+    # commutative AND reordering (safe operands only)
+    (
+        "SELECT name FROM products WHERE price > 5 AND category = 'tools'",
+        "SELECT name FROM products WHERE category = 'tools' AND price > 5",
+    ),
+    # IN-list sorting + dedupe
+    (
+        "SELECT name FROM products WHERE category IN ('tools', 'food')",
+        "SELECT name FROM products WHERE category IN ('food', 'tools', 'food')",
+    ),
+    # alias renaming (output name pinned: unaliased qualified refs keep
+    # the qualifier in the result's column name, so renaming those is
+    # correctly NOT key-equal — see DISTINCT_PAIRS)
+    (
+        "SELECT p.name AS name FROM products AS p WHERE p.price > 5",
+        "SELECT q.name AS name FROM products AS q WHERE q.price > 5",
+    ),
+    # alias renaming in a join, plus commuted join condition
+    (
+        "SELECT a.name AS name FROM products AS a JOIN sales AS b "
+        "ON a.id = b.product_id",
+        "SELECT x.name AS name FROM products AS x JOIN sales "
+        "ON sales.product_id = x.id",
+    ),
+]
+
+DISTINCT_PAIRS = [
+    # output column names differ (alias vs none)
+    ("SELECT name AS n FROM products", "SELECT name FROM products"),
+    # ASC vs DESC
+    (
+        "SELECT name FROM products ORDER BY price",
+        "SELECT name FROM products ORDER BY price DESC",
+    ),
+    # different literals
+    (
+        "SELECT name FROM products WHERE price > 5",
+        "SELECT name FROM products WHERE price > 6",
+    ),
+    # OR is not AND
+    (
+        "SELECT name FROM products WHERE price > 5 AND category = 'tools'",
+        "SELECT name FROM products WHERE price > 5 OR category = 'tools'",
+    ),
+    # unaliased qualified refs name the output column "p.name"/"q.name";
+    # renaming the binding changes the result's column names
+    (
+        "SELECT p.name FROM products AS p",
+        "SELECT q.name FROM products AS q",
+    ),
+]
+
+# alias "y" above resolves the bare table name; join test uses sales
+
+IDEMPOTENCE_QUERIES = [pair[0] for pair in EQUIVALENT_PAIRS] + [
+    "SELECT category, COUNT(*) AS c FROM products GROUP BY category "
+    "HAVING COUNT(*) > 1 ORDER BY c DESC LIMIT 2",
+    "SELECT DISTINCT quarter FROM sales WHERE quantity BETWEEN 1 AND 5",
+    "SELECT name FROM products WHERE id IN "
+    "(SELECT product_id FROM sales WHERE quantity > 2)",
+    "SELECT name FROM products UNION SELECT quarter FROM sales",
+    "SELECT p.name, s.quantity FROM products AS p "
+    "LEFT JOIN sales AS s ON p.id = s.product_id WHERE s.quantity IS NULL",
+]
+
+
+class TestCanonicalizer:
+    @pytest.mark.parametrize("sql", IDEMPOTENCE_QUERIES)
+    def test_idempotent(self, sql):
+        once = canonical_sql(sql)
+        assert canonical_sql(once) == once
+
+    @pytest.mark.parametrize("a,b", EQUIVALENT_PAIRS)
+    def test_equivalent_spellings_share_key(self, a, b, shop_db):
+        assert _key(a) == _key(b)
+        ra = execute_reference(parse_sql(a), shop_db)
+        rb = execute_reference(parse_sql(b), shop_db)
+        assert _snap(ra) == _snap(rb)
+
+    @pytest.mark.parametrize("a,b", DISTINCT_PAIRS)
+    def test_distinct_queries_do_not_collide(self, a, b):
+        assert _key(a) != _key(b)
+
+    def test_unsafe_operands_keep_source_order(self):
+        # division can raise data-dependently; AND must not commute it
+        # past the guard that makes it safe
+        sql = (
+            "SELECT name FROM products "
+            "WHERE price > 0 AND 10 / price > 1"
+        )
+        text, _ = _key(sql)
+        assert text.index("0 < price") < text.index("10 / price")
+
+    def test_canonical_query_is_result_identical_on_corpus(self, tiny_spider):
+        """Strong soundness check over corpus gold queries.
+
+        The canonical *text* may rename bindings (changing the surface
+        names of unaliased qualified output columns — the signature half
+        of the key restores that sensitivity), so the guarantee is: rows
+        and ordering always identical, and full-key equality implies
+        byte-identical results including column names.
+        """
+        checked = 0
+        for example in tiny_spider.examples[:60]:
+            db = tiny_spider.database(example.db_id)
+            query = parse_sql(example.sql)
+            canonical = parse_sql(canonical_sql(example.sql))
+            try:
+                original = execute_reference(query, db)
+            except SQLError as exc:
+                with pytest.raises(type(exc)):
+                    execute_reference(canonical, db)
+                continue
+            replay = execute_reference(canonical, db)
+            assert tuple(replay.rows) == tuple(original.rows)
+            assert replay.ordered == original.ordered
+            if _key(example.sql) == _key(canonical_sql(example.sql)):
+                assert replay.columns == original.columns
+            checked += 1
+        assert checked > 20
+
+    def test_corpus_idempotence(self, tiny_wikisql):
+        for example in tiny_wikisql.examples[:60]:
+            once = canonical_sql(example.sql)
+            assert canonical_sql(once) == once
+
+    def test_explain_surfaces_canonical_key(self, shop_db):
+        text = explain(
+            "SELECT p.name FROM products AS p WHERE 5 < p.price", shop_db
+        )
+        assert "result cache canonical key:" in text
+        assert "5 < t1.price" in text
+        assert "result cache name signature:" in text
+
+
+# ----------------------------------------------------------------------
+# the cache proper
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_repeat_hits(self, shop_db):
+        q = parse_sql("SELECT name FROM products WHERE price > 5")
+        first = execute(q, shop_db)
+        second = execute(q, shop_db)
+        assert _snap(first) == _snap(second)
+        stats = rescache.rescache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_semantic_spelling_hits(self, shop_db):
+        execute(parse_sql("SELECT name FROM products WHERE price > 5"), shop_db)
+        r = execute(
+            parse_sql("select   name from products where 5 < price"), shop_db
+        )
+        stats = rescache.rescache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert r.rows
+
+    def test_hit_returns_defensive_copy(self, shop_db):
+        q = parse_sql("SELECT name FROM products")
+        first = execute(q, shop_db)
+        first.rows.clear()
+        first.columns.append("junk")
+        second = execute(q, shop_db)
+        assert second.rows and second.columns == ["name"]
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda db: db.table("products").append((9, "new", "tools", 2.0)),
+            lambda db: db.table("products").replace_rows(
+                list(db.table("products").rows[:-1])
+            ),
+            lambda db: db.table("products").invalidate_caches(),
+        ],
+        ids=["append", "replace_rows", "invalidate_caches"],
+    )
+    def test_mutation_misses(self, shop_db, mutate):
+        q = parse_sql("SELECT COUNT(*) FROM products")
+        execute(q, shop_db)
+        mutate(shop_db)
+        fresh = execute(q, shop_db)
+        stats = rescache.rescache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+        assert _snap(fresh) == _snap(execute_reference(q, shop_db))
+
+    def test_distinct_databases_do_not_share(self, shop_db):
+        twin = shop_db.copy()
+        q = parse_sql("SELECT name FROM products")
+        execute(q, shop_db)
+        execute(q, twin)
+        stats = rescache.rescache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_errors_cache_and_reraise(self, shop_db):
+        q = parse_sql("SELECT id + name FROM products")
+        with pytest.raises(SQLError) as first:
+            execute(q, shop_db)
+        with pytest.raises(SQLError) as second:
+            execute(q, shop_db)
+        assert str(first.value) == str(second.value)
+        stats = rescache.rescache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_missing_table_bypasses_cache(self, shop_db):
+        q = parse_sql("SELECT x FROM nonexistent")
+        for _ in range(2):
+            with pytest.raises(SQLError):
+                execute(q, shop_db)
+        stats = rescache.rescache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_disable_toggle(self, shop_db):
+        q = parse_sql("SELECT name FROM products")
+        previous = rescache.set_rescache_enabled(False)
+        try:
+            execute(q, shop_db)
+            execute(q, shop_db)
+            stats = rescache.rescache_stats()
+            assert stats["hits"] == 0 and stats["misses"] == 0
+        finally:
+            rescache.set_rescache_enabled(previous)
+
+    def test_tracing_bypasses_cache(self, shop_db):
+        from repro.obs import trace as obs_trace
+
+        q = parse_sql("SELECT name FROM products")
+        with obs_trace.tracing():
+            execute(q, shop_db)
+            execute(q, shop_db)
+        stats = rescache.rescache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_eviction_under_budget(self, shop_db, small_budget):
+        small_budget(2000)
+        for i in range(20):
+            execute(
+                parse_sql(f"SELECT name, price FROM products WHERE id <> {i}"),
+                shop_db,
+            )
+        stats = rescache.rescache_stats()
+        assert stats["bytes"] <= stats["max_bytes"]
+        assert stats["evictions"] > 0
+        assert 0 < stats["entries"] < 20
+
+    def test_oversize_result_returned_not_stored(self, shop_db, small_budget):
+        small_budget(32)
+        result = execute(parse_sql("SELECT * FROM products"), shop_db)
+        assert result.rows
+        stats = rescache.rescache_stats()
+        assert stats["oversize"] == 1 and stats["entries"] == 0
+
+    def test_clear_plan_caches_covers_result_cache(self, shop_db):
+        execute(parse_sql("SELECT name FROM products"), shop_db)
+        assert rescache.rescache_stats()["entries"] == 1
+        clear_plan_caches()
+        assert rescache.rescache_stats()["entries"] == 0
+
+    def test_configure_caches_routes_budget(self, shop_db, small_budget):
+        small_budget(10_000)  # register restore
+        configure_caches(result_bytes=4321)
+        assert rescache.rescache_stats()["max_bytes"] == 4321
+
+    def test_engine_toggles_key_entries(self, shop_db):
+        q = parse_sql("SELECT name FROM products WHERE price > 5")
+        previous = set_vector_enabled(True)
+        try:
+            execute(q, shop_db)
+            set_vector_enabled(False)
+            execute(q, shop_db)
+        finally:
+            set_vector_enabled(previous)
+        stats = rescache.rescache_stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+
+
+# ----------------------------------------------------------------------
+# consumers
+# ----------------------------------------------------------------------
+class TestConsumers:
+    def test_gold_cache_rides_rescache(self, shop_db):
+        from repro.metrics.execution import execution_match
+
+        gold = "SELECT name FROM products WHERE price > 5"
+        for predicted in (
+            "SELECT name FROM products WHERE 5 < price",
+            "SELECT name FROM products WHERE price > 5.0",
+            gold,
+        ):
+            assert execution_match(predicted, gold, shop_db)
+        from repro.obs import metrics as obs_metrics
+
+        snapshot = obs_metrics.get_registry().snapshot()
+        assert snapshot["repro.metrics.execution.gold_cache.hits"] >= 2
+        assert rescache.rescache_stats()["hits"] >= 2
+
+    def test_test_suite_match_still_correct(self, shop_db):
+        from repro.metrics.test_suite import test_suite_match
+
+        gold = "SELECT name FROM products WHERE price > 5"
+        assert test_suite_match(gold, gold, shop_db, num_variants=4)
+        assert not test_suite_match(
+            "SELECT name FROM products WHERE price > 500", gold, shop_db,
+            num_variants=4,
+        )
+
+    def test_pipeline_turn_memo(self, shop_db):
+        from repro import NaturalLanguageInterface
+
+        pipeline = NaturalLanguageInterface(shop_db).pipeline
+        question = "Show the name of products?"
+        first = pipeline.run(question, shop_db)
+        second = pipeline.run(question, shop_db)
+        assert first.succeeded and second.succeeded
+        assert not first.cached and second.cached
+        assert _snap(second.result) == _snap(first.result)
+        # caller mutation cannot poison the memo
+        second.result.rows.clear()
+        third = pipeline.run(question, shop_db)
+        assert third.cached and third.result.rows
+        # a mutation retires the memo entry
+        shop_db.table("products").append((9, "new", "tools", 2.0))
+        fourth = pipeline.run(question, shop_db)
+        assert not fourth.cached
+
+    def test_pipeline_memo_off_under_tracing(self, shop_db):
+        from repro import NaturalLanguageInterface
+        from repro.obs import trace as obs_trace
+
+        pipeline = NaturalLanguageInterface(shop_db).pipeline
+        with obs_trace.tracing():
+            first = pipeline.run("Show the name of products?", shop_db)
+            second = pipeline.run("Show the name of products?", shop_db)
+        assert not first.cached and not second.cached
+
+    def test_session_replays_after_reset(self, sales_db):
+        from repro.obs import metrics as obs_metrics
+        from repro.systems import ParsingBasedSystem
+        from repro.systems.session import InteractiveSession
+
+        session = InteractiveSession(system=ParsingBasedSystem(), db=sales_db)
+        question = "Show the name of products?"
+        first = session.ask(question)
+        session.reset()
+        second = session.ask(question)
+        assert first.answered and second.answered
+        assert second.sql == first.sql
+        snapshot = obs_metrics.get_registry().snapshot()
+        assert snapshot["repro.session.turn_cache.hits"] == 1
+        assert len(session.transcript) == 1 and len(session.history) == 1
+
+    def test_session_memo_respects_history(self, sales_db):
+        from repro.obs import metrics as obs_metrics
+        from repro.systems import ParsingBasedSystem
+        from repro.systems.session import InteractiveSession
+
+        session = InteractiveSession(system=ParsingBasedSystem(), db=sales_db)
+        question = "Show the name of products?"
+        session.ask(question)
+        session.ask(question)  # history grew: different conversation state
+        snapshot = obs_metrics.get_registry().snapshot()
+        assert snapshot["repro.session.turn_cache.hits"] == 0
+
+
+# ----------------------------------------------------------------------
+# staleness property test (the mutation-storm differential)
+# ----------------------------------------------------------------------
+STORM_QUERIES = [
+    "SELECT name FROM products WHERE price > 5",
+    "SELECT name FROM products WHERE 5 < price",
+    "SELECT COUNT(*) FROM products",
+    "SELECT category, COUNT(*) FROM products GROUP BY category",
+    "SELECT p.name, s.quantity FROM products AS p "
+    "JOIN sales AS s ON p.id = s.product_id WHERE s.quantity > 1",
+    "SELECT name FROM products ORDER BY price DESC LIMIT 3",
+    "SELECT DISTINCT quarter FROM sales",
+]
+
+
+class TestStalenessProperty:
+    @pytest.mark.parametrize("vector", [False, True], ids=["row", "vector"])
+    def test_interleaved_mutations_never_serve_stale(self, shop_db, vector):
+        """Random mutation/read interleaving: every cached read must be
+        byte-identical to the uncached reference oracle."""
+        rng = random.Random(20260808 + vector)
+        queries = [parse_sql(sql) for sql in STORM_QUERIES]
+        previous = set_vector_enabled(vector)
+        try:
+            for step in range(120):
+                roll = rng.random()
+                if roll < 0.15:
+                    db_table = shop_db.table("products")
+                    db_table.append(
+                        (100 + step, f"p{step}", "tools", float(step % 7))
+                    )
+                elif roll < 0.25:
+                    table = shop_db.table(rng.choice(("products", "sales")))
+                    rows = list(table.rows)
+                    rng.shuffle(rows)
+                    table.replace_rows(rows[: max(1, len(rows) - 1)])
+                elif roll < 0.3:
+                    shop_db.table("sales").invalidate_caches()
+                query = rng.choice(queries)
+                cached = execute(query, shop_db)
+                oracle = execute_reference(query, shop_db)
+                assert _snap(cached) == _snap(oracle), (
+                    f"stale result at step {step} for {to_sql(query)}"
+                )
+        finally:
+            set_vector_enabled(previous)
+        stats = rescache.rescache_stats()
+        assert stats["hits"] > 0  # the storm actually exercised the cache
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCacheCLI:
+    def test_stats_json(self, capsys, shop_db):
+        import json
+
+        from repro.sql.cache_cli import main
+
+        execute(parse_sql("SELECT name FROM products"), shop_db)
+        assert main(["stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1 and payload["enabled"] is True
+
+    def test_clear(self, capsys, shop_db):
+        from repro.sql.cache_cli import main
+
+        execute(parse_sql("SELECT name FROM products"), shop_db)
+        assert main(["clear"]) == 0
+        assert rescache.rescache_stats()["entries"] == 0
+
+    def test_budget(self, capsys, small_budget):
+        from repro.sql.cache_cli import main
+
+        small_budget(10_000)  # register restore
+        assert main(["budget", "12345"]) == 0
+        assert rescache.rescache_stats()["max_bytes"] == 12345
+        assert main(["budget", "-1"]) == 1
+
+    def test_key(self, capsys):
+        from repro.sql.cache_cli import main
+
+        assert main(["key", "SELECT name FROM products WHERE 5 < price"]) == 0
+        out = capsys.readouterr().out
+        assert "canonical: SELECT name FROM products AS t1 WHERE 5 < price" in out
+        assert main(["key", "SELECT FROM"]) == 1
+
+    def test_dispatch_from_main_module(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["cache", "stats"]) == 0
+        assert "result cache" in capsys.readouterr().out
+
+
+class TestObservabilityGauges:
+    def test_rescache_gauges_in_snapshot(self, shop_db):
+        from repro.obs import metrics as obs_metrics
+
+        execute(parse_sql("SELECT name FROM products"), shop_db)
+        snapshot = obs_metrics.get_registry().snapshot()
+        assert snapshot["repro.sql.rescache.entries"] == 1
+        assert snapshot["repro.sql.rescache.bytes"] > 0
+
+    def test_like_and_batch_gauges_registered(self):
+        from repro.obs import metrics as obs_metrics
+
+        snapshot = obs_metrics.get_registry().snapshot()
+        assert "repro.sql.like_cache.size" in snapshot
+        assert "repro.sql.vector.batch_cache.entries" in snapshot
