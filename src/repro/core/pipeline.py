@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.data.database import Database
 from repro.data.schema import Schema
@@ -400,17 +400,22 @@ class Pipeline:
 
     @staticmethod
     def _replay_trace(cached: PipelineTrace) -> PipelineTrace:
-        """A fresh trace replaying *cached* (callers may mutate theirs)."""
+        """A fresh trace replaying *cached* (callers may mutate theirs).
+
+        Every mutable field is copied — stage records, result, chart —
+        so neither the memoized trace nor any prior replay aliases the
+        one handed out here.
+        """
         return PipelineTrace(
             question=cached.question,
-            stages=list(cached.stages),
+            stages=[replace(record) for record in cached.stages],
             functional_expression=cached.functional_expression,
             result=(
                 _rescache.copy_result(cached.result)
                 if cached.result is not None
                 else None
             ),
-            chart=cached.chart,
+            chart=cached.chart.copy() if cached.chart is not None else None,
             error=cached.error,
             span=None,
             cached=True,

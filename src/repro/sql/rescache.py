@@ -209,6 +209,22 @@ def _estimate_bytes(result: Result) -> int:
 _ERROR_BYTES = 256  # flat charge per cached failure
 
 
+def _copy_error(exc: SQLError) -> SQLError:
+    """A traceback-free clone of *exc*.
+
+    Cached errors are re-raised on every hit, possibly from several
+    threads; raising a shared instance would rewrite its
+    ``__traceback__`` concurrently and pin the original execution frames
+    in the cache for the entry's lifetime.  ``__new__`` + attribute copy
+    sidesteps subclass ``__init__`` signatures that reformat ``args``
+    (e.g. :class:`~repro.errors.LexError`).
+    """
+    clone = type(exc).__new__(type(exc))
+    clone.args = exc.args
+    clone.__dict__.update(exc.__dict__)
+    return clone
+
+
 def copy_result(result: Result) -> Result:
     """A defensive copy sharing only the immutable row tuples."""
     return Result(
@@ -237,8 +253,8 @@ def database_state_token(db: Database) -> tuple:
 # ----------------------------------------------------------------------
 def _table_tokens(names: tuple, db: Database) -> tuple | None:
     """Per-table version stamps for *names* on *db*; None when a table is
-    missing (the query must then execute uncached so the analysis error
-    raises exactly as without a cache)."""
+    missing (the query must then execute uncached — the analysis error
+    travels back as a value, like any other cached failure)."""
     tokens = []
     for name in names:
         table = db.tables.get(name)
@@ -259,7 +275,13 @@ def _lookup_or_run(query: Query, db: Database) -> tuple:
     text, signature, names = _query_key_info(query)
     tokens = _table_tokens(names, db)
     if tokens is None:
-        return plan_module.plan_for(query, db.schema, db).run(db), False
+        # missing table: execute uncached (no token to stamp an entry
+        # with), but keep the execute_or_error contract — failures come
+        # back as values here and only cached_execute re-raises them
+        try:
+            return plan_module.plan_for(query, db.schema, db).run(db), False
+        except SQLError as exc:
+            return exc, False
     # direct flag reads: this is the hot probe path and the accessor
     # functions are pure attribute returns
     toggles = (
@@ -279,12 +301,14 @@ def _lookup_or_run(query: Query, db: Database) -> tuple:
         if entry is not None:
             _CACHE.move_to_end(error_key)
             _HITS.inc()
-            return entry[0], True
+            return _copy_error(entry[0]), True
         _MISSES.inc()
     try:
         result = plan_module.plan_for(query, db.schema, db).run(db)
     except SQLError as exc:
-        _store(error_key, exc, _ERROR_BYTES)
+        # store a traceback-free clone; the shared entry must neither
+        # pin this frame stack nor have hits mutate its __traceback__
+        _store(error_key, _copy_error(exc), _ERROR_BYTES)
         return exc, False
     _store(result_key, result, _estimate_bytes(result))
     return copy_result(result), False

@@ -11,7 +11,7 @@ as the next turn.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.data.database import Database
 from repro.errors import SQLError
@@ -28,6 +28,25 @@ _TURN_CACHE_HITS = _registry.counter("repro.session.turn_cache.hits")
 
 #: per-session bound on memoized turns
 _TURN_MEMO_MAX = 64
+
+
+def _copy_response(response: SystemResponse) -> SystemResponse:
+    """A :class:`SystemResponse` sharing no mutable state with *response*.
+
+    The turn memo stores and replays copies (same discipline as
+    ``rescache.copy_result`` / ``Pipeline._replay_trace``) so callers
+    mutating a returned response's result rows or chart cannot poison
+    the memo or alias other transcript entries.
+    """
+    return replace(
+        response,
+        result=(
+            _rescache.copy_result(response.result)
+            if response.result is not None
+            else None
+        ),
+        chart=response.chart.copy() if response.chart is not None else None,
+    )
 
 
 @dataclass
@@ -87,10 +106,11 @@ class InteractiveSession:
     def _ask_impl(self, question: str, memo_key: tuple | None) -> SystemResponse:
         response = None
         if memo_key is not None:
-            response = self._turn_memo.get(memo_key)
-            if response is not None:
+            cached = self._turn_memo.get(memo_key)
+            if cached is not None:
                 self._turn_memo.move_to_end(memo_key)
                 _TURN_CACHE_HITS.inc()
+                response = _copy_response(cached)
         if response is None:
             response = self.system.answer(
                 question,
@@ -99,7 +119,9 @@ class InteractiveSession:
                 history=list(self.history),
             )
             if memo_key is not None:
-                self._turn_memo[memo_key] = response
+                # stash a private copy: the caller owns the returned
+                # response and may mutate it freely
+                self._turn_memo[memo_key] = _copy_response(response)
                 while len(self._turn_memo) > _TURN_MEMO_MAX:
                     self._turn_memo.popitem(last=False)
         self.transcript.append(response)

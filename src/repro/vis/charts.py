@@ -9,6 +9,7 @@ rendering so examples can show actual charts without a plotting library.
 
 from __future__ import annotations
 
+import copy as _copy
 from dataclasses import dataclass, field
 
 from repro.data.database import Database
@@ -29,6 +30,23 @@ class Chart:
     points: list[tuple[Value, Value]]
     spec: dict = field(default_factory=dict)
     vql: str = ""
+
+    def copy(self) -> "Chart":
+        """A defensive copy sharing no mutable state with the original.
+
+        The turn memos (:mod:`repro.core.pipeline`,
+        :mod:`repro.systems.session`) replay charts across calls; the
+        spec is deep-copied because it nests dicts (``encoding``,
+        ``data.values``).
+        """
+        return Chart(
+            chart_type=self.chart_type,
+            x_label=self.x_label,
+            y_label=self.y_label,
+            points=list(self.points),
+            spec=_copy.deepcopy(self.spec),
+            vql=self.vql,
+        )
 
     def to_ascii(self, width: int = 40) -> str:
         """Draw the chart with unicode block characters."""

@@ -273,6 +273,31 @@ class TestResultCache:
         stats = rescache.rescache_stats()
         assert stats["hits"] == 0 and stats["misses"] == 0
 
+    def test_missing_table_returns_error_value(self, shop_db):
+        # execute_or_error must never raise — the metric gold paths rely
+        # on failures (including missing-table analysis errors, which
+        # bypass the cache) coming back as values
+        q = parse_sql("SELECT x FROM nonexistent")
+        value, hit = rescache.execute_or_error(q, shop_db)
+        assert isinstance(value, SQLError) and not hit
+        assert rescache.rescache_stats()["entries"] == 0
+
+    def test_cached_errors_are_distinct_instances(self, shop_db):
+        # every hit re-raises a fresh clone: raising a shared instance
+        # would rewrite its __traceback__ across threads and pin the
+        # original execution frames in the cache
+        q = parse_sql("SELECT id + name FROM products")
+        with pytest.raises(SQLError) as first:
+            execute(q, shop_db)
+        with pytest.raises(SQLError) as second:
+            execute(q, shop_db)
+        with pytest.raises(SQLError) as third:
+            execute(q, shop_db)
+        assert second.value is not first.value
+        assert third.value is not second.value
+        assert type(second.value) is type(first.value)
+        assert second.value.args == first.value.args
+
     def test_disable_toggle(self, shop_db):
         q = parse_sql("SELECT name FROM products")
         previous = rescache.set_rescache_enabled(False)
@@ -411,6 +436,68 @@ class TestConsumers:
         snapshot = obs_metrics.get_registry().snapshot()
         assert snapshot["repro.session.turn_cache.hits"] == 1
         assert len(session.transcript) == 1 and len(session.history) == 1
+
+    def test_gold_missing_table_scores_false(self, shop_db):
+        # a gold referencing an absent table used to crash evaluation
+        # through the rescache path; it must score False, never raise
+        from repro.metrics.execution import execution_match
+
+        gold = "SELECT x FROM nonexistent"
+        predicted = "SELECT name FROM products"
+        assert execution_match(predicted, gold, shop_db) is False
+        assert execution_match(predicted, gold, shop_db) is False
+
+    def test_pipeline_chart_memo_not_poisoned(self, sales_db):
+        from repro import NaturalLanguageInterface
+
+        pipeline = NaturalLanguageInterface(sales_db).pipeline
+        question = "Draw a bar chart of the number of orders per quarter?"
+        first = pipeline.run(question, sales_db)
+        second = pipeline.run(question, sales_db)
+        assert first.succeeded and second.cached and second.chart is not None
+        # mutating a replayed chart or stage record must not leak into
+        # the memo or other replays
+        second.chart.points.clear()
+        second.chart.spec.clear()
+        second.stages[0].output = "tampered"
+        third = pipeline.run(question, sales_db)
+        assert third.cached and third.chart.points and third.chart.spec
+        assert third.stages[0].output != "tampered"
+        assert third.chart is not second.chart
+
+    def test_session_memo_not_poisoned(self, sales_db):
+        from repro.systems import ParsingBasedSystem
+        from repro.systems.session import InteractiveSession
+
+        session = InteractiveSession(system=ParsingBasedSystem(), db=sales_db)
+        question = "Show the name of products?"
+        first = session.ask(question)
+        session.reset()
+        second = session.ask(question)
+        assert second.result is not None
+        # the replay is a fresh object sharing no mutable state with the
+        # memo entry or the first transcript entry
+        assert second is not first and second.result is not first.result
+        second.result.rows.clear()
+        session.reset()
+        third = session.ask(question)
+        assert third.result.rows and first.result.rows
+
+    def test_session_chart_memo_not_poisoned(self, sales_db):
+        from repro.systems import ParsingBasedSystem
+        from repro.systems.session import InteractiveSession
+
+        session = InteractiveSession(system=ParsingBasedSystem(), db=sales_db)
+        question = "Draw a bar chart of the number of orders per quarter?"
+        first = session.ask(question)
+        assert first.chart is not None
+        session.reset()
+        second = session.ask(question)
+        assert second.chart is not first.chart
+        second.chart.points.clear()
+        session.reset()
+        third = session.ask(question)
+        assert third.chart.points
 
     def test_session_memo_respects_history(self, sales_db):
         from repro.obs import metrics as obs_metrics
