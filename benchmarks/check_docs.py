@@ -1,0 +1,102 @@
+"""Docs-consistency check: CLI subcommands vs what the docs claim.
+
+Two invariants, both cheap enough for CI:
+
+1. every ``python -m repro <subcommand>`` named anywhere in the user
+   docs (README.md, DESIGN.md, EXPERIMENTS.md, docs/) resolves to a real
+   subcommand dispatched by ``src/repro/__main__.py`` — no stale or
+   aspirational CLI examples;
+2. every subcommand the CLI actually dispatches is documented in
+   README.md — no silent features.
+
+Subcommands are extracted from the dispatch source itself (the
+``argv[0] == "<name>"`` chain), so the check cannot drift from the code
+the way a hand-maintained list would.  Run directly (exit 1 on any
+violation) or through ``tests/test_docs_consistency.py``.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+)
+
+#: user-facing docs audited for `python -m repro <sub>` mentions
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md"]
+
+_DISPATCH_RE = re.compile(r'argv\[0\] == "([a-z][a-z0-9-]*)"')
+_MENTION_RE = re.compile(r"python -m repro\s+([a-z][a-z0-9-]*)")
+
+
+def dispatched_subcommands() -> set[str]:
+    """The subcommands ``python -m repro`` actually routes, from source."""
+    path = os.path.join(REPO_ROOT, "src", "repro", "__main__.py")
+    with open(path, encoding="utf-8") as handle:
+        return set(_DISPATCH_RE.findall(handle.read()))
+
+
+def doc_paths() -> list[str]:
+    paths = [os.path.join(REPO_ROOT, name) for name in DOC_FILES]
+    paths.extend(
+        sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "**", "*.md"),
+                         recursive=True))
+    )
+    return [path for path in paths if os.path.exists(path)]
+
+
+def documented_subcommands() -> dict[str, set[str]]:
+    """Map doc path -> set of subcommand names it mentions."""
+    mentions: dict[str, set[str]] = {}
+    for path in doc_paths():
+        with open(path, encoding="utf-8") as handle:
+            found = set(_MENTION_RE.findall(handle.read()))
+        if found:
+            mentions[os.path.relpath(path, REPO_ROOT)] = found
+    return mentions
+
+
+def check() -> list[str]:
+    """Return a list of human-readable violations (empty = consistent)."""
+    real = dispatched_subcommands()
+    violations: list[str] = []
+
+    for path, names in sorted(documented_subcommands().items()):
+        for name in sorted(names - real):
+            violations.append(
+                f"{path}: documents `python -m repro {name}` but the CLI "
+                f"has no such subcommand (has: {', '.join(sorted(real))})"
+            )
+
+    readme = os.path.join(REPO_ROOT, "README.md")
+    with open(readme, encoding="utf-8") as handle:
+        readme_named = set(_MENTION_RE.findall(handle.read()))
+    for name in sorted(real - readme_named):
+        violations.append(
+            f"README.md: `python -m repro {name}` is dispatched by "
+            "src/repro/__main__.py but never documented"
+        )
+    return violations
+
+
+def main() -> int:
+    real = dispatched_subcommands()
+    print(f"dispatched subcommands: {', '.join(sorted(real))}")
+    for path, names in sorted(documented_subcommands().items()):
+        print(f"  {path}: mentions {', '.join(sorted(names))}")
+    violations = check()
+    if violations:
+        print()
+        for violation in violations:
+            print(f"DRIFT: {violation}")
+        return 1
+    print("docs and CLI agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,9 @@ the survey's Fig. 1.  Options::
     python -m repro trace "SELECT ..."    # span tree for one traced query
     python -m repro eval --workers 4      # parallel corpus evaluation
     python -m repro cache stats           # result-cache counters / control
+    python -m repro chaos --turns 20      # fault-injection chaos storm
     python -m repro --trace               # REPL with per-stage trace output
+    python -m repro --resilient           # REPL with fault-tolerant turns
 
 Inside the REPL: ``\\schema`` prints the schema, ``\\reset`` clears the
 conversation, ``\\quit`` exits.
@@ -42,11 +44,13 @@ _DEMO_QUESTIONS = {
 }
 
 
-def build_interface(domain: str, seed: int, model: str | None):
+def build_interface(
+    domain: str, seed: int, model: str | None, resilient: bool = False
+):
     db = DatabaseGenerator(seed=seed).populate(
         domain_by_name(domain), rows_per_table=40
     )
-    return db, NaturalLanguageInterface(db, model=model)
+    return db, NaturalLanguageInterface(db, model=model, resilience=resilient)
 
 
 def answer_one(
@@ -55,6 +59,8 @@ def answer_one(
     answer = nli.ask(question)
     if show_trace:
         _print_trace(answer)
+    if answer.degraded:
+        print(f"  (degraded: {', '.join(answer.degraded)})")
     if not answer.ok:
         print(f"  (could not answer: {answer.trace.error})")
         return
@@ -106,6 +112,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sql.cache_cli import main as cache_main
 
         return cache_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.resilience.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )
@@ -127,6 +137,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the pipeline stage trace (and span tree) per answer",
     )
+    parser.add_argument(
+        "--resilient",
+        action="store_true",
+        help="serve turns fault-tolerantly (deadlines, retries, breakers,"
+        " degradation ladders); combine with REPRO_CHAOS to inject faults",
+    )
     args = parser.parse_args(argv)
 
     if args.trace:
@@ -134,7 +150,9 @@ def main(argv: list[str] | None = None) -> int:
 
         obs_trace.enable()
 
-    db, nli = build_interface(args.domain, args.seed, args.model)
+    db, nli = build_interface(
+        args.domain, args.seed, args.model, resilient=args.resilient
+    )
     print(
         f"connected to {db.db_id!r} "
         f"({', '.join(db.schema.table_names())}; {db.row_count()} rows)"

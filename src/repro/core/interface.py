@@ -19,6 +19,7 @@ from repro.parsers.llm.strategies import MultiStageLLMParser
 from repro.parsers.semantic import GrammarSemanticParser
 from repro.parsers.vis.base import VisParser, detect_chart_type
 from repro.parsers.vis.llm import Chat2VisParser
+from repro.resilience import ResiliencePolicy
 from repro.sql.ast import Query
 from repro.sql.parser import parse_sql
 
@@ -57,6 +58,11 @@ class Answer:
     def chart(self):
         return self.trace.chart
 
+    @property
+    def degraded(self) -> list[str]:
+        """Degradation-ladder rungs taken this turn (empty when healthy)."""
+        return self.trace.degraded
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         if self.trace.chart is not None:
             return f"<Answer chart {self.trace.chart.chart_type}>"
@@ -91,6 +97,7 @@ class NaturalLanguageInterface:
         model: str | None = None,
         knowledge: str | None = None,
         lint: bool = False,
+        resilience: "ResiliencePolicy | bool | None" = None,
     ) -> None:
         self.db = db
         self.knowledge = knowledge
@@ -110,8 +117,19 @@ class NaturalLanguageInterface:
         # and VQL candidates additionally pass the vis rule catalog
         gate = LintGate() if lint else None
         vis_gate = VisLintGate() if lint else None
+        # ``resilience=True`` runs turns fault-tolerantly under the stock
+        # policy (deadlines, retries, breakers, degradation ladders); pass
+        # a ResiliencePolicy to tune the budgets — see DESIGN.md §Resilience
+        if resilience is True:
+            resilience = ResiliencePolicy.default()
+        elif resilience is False:
+            resilience = None
         self.pipeline = Pipeline(
-            sql_parser, vis_parser, lint_gate=gate, vis_lint_gate=vis_gate
+            sql_parser,
+            vis_parser,
+            lint_gate=gate,
+            vis_lint_gate=vis_gate,
+            resilience=resilience,
         )
         self.history: list[tuple[str, Query]] = []
 

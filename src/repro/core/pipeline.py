@@ -27,12 +27,23 @@ from dataclasses import dataclass, field, replace
 
 from repro.data.database import Database
 from repro.data.schema import Schema
-from repro.errors import ReproError, SQLError
+from repro.errors import (
+    CircuitOpenError,
+    InjectedFault,
+    ReproError,
+    ResilienceError,
+    SQLError,
+)
 from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
-from repro.parsers.base import ParseRequest, Parser
+from repro.parsers.base import ParseRequest, Parser, ParseResult
 from repro.parsers.vis.base import VisParser
+from repro.resilience import ResiliencePolicy, Retry, breaker_for
+from repro.resilience import deadline as _deadline
+from repro.resilience.breaker import CLOSED as _BREAKER_CLOSED
+from repro.resilience import faults as _faults
 from repro.sql import rescache as _rescache
+from repro.sql import vector as _vector
 from repro.sql.ast import Query
 from repro.sql.executor import Result, execute
 from repro.sql.lint import LintReport, Severity, lint_query
@@ -40,12 +51,15 @@ from repro.sql.unparser import to_sql
 from repro.systems.base import wants_visualization
 from repro.vis.charts import Chart, render_chart
 from repro.vis.lint.gate import VisGateDecision, VisLintGate
+from repro.vis.vql import parse_vql
 
 _registry = _obs_metrics.get_registry()
 _RUNS = _registry.counter("repro.pipeline.runs")
 _ERRORS = _registry.counter("repro.pipeline.errors")
 _TURN_HITS = _registry.counter("repro.pipeline.turn_cache.hits")
 _TURN_MISSES = _registry.counter("repro.pipeline.turn_cache.misses")
+_DEGRADED_TURNS = _registry.counter("repro.pipeline.degraded.turns")
+_DEGRADES = _registry.counter("repro.resilience.degrades")
 
 #: per-Pipeline bound on memoized end-to-end turns
 _TURN_MEMO_MAX = 128
@@ -86,6 +100,10 @@ class PipelineTrace:
     #: rather than re-running the stages (same question, same history,
     #: same database state — see :meth:`Pipeline.run`).
     cached: bool = False
+    #: Degradation-ladder rungs taken this turn (``stage:rung`` strings,
+    #: e.g. ``translate:rule-fallback``); empty on a healthy turn.  Only
+    #: populated when the pipeline runs with a :class:`ResiliencePolicy`.
+    degraded: list[str] = field(default_factory=list)
 
     @property
     def succeeded(self) -> bool:
@@ -100,6 +118,8 @@ class PipelineTrace:
                 f"  [{record.stage}] {record.output}"
                 f" ({record.seconds * 1000:.1f} ms)"
             )
+        if self.degraded:
+            lines.append(f"  degraded: {', '.join(self.degraded)}")
         if self.error:
             lines.append(f"  error: {self.error}")
         return "\n".join(lines)
@@ -165,6 +185,8 @@ class LintGate:
         best: Query | None = None
         best_score = float("inf")
         for candidate in distinct:
+            if _deadline._ACTIVE:
+                _deadline.checkpoint("lint gate")
             report = self.report(candidate, schema)
             if any(
                 self.prune_at <= d.severity for d in report.diagnostics
@@ -179,7 +201,18 @@ class LintGate:
 
 
 class Pipeline:
-    """Preprocess → translate → [lint] → execute → present, with tracing."""
+    """Preprocess → translate → [lint] → execute → present, with tracing.
+
+    Pass a :class:`~repro.resilience.ResiliencePolicy` to run the turn
+    fault-tolerantly: stages get deadline budgets, flaky stages get
+    retries and per-component circuit breakers, and a stage that still
+    fails drops onto its degradation ladder (LLM parser → rule parser,
+    vector engine → row engine, cached result on executor timeout, chart
+    → data-only) instead of failing the turn — see DESIGN.md §Resilience.
+    With no faults injected and budgets unexpired, a resilient run takes
+    exactly the same code paths as a plain one, so outputs are identical
+    (``tests/test_resilience.py`` runs that differential).
+    """
 
     def __init__(
         self,
@@ -187,16 +220,32 @@ class Pipeline:
         vis_parser: VisParser,
         lint_gate: LintGate | None = None,
         vis_lint_gate: VisLintGate | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         self.sql_parser = sql_parser
         self.vis_parser = vis_parser
         self.lint_gate = lint_gate
         self.vis_lint_gate = vis_lint_gate
+        self.resilience = resilience
         # end-to-end turn memo: (question, knowledge, history, db state) ->
         # finished PipelineTrace; every stage is deterministic given those
         # four, and the db-state token (per-table version stamps + object
         # identity) retires entries on any mutation
         self._turn_memo: "OrderedDict[tuple, PipelineTrace]" = OrderedDict()
+        # lazy rule-based fallback parsers for the translate ladder, and
+        # one Retry per retried stage (its jitter RNG advances
+        # deterministically across the pipeline's lifetime)
+        self._sql_fallback: Parser | None = None
+        self._vis_fallback: VisParser | None = None
+        self._retries: dict[str, Retry] = {}
+        # per-component (breaker, retry-or-None) pairs resolved once —
+        # the guarded stage wrappers run on every turn and must not pay
+        # registry and policy lookups each time — and the stage-budget
+        # table flattened to one dict.get per stage
+        self._guard_plans: dict[str, tuple] = {}
+        self._stage_budgets: dict[str, float] = (
+            dict(resilience.stage_deadlines) if resilience is not None else {}
+        )
 
     def run(
         self,
@@ -233,7 +282,16 @@ class Pipeline:
         mutation misses.
         """
         _RUNS.inc()
-        memo_key = self._turn_memo_key(question, db, knowledge, history)
+        resilient = self.resilience is not None
+        chaos = resilient and _faults.active()
+        # under an active fault plan a turn's outcome is no longer a pure
+        # function of (question, knowledge, history, db state), so the
+        # end-to-end memo must neither serve nor store
+        memo_key = (
+            None
+            if chaos
+            else self._turn_memo_key(question, db, knowledge, history)
+        )
         if memo_key is not None:
             cached = self._turn_memo.get(memo_key)
             if cached is not None:
@@ -243,21 +301,73 @@ class Pipeline:
                     _ERRORS.inc()
                 return self._replay_trace(cached)
             _TURN_MISSES.inc()
+        if resilient:
+            trace = self._run_turn_resilient(question, db, knowledge, history)
+        else:
+            trace = self._run_turn(question, db, knowledge, history)
+        if trace.error is not None:
+            _ERRORS.inc()
+        if trace.degraded:
+            _DEGRADED_TURNS.inc()
+        if memo_key is not None and not trace.degraded:
+            # stash a private copy: the caller owns the returned trace and
+            # may mutate its result rows without poisoning the memo.
+            # Degraded turns are never memoized — a fallback answer must
+            # not outlive the incident that caused it.
+            self._turn_memo[memo_key] = self._replay_trace(trace)
+            while len(self._turn_memo) > _TURN_MEMO_MAX:
+                self._turn_memo.popitem(last=False)
+        return trace
+
+    def _run_turn(
+        self,
+        question: str,
+        db: Database,
+        knowledge: str | None,
+        history: list | None,
+    ) -> PipelineTrace:
         if _obs_trace._ENABLED:
-            with _obs_trace.span("repro.pipeline.run", question=question) as span:
+            with _obs_trace.span(
+                "repro.pipeline.run", question=question
+            ) as span:
                 trace = self._run_stages(question, db, knowledge, history)
                 span.set_attr("error", trace.error)
                 trace.span = span
         else:
             trace = self._run_stages(question, db, knowledge, history)
-        if trace.error is not None:
-            _ERRORS.inc()
-        if memo_key is not None:
-            # stash a private copy: the caller owns the returned trace and
-            # may mutate its result rows without poisoning the memo
-            self._turn_memo[memo_key] = self._replay_trace(trace)
-            while len(self._turn_memo) > _TURN_MEMO_MAX:
-                self._turn_memo.popitem(last=False)
+        return trace
+
+    def _run_turn_resilient(
+        self,
+        question: str,
+        db: Database,
+        knowledge: str | None,
+        history: list | None,
+    ) -> PipelineTrace:
+        """One turn under the policy's deadline, guaranteed not to raise.
+
+        The turn budget becomes the ambient deadline for every stage;
+        stage-level faults are handled by the per-stage ladders, and
+        anything that still escapes (an expired budget between stages, a
+        fault in un-laddered glue) is converted into an errored-but-
+        returned trace here — a resilient pipeline's contract is that
+        ``run`` never raises.
+        """
+        policy = self.resilience
+        bounded = policy.turn_deadline is not None
+        if bounded:
+            token = _deadline.push_budget(policy.turn_deadline, policy.clock)
+        try:
+            trace = self._run_turn(question, db, knowledge, history)
+        except Exception as exc:  # belt and braces: never raise
+            trace = PipelineTrace(question=question)
+            trace.error = f"turn aborted: {exc}"
+            self._mark_degraded(trace, "turn:aborted")
+        finally:
+            if bounded:
+                _deadline.pop_budget(token)
+        if trace.degraded and trace.span is not None:
+            trace.span.set_attr("degraded", ",".join(trace.degraded))
         return trace
 
     def _run_stages(
@@ -288,7 +398,7 @@ class Pipeline:
             vql = self._stage(
                 trace,
                 "translate",
-                lambda: self.vis_parser.parse_vis(request),
+                lambda: self._translate_vis(request, trace),
                 render=lambda v: v or "(no translation)",
             )
             if vql is None:
@@ -307,14 +417,29 @@ class Pipeline:
             chart = self._stage(
                 trace,
                 "execute",
-                lambda: self._render_chart(vql, db),
+                lambda: self._render_chart(vql, db, trace),
                 render=lambda c: (
                     f"chart with {len(c.points)} points"
                     if c is not None
-                    else "(render failed)"
+                    else (
+                        "degraded to data-only result"
+                        if trace.result is not None
+                        else "(render failed)"
+                    )
                 ),
             )
             if chart is None:
+                if trace.result is not None:
+                    # render ladder degraded to data-only: present the
+                    # underlying rows like a query turn
+                    data = trace.result
+                    self._stage(
+                        trace,
+                        "present",
+                        lambda: ", ".join(data.columns),
+                        render=lambda c: f"columns: {c}",
+                    )
+                    return trace
                 trace.error = "chart rendering failed"
                 return trace
             trace.chart = chart
@@ -329,7 +454,7 @@ class Pipeline:
         parse_result = self._stage(
             trace,
             "translate",
-            lambda: self.sql_parser.parse(request),
+            lambda: self._translate_sql(request, trace),
             render=lambda r: (
                 to_sql(r.query) if r.query is not None else "(no translation)"
             ),
@@ -354,7 +479,7 @@ class Pipeline:
         result = self._stage(
             trace,
             "execute",
-            lambda: self._execute(query, db),
+            lambda: self._execute(query, db, trace),
             render=lambda r: (
                 f"{len(r.rows)} row(s)" if r is not None else "(failed)"
             ),
@@ -419,16 +544,24 @@ class Pipeline:
             error=cached.error,
             span=None,
             cached=True,
+            degraded=list(cached.degraded),
         )
 
     def _stage(self, trace: PipelineTrace, name: str, fn, render):
+        budget = self._stage_budgets.get(name)
         start = time.perf_counter()
-        if _obs_trace._ENABLED:
-            with _obs_trace.span(f"repro.pipeline.stage.{name}") as span:
+        if budget is not None:
+            token = _deadline.push_budget(budget, self.resilience.clock)
+        try:
+            if _obs_trace._ENABLED:
+                with _obs_trace.span(f"repro.pipeline.stage.{name}") as span:
+                    value = fn()
+                    span.set_attr("output", render(value))
+            else:
                 value = fn()
-                span.set_attr("output", render(value))
-        else:
-            value = fn()
+        finally:
+            if budget is not None:
+                _deadline.pop_budget(token)
         seconds = time.perf_counter() - start
         _stage_seconds(name).observe(seconds)
         trace.stages.append(
@@ -436,14 +569,218 @@ class Pipeline:
         )
         return value
 
-    def _execute(self, query, db: Database) -> Result | None:
-        try:
-            return execute(query, db)
-        except SQLError:
-            return None
+    # ------------------------------------------------------------------
+    # resilient stage wrappers and degradation ladders
+    # ------------------------------------------------------------------
+    def _mark_degraded(self, trace: PipelineTrace, rung: str) -> None:
+        trace.degraded.append(rung)
+        _DEGRADES.inc()
+        _registry.counter(f"repro.resilience.degrade.{rung}").inc()
 
-    def _render_chart(self, vql: str, db: Database) -> Chart | None:
+    def _retry_for(self, stage: str) -> Retry:
+        retry = self._retries.get(stage)
+        if retry is None:
+            policy = self.resilience
+            retry = self._retries[stage] = Retry(
+                policy.retry,
+                name=stage,
+                clock=policy.clock,
+                sleep=policy.sleep,
+            )
+        return retry
+
+    def _guarded(self, component: str, stage: str, fn, organic: tuple = ()):
+        """Run one primary stage attempt under its breaker (and retries).
+
+        Raises :class:`CircuitOpenError` without calling *fn* when the
+        component's breaker is open; otherwise runs *fn* (through the
+        stage's :class:`Retry` when the policy retries this stage) and
+        feeds the outcome back to the breaker.  Callers catch what this
+        raises and take the stage's degradation ladder.
+
+        *organic* lists exception types that are normal domain outcomes
+        (an invalid query raising :class:`SQLError`, say) rather than
+        component failures — they propagate without counting against the
+        breaker, so a streak of bad *inputs* can never trip the circuit
+        and degrade good ones.  :class:`ResilienceError`\\ s always count,
+        even when an organic base class would match them.
+        """
+        plan = self._guard_plans.get(component)
+        if plan is None:
+            policy = self.resilience
+            plan = self._guard_plans[component] = (
+                breaker_for(
+                    component,
+                    failure_threshold=policy.breaker_failure_threshold,
+                    recovery_timeout=policy.breaker_recovery_timeout,
+                    success_threshold=policy.breaker_success_threshold,
+                    clock=policy.clock,
+                ),
+                self._retry_for(stage)
+                if stage in policy.retry_stages
+                else None,
+            )
+        breaker, retry = plan
+        # inline the closed-state fast paths of allow()/record_success():
+        # this wrapper is on every serving turn and the breaker is almost
+        # always closed and quiet, so skip the method calls entirely then
+        if breaker._state is not _BREAKER_CLOSED and not breaker.allow():
+            raise CircuitOpenError(component)
         try:
+            if retry is not None:
+                result = retry.call(fn)
+            else:
+                result = fn()
+        except Exception as exc:
+            if isinstance(exc, ResilienceError) or not isinstance(
+                exc, organic
+            ):
+                breaker.record_failure()
+            raise
+        if (
+            breaker._state is not _BREAKER_CLOSED
+            or breaker._consecutive_failures
+        ):
+            breaker.record_success()
+        return result
+
+    def _translate_sql(
+        self, request: ParseRequest, trace: PipelineTrace
+    ) -> ParseResult:
+        if self.resilience is None:
+            return self.sql_parser.parse(request)
+
+        def attempt():
+            _faults.fire("translate")
+            return self.sql_parser.parse(request)
+
+        try:
+            return self._guarded("parser.sql", "translate", attempt)
+        except Exception:
+            # ladder: LLM/neural parser -> keyword rule parser.  The
+            # fallback is deterministic and model-free; if even it fails,
+            # the stage reports "no translation" like any parser miss.
+            self._mark_degraded(trace, "translate:rule-fallback")
+            if self._sql_fallback is None:
+                from repro.parsers.rule import KeywordRuleParser
+
+                self._sql_fallback = KeywordRuleParser()
+            try:
+                return self._sql_fallback.parse(request)
+            except Exception:
+                return ParseResult(query=None, notes="fallback parser failed")
+
+    def _translate_vis(
+        self, request: ParseRequest, trace: PipelineTrace
+    ) -> str | None:
+        if self.resilience is None:
+            return self.vis_parser.parse_vis(request)
+
+        def attempt():
+            _faults.fire("translate")
+            out = self.vis_parser.parse_vis(request)
+            if out is not None:
+                out = _faults.corrupt_text("translate", out)
+            return out
+
+        try:
+            return self._guarded("parser.vis", "translate", attempt)
+        except Exception:
+            self._mark_degraded(trace, "translate:rule-fallback")
+            if self._vis_fallback is None:
+                from repro.parsers.vis.rule import DataToneVisParser
+
+                self._vis_fallback = DataToneVisParser()
+            try:
+                return self._vis_fallback.parse_vis(request)
+            except Exception:
+                return None
+
+    def _execute(
+        self, query, db: Database, trace: PipelineTrace
+    ) -> Result | None:
+        if self.resilience is None:
+            try:
+                return execute(query, db)
+            except SQLError:
+                return None
+
+        def attempt():
+            if _vector._VECTOR_ENABLED:
+                _faults.fire("engine.vector")
+            _faults.fire("execute")
+            return execute(query, db)
+
+        try:
+            return self._guarded(
+                "executor", "execute", attempt, organic=(SQLError,)
+            )
+        except SQLError:
+            # organic query failure: same outcome as the plain pipeline
+            return None
+        except Exception as exc:
+            return self._execute_ladder(query, db, trace, exc)
+
+    def _execute_ladder(
+        self, query, db: Database, trace: PipelineTrace, exc: Exception
+    ) -> Result | None:
+        """The execute degradation ladder, rung by rung.
+
+        Rung 1 (vector-engine faults only): re-run on the row engine —
+        both engines are differentially tested identical, so this costs
+        latency, not correctness.  Rung 2: serve a result-cache ``peek``
+        — sound because the probe is stamped with current version tokens.
+        Exhausted: report execution failure (the stage records it; the
+        turn still completes).
+        """
+        if isinstance(exc, InjectedFault) and exc.site == "engine.vector":
+            previous = _vector.set_vector_enabled(False)
+            try:
+                self._mark_degraded(trace, "execute:vector-off")
+                try:
+                    return execute(query, db)
+                except SQLError:
+                    return None
+                except ResilienceError:
+                    pass  # keep descending
+            finally:
+                _vector.set_vector_enabled(previous)
+        cached = _rescache.peek(query, db)
+        if cached is not None:
+            self._mark_degraded(trace, "execute:cached-result")
+            return cached
+        self._mark_degraded(trace, "execute:failed")
+        return None
+
+    def _render_chart(
+        self, vql: str, db: Database, trace: PipelineTrace
+    ) -> Chart | None:
+        if self.resilience is None:
+            try:
+                return render_chart(vql, db)
+            except ReproError:
+                return None
+
+        def attempt():
+            _faults.fire("render")
             return render_chart(vql, db)
+
+        try:
+            return self._guarded(
+                "renderer", "render", attempt, organic=(ReproError,)
+            )
+        except ResilienceError:
+            # ladder: chart -> data-only answer.  Execute the VQL's
+            # underlying SQL and surface the rows without the chart; the
+            # caller presents them like a query turn.
+            try:
+                result = execute(parse_vql(vql).query, db)
+            except ReproError:
+                self._mark_degraded(trace, "render:failed")
+                return None
+            self._mark_degraded(trace, "render:data-only")
+            trace.result = result
+            return None
         except ReproError:
+            # organic render failure: same outcome as the plain pipeline
             return None

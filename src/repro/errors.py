@@ -77,3 +77,43 @@ class LLMError(ReproError):
 
 class SystemConfigError(ReproError):
     """Raised when an NLI system is assembled from incompatible components."""
+
+
+class ResilienceError(ReproError):
+    """Base class for faults raised by :mod:`repro.resilience`.
+
+    Deliberately *not* an :class:`SQLError`: the pipeline's ordinary
+    failure handling (``except SQLError``) must not swallow a deadline or
+    an injected fault — those are routed to the degradation ladders
+    instead of being reported as a plain execution failure.
+    """
+
+
+class DeadlineExceeded(ResilienceError):
+    """Raised by a cooperative :class:`repro.resilience.Deadline` check
+    when the enclosing turn or stage budget has run out."""
+
+
+class CircuitOpenError(ResilienceError):
+    """Raised when a call is rejected by an open circuit breaker.
+
+    ``component`` names the breaker that rejected the call.
+    """
+
+    def __init__(self, component: str, message: str | None = None) -> None:
+        super().__init__(
+            message or f"circuit breaker {component!r} is open"
+        )
+        self.component = component
+
+
+class InjectedFault(ResilienceError):
+    """Raised by the fault-injection harness (:mod:`repro.resilience.faults`).
+
+    ``site`` is the component address the fault was injected at — tests
+    and degradation ladders can tell injected failures from organic ones.
+    """
+
+    def __init__(self, site: str, message: str | None = None) -> None:
+        super().__init__(message or f"injected fault at {site!r}")
+        self.site = site

@@ -11,6 +11,7 @@ from repro.llm.interface import SimulatedLLM
 from repro.llm.profiles import ModelProfile
 from repro.llm.prompts import PromptBuilder, extract_sql
 from repro.parsers.base import LLM, ParseRequest, ParseResult, Parser
+from repro.resilience import deadline as _deadline
 from repro.sql.ast import Query
 from repro.sql.executor import execute
 from repro.sql.parser import parse_sql
@@ -53,6 +54,8 @@ class LLMParserBase(Parser):
     def _completions_to_queries(self, completions) -> list[Query]:
         queries = []
         for completion in completions:
+            if _deadline._ACTIVE:
+                _deadline.checkpoint("llm candidate parsing")
             sql = extract_sql(completion.text)
             try:
                 queries.append(parse_sql(sql))

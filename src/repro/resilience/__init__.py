@@ -1,0 +1,76 @@
+"""Fault tolerance for the serving path — deadlines, retries, breakers, chaos.
+
+The subsystem the ROADMAP's "serves heavy traffic" north star demands:
+a hung or failing stage must cost one degraded turn, not the process.
+Four cooperating pieces, all zero-dependency and deterministic:
+
+- :class:`Deadline` / :func:`deadline_scope` / :func:`checkpoint` —
+  cooperative per-turn and per-stage time budgets, polled in the
+  executor's row/vector loops and the parsers' candidate loops;
+- :class:`Retry` / :class:`RetryPolicy` — bounded attempts with
+  injectable-clock exponential backoff and seeded jitter for flaky
+  (model-backed) stages;
+- :class:`CircuitBreaker` / :func:`breaker_for` — per-component
+  closed → open → half-open breakers that stop hammering a failing
+  component and let :mod:`repro.core.pipeline` drop straight onto its
+  degradation ladder;
+- :mod:`repro.resilience.faults` — the chaos harness
+  (:func:`install_faults` / ``REPRO_CHAOS`` / ``python -m repro chaos``)
+  that makes all of the above testable in CI.
+
+See ``DESIGN.md`` §Resilience for the semantics and
+``docs/architecture.md`` for where each piece sits in a turn.
+"""
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    InjectedFault,
+    ResilienceError,
+)
+from repro.resilience.breaker import (
+    CircuitBreaker,
+    all_breakers,
+    breaker_for,
+    reset_breakers,
+)
+from repro.resilience.deadline import (
+    Deadline,
+    checkpoint,
+    current_deadline,
+    deadline_scope,
+    guard_rows,
+)
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    clear_faults,
+    parse_fault_spec,
+)
+from repro.resilience.faults import install as install_faults
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.retry import Retry, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilienceError",
+    "ResiliencePolicy",
+    "Retry",
+    "RetryPolicy",
+    "all_breakers",
+    "breaker_for",
+    "checkpoint",
+    "clear_faults",
+    "current_deadline",
+    "deadline_scope",
+    "guard_rows",
+    "install_faults",
+    "parse_fault_spec",
+    "reset_breakers",
+]

@@ -1,0 +1,232 @@
+"""Per-component circuit breakers — see DESIGN.md §Resilience.
+
+A :class:`CircuitBreaker` guards one flaky component (an LLM parser, the
+vector engine, a renderer) with the classic three-state machine:
+
+- **closed** — calls flow; consecutive failures are counted, and hitting
+  ``failure_threshold`` trips the breaker **open**;
+- **open** — calls are rejected immediately with
+  :class:`~repro.errors.CircuitOpenError` (no budget is burned on a
+  component that just failed N times in a row) until ``recovery_timeout``
+  seconds pass on the injectable clock;
+- **half-open** — after the timeout, a limited number of probe calls are
+  admitted; ``success_threshold`` consecutive probe successes close the
+  breaker, any probe failure re-opens it and restarts the timeout.
+
+Success in the closed state zeroes the consecutive-failure count — the
+breaker reacts to failure *streaks*, not lifetime totals, matching the
+"component is down right now" condition it exists to detect.
+
+Breakers live in a process-wide registry (:func:`breaker_for`) keyed by
+component name, so the pipeline and tests observe the same instances;
+``reset_breakers()`` restores a clean slate (wired into the test
+fixture's observability reset).  Observability:
+``repro.resilience.breaker.trips`` / ``.rejections`` / ``.probes``
+counters plus one ``repro.resilience.breaker.<name>.state`` callback
+gauge per breaker (0 closed, 1 half-open, 2 open).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import CircuitOpenError
+from repro.obs import metrics as _obs_metrics
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "all_breakers",
+    "breaker_for",
+    "reset_breakers",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+_registry = _obs_metrics.get_registry()
+_TRIPS = _registry.counter("repro.resilience.breaker.trips")
+_REJECTIONS = _registry.counter("repro.resilience.breaker.rejections")
+_PROBES = _registry.counter("repro.resilience.breaker.probes")
+
+
+class CircuitBreaker:
+    """One component's closed → open → half-open state machine."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        recovery_timeout: float = 5.0,
+        success_threshold: int = 1,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if success_threshold < 1:
+            raise ValueError("success_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.success_threshold = success_threshold
+        self.clock = clock if clock is not None else time.monotonic
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._opened_at: float | None = None
+        self._lock = threading.Lock()
+        _registry.gauge(
+            f"repro.resilience.breaker.{name}.state",
+            fn=lambda: _STATE_CODES[self.state],
+        )
+
+    # -- state ---------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, transitioning open → half-open lazily on read."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self.clock() - self._opened_at >= self.recovery_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probe_successes = 0
+
+    # -- the protocol --------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts rejections)."""
+        # lock-free fast path: a closed breaker admits everything, and a
+        # concurrent trip at worst admits one extra call — breakers are
+        # advisory back-pressure, not mutual exclusion
+        if self._state == CLOSED:
+            return True
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == OPEN:
+                _REJECTIONS.inc()
+                return False
+            if self._state == HALF_OPEN:
+                _PROBES.inc()
+            return True
+
+    def record_success(self) -> None:
+        """Report a successful call through this breaker."""
+        # lock-free fast path: success on a healthy closed breaker is the
+        # steady state and changes nothing
+        if self._state == CLOSED and self._consecutive_failures == 0:
+            return
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.success_threshold:
+                    self._state = CLOSED
+                    self._consecutive_failures = 0
+                    self._opened_at = None
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """Report a failed call; may trip the breaker open."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # a failed probe re-opens and restarts the timeout
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        _TRIPS.inc()
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Guard one call: reject when open, else run and record outcome."""
+        if not self.allow():
+            raise CircuitOpenError(self.name)
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def reset(self) -> None:
+        """Force the breaker back to a pristine closed state."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probe_successes = 0
+            self._opened_at = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CircuitBreaker {self.name} {self._state}>"
+
+
+# ----------------------------------------------------------------------
+# process-wide breaker registry
+# ----------------------------------------------------------------------
+_BREAKERS: dict[str, CircuitBreaker] = {}
+_BREAKERS_LOCK = threading.Lock()
+
+
+def breaker_for(
+    name: str,
+    failure_threshold: int = 3,
+    recovery_timeout: float = 5.0,
+    success_threshold: int = 1,
+    clock: Callable[[], float] | None = None,
+) -> CircuitBreaker:
+    """Fetch or create the process-wide breaker for component *name*.
+
+    Configuration arguments apply only on first creation; subsequent
+    fetches return the existing instance unchanged (one breaker per
+    component, shared by every pipeline in the process).
+    """
+    # lock-free fast path: dict reads are atomic in CPython, and the
+    # serving loop fetches its breakers on every guarded stage call
+    breaker = _BREAKERS.get(name)
+    if breaker is not None:
+        return breaker
+    with _BREAKERS_LOCK:
+        breaker = _BREAKERS.get(name)
+        if breaker is None:
+            breaker = _BREAKERS[name] = CircuitBreaker(
+                name,
+                failure_threshold=failure_threshold,
+                recovery_timeout=recovery_timeout,
+                success_threshold=success_threshold,
+                clock=clock,
+            )
+        return breaker
+
+
+def all_breakers() -> dict[str, CircuitBreaker]:
+    """A snapshot of the registry (name → breaker)."""
+    with _BREAKERS_LOCK:
+        return dict(_BREAKERS)
+
+
+def reset_breakers() -> None:
+    """Drop every registered breaker (test hygiene)."""
+    with _BREAKERS_LOCK:
+        _BREAKERS.clear()

@@ -1,0 +1,260 @@
+"""Fault injection — the chaos half of :mod:`repro.resilience`.
+
+A :class:`FaultSpec` addresses one *site* (a stage name the pipeline
+passes to :func:`fire`, e.g. ``translate`` or ``engine.vector``) and
+describes what to inject there:
+
+- ``error`` — raise :class:`~repro.errors.InjectedFault`;
+- ``latency`` — sleep ``delay`` seconds (injectable sleep) before
+  letting the call proceed;
+- ``corrupt`` — mangle the site's string output (via
+  :func:`corrupt_text`) so downstream parsing fails organically.
+
+Activation is probabilistic (``p=0.2``), every-nth-call (``every=3``),
+or both (nth-call wins when given).  All randomness comes from one
+seeded RNG (:func:`install` takes the seed), so a chaos storm is exactly
+reproducible — determinism is a repo invariant and injected chaos is no
+exception.
+
+Specs are written as compact strings, one per fault, semicolon-separated::
+
+    translate:error:p=0.3;execute:latency:delay=0.05:every=2;translate:corrupt:p=0.1
+
+and installed either programmatically (:func:`install`), via the
+``REPRO_CHAOS`` environment variable (read once at first use), or from
+the ``python -m repro chaos`` CLI.  The disabled path is one module
+global truth test (``_ACTIVE``), mirroring the deadline machinery.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import InjectedFault
+from repro.obs import metrics as _obs_metrics
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "active",
+    "clear_faults",
+    "corrupt_text",
+    "fire",
+    "install",
+    "parse_fault_spec",
+]
+
+KINDS = ("error", "latency", "corrupt")
+
+_registry = _obs_metrics.get_registry()
+_INJECTED = _registry.counter("repro.resilience.faults.injected")
+_DELAYS = _registry.counter("repro.resilience.faults.delays")
+_CORRUPTIONS = _registry.counter("repro.resilience.faults.corruptions")
+
+#: Whether a fault plan is installed; hot call sites test this single
+#: global before doing anything else.
+_ACTIVE = False
+
+_PLAN: "FaultPlan | None" = None
+_ENV_CHECKED = False
+
+ENV_VAR = "REPRO_CHAOS"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injector: *kind* of fault at *site*, with an activation rule.
+
+    ``every`` (nth-call, 1-based) takes precedence over ``p``
+    (per-call probability) when both are given.  ``delay`` is only
+    meaningful for ``latency`` faults.
+    """
+
+    site: str
+    kind: str
+    p: float = 1.0
+    every: int | None = None
+    delay: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1]: {self.p}")
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"fault every= must be >= 1: {self.every}")
+
+
+@dataclass
+class FaultPlan:
+    """A set of installed :class:`FaultSpec`\\ s plus their seeded RNG.
+
+    ``sleep`` is injectable so latency faults run in virtual time under
+    test; call counts are tracked per (site, kind) for nth-call rules.
+    """
+
+    specs: tuple[FaultSpec, ...]
+    seed: int = 0
+    sleep: Callable[[float], None] = time.sleep
+    rng: random.Random = field(init=False)
+    calls: dict[tuple[str, str], int] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.seed)
+
+    def _should_fire(self, spec: FaultSpec) -> bool:
+        key = (spec.site, spec.kind)
+        count = self.calls.get(key, 0) + 1
+        self.calls[key] = count
+        if spec.every is not None:
+            return count % spec.every == 0
+        if spec.p >= 1.0:
+            return True
+        return self.rng.random() < spec.p
+
+    def fire(self, site: str) -> None:
+        """Run error/latency injectors registered for *site*."""
+        for spec in self.specs:
+            if spec.site != site or spec.kind == "corrupt":
+                continue
+            if not self._should_fire(spec):
+                continue
+            if spec.kind == "latency":
+                _DELAYS.inc()
+                self.sleep(spec.delay)
+            else:
+                _INJECTED.inc()
+                raise InjectedFault(site)
+
+    def corrupt_text(self, site: str, text: str) -> str:
+        """Apply any ``corrupt`` injectors for *site* to *text*."""
+        out = text
+        for spec in self.specs:
+            if spec.site != site or spec.kind != "corrupt":
+                continue
+            if not self._should_fire(spec):
+                continue
+            _CORRUPTIONS.inc()
+            # A mangling that reliably breaks both SQL and VQL parsing
+            # while staying printable in transcripts and logs.
+            out = f"\x7f{out[::-1]}\x7f"
+        return out
+
+
+def parse_fault_spec(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a semicolon-separated chaos spec string into specs.
+
+    Each fault is ``site:kind[:p=0.2][:every=3][:delay=0.05]``; see the
+    module docstring for examples.  Raises ``ValueError`` on malformed
+    input (unknown kind, bad option, out-of-range probability).
+    """
+    specs: list[FaultSpec] = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = [p.strip() for p in chunk.split(":")]
+        if len(parts) < 2:
+            raise ValueError(
+                f"fault spec {chunk!r} must be site:kind[:opt=val...]"
+            )
+        site, kind = parts[0], parts[1]
+        if not site:
+            raise ValueError(f"fault spec {chunk!r} has an empty site")
+        kwargs: dict[str, float | int] = {}
+        for opt in parts[2:]:
+            if "=" not in opt:
+                raise ValueError(
+                    f"fault option {opt!r} in {chunk!r} must be key=value"
+                )
+            key, _, value = opt.partition("=")
+            key = key.strip()
+            if key == "p":
+                kwargs["p"] = float(value)
+            elif key == "every":
+                kwargs["every"] = int(value)
+            elif key == "delay":
+                kwargs["delay"] = float(value)
+            else:
+                raise ValueError(
+                    f"unknown fault option {key!r} in {chunk!r}"
+                )
+        specs.append(FaultSpec(site=site, kind=kind, **kwargs))
+    return tuple(specs)
+
+
+def install(
+    specs: "str | tuple[FaultSpec, ...] | list[FaultSpec]",
+    seed: int = 0,
+    sleep: Callable[[float], None] | None = None,
+) -> FaultPlan:
+    """Install a fault plan process-wide (replacing any previous plan).
+
+    *specs* may be a spec string (parsed with :func:`parse_fault_spec`)
+    or a sequence of :class:`FaultSpec`.  Returns the installed plan.
+    """
+    global _ACTIVE, _PLAN, _ENV_CHECKED
+    if isinstance(specs, str):
+        parsed = parse_fault_spec(specs)
+    else:
+        parsed = tuple(specs)
+    plan = FaultPlan(
+        parsed, seed=seed, sleep=sleep if sleep is not None else time.sleep
+    )
+    _PLAN = plan
+    _ACTIVE = bool(parsed)
+    _ENV_CHECKED = True  # explicit install overrides the env var
+    return plan
+
+
+def clear_faults() -> None:
+    """Remove any installed fault plan (and forget the env override)."""
+    global _ACTIVE, _PLAN, _ENV_CHECKED
+    _PLAN = None
+    _ACTIVE = False
+    _ENV_CHECKED = True
+
+
+def _check_env() -> None:
+    global _ENV_CHECKED
+    if _ENV_CHECKED:
+        return
+    _ENV_CHECKED = True
+    spec = os.environ.get(ENV_VAR, "").strip()
+    if spec:
+        install(spec)
+
+
+def active() -> bool:
+    """Whether any fault plan is installed (checks ``REPRO_CHAOS`` once)."""
+    if not _ENV_CHECKED:
+        _check_env()
+    return _ACTIVE
+
+
+def fire(site: str) -> None:
+    """Injection hook: raise/delay per any installed plan for *site*.
+
+    Near-free when no plan is installed (one global truth test after the
+    one-time env check).
+    """
+    if not _ENV_CHECKED:
+        _check_env()
+    if not _ACTIVE or _PLAN is None:
+        return
+    _PLAN.fire(site)
+
+
+def corrupt_text(site: str, text: str) -> str:
+    """Injection hook for string outputs: mangle *text* per the plan."""
+    if not _ENV_CHECKED:
+        _check_env()
+    if not _ACTIVE or _PLAN is None:
+        return text
+    return _PLAN.corrupt_text(site, text)

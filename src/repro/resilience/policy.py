@@ -1,0 +1,70 @@
+"""Resilience policy — the one knob object the pipeline takes.
+
+:class:`ResiliencePolicy` bundles every fault-tolerance setting for one
+pipeline: the per-turn and per-stage deadline budgets, the retry
+schedule for flaky stages, and the breaker thresholds.  ``clock`` and
+``sleep`` are injectable and flow into every Deadline/Retry/Breaker the
+pipeline builds from the policy, so a single fake clock drives the whole
+subsystem deterministically under test.
+
+``ResiliencePolicy.default()`` is tuned for the in-process simulated
+stack (tens of milliseconds per stage): generous enough that the
+no-faults path never trips, tight enough that an injected latency storm
+exercises the deadline ladders in a fast test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["ResiliencePolicy"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Every knob of the fault-tolerance subsystem, in one frozen object.
+
+    ``turn_deadline`` bounds a whole :meth:`Pipeline.run` call;
+    ``stage_deadlines`` maps stage names (``translate``, ``execute``,
+    ``render``) to tighter per-stage budgets — a stage budget can only
+    shrink the turn budget, never extend it (see
+    :meth:`repro.resilience.Deadline.tightened`).  ``None`` anywhere
+    means "unbounded".
+
+    ``retry`` applies to the stages listed in ``retry_stages`` (the
+    flaky, model-backed ones — deterministic stages are not retried:
+    they fail the same way twice).  Breaker knobs apply to the
+    per-component breakers the pipeline creates via
+    :func:`repro.resilience.breaker_for`.
+    """
+
+    turn_deadline: float | None = 5.0
+    stage_deadlines: dict[str, float] = field(
+        default_factory=lambda: {
+            "translate": 2.0,
+            "execute": 2.0,
+            "render": 2.0,
+        }
+    )
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=3, base_delay=0.0)
+    )
+    retry_stages: tuple[str, ...] = ("translate",)
+    breaker_failure_threshold: int = 3
+    breaker_recovery_timeout: float = 5.0
+    breaker_success_threshold: int = 1
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+
+    @classmethod
+    def default(cls) -> "ResiliencePolicy":
+        """The stock policy for the in-process simulated stack."""
+        return cls()
+
+    def stage_budget(self, stage: str) -> float | None:
+        """The per-stage deadline for *stage*, or ``None`` if unbounded."""
+        return self.stage_deadlines.get(stage)

@@ -1,0 +1,148 @@
+"""Bounded retries with deterministic backoff — see DESIGN.md §Resilience.
+
+:class:`Retry` wraps a flaky callable (LLM/neural parser calls, simulated
+model completions) in a bounded-attempt loop: on a retryable exception it
+sleeps an exponentially growing backoff with *seeded* jitter, then tries
+again, re-raising the last failure when attempts are exhausted.  Both the
+clock and the sleep function are injectable, so tests run the whole
+schedule in virtual time, and the jitter RNG is seeded, so a given policy
+produces the same delay sequence on every run — determinism is a repo
+invariant and retry timing is no exception.
+
+Retries cooperate with ambient deadlines: a backoff sleep that would
+outlive :func:`repro.resilience.deadline.current_deadline` is not taken —
+the last failure is re-raised immediately, because sleeping past the turn
+budget would turn one slow failure into two.
+
+Observability: every attempt feeds ``repro.resilience.retry.attempts``
+and the ``repro.resilience.retry.attempt.seconds`` latency histogram;
+``.retries`` counts the sleeps actually taken and ``.exhausted`` the
+wrappers that gave up.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DeadlineExceeded
+from repro.obs import metrics as _obs_metrics
+from repro.resilience import deadline as _deadline
+
+__all__ = ["Retry", "RetryPolicy"]
+
+_registry = _obs_metrics.get_registry()
+_ATTEMPTS = _registry.counter("repro.resilience.retry.attempts")
+_RETRIES = _registry.counter("repro.resilience.retry.retries")
+_EXHAUSTED = _registry.counter("repro.resilience.retry.exhausted")
+_ATTEMPT_SECONDS = _registry.histogram(
+    "repro.resilience.retry.attempt.seconds"
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """The schedule knobs for one :class:`Retry` wrapper.
+
+    ``max_attempts`` bounds total calls (1 = no retries).  Backoff before
+    attempt *n* (n >= 2) is ``min(max_delay, base_delay *
+    multiplier**(n - 2))`` scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` with a seeded RNG.  ``retry_on`` is the
+    exception family considered transient; anything else propagates
+    immediately — in particular :class:`DeadlineExceeded` is *never*
+    retried (the budget that expired covers every attempt).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.25
+    seed: int = 0
+    retry_on: tuple[type, ...] = (Exception,)
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff seconds to sleep before *attempt* (2-based)."""
+        raw = min(
+            self.max_delay,
+            self.base_delay * self.multiplier ** max(0, attempt - 2),
+        )
+        if self.jitter <= 0:
+            return raw
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+class Retry:
+    """Apply a :class:`RetryPolicy` to callables.
+
+    >>> retry = Retry(RetryPolicy(max_attempts=3), name="llm.parse")
+    >>> result = retry.call(parser.parse, request)
+
+    ``clock``/``sleep`` default to ``time.monotonic``/``time.sleep`` and
+    are injectable for deterministic tests.  One :class:`Retry` instance
+    is reusable across calls; its jitter RNG advances deterministically
+    from the policy seed.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        name: str = "call",
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.name = name
+        self.clock = clock if clock is not None else time.monotonic
+        self.sleep = sleep if sleep is not None else time.sleep
+        self._rng = random.Random(self.policy.seed)
+        self._max_attempts = max(1, self.policy.max_attempts)
+        #: delays actually slept, for tests and post-mortems
+        self.slept: list[float] = []
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` under the retry schedule.
+
+        Returns the first successful result; re-raises the last exception
+        when attempts are exhausted, the failure is not retryable, or the
+        ambient deadline cannot afford the next backoff sleep.
+        """
+        policy = self.policy
+        last_exc: BaseException | None = None
+        for attempt in range(1, self._max_attempts + 1):
+            _ATTEMPTS.inc()
+            start = self.clock()
+            try:
+                result = fn(*args, **kwargs)
+            except DeadlineExceeded:
+                _ATTEMPT_SECONDS.observe(self.clock() - start)
+                raise  # the expired budget covers every further attempt
+            except policy.retry_on as exc:
+                _ATTEMPT_SECONDS.observe(self.clock() - start)
+                last_exc = exc
+                if attempt >= policy.max_attempts:
+                    break
+                delay = policy.delay_for(attempt + 1, self._rng)
+                if not self._affordable(delay):
+                    break
+                _RETRIES.inc()
+                self.slept.append(delay)
+                if delay > 0:
+                    self.sleep(delay)
+                continue
+            _ATTEMPT_SECONDS.observe(self.clock() - start)
+            return result
+        _EXHAUSTED.inc()
+        assert last_exc is not None
+        raise last_exc
+
+    @staticmethod
+    def _affordable(delay: float) -> bool:
+        """Whether the ambient deadline leaves room for *delay* plus work."""
+        ambient = _deadline.current_deadline()
+        if ambient is None:
+            return True
+        remaining = ambient.remaining()
+        return remaining is None or delay < remaining

@@ -80,6 +80,7 @@ from repro.data.database import Database
 from repro.data.schema import Schema
 from repro.data.values import Value, compare_values, sort_key
 from repro.errors import AnalysisError, ExecutionError
+from repro.resilience import deadline as _deadline
 from repro.sql.ast import (
     Between,
     BinaryOp,
@@ -1056,6 +1057,7 @@ def _make_opt_scan(name: str, fns_all, rest_fns, driver, nid: int, semi=None):
     must surface iff the table has at least one row, even when the pushed
     filters leave none.
     """
+    scan_label = f"scan {name}"
 
     def scan(state):
         table = state.db.table(name)
@@ -1080,7 +1082,7 @@ def _make_opt_scan(name: str, fns_all, rest_fns, driver, nid: int, semi=None):
             fns = fns_all
         if fns:
             out = []
-            for row in rows:
+            for row in _deadline.guard_rows(rows, scan_label):
                 chain = (row,)
                 for fn in fns:
                     if not _truthy(fn(state, chain, None, None)):
@@ -1153,6 +1155,7 @@ def _make_vector_scan(name: str, kernels, semi, nid: int):
     stage is identical to ``_make_opt_scan``'s (the subquery must run —
     and surface its errors — whenever the raw table is non-empty).
     """
+    scan_label = f"vector scan {name}"
 
     def scan(state):
         table = state.db.table(name)
@@ -1163,6 +1166,8 @@ def _make_vector_scan(name: str, kernels, semi, nid: int):
             _vector.BATCHES.inc()
             sel = range(len(raw))
             for kernel in kernels:
+                if _deadline._ACTIVE:
+                    _deadline.checkpoint(scan_label)
                 sel = kernel(batch, sel)
                 if not sel:
                     break
@@ -1212,7 +1217,8 @@ def _make_vector_hash_join(
         _vector.BATCHES.inc()
         out = []
         append = out.append
-        for left in prev(state, outer):
+        probe = _deadline.guard_rows(prev(state, outer), "hash join probe")
+        for left in probe:
             if single:
                 key = left[lslot]
                 bucket = buckets.get(key) if key is not None else None
@@ -2773,6 +2779,8 @@ class CompiledPlan:
 
     def run(self, db: Database) -> Result:
         """Execute against *db* and return the :class:`Result`."""
+        if _deadline._ACTIVE:
+            _deadline.checkpoint("plan run")
         return self._runner(_ExecState(db), ())
 
     def run_traced(self, db: Database) -> tuple[Result, _ExecState]:

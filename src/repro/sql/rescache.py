@@ -65,6 +65,7 @@ __all__ = [
     "copy_result",
     "database_state_token",
     "execute_or_error",
+    "peek",
     "rescache_enabled",
     "rescache_stats",
     "set_rescache_enabled",
@@ -94,6 +95,8 @@ _HITS = _registry.counter("repro.sql.rescache.hits")
 _MISSES = _registry.counter("repro.sql.rescache.misses")
 _EVICTIONS = _registry.counter("repro.sql.rescache.evictions")
 _OVERSIZE = _registry.counter("repro.sql.rescache.oversize")
+_PEEK_HITS = _registry.counter("repro.sql.rescache.peek.hits")
+_PEEK_MISSES = _registry.counter("repro.sql.rescache.peek.misses")
 _registry.gauge("repro.sql.rescache.bytes", fn=lambda: _BYTES)
 _registry.gauge("repro.sql.rescache.entries", fn=lambda: len(_CACHE))
 
@@ -354,6 +357,42 @@ def execute_or_error(query: Query, db: Database) -> tuple:
     need the hit flag for their own counters).
     """
     return _lookup_or_run(query, db)
+
+
+def peek(query: Query, db: Database):
+    """Probe the cache for *query* without executing anything.
+
+    Returns a fresh copy of the cached :class:`Result` on a hit, or
+    ``None`` on a miss (including cached *errors* — a stored failure is
+    not a servable answer).  The probe uses the same canonical key and
+    *current* table/database version tokens as :func:`cached_execute`,
+    so a hit is exactly what executing now would return — never stale.
+    That soundness is what lets :mod:`repro.core.pipeline` use this as
+    the last rung of its execute degradation ladder: when the executor
+    times out or faults, a peeked result is a correct answer, and a miss
+    simply means the ladder is exhausted.
+    """
+    if not _ENABLED:
+        return None
+    plan_module = _plan()
+    text, signature, names = _query_key_info(query)
+    tokens = _table_tokens(names, db)
+    if tokens is None:
+        return None
+    toggles = (
+        plan_module._OPTIMIZER_ENABLED,
+        _vector_module._VECTOR_ENABLED,
+    )
+    dbtok = _db_token(db)
+    result_key = ("r", text, signature, dbtok, tokens, toggles)
+    with _LOCK:
+        entry = _CACHE.get(result_key)
+        if entry is not None:
+            _CACHE.move_to_end(result_key)
+            _PEEK_HITS.inc()
+            return copy_result(entry[0])
+    _PEEK_MISSES.inc()
+    return None
 
 
 # ----------------------------------------------------------------------

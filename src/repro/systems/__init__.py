@@ -12,6 +12,10 @@ system wrapping parsers with pre/post-processing:
 - :class:`EndToEndSystem` — Photon/Sevi: one model call straight to an
   executed answer, plus Photon's confusion detection.
 
+:class:`PipelineSystem` additionally wraps the full production serving
+path (:class:`repro.core.Pipeline` with lint gates and the
+:mod:`repro.resilience` degradation ladders) behind the same interface.
+
 :func:`recommend_system` encodes Section 5.4's user-centric guidance.
 """
 
@@ -21,6 +25,7 @@ from repro.systems.architectures import (
     EndToEndSystem,
     MultiStageSystem,
     ParsingBasedSystem,
+    PipelineSystem,
     RuleBasedSystem,
 )
 from repro.systems.session import InteractiveSession
@@ -32,6 +37,7 @@ __all__ = [
     "MultiStageSystem",
     "NLISystem",
     "ParsingBasedSystem",
+    "PipelineSystem",
     "RuleBasedSystem",
     "SimulatedASR",
     "SystemResponse",

@@ -246,3 +246,96 @@ class EndToEndSystem(_ParserBackedSystem):
                 ),
             )
         return response
+
+
+class PipelineSystem(NLISystem):
+    """An :class:`NLISystem` served by the full fault-tolerant pipeline.
+
+    Wraps :class:`repro.core.Pipeline` — lint gates and all — behind the
+    systems interface, so sessions and the evaluation harness can run the
+    production serving path like any other architecture.  With a
+    :class:`~repro.resilience.ResiliencePolicy` (the default), ``answer``
+    never raises: stage faults are absorbed by the pipeline's degradation
+    ladders and surface on ``SystemResponse.degraded`` instead, which
+    :class:`repro.systems.session.InteractiveSession` reports honestly in
+    the transcript.
+    """
+
+    name = "pipeline system"
+    architecture = "multi-stage"
+
+    def __init__(
+        self,
+        sql_parser: Parser | None = None,
+        vis_parser: VisParser | None = None,
+        resilience: "ResiliencePolicy | None | bool" = True,
+        lint: bool = True,
+    ) -> None:
+        from repro.core.pipeline import LintGate, Pipeline, VisLintGate
+        from repro.resilience import ResiliencePolicy
+
+        if resilience is True:
+            resilience = ResiliencePolicy.default()
+        elif resilience is False:
+            resilience = None
+        self.pipeline = Pipeline(
+            sql_parser or GrammarSemanticParser(
+                use_history=True, use_knowledge=True
+            ),
+            vis_parser or DataToneVisParser(),
+            lint_gate=LintGate() if lint else None,
+            vis_lint_gate=VisLintGate() if lint else None,
+            resilience=resilience,
+        )
+
+    def answer(
+        self,
+        question: str,
+        db: Database,
+        knowledge: str | None = None,
+        history: list | None = None,
+    ) -> SystemResponse:
+        return self._timed(
+            question,
+            lambda: self._answer(question, db, knowledge, history or []),
+        )
+
+    def _answer(
+        self,
+        question: str,
+        db: Database,
+        knowledge: str | None,
+        history: list,
+    ) -> SystemResponse:
+        trace = self.pipeline.run(
+            question, db, knowledge=knowledge, history=history
+        )
+        degraded = tuple(trace.degraded)
+        if trace.chart is not None:
+            return SystemResponse(
+                question=question,
+                kind="chart",
+                vql=trace.functional_expression,
+                chart=trace.chart,
+                degraded=degraded,
+            )
+        if trace.result is not None and trace.error is None:
+            is_vis_turn = trace.chart is None and any(
+                r.stage == "preprocess" and "visualization" in r.output
+                for r in trace.stages
+            )
+            return SystemResponse(
+                question=question,
+                kind="data",
+                sql=None if is_vis_turn else trace.functional_expression,
+                vql=trace.functional_expression if is_vis_turn else None,
+                result=trace.result,
+                degraded=degraded,
+            )
+        return SystemResponse(
+            question=question,
+            kind="error",
+            sql=trace.functional_expression,
+            message=trace.error or "the pipeline produced no answer",
+            degraded=degraded,
+        )

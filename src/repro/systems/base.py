@@ -29,10 +29,20 @@ class SystemResponse:
     chart: Chart | None = None
     message: str = ""
     latency_seconds: float = 0.0
+    #: degradation-ladder rungs taken while producing this answer
+    #: (``stage:rung`` strings from :class:`repro.core.PipelineTrace`);
+    #: empty for a healthy turn or a system without resilience.  Sessions
+    #: surface non-empty values in the transcript — a degraded answer is
+    #: still an answer, but the user is told so.
+    degraded: tuple[str, ...] = ()
 
     @property
     def answered(self) -> bool:
         return self.kind in ("data", "chart")
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degraded)
 
 
 #: chart-request cue words shared by the intent classifiers

@@ -25,6 +25,7 @@ from repro.systems.base import NLISystem, SystemResponse
 _registry = _obs_metrics.get_registry()
 _TURNS = _registry.counter("repro.session.turns")
 _TURN_CACHE_HITS = _registry.counter("repro.session.turn_cache.hits")
+_DEGRADED_TURNS = _registry.counter("repro.session.degraded.turns")
 
 #: per-session bound on memoized turns
 _TURN_MEMO_MAX = 64
@@ -118,9 +119,21 @@ class InteractiveSession:
                 knowledge=self.knowledge,
                 history=list(self.history),
             )
-            if memo_key is not None:
+            if response.is_degraded:
+                # surface the degradation honestly in the transcript —
+                # the answer stands, but the user is told how it was made
+                _DEGRADED_TURNS.inc()
+                note = f"[degraded: {', '.join(response.degraded)}]"
+                response.message = (
+                    f"{response.message} {note}".strip()
+                    if response.message
+                    else note
+                )
+            if memo_key is not None and not response.is_degraded:
                 # stash a private copy: the caller owns the returned
-                # response and may mutate it freely
+                # response and may mutate it freely.  Degraded turns are
+                # never memoized — a fallback answer must not outlive
+                # the incident that caused it.
                 self._turn_memo[memo_key] = _copy_response(response)
                 while len(self._turn_memo) > _TURN_MEMO_MAX:
                     self._turn_memo.popitem(last=False)

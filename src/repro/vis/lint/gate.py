@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.data.database import Database
 from repro.data.schema import Schema
 from repro.obs import metrics as _obs_metrics
+from repro.resilience import deadline as _deadline
 from repro.sql.lint.diagnostics import Severity
 from repro.vis.lint.engine import VisLintReport, lint_vis, lint_vql_text
 from repro.vis.vql import CHART_TYPES, parse_vql, to_vql
@@ -120,6 +121,8 @@ class VisLintGate:
         best: str | None = None
         best_score = float("inf")
         for candidate in distinct:
+            if _deadline._ACTIVE:
+                _deadline.checkpoint("vis lint gate")
             report = self.report(candidate, schema, db=db)
             if any(
                 self.prune_at <= d.severity for d in report.diagnostics

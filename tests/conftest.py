@@ -25,12 +25,15 @@ def _obs_reset():
     """
     from repro.obs import metrics as obs_metrics
     from repro.obs import trace as obs_trace
+    from repro.resilience import clear_faults, reset_breakers
     from repro.sql import rescache
 
     yield
     obs_trace.disable()
     obs_trace.clear()
     rescache.clear_result_cache()
+    clear_faults()
+    reset_breakers()
     obs_metrics.get_registry().reset()
 
 

@@ -1,0 +1,30 @@
+"""Docs/CLI consistency gate — see ``benchmarks/check_docs.py``.
+
+Every ``python -m repro <subcommand>`` the docs mention must exist, and
+every subcommand the CLI dispatches must appear in README.md.  Running
+the checker as a test keeps stale CLI examples out of the docs without a
+separate CI wiring step.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(__file__)), "benchmarks"),
+)
+
+import check_docs
+
+
+def test_subcommand_extraction_is_nonempty():
+    subs = check_docs.dispatched_subcommands()
+    # the dispatch chain in __main__.py; a regression here means the
+    # extraction regex broke, not that the CLI lost all subcommands
+    assert {"lint", "vis-lint", "explain", "trace", "eval", "cache",
+            "chaos"} <= subs
+
+
+def test_docs_name_only_real_subcommands_and_readme_names_all():
+    violations = check_docs.check()
+    assert not violations, "\n".join(violations)
