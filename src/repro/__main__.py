@@ -15,6 +15,8 @@ the survey's Fig. 1.  Options::
     python -m repro eval --workers 4      # parallel corpus evaluation
     python -m repro cache stats           # result-cache counters / control
     python -m repro chaos --turns 20      # fault-injection chaos storm
+    python -m repro serve --workers 8     # concurrent multi-session server
+    python -m repro loadgen --rps 100     # seeded load generation + report
     python -m repro --trace               # REPL with per-stage trace output
     python -m repro --resilient           # REPL with fault-tolerant turns
 
@@ -116,6 +118,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.resilience.cli import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.serve.loadgen import main as loadgen_main
+
+        return loadgen_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )

@@ -21,6 +21,7 @@ so a chart that could never render is rejected before its SQL even runs.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -230,8 +231,11 @@ class Pipeline:
         # end-to-end turn memo: (question, knowledge, history, db state) ->
         # finished PipelineTrace; every stage is deterministic given those
         # four, and the db-state token (per-table version stamps + object
-        # identity) retires entries on any mutation
+        # identity) retires entries on any mutation.  Guarded by a lock:
+        # one pipeline serves many concurrent sessions under repro.serve,
+        # and OrderedDict reorder-during-resize is not atomic
         self._turn_memo: "OrderedDict[tuple, PipelineTrace]" = OrderedDict()
+        self._memo_lock = threading.Lock()
         # lazy rule-based fallback parsers for the translate ladder, and
         # one Retry per retried stage (its jitter RNG advances
         # deterministically across the pipeline's lifetime)
@@ -293,9 +297,11 @@ class Pipeline:
             else self._turn_memo_key(question, db, knowledge, history)
         )
         if memo_key is not None:
-            cached = self._turn_memo.get(memo_key)
+            with self._memo_lock:
+                cached = self._turn_memo.get(memo_key)
+                if cached is not None:
+                    self._turn_memo.move_to_end(memo_key)
             if cached is not None:
-                self._turn_memo.move_to_end(memo_key)
                 _TURN_HITS.inc()
                 if cached.error is not None:
                     _ERRORS.inc()
@@ -314,9 +320,11 @@ class Pipeline:
             # may mutate its result rows without poisoning the memo.
             # Degraded turns are never memoized — a fallback answer must
             # not outlive the incident that caused it.
-            self._turn_memo[memo_key] = self._replay_trace(trace)
-            while len(self._turn_memo) > _TURN_MEMO_MAX:
-                self._turn_memo.popitem(last=False)
+            private = self._replay_trace(trace)
+            with self._memo_lock:
+                self._turn_memo[memo_key] = private
+                while len(self._turn_memo) > _TURN_MEMO_MAX:
+                    self._turn_memo.popitem(last=False)
         return trace
 
     def _run_turn(

@@ -49,7 +49,8 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="worker processes for execution-based metrics "
-        "(default: serial; >1 enables the parallel driver)",
+        "(default: REPRO_EVAL_WORKERS, else serial; >1 enables the "
+        "parallel driver)",
     )
     arg_parser.add_argument(
         "--test-suite",
@@ -62,8 +63,10 @@ def main(argv: list[str] | None = None) -> int:
     args = arg_parser.parse_args(argv)
 
     from repro.datasets import build_dataset
+    from repro.eval.parallel import resolve_workers
     from repro.metrics import evaluate_parser
 
+    workers = resolve_workers(args.workers, default=1)
     dataset = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
     parser = _build_parser(args.parser, dataset)
     report = evaluate_parser(
@@ -72,11 +75,11 @@ def main(argv: list[str] | None = None) -> int:
         split=args.split,
         with_test_suite=args.test_suite,
         limit=args.limit,
-        max_workers=args.workers,
+        max_workers=workers,
     )
 
     payload = report.as_dict()
-    payload["workers"] = args.workers or 1
+    payload["workers"] = workers
     if args.json:
         print(_json.dumps(payload, indent=2, sort_keys=True))
         return 0

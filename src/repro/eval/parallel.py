@@ -68,10 +68,35 @@ _FALLBACKS = _registry.counter("repro.eval.parallel.fallbacks")
 _WORKER_STATE: dict = {}
 
 
-def resolve_workers(max_workers: int | None = None) -> int:
-    """Worker count to use: explicit request, else one per CPU."""
+#: environment default consulted by every worker-count consumer (the
+#: ``eval`` CLI, the report generator, ``loadgen``) when no explicit
+#: ``--workers`` was given
+WORKERS_ENV = "REPRO_EVAL_WORKERS"
+
+
+def resolve_workers(
+    max_workers: int | None = None,
+    *,
+    env: str | None = WORKERS_ENV,
+    default: int | None = None,
+) -> int:
+    """The one worker-count resolution rule, shared by every consumer.
+
+    Precedence: explicit *max_workers* → the *env* variable (ignored when
+    unset or not an integer) → *default* → one per CPU.  The result is
+    always >= 1, so ``resolved <= 1`` is the serial-fallback test
+    everywhere.
+    """
     if max_workers is not None:
         return max(1, int(max_workers))
+    raw = os.environ.get(env, "") if env else ""
+    if raw.strip():
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass  # a malformed env var must never break an eval run
+    if default is not None:
+        return max(1, int(default))
     return max(1, os.cpu_count() or 1)
 
 

@@ -115,6 +115,7 @@ def evaluate_parser(
     worker-side obs counters are lost.  Vis datasets always run serially
     (their metrics are string-cheap).
     """
+    from repro.eval.parallel import resolve_workers
     from repro.parsers.base import ParseRequest
 
     examples = dataset.split(split).examples
@@ -128,13 +129,12 @@ def evaluate_parser(
     )
     start = time.perf_counter()
 
-    if (
-        dataset.task != "vis"
-        and max_workers is not None
-        and max_workers > 1
-    ):
+    # one shared resolution rule (explicit > REPRO_EVAL_WORKERS > serial);
+    # resolved <= 1 is the serial fallback, exactly like parallel_map's
+    workers = resolve_workers(max_workers, default=1)
+    if dataset.task != "vis" and workers > 1:
         _evaluate_sql_parallel(
-            parser, dataset, examples, report, with_test_suite, max_workers
+            parser, dataset, examples, report, with_test_suite, workers
         )
         report.seconds = time.perf_counter() - start
         return report

@@ -18,9 +18,13 @@ default :class:`MetricsRegistry` is a process singleton
 Instruments are created on first use and returned on every subsequent
 request for the same name; asking for an existing name as a different
 instrument kind raises ``TypeError`` (a name can only ever mean one
-thing).  Creation is lock-protected; the increment/observe hot paths are
-plain attribute updates relying on the GIL, exactly like collectors in
-production metrics clients.
+thing).  Creation is lock-protected, and so are the increment/observe
+hot paths: ``value += amount`` is a read-modify-write, and with the
+serving layer (:mod:`repro.serve`) incrementing the same counters from
+many worker threads, relying on the GIL to never preempt between the
+read and the write would silently drop updates.  Each instrument carries
+its own small lock, so contention stays per-instrument, exactly like
+collectors in production metrics clients.
 """
 
 from __future__ import annotations
@@ -49,18 +53,23 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
 class Counter:
     """A monotonically increasing count (requests served, cache probes)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        """Add *amount* (default 1) to the counter."""
-        self.value += amount
+        """Add *amount* (default 1) to the counter.  Thread-safe: the
+        += is a read-modify-write, so concurrent workers would lose
+        increments without the lock."""
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self) -> int:
         return self.value
@@ -84,8 +93,10 @@ class Gauge:
 
     def set(self, value: float) -> None:
         """Set the gauge (and detach any callback)."""
-        self._fn = None
+        # value first: a concurrent snapshot sees either the callback's
+        # reading or the new value, never a stale explicit one
         self._value = value
+        self._fn = None
 
     def set_function(self, fn: Callable[[], float] | None) -> None:
         """Back the gauge by *fn*, read at every snapshot."""
@@ -114,7 +125,9 @@ class Histogram:
     mean latency falls out for free.
     """
 
-    __slots__ = ("name", "boundaries", "bucket_counts", "count", "total")
+    __slots__ = (
+        "name", "boundaries", "bucket_counts", "count", "total", "_lock"
+    )
 
     def __init__(
         self, name: str, boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS
@@ -129,32 +142,42 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
         self.count = 0
         self.total = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
-        self.count += 1
-        self.total += value
+        """Record one observation.  Thread-safe: the three updates are
+        read-modify-writes and must also stay mutually consistent
+        (``count`` equals the bucket sum) for snapshot readers."""
+        index = bisect_left(self.boundaries, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.total += value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def reset(self) -> None:
-        self.bucket_counts = [0] * (len(self.boundaries) + 1)
-        self.count = 0
-        self.total = 0.0
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.boundaries) + 1)
+            self.count = 0
+            self.total = 0.0
 
     def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self.bucket_counts)
+            count = self.count
+            total = self.total
         buckets = {
-            f"le_{bound:g}": count
-            for bound, count in zip(self.boundaries, self.bucket_counts)
+            f"le_{bound:g}": n
+            for bound, n in zip(self.boundaries, counts)
         }
-        buckets["le_inf"] = self.bucket_counts[-1]
+        buckets["le_inf"] = counts[-1]
         return {
-            "count": self.count,
-            "sum": round(self.total, 9),
-            "mean": round(self.mean, 9),
+            "count": count,
+            "sum": round(total, 9),
+            "mean": round(total / count if count else 0.0, 9),
             "buckets": buckets,
         }
 

@@ -1,0 +1,120 @@
+"""Admission control — bounded queues, typed shedding, backpressure.
+
+Every request passes :meth:`AdmissionController.admit` before it may
+queue.  The controller never blocks and never throws: it returns ``None``
+to admit or a :class:`~repro.serve.envelope.ShedReason` to shed, so the
+caller can surface the rejection as a typed, immediately-resolved
+response — under overload the server answers *something* for every
+request, in bounded time, instead of growing an unbounded queue.
+
+Checks, in order (cheapest and most global first):
+
+1. **lifecycle** — a draining or stopped server admits nothing
+   (``DRAINING`` / ``SHUTDOWN``);
+2. **global queue bound** — at most ``max_pending`` admitted-but-
+   undispatched requests across all sessions (``QUEUE_FULL``);
+3. **per-session queue bound** — at most ``max_session_pending`` queued
+   requests in one conversation (``SESSION_QUEUE_FULL``), so one
+   flooding session saturates its own lane, not the server;
+4. **session table bound** — a *new* session is only admitted when the
+   table is below ``max_sessions`` or an idle session can be LRU-evicted
+   to make room (``SESSION_LIMIT``).
+
+Backpressure is signalled continuously, not just at the cliff:
+:meth:`pressure` reports global queue occupancy in ``[0, 1]``, the
+server stamps it on every response, and clients (the load generator's
+closed-loop mode, say) can shape their offered rate long before they
+start being shed.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as _obs_metrics
+from repro.serve.envelope import ShedReason
+from repro.serve.sessions import ServeSession, SessionRegistry
+
+__all__ = ["AdmissionController", "count_shed"]
+
+_registry = _obs_metrics.get_registry()
+_ADMITTED = _registry.counter("repro.serve.admitted")
+_SHEDS = _registry.counter("repro.serve.sheds")
+
+
+def count_shed(reason: ShedReason) -> None:
+    """Record one shed (total + per-reason counters).  Also used by the
+    server for post-admission sheds: expired deadlines, queue flushes on
+    session close, and shutdown."""
+    _SHEDS.inc()
+    _registry.counter(f"repro.serve.shed.{reason.value}").inc()
+
+
+class AdmissionController:
+    """The bounded-queue policy object (state: bounds + pending count)."""
+
+    def __init__(
+        self, max_pending: int = 256, max_session_pending: int = 32
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if max_session_pending < 1:
+            raise ValueError("max_session_pending must be >= 1")
+        self.max_pending = max_pending
+        self.max_session_pending = max_session_pending
+        #: admitted-but-undispatched requests across every session
+        self.pending = 0
+
+    def pressure(self) -> float:
+        """Global queue occupancy in ``[0, 1]`` — the backpressure signal."""
+        return min(1.0, self.pending / self.max_pending)
+
+    def admit(
+        self,
+        *,
+        session: ServeSession | None,
+        sessions: SessionRegistry,
+        draining: bool,
+        stopped: bool,
+    ) -> ShedReason | None:
+        """Decide one request: ``None`` admits, a reason sheds.
+
+        *session* is the existing session the request targets, or
+        ``None`` for a first-contact request that would open one.
+        Admitting increments :attr:`pending`; the server must call
+        :meth:`release` when the request leaves the queue (dispatch or
+        flush).
+        """
+        reason = self._decide(session, sessions, draining, stopped)
+        if reason is None:
+            self.pending += 1
+            _ADMITTED.inc()
+        else:
+            count_shed(reason)
+        return reason
+
+    def _decide(
+        self,
+        session: ServeSession | None,
+        sessions: SessionRegistry,
+        draining: bool,
+        stopped: bool,
+    ) -> ShedReason | None:
+        if stopped:
+            return ShedReason.SHUTDOWN
+        if draining:
+            return ShedReason.DRAINING
+        if self.pending >= self.max_pending:
+            return ShedReason.QUEUE_FULL
+        if session is not None:
+            if len(session.queue) >= self.max_session_pending:
+                return ShedReason.SESSION_QUEUE_FULL
+            return None
+        limit = sessions.max_sessions
+        if limit is not None and len(sessions) >= limit:
+            # try to make room: the LRU fully-idle session is expendable
+            if sessions.evict_one_idle() is None:
+                return ShedReason.SESSION_LIMIT
+        return None
+
+    def release(self, n: int = 1) -> None:
+        """Return *n* queue slots (request dispatched or flushed)."""
+        self.pending = max(0, self.pending - n)

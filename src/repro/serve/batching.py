@@ -1,0 +1,178 @@
+"""Micro-batch coalescing: identical concurrent turns execute once.
+
+Interactive NLI traffic is duplicate-heavy — trending questions, retried
+clients, dashboards polling the same query — and the result-cache stack
+already collapses *sequential* repeats.  What it cannot collapse is the
+thundering herd: N identical requests in flight *simultaneously* all
+miss the still-cold caches and execute N times.  :class:`Coalescer`
+closes that gap with singleflight semantics over the same key the
+pipeline turn memo uses — ``(question, knowledge, history, database
+state token)``, the tuple that fully determines a turn's outcome (see
+``Pipeline._turn_memo_key``):
+
+- the first request for a key becomes the **leader** and executes the
+  turn; an optional micro-batching ``window`` lets the leader yield
+  briefly before executing so freshly-dispatched duplicates can attach;
+- every identical request dispatched while the leader is in flight
+  becomes a **follower**: it blocks on the leader's outcome and receives
+  a defensive copy, never executing the turn itself;
+- a leader that *fails* (raises) or *degrades* (fault-ladder answer)
+  publishes nothing — each follower falls back to executing its own
+  turn, so coalescing can only ever deduplicate healthy answers, exactly
+  mirroring the turn-memo discipline.
+
+Coalescing disables itself under an active chaos plan (outcomes are no
+longer pure functions of the key) and for unhashable histories.  The
+wrapper is an :class:`~repro.systems.base.NLISystem`, so each serve
+session's :class:`~repro.systems.session.InteractiveSession` still
+records transcript and history normally — a coalesced follower's
+*session* state advances exactly as if it had executed the turn.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.data.database import Database
+from repro.obs import metrics as _obs_metrics
+from repro.resilience import faults as _faults
+from repro.sql import rescache as _rescache
+from repro.systems.base import NLISystem, SystemResponse
+
+__all__ = ["Coalescer"]
+
+_registry = _obs_metrics.get_registry()
+_LEADERS = _registry.counter("repro.serve.coalesce.leaders")
+_FOLLOWERS = _registry.counter("repro.serve.coalesce.followers")
+_BYPASSED = _registry.counter("repro.serve.coalesce.bypassed")
+
+
+class _Flight:
+    """One in-flight leader and the followers waiting on it."""
+
+    __slots__ = ("event", "response")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        #: the leader's healthy response, or None (failed/degraded leader)
+        self.response: SystemResponse | None = None
+
+
+class Coalescer(NLISystem):
+    """Singleflight wrapper around a shared inner :class:`NLISystem`."""
+
+    name = "coalescing serve wrapper"
+    architecture = "serving"
+
+    def __init__(
+        self,
+        inner: NLISystem,
+        window: float = 0.0,
+        enabled: bool = True,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.window = window
+        self.enabled = enabled
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, _Flight] = {}
+        self._tl = threading.local()
+
+    # -- the flag the server reads to stamp Response.coalesced ---------
+    def begin_request(self) -> None:
+        """Reset this worker thread's coalesced flag before a turn."""
+        self._tl.coalesced = False
+
+    def was_coalesced(self) -> bool:
+        """Whether the last turn on this thread was served by a leader."""
+        return getattr(self._tl, "coalesced", False)
+
+    # -- NLISystem ------------------------------------------------------
+    def answer(
+        self,
+        question: str,
+        db: Database,
+        knowledge: str | None = None,
+        history: list | None = None,
+    ) -> SystemResponse:
+        key = self._key(question, db, knowledge, history)
+        if key is None:
+            _BYPASSED.inc()
+            return self.inner.answer(
+                question, db, knowledge=knowledge, history=history
+            )
+        with self._lock:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._inflight[key] = _Flight()
+        if leader:
+            return self._lead(flight, key, question, db, knowledge, history)
+        _FOLLOWERS.inc()
+        flight.event.wait()
+        if flight.response is None:
+            # the leader failed or degraded: answer independently rather
+            # than replicate an unhealthy outcome
+            return self.inner.answer(
+                question, db, knowledge=knowledge, history=history
+            )
+        self._tl.coalesced = True
+        return flight.response.copy()
+
+    def _lead(
+        self,
+        flight: _Flight,
+        key: tuple,
+        question: str,
+        db: Database,
+        knowledge: str | None,
+        history: list | None,
+    ) -> SystemResponse:
+        _LEADERS.inc()
+        if self.window > 0.0:
+            # micro-batching window: yield briefly so duplicates being
+            # dispatched right now can attach as followers
+            self._sleep(self.window)
+        try:
+            response = self.inner.answer(
+                question, db, knowledge=knowledge, history=history
+            )
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        with self._lock:
+            self._inflight.pop(key, None)
+            if not response.is_degraded:
+                flight.response = response.copy()
+        flight.event.set()
+        return response
+
+    def _key(
+        self,
+        question: str,
+        db: Database,
+        knowledge: str | None,
+        history: list | None,
+    ) -> tuple | None:
+        """The turn-memo-equivalent coalescing key, or None to bypass.
+
+        Bypasses when coalescing is off, a chaos plan is active (injected
+        faults make identical inputs diverge), or the history contains
+        unhashable entries.
+        """
+        if not self.enabled or _faults.active():
+            return None
+        try:
+            return (
+                question,
+                knowledge,
+                tuple(history or ()),
+                _rescache.database_state_token(db),
+            )
+        except TypeError:
+            return None

@@ -1,0 +1,97 @@
+"""Weighted-fair scheduling across sessions (start-time fair queuing).
+
+The server must balance two orthogonal ordering constraints: *within* a
+session requests are strict FIFO (conversation context), while *across*
+sessions capacity should be shared by weight — a session that floods the
+queue must not starve its neighbours, and a 3×-weight session should see
+~3× the turns of a 1×-weight one under contention.
+
+:class:`FairScheduler` implements start-time fair queuing (SFQ) over
+*sessions*, the classic packet-scheduling discipline adapted to turns:
+
+- every dispatch carries a virtual **start tag** ``max(V, F_s)`` where
+  ``V`` is the global virtual time and ``F_s`` the session's last finish
+  tag;
+- the session's finish tag advances by ``1 / weight`` per dispatched
+  turn (unit cost — turns are priced equally a priori);
+- the scheduler always dispatches the ready session with the smallest
+  start tag, breaking ties by arrival order, and advances ``V`` to that
+  start tag.
+
+Backlogged sessions therefore interleave in weight proportion, an idle
+session re-enters at the current virtual time (no credit hoarding, no
+starvation), and with a single backlogged session the order degenerates
+to plain FIFO.  Everything is deterministic: tags are pure arithmetic
+and ties break on a monotonic push counter, so a seeded storm replays
+identically — the property ``benchmarks/bench_serve.py`` gates on.
+
+The scheduler is a passive data structure; the server calls it under its
+own lock.  Entries are lazily invalidated: a popped session that is no
+longer schedulable (closed, emptied, already running) is skipped, and a
+session is (re)pushed whenever it transitions back to schedulable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+from repro.serve.sessions import ServeSession
+
+__all__ = ["FairScheduler"]
+
+
+class FairScheduler:
+    """SFQ dispatch order over :class:`ServeSession` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, ServeSession]] = []
+        self._virtual_time = 0.0
+        self._pushes = count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def virtual_time(self) -> float:
+        return self._virtual_time
+
+    def push(self, session: ServeSession) -> None:
+        """Offer a session that just became schedulable (head available).
+
+        The start tag is fixed at push time; the virtual clock only
+        moves forward, so a tag never becomes unfairly early while it
+        waits in the heap.
+        """
+        start_tag = max(self._virtual_time, session.finish_tag)
+        heapq.heappush(
+            self._heap, (start_tag, next(self._pushes), session)
+        )
+
+    def pop(self) -> ServeSession | None:
+        """The schedulable session with the smallest start tag, or None.
+
+        Advances virtual time to the winner's start tag and charges the
+        session one ``1/weight`` quantum.  Stale heap entries (sessions
+        that got closed, drained, or marked running since their push)
+        are discarded on the way.
+        """
+        while self._heap:
+            start_tag, _, session = heapq.heappop(self._heap)
+            if not session.schedulable:
+                continue
+            self._virtual_time = max(self._virtual_time, start_tag)
+            session.finish_tag = (
+                max(start_tag, session.finish_tag) + 1.0 / session.weight
+            )
+            return session
+        return None
+
+    def peek_ready(self) -> bool:
+        """Whether any live schedulable entry exists (prunes stale ones)."""
+        while self._heap and not self._heap[0][2].schedulable:
+            heapq.heappop(self._heap)
+        return bool(self._heap)
+
+    def clear(self) -> None:
+        self._heap.clear()

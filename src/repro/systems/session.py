@@ -11,7 +11,7 @@ as the next turn.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.data.database import Database
 from repro.errors import SQLError
@@ -39,15 +39,7 @@ def _copy_response(response: SystemResponse) -> SystemResponse:
     mutating a returned response's result rows or chart cannot poison
     the memo or alias other transcript entries.
     """
-    return replace(
-        response,
-        result=(
-            _rescache.copy_result(response.result)
-            if response.result is not None
-            else None
-        ),
-        chart=response.chart.copy() if response.chart is not None else None,
-    )
+    return response.copy()
 
 
 @dataclass
@@ -62,6 +54,7 @@ class InteractiveSession:
     _turn_memo: "OrderedDict[tuple, SystemResponse]" = field(
         default_factory=OrderedDict, repr=False
     )
+    _closed: bool = field(default=False, repr=False)
 
     def ask(self, question: str) -> SystemResponse:
         """One conversational turn.
@@ -79,6 +72,8 @@ class InteractiveSession:
         (``repro.session.turn_cache.hits``) while still appending to the
         transcript and history exactly like a fresh turn.
         """
+        if self._closed:
+            raise RuntimeError("session is closed")
         _TURNS.inc()
         if _obs_trace._ENABLED:
             with _obs_trace.span(
@@ -152,3 +147,18 @@ class InteractiveSession:
     def reset(self) -> None:
         self.history.clear()
         self.transcript.clear()
+
+    def close(self) -> None:
+        """Release everything the session retains: history, transcript,
+        and the turn memo.
+
+        ``reset`` starts the *conversation* over but keeps the memo warm
+        for re-asked questions; ``close`` is for ending the session's
+        lifetime — the serving layer's idle-eviction sweep
+        (:meth:`repro.serve.sessions.SessionRegistry.evict_idle`) calls
+        it so long-running servers do not accumulate per-session memos.
+        A closed session answers no further questions.
+        """
+        self.reset()
+        self._turn_memo.clear()
+        self._closed = True

@@ -361,3 +361,81 @@ class TestTraceCLI:
 
         main(["SELECT name FROM products"])
         assert not obs_trace.enabled()
+
+
+# ----------------------------------------------------------------------
+# thread safety under concurrent serving workers
+# ----------------------------------------------------------------------
+class TestMetricsThreadSafety:
+    """The serving layer increments shared instruments from many worker
+    threads; the += read-modify-writes must not drop updates."""
+
+    THREADS = 8
+    ITERATIONS = 10_000
+
+    def _hammer(self, fn):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker():
+            barrier.wait()  # maximal contention: everyone starts together
+            for _ in range(self.ITERATIONS):
+                fn()
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+    def test_counter_increments_are_exact(self):
+        registry = obs_metrics.MetricsRegistry()
+        counter = registry.counter("repro.test.hammer")
+        self._hammer(counter.inc)
+        assert counter.snapshot() == self.THREADS * self.ITERATIONS
+
+    def test_histogram_observations_are_exact_and_consistent(self):
+        registry = obs_metrics.MetricsRegistry()
+        histogram = registry.histogram(
+            "repro.test.hammer.seconds", boundaries=(0.001, 0.01, 0.1)
+        )
+        values = [0.0005, 0.005, 0.05, 0.5]
+        state = {"i": 0}
+
+        def observe():
+            state["i"] += 1  # GIL-atomic enough for a test driver
+            histogram.observe(values[state["i"] % len(values)])
+
+        self._hammer(observe)
+        expected = self.THREADS * self.ITERATIONS
+        snap = histogram.snapshot()
+        assert snap["count"] == expected
+        # internal consistency: buckets account for every observation
+        assert sum(snap["buckets"].values()) == expected
+        assert snap["sum"] == pytest.approx(
+            sum(values) / len(values) * expected, rel=1e-6
+        )
+
+    def test_callback_gauge_snapshot_during_mutation(self):
+        import threading
+
+        registry = obs_metrics.MetricsRegistry()
+        box = {"v": 0}
+        gauge = registry.gauge("repro.test.hammer.depth", fn=lambda: box["v"])
+        stop = threading.Event()
+        seen: list[float] = []
+
+        def reader():
+            while not stop.is_set():
+                seen.append(gauge.value)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for i in range(5000):
+            box["v"] = i
+        stop.set()
+        thread.join(timeout=30)
+        assert seen and all(0 <= v < 5000 for v in seen)

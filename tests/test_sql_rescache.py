@@ -621,3 +621,109 @@ class TestObservabilityGauges:
         snapshot = obs_metrics.get_registry().snapshot()
         assert "repro.sql.like_cache.size" in snapshot
         assert "repro.sql.vector.batch_cache.entries" in snapshot
+
+
+# ----------------------------------------------------------------------
+# concurrent access (the serving layer's workers share one cache)
+# ----------------------------------------------------------------------
+class TestConcurrentAccess:
+    """N threads racing hit / store / invalidate on the same canonical
+    key: no reader may ever observe a stale or partially-stored result.
+
+    The database flips between exactly two states (4 products and 5),
+    so every COUNT(*) a reader gets back must be 4 or 5 — a torn store,
+    a result served across an invalidation boundary, or a row-level data
+    race would surface as any other value (or an exception)."""
+
+    THREADS = 6
+    ITERATIONS = 300
+
+    def test_racing_hit_store_invalidate_never_serves_stale(self, shop_db):
+        import threading
+
+        query = parse_sql("SELECT COUNT(*) FROM products")
+        table = shop_db.table("products")
+        base_rows = list(table.rows)
+        valid = {len(base_rows), len(base_rows) + 1}
+        extra = (99, "extra", "tools", 1.0)
+
+        errors: list[str] = []
+        barrier = threading.Barrier(self.THREADS + 2)
+        stop = threading.Event()
+
+        def reader():
+            barrier.wait()
+            for _ in range(self.ITERATIONS):
+                result = rescache.cached_execute(query, shop_db)
+                count = result.rows[0][0]
+                if count not in valid:
+                    errors.append(f"stale/torn count {count!r}")
+                peeked = rescache.peek(query, shop_db)
+                if peeked is not None and not isinstance(peeked, Exception):
+                    if peeked.rows[0][0] not in valid:
+                        errors.append(f"stale peek {peeked.rows[0][0]!r}")
+
+        def writer():
+            barrier.wait()
+            while not stop.is_set():
+                table.append(extra)
+                table.replace_rows(list(base_rows))
+
+        def invalidator():
+            barrier.wait()
+            while not stop.is_set():
+                rescache.clear_result_cache()
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(self.THREADS)
+        ]
+        threads.append(threading.Thread(target=writer))
+        threads.append(threading.Thread(target=invalidator))
+        for t in threads:
+            t.start()
+        for t in threads[: self.THREADS]:
+            t.join(timeout=120)
+        stop.set()
+        for t in threads[self.THREADS :]:
+            t.join(timeout=30)
+
+        assert errors == []
+        # quiescent: the cache must agree with the settled database state
+        final = rescache.cached_execute(query, shop_db)
+        assert final.rows[0][0] == len(table.rows)
+
+    def test_racing_hits_share_one_store(self, shop_db):
+        """Pure read contention: every thread gets the right rows and the
+        returned results are defensive copies, never shared aliases."""
+        import threading
+
+        query = parse_sql("SELECT name FROM products ORDER BY name")
+        expected = tuple(
+            rescache.cached_execute(query, shop_db).rows
+        )
+        out: list = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(self.THREADS)
+
+        def reader():
+            barrier.wait()
+            for _ in range(self.ITERATIONS):
+                result = rescache.cached_execute(query, shop_db)
+                if tuple(result.rows) != expected:
+                    with lock:
+                        out.append(("wrong", result.rows))
+            with lock:
+                out.append(("obj", result))  # keep alive for the id check
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        wrong = [entry for entry in out if entry[0] == "wrong"]
+        finals = [entry[1] for entry in out if entry[0] == "obj"]
+        assert wrong == []
+        # one private copy per caller, never shared aliases
+        assert len({id(result) for result in finals}) == self.THREADS
